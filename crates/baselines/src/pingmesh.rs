@@ -1,0 +1,113 @@
+//! Pingmesh-style scoring. The probing itself is a host behavior (see
+//! [`fet_netsim::Simulator::schedule_probing`]); this module scores what
+//! probes can and cannot tell an operator.
+//!
+//! Probes are their own flows: when the fabric congests, the probe flow
+//! gets delayed too, so Pingmesh can detect that *something* is slow — but
+//! it cannot name the victim application flows. Its flow-event coverage is
+//! therefore the ground-truth congestion events whose victim happens to be
+//! a probe flow (the paper measures 0.02%).
+
+use fet_netsim::tracer::GroundTruth;
+use fet_netsim::{NodeId, Simulator};
+use fet_packet::event::EventType;
+use fet_packet::IpProtocol;
+
+/// Is this flow Pingmesh probe traffic (UDP echo to/from port 7)?
+fn is_probe_flow(flow: &fet_packet::FlowKey) -> bool {
+    flow.proto == IpProtocol::Udp
+        && (flow.dport == fet_netsim::host::PROBE_ECHO_PORT
+            || flow.sport == fet_netsim::host::PROBE_ECHO_PORT)
+}
+
+/// Congestion coverage: (covered, total) ground-truth congestion flow
+/// events, where Pingmesh only ever covers probe-flow victims.
+pub fn pingmesh_congestion_coverage(gt: &GroundTruth) -> (usize, usize) {
+    let events = gt.flow_events(EventType::Congestion);
+    let covered = events.iter().filter(|(_, f)| is_probe_flow(f)).count();
+    (covered, events.len())
+}
+
+/// Existence detection: did any probe RTT exceed `threshold_ns` in
+/// `[from, to)`? This is the *device-agnostic* alarm Pingmesh raises.
+pub fn pingmesh_saw_slowness(
+    sim: &Simulator,
+    hosts: &[NodeId],
+    threshold_ns: u64,
+    from_ns: u64,
+    to_ns: u64,
+) -> bool {
+    hosts.iter().any(|&h| {
+        sim.host(h).probe_samples.iter().any(|s| {
+            let t = s.sent_ns + s.rtt_ns;
+            s.rtt_ns > threshold_ns && t >= from_ns && t < to_ns
+        })
+    })
+}
+
+/// Probe loss detection: probes that timed out anywhere in the mesh.
+pub fn pingmesh_saw_loss(sim: &Simulator, hosts: &[NodeId]) -> bool {
+    hosts.iter().any(|&h| sim.host(h).probes_lost > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fet_netsim::tracer::GtEvent;
+    use fet_packet::ipv4::Ipv4Addr;
+    use fet_packet::FlowKey;
+
+    fn data_flow() -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::from_octets([10, 0, 0, 1]),
+            100,
+            Ipv4Addr::from_octets([10, 0, 0, 2]),
+            80,
+        )
+    }
+
+    fn probe_flow() -> FlowKey {
+        FlowKey::udp(
+            Ipv4Addr::from_octets([10, 0, 0, 1]),
+            20_001,
+            Ipv4Addr::from_octets([10, 0, 0, 2]),
+            7,
+        )
+    }
+
+    #[test]
+    fn covers_only_probe_flow_events() {
+        let mut gt = GroundTruth::new();
+        for (i, f) in [data_flow(), probe_flow()].into_iter().enumerate() {
+            gt.record(GtEvent {
+                time_ns: i as u64,
+                device: 1,
+                ty: EventType::Congestion,
+                flow: Some(f),
+                drop_code: None,
+                acl_rule: None,
+            });
+        }
+        assert_eq!(pingmesh_congestion_coverage(&gt), (1, 2));
+    }
+
+    #[test]
+    fn empty_gt_is_zero_over_zero() {
+        let gt = GroundTruth::new();
+        assert_eq!(pingmesh_congestion_coverage(&gt), (0, 0));
+    }
+
+    #[test]
+    fn probe_reply_direction_also_counts() {
+        let mut gt = GroundTruth::new();
+        gt.record(GtEvent {
+            time_ns: 0,
+            device: 1,
+            ty: EventType::Congestion,
+            flow: Some(probe_flow().reversed()),
+            drop_code: None,
+            acl_rule: None,
+        });
+        assert_eq!(pingmesh_congestion_coverage(&gt), (1, 1));
+    }
+}

@@ -1,0 +1,255 @@
+//! Criterion micro-benchmarks for NetSeer's per-packet primitives — the
+//! operations that must run at line rate in the emulated pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fet_packet::builder::{build_data_packet, extract_flow, insert_seqtag, strip_seqtag};
+use fet_packet::event::{EventDetail, EventRecord, EventType};
+use fet_packet::ipv4::Ipv4Addr;
+use fet_packet::FlowKey;
+use fet_pdp::HashUnit;
+use netseer::batch::CebpBatcher;
+use netseer::cpu::SwitchCpu;
+use netseer::dedup::{BloomDedup, GroupCache};
+use netseer::detect::interswitch::{GapDetector, PortTagger};
+use netseer::detect::path_change::PathTable;
+use netseer::NetSeerConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn flow(n: u32) -> FlowKey {
+    FlowKey::tcp(
+        Ipv4Addr::from_u32(0x0a00_0000 | (n & 0xffff)),
+        (n % 50_000) as u16,
+        Ipv4Addr::from_octets([10, 99, 0, 1]),
+        80,
+    )
+}
+
+fn ev(n: u32) -> EventRecord {
+    EventRecord {
+        ty: EventType::Congestion,
+        flow: flow(n),
+        detail: EventDetail::Congestion { egress_port: 1, queue: 0, latency_us: 100 },
+        counter: 1,
+        hash: n,
+    }
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dedup");
+    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("group_cache_offer_hot", |b| {
+        let mut gc = GroupCache::new("bench", 4096, 128, 1);
+        let f = flow(1);
+        b.iter(|| black_box(gc.offer(black_box(f))));
+    });
+    g.bench_function("group_cache_offer_churn", |b| {
+        let mut gc = GroupCache::new("bench", 4096, 128, 1);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            black_box(gc.offer(flow(n)))
+        });
+    });
+    g.bench_function("bloom_offer_churn", |b| {
+        let mut bloom = BloomDedup::new(1 << 16, 1);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            black_box(bloom.offer(flow(n)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_interswitch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interswitch");
+    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("tagger_next", |b| {
+        let mut t = PortTagger::new(1024);
+        let f = flow(7);
+        b.iter(|| black_box(t.next(black_box(f))));
+    });
+    g.bench_function("tagger_lookup", |b| {
+        let mut t = PortTagger::new(1024);
+        for n in 0..1024 {
+            t.next(flow(n));
+        }
+        let mut seq = 0u32;
+        b.iter(|| {
+            seq = (seq + 1) % 1024;
+            black_box(t.lookup(black_box(seq)))
+        });
+    });
+    g.bench_function("gap_observe", |b| {
+        let mut gd = GapDetector::new();
+        let mut seq = 0u32;
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            black_box(gd.observe(black_box(seq)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batching");
+    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_poll_cycle", |b| {
+        let mut batcher = CebpBatcher::new(&NetSeerConfig::default());
+        let mut n = 0u32;
+        let mut t = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            t += 100;
+            batcher.push(t, ev(n));
+            black_box(batcher.poll(t).len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch_cpu");
+    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    let batch: Vec<EventRecord> = (0..50).map(ev).collect();
+    g.throughput(Throughput::Elements(50));
+    g.bench_function("process_batch_50", |b| {
+        b.iter_batched(
+            || SwitchCpu::new(&NetSeerConfig::default()),
+            |mut cpu| black_box(cpu.process_batch(0, &batch, 1_264).len()),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    let pkt = build_data_packet(&flow(1), 1000, 0, 0, 64);
+    g.throughput(Throughput::Bytes(pkt.len() as u64));
+    g.bench_function("extract_flow", |b| {
+        b.iter(|| black_box(extract_flow(black_box(&pkt))));
+    });
+    g.bench_function("seqtag_insert_strip", |b| {
+        b.iter(|| {
+            let tagged = insert_seqtag(black_box(&pkt), 42).unwrap();
+            black_box(strip_seqtag(&tagged).unwrap())
+        });
+    });
+    let rec = ev(9);
+    g.bench_function("event_encode_decode", |b| {
+        b.iter(|| {
+            let bytes = black_box(&rec).to_bytes();
+            black_box(EventRecord::read_from(&bytes).unwrap())
+        });
+    });
+    g.bench_function("crc_hash_flow", |b| {
+        let h = HashUnit::new("bench", 7, 32);
+        let f = flow(3);
+        b.iter(|| black_box(h.hash_flow(black_box(&f))));
+    });
+    g.finish();
+}
+
+fn bench_path_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("path_table");
+    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("offer_churn", |b| {
+        let mut t = PathTable::new(8192, 1);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            black_box(t.offer(flow(n), 1, 2))
+        });
+    });
+    g.finish();
+}
+
+fn bench_full_monitor_path(c: &mut Criterion) {
+    use fet_netsim::monitor::{Actions, EgressCtx, RoutedCtx, SwitchMonitor};
+    use fet_pdp::PacketMeta;
+    use netseer::{NetSeerMonitor, Role};
+
+    let mut g = c.benchmark_group("monitor_path");
+    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    g.throughput(Throughput::Elements(1));
+    // The per-packet hot path of a healthy switch: routed + egress hooks
+    // with tagging enabled and no events firing.
+    g.bench_function("healthy_packet", |b| {
+        let mut m = NetSeerMonitor::new(0, Role::Switch, NetSeerConfig::default());
+        let pkt = build_data_packet(&flow(1), 1000, 0, 0, 64);
+        let mut meta = PacketMeta::arriving(1, 0, pkt.len());
+        meta.flow = Some(flow(1));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 100;
+            let rctx = RoutedCtx {
+                now_ns: n,
+                node: 0,
+                ingress_port: 1,
+                egress_port: 2,
+                queue: 0,
+                queue_paused: false,
+                flow: flow((n % 1000) as u32),
+            };
+            let mut out = Actions::new();
+            let mut f = pkt.clone();
+            m.on_routed(&rctx, &f, &mut out);
+            meta.egress_ts_ns = n + 500;
+            let ectx = EgressCtx {
+                now_ns: n + 500,
+                node: 0,
+                port: 2,
+                queue: 0,
+                peer_tagged: true,
+                meta: &meta,
+            };
+            m.on_egress(&ectx, &mut f, &mut out);
+            black_box(out.is_empty())
+        });
+    });
+    // The event-storm path: every packet is a congestion event packet.
+    g.bench_function("event_packet", |b| {
+        let mut m = NetSeerMonitor::new(0, Role::Switch, NetSeerConfig::default());
+        let pkt = build_data_packet(&flow(1), 1000, 0, 0, 64);
+        let mut meta = PacketMeta::arriving(1, 0, pkt.len());
+        meta.flow = Some(flow(1));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 100;
+            meta.ingress_ts_ns = n;
+            meta.egress_ts_ns = n + 100_000; // 100 us queuing delay
+            let ectx = EgressCtx {
+                now_ns: n + 100_000,
+                node: 0,
+                port: 2,
+                queue: 0,
+                peer_tagged: false,
+                meta: &meta,
+            };
+            let mut out = Actions::new();
+            let mut f = pkt.clone();
+            m.on_egress(&ectx, &mut f, &mut out);
+            black_box(m.stats.event_packets)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dedup,
+    bench_interswitch,
+    bench_batching,
+    bench_cpu,
+    bench_packets,
+    bench_path_table,
+    bench_full_monitor_path
+);
+criterion_main!(benches);

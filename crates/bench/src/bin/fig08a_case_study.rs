@@ -1,0 +1,65 @@
+//! Figure 8(a) — the five real Alibaba incidents (§5.1), reproduced on the
+//! simulated testbed. For each case we deploy NetSeer, run the scripted
+//! fault, and measure how long after fault activation the backend can
+//! answer the operator's query (detection + delivery latency), then add
+//! the paper's irreducible human phases. The "without NetSeer" bars are
+//! the paper's measured values — they are what the original operators
+//! actually spent with conventional tooling.
+
+use fet_netsim::time::SECONDS;
+use fet_workloads::scenarios::{build_case, ALL_CASES};
+use netseer::deploy::{collect_events, deploy, DeployOptions};
+use netseer::Query;
+
+fn main() {
+    println!("=== Figure 8(a): NPA cause-location time, with vs without NetSeer ===");
+    println!(
+        "  {:<24} {:>14} {:>14} {:>10}",
+        "case", "w/ NetSeer", "w/o NetSeer", "reduction"
+    );
+    for case in ALL_CASES {
+        let paper = case.paper();
+        let mut built = build_case(case, 0x5EED);
+        deploy(&mut built.sim, &DeployOptions::default());
+        built.sim.run_until(built.horizon_ns);
+
+        let store = collect_events(&mut built.sim);
+        // The operator queries by the affected flows (or by the suspicious
+        // device) and looks for the case's key event type.
+        let first_hit_ns = built
+            .victim_flows
+            .iter()
+            .flat_map(|f| {
+                store
+                    .query(&Query::any().flow(*f).ty(paper.key_event))
+                    .into_iter()
+                    .map(|e| e.time_ns)
+                    .collect::<Vec<_>>()
+            })
+            .chain(
+                // ACL drops aggregate per rule, not per flow: a device
+                // query still surfaces them.
+                store
+                    .query(&Query::any().device(built.fault_device).ty(paper.key_event))
+                    .into_iter()
+                    .map(|e| e.time_ns),
+            )
+            .min();
+
+        let Some(first_hit_ns) = first_hit_ns else {
+            println!("  {:<24} NO EVENT FOUND (reproduction failure)", paper.label);
+            continue;
+        };
+        let detect_s = first_hit_ns.saturating_sub(built.fault_at_ns) as f64 / SECONDS as f64;
+        // Operator interaction with the query frontend: seconds (paper's
+        // "within 30 seconds" / "14 seconds" style numbers).
+        let query_s = 10.0;
+        let with_min = paper.human_minutes + (detect_s + query_s) / 60.0;
+        let reduction = 100.0 * (1.0 - with_min / paper.minutes_without);
+        println!(
+            "  {:<24} {:>11.2} min {:>11.1} min {:>9.1}%   (detect {:.3}s after fault)",
+            paper.label, with_min, paper.minutes_without, reduction, detect_s
+        );
+    }
+    println!("\n  (paper: reductions of 61%-99% across the five cases)");
+}

@@ -1,0 +1,37 @@
+//! Figure 11 — overall monitoring bandwidth overhead per workload ×
+//! monitor: management-plane bytes ÷ per-hop traffic bytes (log scale in
+//! the paper).
+
+use fet_bench::{overhead_of, run_experiment, InjectSpec, MonitorKind};
+use fet_netsim::time::MILLIS;
+use fet_workloads::distributions::ALL_WORKLOADS;
+
+fn main() {
+    let inject = InjectSpec::default();
+    let monitors = [
+        MonitorKind::NetSight,
+        MonitorKind::EverFlow,
+        MonitorKind::Sampling(10),
+        MonitorKind::Sampling(100),
+        MonitorKind::Sampling(1000),
+        MonitorKind::NetSeer,
+    ];
+    println!("=== Figure 11: monitoring bandwidth overhead (fraction of traffic) ===");
+    print!("  {:<10}", "workload");
+    for m in monitors {
+        print!(" {:>10}", m.label());
+    }
+    println!();
+    for dist in ALL_WORKLOADS {
+        print!("  {:<10}", dist.name);
+        for kind in monitors {
+            let out = run_experiment(dist, kind, &inject, 0x0EAD, 12 * MILLIS);
+            print!(" {:>10}", format!("{:.2e}", overhead_of(&out.sim)));
+        }
+        println!();
+    }
+    println!("\n  (paper: NetSight ~18%; EverFlow / 1:1000 sampling ~1e-4..1e-3;");
+    println!("   NetSeer <1e-4 — three orders of magnitude below NetSight.");
+    println!("   NetSeer's overhead is event-driven: it rises with injected faults");
+    println!("   and falls toward ~0 on a healthy fabric.)");
+}

@@ -1,0 +1,60 @@
+//! Figure 12 — circulating event batching capacity vs batch size:
+//! Meps and Gbps from the calibrated analytic model, cross-checked with a
+//! saturating simulation of the batcher.
+
+use fet_packet::event::{EventDetail, EventRecord, EventType};
+use fet_packet::ipv4::Ipv4Addr;
+use fet_packet::FlowKey;
+use netseer::batch::{throughput_model, CebpBatcher};
+use netseer::NetSeerConfig;
+
+fn ev(n: u16) -> EventRecord {
+    EventRecord {
+        ty: EventType::Congestion,
+        flow: FlowKey::tcp(
+            Ipv4Addr::from_octets([10, 0, 0, 1]),
+            n,
+            Ipv4Addr::from_octets([10, 0, 0, 2]),
+            80,
+        ),
+        detail: EventDetail::Congestion { egress_port: 0, queue: 0, latency_us: n },
+        counter: 1,
+        hash: u32::from(n),
+    }
+}
+
+fn simulate(batch: u16) -> (f64, f64) {
+    let cfg = NetSeerConfig { batch_size: batch, ..NetSeerConfig::default() };
+    let mut b = CebpBatcher::new(&cfg);
+    let horizon = 2_000_000u64; // 2 ms saturated
+    let mut delivered = 0u64;
+    let mut t = 0u64;
+    let mut n = 0u16;
+    while t < horizon {
+        while b.backlog() < cfg.stack_capacity - 10 {
+            b.push(t, ev(n));
+            n = n.wrapping_add(1);
+        }
+        t += 1_000;
+        delivered += b.poll(t).iter().map(|x| x.events.len() as u64).sum::<u64>();
+    }
+    let meps = delivered as f64 / (horizon as f64 * 1e-9) / 1e6;
+    let gbps = meps * 1e6 * 24.0 * 8.0 / 1e9;
+    (meps, gbps)
+}
+
+fn main() {
+    let cfg = NetSeerConfig::default();
+    println!("=== Figure 12: event batching capacity vs batch size ===");
+    println!(
+        "  {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "batch", "model Meps", "model Gbps", "sim Meps", "sim Gbps"
+    );
+    for batch in [1u16, 10, 20, 30, 40, 50, 60, 70] {
+        let (mm, mg) = throughput_model(&cfg, usize::from(batch));
+        let (sm, sg) = simulate(batch);
+        println!("  {batch:>6} {mm:>12.1} {mg:>12.2} {sm:>12.1} {sg:>12.2}");
+    }
+    println!("\n  (paper: rises with batch size, ~86 Meps / 17.7 Gbps at batch 50 —");
+    println!("   enough for the ~4 Meps worst case of a 6.4 Tbps switch)");
+}

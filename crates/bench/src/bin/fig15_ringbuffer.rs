@@ -1,0 +1,129 @@
+//! Figure 15 — inter-switch drop detection capacity: (a) minimal ring
+//! slots per port to retrieve at least one dropped packet, vs packet size;
+//! (b) SRAM needed vs the number of consecutive drops to survive.
+//! Both the analytic model and an empirical sweep of the actual
+//! ring-buffer implementation.
+
+use fet_packet::ipv4::Ipv4Addr;
+use fet_packet::FlowKey;
+use netseer::capacity::{
+    min_ring_slots, ring_sram_bytes, slots_for_consecutive_drops, SLOT_BYTES_EXACT,
+    SLOT_BYTES_PACKED,
+};
+use netseer::detect::interswitch::{GapDetector, PortTagger};
+
+/// Empirically find the minimal slots that recover ≥1 packet of a burst
+/// of `burst` drops, with `feedback_pkts` packets transmitted before the
+/// notification arrives (the in-flight overwrites).
+fn empirical_min_slots(burst: u32, feedback_pkts: u32) -> usize {
+    let flow = |n: u32| {
+        FlowKey::tcp(
+            Ipv4Addr::from_u32(0x0a00_0000 + n),
+            1,
+            Ipv4Addr::from_octets([10, 255, 0, 1]),
+            80,
+        )
+    };
+    'outer: for slots in 1..100_000usize {
+        let mut up = PortTagger::new(slots);
+        let mut down = GapDetector::new();
+        let mut gap = None;
+        let mut n = 0u32;
+        // Warmup packet so the detector is synced.
+        let s = up.next(flow(n));
+        down.observe(s);
+        n += 1;
+        // The burst drops.
+        for _ in 0..burst {
+            up.next(flow(n));
+            n += 1;
+        }
+        // The revealing packet + feedback-latency packets.
+        for _ in 0..=feedback_pkts {
+            let s = up.next(flow(n));
+            n += 1;
+            if gap.is_none() {
+                gap = down.observe(s);
+            }
+        }
+        let (lo, hi) = gap.expect("burst must be detected");
+        for seq in lo..=hi {
+            if up.lookup(seq).is_some() {
+                // Found at least one victim with this ring size.
+                if slots > 1 {
+                    // verify slots-1 would fail is implied by sweep order
+                }
+                return slots;
+            }
+        }
+        continue 'outer;
+    }
+    unreachable!("sweep bound too low")
+}
+
+fn main() {
+    let rtt = 2_000; // notification feedback latency, ns
+    println!("=== Figure 15(a): minimal ring slots per port vs packet size ===");
+    println!("  {:>10} {:>12} {:>12}", "pkt bytes", "model slots", "empirical");
+    for pkt in [64usize, 128, 256, 512, 1024, 1280, 1500] {
+        let model = min_ring_slots(pkt, 100.0, rtt);
+        // Feedback packets = overwrites during the feedback interval.
+        let feedback_pkts = (model - 1) as u32;
+        let emp = empirical_min_slots(1, feedback_pkts);
+        println!("  {pkt:>10} {model:>12} {emp:>12}");
+    }
+    println!("  (paper: >25 slots for a 1024-byte packet)");
+
+    println!("\n=== Figure 15(b): SRAM vs consecutive detectable drops (64x100G ports) ===");
+    println!(
+        "  {:>8} {:>10} {:>14} {:>14}",
+        "drops", "slots/port", "packed KB", "exact-17B KB"
+    );
+    for drops in [0usize, 200, 400, 600, 800, 1_000] {
+        let slots = slots_for_consecutive_drops(drops, 1024, 100.0, rtt);
+        let packed = ring_sram_bytes(64, slots, SLOT_BYTES_PACKED) / 1024.0;
+        let exact = ring_sram_bytes(64, slots, SLOT_BYTES_EXACT as f64) / 1024.0;
+        println!("  {drops:>8} {slots:>10} {packed:>14.0} {exact:>14.0}");
+    }
+    println!("  (paper: ~800 KB for 1,000 consecutive 1024 B drops across 64 ports)");
+
+    // Empirical consecutive-drop capacity of a 1024-slot ring.
+    println!("\n  empirical: a 1024-slot ring with 26 in-flight packets recovers");
+    let mut worst = 0u32;
+    for burst in [100u32, 500, 900, 998, 1100] {
+        let slots = 1024;
+        let flow = |n: u32| {
+            FlowKey::tcp(
+                Ipv4Addr::from_u32(0x0a00_0000 + n),
+                1,
+                Ipv4Addr::from_octets([10, 255, 0, 1]),
+                80,
+            )
+        };
+        let mut up = PortTagger::new(slots);
+        let mut down = GapDetector::new();
+        let mut n = 0u32;
+        let s = up.next(flow(n));
+        down.observe(s);
+        n += 1;
+        for _ in 0..burst {
+            up.next(flow(n));
+            n += 1;
+        }
+        let mut gap = None;
+        for _ in 0..26 {
+            let s = up.next(flow(n));
+            n += 1;
+            if gap.is_none() {
+                gap = down.observe(s);
+            }
+        }
+        let (lo, hi) = gap.unwrap();
+        let recovered = (lo..=hi).filter(|&s| up.lookup(s).is_some()).count();
+        println!("    burst {burst:>5}: recovered {recovered}/{burst} victims");
+        if recovered as u32 == burst {
+            worst = worst.max(burst);
+        }
+    }
+    println!("    (full recovery up to ~{worst} consecutive drops, as sized)");
+}

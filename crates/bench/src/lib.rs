@@ -1,0 +1,436 @@
+//! Shared experiment harness for the per-figure reproduction binaries.
+//!
+//! Each binary in `src/bin/figXX_*.rs` regenerates one figure of the
+//! paper's evaluation; this library provides the common machinery: deploy
+//! a monitor fleet, run a workload with injected faults, and score
+//! coverage / overhead per monitor with identical semantics across
+//! monitors.
+
+use fet_baselines::{
+    coverage, EverFlowMonitor, NetSightMonitor, ObservationLog, SamplingMonitor, SnmpMonitor,
+};
+use fet_netsim::engine::Node;
+use fet_netsim::link::BurstDrop;
+use fet_netsim::routing::override_route;
+use fet_netsim::time::{MICROS, MILLIS};
+use fet_netsim::topology::{build_fat_tree, FatTree, FatTreeParams};
+use fet_netsim::tracer::{GroundTruth, GtEvent};
+use fet_netsim::Simulator;
+use fet_packet::event::EventType;
+use fet_workloads::distributions::FlowSizeDist;
+use fet_workloads::generator::{generate_incast, generate_traffic, TrafficParams};
+use netseer::deploy::{collect_events, deploy, DeployOptions};
+use netseer::NetSeerConfig;
+
+/// Which monitor a run evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorKind {
+    /// NetSeer (this paper).
+    NetSeer,
+    /// NetSight per-packet postcards.
+    NetSight,
+    /// 1:k packet sampling.
+    Sampling(u64),
+    /// EverFlow SYN/FIN + on-demand traces.
+    EverFlow,
+    /// SNMP counters.
+    Snmp,
+    /// Pingmesh probing (host-based; no switch monitor).
+    Pingmesh,
+    /// No monitor (baseline for perturbation checks).
+    None,
+}
+
+impl MonitorKind {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> String {
+        match self {
+            MonitorKind::NetSeer => "NetSeer".into(),
+            MonitorKind::NetSight => "NetSight".into(),
+            MonitorKind::Sampling(k) => format!("1:{k}"),
+            MonitorKind::EverFlow => "EverFlow".into(),
+            MonitorKind::Snmp => "SNMP".into(),
+            MonitorKind::Pingmesh => "Pingmesh".into(),
+            MonitorKind::None => "none".into(),
+        }
+    }
+
+    /// The set the coverage/overhead figures sweep.
+    pub fn figure_set() -> Vec<MonitorKind> {
+        vec![
+            MonitorKind::NetSeer,
+            MonitorKind::NetSight,
+            MonitorKind::EverFlow,
+            MonitorKind::Sampling(10),
+            MonitorKind::Sampling(100),
+            MonitorKind::Sampling(1000),
+            MonitorKind::Pingmesh,
+        ]
+    }
+}
+
+/// Attach the chosen monitor to every switch (and NetSeer to NICs).
+pub fn deploy_monitor(sim: &mut Simulator, kind: MonitorKind, cfg: &NetSeerConfig) {
+    match kind {
+        MonitorKind::NetSeer => {
+            deploy(sim, &DeployOptions { cfg: cfg.clone(), on_nics: true });
+        }
+        MonitorKind::NetSight => {
+            for s in sim.switch_ids() {
+                sim.switch_mut(s).set_monitor(Box::new(NetSightMonitor::new()));
+            }
+        }
+        MonitorKind::Sampling(k) => {
+            for s in sim.switch_ids() {
+                sim.switch_mut(s).set_monitor(Box::new(SamplingMonitor::new(k)));
+            }
+        }
+        MonitorKind::EverFlow => {
+            for s in sim.switch_ids() {
+                // Rotate every 10 ms (scaled from 1 min to simulation scale).
+                // The paper traces 1,000 of its ~800K flows; scale the
+                // set to our ~4K-flow runs to keep the same traced
+                // fraction (~0.1-0.2%).
+                sim.switch_mut(s).set_monitor(Box::new(EverFlowMonitor::with_params(
+                    u64::from(s) + 1,
+                    8,
+                    10 * MILLIS,
+                )));
+            }
+        }
+        MonitorKind::Snmp => {
+            for s in sim.switch_ids() {
+                // 5 ms polls, scaled down from production's 30-60 s the
+                // same way probe rounds are scaled.
+                sim.switch_mut(s)
+                    .set_monitor(Box::new(SnmpMonitor::new(5 * MILLIS)));
+            }
+        }
+        MonitorKind::Pingmesh => {
+            // Probing at 1 ms rounds (scaled from Pingmesh's 1 s).
+            for h in sim.host_ids() {
+                sim.schedule_probing(h, 0, MILLIS, 20 * MILLIS);
+            }
+        }
+        MonitorKind::None => {}
+    }
+}
+
+/// A filtered copy of the ground truth (e.g. "only events after the fault
+/// for flows that existed before it" — how the paper scores injected path
+/// changes without crediting SYN mirroring for them).
+pub fn filter_gt(gt: &GroundTruth, keep: impl Fn(&GtEvent) -> bool) -> GroundTruth {
+    let mut out = GroundTruth::new();
+    for e in gt.events() {
+        if keep(e) {
+            out.record(e.clone());
+        }
+    }
+    out
+}
+
+/// Merge all baseline observation logs across switches into one.
+pub fn merged_log(sim: &mut Simulator, kind: MonitorKind) -> ObservationLog {
+    let mut log = ObservationLog::new();
+    for id in sim.switch_ids() {
+        let Node::Switch(sw) = &mut sim.nodes[id as usize] else { continue };
+        let Some(m) = sw.monitor.as_mut() else { continue };
+        let obs: Option<&ObservationLog> = match kind {
+            MonitorKind::NetSight => m
+                .as_any()
+                .downcast_ref::<NetSightMonitor>()
+                .map(|x| &x.log),
+            MonitorKind::Sampling(_) => m
+                .as_any()
+                .downcast_ref::<SamplingMonitor>()
+                .map(|x| &x.log),
+            MonitorKind::EverFlow => m
+                .as_any()
+                .downcast_ref::<EverFlowMonitor>()
+                .map(|x| &x.log),
+            _ => None,
+        };
+        if let Some(o) = obs {
+            log.obs.extend(o.obs.iter().copied());
+        }
+    }
+    log
+}
+
+/// Coverage of `ty` for a monitor against (possibly filtered) ground
+/// truth: returns (covered, total).
+pub fn coverage_of(
+    sim: &mut Simulator,
+    kind: MonitorKind,
+    gt: &GroundTruth,
+    ty: EventType,
+) -> (usize, usize) {
+    match kind {
+        MonitorKind::NetSeer => {
+            let store = collect_events(sim);
+            let seen = store.flow_events(ty);
+            let want = gt.flow_events(ty);
+            let covered = want.iter().filter(|fe| seen.contains(fe)).count();
+            (covered, want.len())
+        }
+        MonitorKind::Pingmesh => {
+            if ty == EventType::Congestion {
+                fet_baselines::pingmesh_congestion_coverage(gt)
+            } else {
+                (0, gt.flow_events(ty).len())
+            }
+        }
+        MonitorKind::Snmp | MonitorKind::None => (0, gt.flow_events(ty).len()),
+        _ => {
+            let log = merged_log(sim, kind);
+            coverage(gt, &log, ty)
+        }
+    }
+}
+
+/// Packet-granularity coverage: of all ground-truth event *packets* of
+/// `ty`, how many did the monitor capture? Fine-timescale events like
+/// microbursts make this the discriminating metric (Figure 10): a 1:k
+/// sampler catches ~1/k of the event packets even when it eventually sees
+/// every flow. NetSeer's group-caching counters account for every event
+/// packet of a reported flow event, so it scores the packets of each
+/// (device, flow) it reported.
+pub fn packet_coverage_of(
+    sim: &mut Simulator,
+    kind: MonitorKind,
+    gt: &GroundTruth,
+    ty: EventType,
+) -> (usize, usize) {
+    let pkt_events: Vec<_> = gt
+        .events()
+        .iter()
+        .filter(|e| e.ty == ty && e.flow.is_some())
+        .collect();
+    let total = pkt_events.len();
+    if total == 0 {
+        return (0, 0);
+    }
+    match kind {
+        MonitorKind::NetSeer => {
+            let store = collect_events(sim);
+            let seen = store.flow_events(ty);
+            let covered = pkt_events
+                .iter()
+                .filter(|e| seen.contains(&(e.device, e.flow.unwrap())))
+                .count();
+            (covered, total)
+        }
+        MonitorKind::Pingmesh => {
+            let covered = pkt_events
+                .iter()
+                .filter(|e| {
+                    let f = e.flow.unwrap();
+                    f.proto == fet_packet::IpProtocol::Udp
+                        && (f.dport == fet_netsim::host::PROBE_ECHO_PORT
+                            || f.sport == fet_netsim::host::PROBE_ECHO_PORT)
+                })
+                .count();
+            (covered, total)
+        }
+        MonitorKind::Snmp | MonitorKind::None => (0, total),
+        _ => {
+            let log = merged_log(sim, kind);
+            use std::collections::HashSet;
+            let mut times: HashSet<(u32, fet_packet::FlowKey, u64)> = HashSet::new();
+            for o in &log.obs {
+                times.insert((o.device, o.flow, o.t_egress));
+                times.insert((o.device, o.flow, o.t_ingress));
+            }
+            let covered = pkt_events
+                .iter()
+                .filter(|e| times.contains(&(e.device, e.flow.unwrap(), e.time_ns)))
+                .count();
+            (covered, total)
+        }
+    }
+}
+
+/// Monitoring bandwidth overhead: management bytes ÷ per-hop traffic bytes.
+pub fn overhead_of(sim: &Simulator) -> f64 {
+    let denom = sim.switch_tx_bytes().max(1);
+    sim.mgmt.total_bytes() as f64 / denom as f64
+}
+
+/// What faults a standard evaluation run injects (paper §5.2: congestion
+/// and MMU drops arise naturally; inter-switch drop, pipeline drop, and
+/// path change are injected).
+#[derive(Debug, Clone, Copy)]
+pub struct InjectSpec {
+    /// Burst-drop this many frames on a ToR uplink.
+    pub interswitch_burst: u32,
+    /// Also corrupt (vs silently drop).
+    pub corrupt: bool,
+    /// Blackhole one destination at one ToR.
+    pub blackhole: bool,
+    /// Reroute one destination mid-run (path change).
+    pub reroute: bool,
+    /// Add an incast to force congestion + MMU drops.
+    pub incast: bool,
+    /// Fault activation time, ns.
+    pub at_ns: u64,
+}
+
+impl Default for InjectSpec {
+    fn default() -> Self {
+        InjectSpec {
+            interswitch_burst: 16,
+            corrupt: false,
+            blackhole: true,
+            reroute: true,
+            incast: true,
+            at_ns: 5 * MILLIS,
+        }
+    }
+}
+
+/// One standard evaluation run.
+pub struct RunOutcome {
+    /// The simulator after the run (monitors still attached).
+    pub sim: Simulator,
+    /// Topology handles.
+    pub ft: FatTree,
+    /// When faults activated.
+    pub fault_at_ns: u64,
+}
+
+/// Build + run a standard §5.2-style experiment with one monitor.
+pub fn run_experiment(
+    dist: &FlowSizeDist,
+    kind: MonitorKind,
+    inject: &InjectSpec,
+    seed: u64,
+    duration_ns: u64,
+) -> RunOutcome {
+    let mut params = FatTreeParams::default();
+    params.switch_config.mmu.total_bytes = 256 * 1024;
+    params.switch_config.congestion_threshold_ns = 20 * MICROS;
+    let mut sim = Simulator::new();
+    let ft = build_fat_tree(&mut sim, &params);
+    fet_netsim::routing::install_ecmp_routes(&mut sim);
+    deploy_monitor(&mut sim, kind, &NetSeerConfig::default());
+
+    let tp = TrafficParams {
+        utilization: 0.7,
+        duration_ns,
+        seed,
+        max_flows: 4_000,
+        ..Default::default()
+    };
+    let _keys = generate_traffic(&mut sim, &ft, dist, &tp);
+
+    if inject.interswitch_burst > 0 {
+        let tor = ft.edges[0][0];
+        let burst = inject.interswitch_burst;
+        let corrupt = inject.corrupt;
+        let at = inject.at_ns;
+        for port in 0..2 {
+            if let Some(dir) = sim.link_direction_mut(tor, port) {
+                dir.faults.burst_drop = Some(BurstDrop { at_ns: at, count: burst, corrupt });
+            }
+        }
+    }
+    if inject.blackhole {
+        let tor = ft.edges[1][0];
+        let vip = ft.host_ips[0];
+        sim.schedule_control(inject.at_ns, move |s| {
+            fet_netsim::routing::remove_route(s, tor, vip);
+        });
+    }
+    if inject.reroute {
+        // A long-lived victim flow from a host under tor0_1 to pod 1, plus
+        // a two-step reroute (pin to port 0, then port 1) that guarantees
+        // its ECMP choice changes mid-flight whatever it hashed to.
+        let tor = ft.edges[0][1];
+        let vip = ft.host_ips[7];
+        let victim = fet_packet::FlowKey::tcp(ft.host_ips[2], 61_000, vip, 443);
+        let h = ft.hosts[2];
+        let idx = sim.host_mut(h).add_flow(fet_netsim::host::FlowSpec {
+            key: victim,
+            total_bytes: 40_000_000,
+            pkt_payload: 1000,
+            rate_gbps: 4.0,
+            start_ns: 0,
+            dscp: 0,
+        });
+        sim.schedule_flow(h, idx);
+        sim.schedule_control(inject.at_ns, move |s| {
+            override_route(s, tor, vip, vec![0]);
+        });
+        sim.schedule_control(inject.at_ns + 2 * MILLIS, move |s| {
+            override_route(s, tor, vip, vec![1]);
+        });
+    }
+    if inject.incast {
+        let sources: Vec<usize> = (0..7).collect();
+        generate_incast(&mut sim, &ft, 7, &sources, 1_500_000, inject.at_ns);
+    }
+
+    sim.run_until(duration_ns + 20 * MILLIS);
+    RunOutcome { sim, ft, fault_at_ns: inject.at_ns }
+}
+
+/// Render a percentage for figure tables.
+pub fn pct(covered: usize, total: usize) -> String {
+    if total == 0 {
+        return "  n/a ".into();
+    }
+    format!("{:5.1}%", 100.0 * covered as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fet_workloads::distributions::WEB;
+
+    #[test]
+    fn netseer_run_covers_everything_netsight_too() {
+        let inject = InjectSpec::default();
+        for kind in [MonitorKind::NetSeer, MonitorKind::NetSight] {
+            let mut out = run_experiment(&WEB, kind, &inject, 42, 10 * MILLIS);
+            let gt = filter_gt(&out.sim.gt, |_| true);
+            for ty in [EventType::PipelineDrop, EventType::InterSwitchDrop] {
+                let (c, t) = coverage_of(&mut out.sim, kind, &gt, ty);
+                assert!(t > 0, "{kind:?}/{ty}: no ground truth");
+                assert_eq!(c, t, "{kind:?}/{ty}: {c}/{t}");
+            }
+            // The full-blast incast drops faster than the 40 Gbps MMU
+            // redirect path (the capacity caveat of §4), so MMU coverage is
+            // near- but not always exactly-full here.
+            let (c, t) = coverage_of(&mut out.sim, kind, &gt, EventType::MmuDrop);
+            assert!(t > 0);
+            assert!(
+                c as f64 >= 0.95 * t as f64,
+                "{kind:?}/mmu-drop: {c}/{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_covers_little_and_no_drops() {
+        let inject = InjectSpec::default();
+        let mut out = run_experiment(&WEB, MonitorKind::Sampling(100), &inject, 42, 10 * MILLIS);
+        let gt = filter_gt(&out.sim.gt, |_| true);
+        let (c, t) = coverage_of(&mut out.sim, MonitorKind::Sampling(100), &gt, EventType::PipelineDrop);
+        assert!(t > 0);
+        assert_eq!(c, 0, "sampling cannot see drops");
+        let (cc, ct) = coverage_of(&mut out.sim, MonitorKind::Sampling(100), &gt, EventType::Congestion);
+        assert!(ct > 0);
+        assert!(cc < ct / 2, "sampling congestion coverage too high: {cc}/{ct}");
+    }
+
+    #[test]
+    fn netseer_overhead_is_orders_below_netsight() {
+        let inject = InjectSpec::default();
+        let ns = run_experiment(&WEB, MonitorKind::NetSeer, &inject, 42, 10 * MILLIS);
+        let nsight = run_experiment(&WEB, MonitorKind::NetSight, &inject, 42, 10 * MILLIS);
+        let o_ns = overhead_of(&ns.sim);
+        let o_sight = overhead_of(&nsight.sim);
+        assert!(o_ns < o_sight / 50.0, "netseer {o_ns} vs netsight {o_sight}");
+        assert!(o_sight > 0.01, "netsight should be heavy: {o_sight}");
+    }
+}

@@ -1,0 +1,204 @@
+//! NetSeer configuration and the hardware capacity model of §4.
+
+use fet_netsim::time::MICROS;
+use fet_packet::ipv4::Ipv4Addr;
+
+/// Partial-deployment flow filter (paper §2.3: "a partial deployment of
+/// NetSeer to monitor flows of specific applications"). A flow is
+/// monitored when its source OR destination falls in the prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowFilter {
+    /// Prefix address.
+    pub prefix: Ipv4Addr,
+    /// Prefix length.
+    pub len: u8,
+}
+
+impl FlowFilter {
+    /// Does this filter select the flow?
+    pub fn matches(&self, flow: &fet_packet::FlowKey) -> bool {
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(self.len))
+        };
+        let p = self.prefix.as_u32() & mask;
+        flow.src.as_u32() & mask == p || flow.dst.as_u32() & mask == p
+    }
+}
+
+/// Capacity ceilings from the paper's §4 ("Capacity") — all the hardware
+/// bottlenecks NetSeer's event path crosses.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityModel {
+    /// Internal port bandwidth shared by redirected events and CEBPs, Gbps.
+    pub internal_port_gbps: f64,
+    /// MMU drop-redirect bandwidth, Gbps.
+    pub mmu_redirect_gbps: f64,
+    /// PCIe bandwidth pipeline→CPU with 1 core driving it, Gbps.
+    pub pcie_1core_gbps: f64,
+    /// PCIe bandwidth with 2 cores, Gbps.
+    pub pcie_2core_gbps: f64,
+    /// Switch CPU clock, GHz.
+    pub cpu_ghz: f64,
+    /// CPU cores dedicated to event processing.
+    pub cpu_cores: u32,
+}
+
+impl Default for CapacityModel {
+    fn default() -> Self {
+        CapacityModel {
+            internal_port_gbps: 100.0,
+            mmu_redirect_gbps: 40.0,
+            pcie_1core_gbps: 9.5,
+            pcie_2core_gbps: 18.0,
+            cpu_ghz: 2.5,
+            cpu_cores: 2,
+        }
+    }
+}
+
+impl CapacityModel {
+    /// PCIe bandwidth for the configured core count.
+    pub fn pcie_gbps(&self) -> f64 {
+        if self.cpu_cores >= 2 {
+            self.pcie_2core_gbps
+        } else {
+            self.pcie_1core_gbps
+        }
+    }
+}
+
+/// Full NetSeer configuration.
+#[derive(Debug, Clone)]
+pub struct NetSeerConfig {
+    /// Group-caching table entries per event type (§3.4).
+    pub dedup_entries: usize,
+    /// Counter report interval C of Algorithm 1.
+    pub dedup_c: u32,
+    /// Queuing delay threshold for congestion events, ns (should match the
+    /// fabric's SLO; the testbed uses 20 µs).
+    pub congestion_threshold_ns: u64,
+    /// Path-change flow table entries.
+    pub path_entries: usize,
+    /// Ring buffer slots per port for inter-switch drop detection.
+    pub ring_slots: usize,
+    /// Events per CEBP (paper recommends 50).
+    pub batch_size: u16,
+    /// In-pipeline event stack capacity (events awaiting a CEBP).
+    pub stack_capacity: usize,
+    /// Events collected per CEBP circulation (stack stages traversed).
+    pub events_per_pass: u32,
+    /// Fixed pipeline transit latency per circulation, ns.
+    pub pass_latency_ns: u64,
+    /// Pre-compute the flow hash in the data plane (§3.6 offload).
+    pub hash_offload: bool,
+    /// CPU false-positive window: repeats of an initial report within this
+    /// window are eliminated, ns.
+    pub fp_window_ns: u64,
+    /// Redundant copies per loss notification (paper: three).
+    pub notification_copies: u8,
+    /// Max pending ring-buffer lookups buffered per port.
+    pub pending_lookup_cap: usize,
+    /// Control-plane tick interval, ns.
+    pub timer_interval_ns: u64,
+    /// Hardware capacity model.
+    pub capacity: CapacityModel,
+    /// Per-module enables (for ablations).
+    pub enable_dedup: bool,
+    /// Enable CPU false-positive elimination.
+    pub enable_fp_elimination: bool,
+    /// Enable inter-switch drop detection (tagging + ring buffer).
+    pub enable_interswitch: bool,
+    /// Partial deployment: only monitor flows matching this filter
+    /// (None = monitor everything, the paper's always-on mode).
+    pub flow_filter: Option<FlowFilter>,
+}
+
+impl Default for NetSeerConfig {
+    fn default() -> Self {
+        NetSeerConfig {
+            dedup_entries: 4096,
+            dedup_c: 128,
+            congestion_threshold_ns: 20 * MICROS,
+            path_entries: 8192,
+            ring_slots: 1024,
+            batch_size: 50,
+            stack_capacity: 512,
+            events_per_pass: 6,
+            pass_latency_ns: 60,
+            hash_offload: true,
+            fp_window_ns: 100 * fet_netsim::time::MILLIS,
+            notification_copies: 3,
+            pending_lookup_cap: 4096,
+            timer_interval_ns: 100 * MICROS,
+            capacity: CapacityModel::default(),
+            enable_dedup: true,
+            enable_fp_elimination: true,
+            enable_interswitch: true,
+            flow_filter: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod filter_tests {
+    use super::*;
+    use fet_packet::FlowKey;
+
+    #[test]
+    fn filter_matches_either_endpoint() {
+        let f = FlowFilter { prefix: Ipv4Addr::from_octets([10, 1, 0, 0]), len: 16 };
+        let in_src = FlowKey::tcp(
+            Ipv4Addr::from_octets([10, 1, 2, 3]),
+            1,
+            Ipv4Addr::from_octets([10, 9, 9, 9]),
+            2,
+        );
+        let in_dst = in_src.reversed();
+        let out = FlowKey::tcp(
+            Ipv4Addr::from_octets([10, 2, 2, 3]),
+            1,
+            Ipv4Addr::from_octets([10, 9, 9, 9]),
+            2,
+        );
+        assert!(f.matches(&in_src));
+        assert!(f.matches(&in_dst));
+        assert!(!f.matches(&out));
+    }
+
+    #[test]
+    fn zero_length_matches_everything() {
+        let f = FlowFilter { prefix: Ipv4Addr::from_u32(0), len: 0 };
+        let any = FlowKey::tcp(
+            Ipv4Addr::from_octets([1, 2, 3, 4]),
+            1,
+            Ipv4Addr::from_octets([5, 6, 7, 8]),
+            2,
+        );
+        assert!(f.matches(&any));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = NetSeerConfig::default();
+        assert_eq!(c.batch_size, 50);
+        assert_eq!(c.capacity.internal_port_gbps, 100.0);
+        assert_eq!(c.capacity.mmu_redirect_gbps, 40.0);
+        assert_eq!(c.capacity.pcie_2core_gbps, 18.0);
+        assert!(c.hash_offload);
+    }
+
+    #[test]
+    fn pcie_scales_with_cores() {
+        let mut m = CapacityModel { cpu_cores: 1, ..CapacityModel::default() };
+        assert_eq!(m.pcie_gbps(), 9.5);
+        m.cpu_cores = 2;
+        assert_eq!(m.pcie_gbps(), 18.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Inter-switch drop/corruption detection (§3.3, Figure 5).
+//!
+//! Upstream side ([`PortTagger`]): a per-egress-port consecutive 4-byte
+//! packet ID is inserted into every departing frame, and a ring buffer
+//! caches (packet ID, 5-tuple) of the most recent `N` frames.
+//!
+//! Downstream side ([`GapDetector`]): the ingress strips the tag; a gap in
+//! the sequence means frames died on the wire, so three redundant
+//! [`LossNotification`](fet_packet::notification)s travel back on the
+//! high-priority queue.
+//!
+//! Back upstream, the notification's missing range is queued in
+//! [`PendingLookups`] and drained one ring lookup per subsequent egress
+//! packet (programmable ASICs cannot loop within a stage — paper §3.3) with
+//! the control-plane timer as a backstop when the port goes quiet. A slot
+//! whose stored ID no longer matches was overridden by newer traffic: the
+//! lookup misses and **no wrong packet is ever reported**.
+
+use fet_packet::flow::FLOW_KEY_LEN;
+use fet_packet::seqtag::gap_between;
+use fet_packet::FlowKey;
+use fet_pdp::{RegisterArray, ResourceLedger};
+use std::collections::VecDeque;
+
+/// One ring-buffer slot: 4 B packet ID + 13 B flow + valid bit
+/// (the paper's "5-tuple and packet IDs of the recent N packets").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingSlot {
+    valid: bool,
+    seq: u32,
+    flow: [u8; FLOW_KEY_LEN],
+}
+
+/// Upstream per-port state: sequence numbering + ring buffer.
+#[derive(Debug)]
+pub struct PortTagger {
+    next_seq: u32,
+    ring: RegisterArray<RingSlot>,
+    /// Frames tagged so far.
+    pub tagged: u64,
+    /// Ring lookups that found their packet.
+    pub lookup_hits: u64,
+    /// Ring lookups that missed (slot overridden — drop detected too late).
+    pub lookup_misses: u64,
+}
+
+impl PortTagger {
+    /// Create with `slots` ring entries.
+    pub fn new(slots: usize) -> Self {
+        PortTagger {
+            next_seq: 0,
+            // 1 + 32 + 104 bits ≈ 137 bits/slot.
+            ring: RegisterArray::new("isw-ring", slots, 137),
+            tagged: 0,
+            lookup_hits: 0,
+            lookup_misses: 0,
+        }
+    }
+
+    /// Number the next departing frame: returns the sequence to insert and
+    /// records (seq, flow) in the ring.
+    pub fn next(&mut self, flow: FlowKey) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.tagged += 1;
+        let slots = self.ring.len().max(1);
+        let mut fk = [0u8; FLOW_KEY_LEN];
+        flow.write_to(&mut fk);
+        self.ring
+            .write(seq as usize % slots, RingSlot { valid: true, seq, flow: fk });
+        seq
+    }
+
+    /// Look up a reported-lost packet ID. `Some(flow)` only when the slot
+    /// still holds exactly that ID (never reports the wrong packet).
+    pub fn lookup(&mut self, seq: u32) -> Option<FlowKey> {
+        let slots = self.ring.len().max(1);
+        let slot = self.ring.read(seq as usize % slots);
+        if slot.valid && slot.seq == seq {
+            self.lookup_hits += 1;
+            Some(FlowKey::read_from(&slot.flow))
+        } else {
+            self.lookup_misses += 1;
+            None
+        }
+    }
+
+    /// Ring capacity in slots.
+    pub fn slots(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Charge the ring to a resource ledger.
+    pub fn account(&self, ledger: &mut ResourceLedger, module: &'static str) {
+        self.ring.account(ledger, module);
+    }
+}
+
+/// Downstream per-port state: expected-sequence tracking.
+#[derive(Debug, Default)]
+pub struct GapDetector {
+    expected: Option<u32>,
+    /// Tagged frames observed.
+    pub packets_seen: u64,
+    /// Gap events detected.
+    pub gaps_detected: u64,
+    /// Total missing packets across all gaps.
+    pub packets_missing: u64,
+}
+
+impl GapDetector {
+    /// Fresh detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe an arriving sequence number. Returns the inclusive missing
+    /// range `(lo, hi)` when a gap is detected.
+    pub fn observe(&mut self, seq: u32) -> Option<(u32, u32)> {
+        self.packets_seen += 1;
+        let out = match self.expected {
+            None => None,
+            Some(exp) if seq == exp => None,
+            Some(exp) => {
+                let missing = gap_between(exp.wrapping_sub(1), seq);
+                if missing == 0 {
+                    None
+                } else {
+                    self.gaps_detected += 1;
+                    self.packets_missing += u64::from(missing);
+                    Some((exp, seq.wrapping_sub(1)))
+                }
+            }
+        };
+        self.expected = Some(seq.wrapping_add(1));
+        out
+    }
+}
+
+/// Upstream queue of not-yet-performed ring lookups: one entry per missing
+/// packet ID, drained one per subsequent egress packet + by the timer.
+#[derive(Debug)]
+pub struct PendingLookups {
+    queue: VecDeque<u32>,
+    cap: usize,
+    /// Ranges recently enqueued (to drop redundant notification copies).
+    recent: VecDeque<(u32, u32)>,
+    /// Lookups dropped because the pending queue overflowed.
+    pub overflowed: u64,
+}
+
+impl PendingLookups {
+    /// Create with a capacity bound.
+    pub fn new(cap: usize) -> Self {
+        PendingLookups {
+            queue: VecDeque::new(),
+            cap: cap.max(1),
+            recent: VecDeque::new(),
+            overflowed: 0,
+        }
+    }
+
+    /// Enqueue a missing range from a notification. Redundant copies of the
+    /// same range are ignored. Returns true if newly enqueued.
+    pub fn push_range(&mut self, lo: u32, hi: u32) -> bool {
+        if self.recent.contains(&(lo, hi)) {
+            return false;
+        }
+        self.recent.push_back((lo, hi));
+        if self.recent.len() > 16 {
+            self.recent.pop_front();
+        }
+        let count = hi.wrapping_sub(lo).wrapping_add(1);
+        // Guard against absurd ranges (corrupted notification payloads).
+        let count = count.min(1 << 20);
+        for i in 0..count {
+            if self.queue.len() >= self.cap {
+                self.overflowed += u64::from(count - i);
+                break;
+            }
+            self.queue.push_back(lo.wrapping_add(i));
+        }
+        true
+    }
+
+    /// Pop one pending packet ID to look up.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.queue.pop_front()
+    }
+
+    /// Pending count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fet_packet::ipv4::Ipv4Addr;
+
+    fn flow(n: u16) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::from_octets([10, 0, 0, 1]),
+            n,
+            Ipv4Addr::from_octets([10, 0, 0, 2]),
+            80,
+        )
+    }
+
+    #[test]
+    fn tagger_numbers_consecutively() {
+        let mut t = PortTagger::new(8);
+        assert_eq!(t.next(flow(1)), 0);
+        assert_eq!(t.next(flow(2)), 1);
+        assert_eq!(t.next(flow(3)), 2);
+        assert_eq!(t.tagged, 3);
+    }
+
+    #[test]
+    fn ring_lookup_finds_recent_flows() {
+        let mut t = PortTagger::new(8);
+        for n in 0..8 {
+            t.next(flow(n));
+        }
+        assert_eq!(t.lookup(3), Some(flow(3)));
+        assert_eq!(t.lookup(7), Some(flow(7)));
+    }
+
+    #[test]
+    fn overridden_slot_never_reports_wrong_packet() {
+        let mut t = PortTagger::new(4);
+        for n in 0..10 {
+            t.next(flow(n));
+        }
+        // Seq 2 was overridden by seq 6 (2 % 4 == 6 % 4).
+        assert_eq!(t.lookup(2), None);
+        assert_eq!(t.lookup(6), Some(flow(6)));
+        assert_eq!(t.lookup_misses, 1);
+        assert_eq!(t.lookup_hits, 1);
+    }
+
+    #[test]
+    fn gap_detector_flags_exact_range() {
+        let mut g = GapDetector::new();
+        assert_eq!(g.observe(10), None); // first packet: sync only
+        assert_eq!(g.observe(11), None);
+        assert_eq!(g.observe(15), Some((12, 14)));
+        assert_eq!(g.packets_missing, 3);
+        assert_eq!(g.observe(16), None);
+        assert_eq!(g.gaps_detected, 1);
+    }
+
+    #[test]
+    fn gap_detector_handles_wraparound() {
+        let mut g = GapDetector::new();
+        assert_eq!(g.observe(u32::MAX - 1), None);
+        assert_eq!(g.observe(1), Some((u32::MAX, 0)));
+        assert_eq!(g.packets_missing, 2);
+    }
+
+    #[test]
+    fn single_loss_detected() {
+        let mut g = GapDetector::new();
+        g.observe(0);
+        assert_eq!(g.observe(2), Some((1, 1)));
+    }
+
+    #[test]
+    fn pending_lookup_dedups_notification_copies() {
+        let mut p = PendingLookups::new(100);
+        assert!(p.push_range(5, 9));
+        assert!(!p.push_range(5, 9)); // copy 2
+        assert!(!p.push_range(5, 9)); // copy 3
+        assert_eq!(p.len(), 5);
+        let drained: Vec<u32> = std::iter::from_fn(|| p.pop()).collect();
+        assert_eq!(drained, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn pending_lookup_overflow_counts() {
+        let mut p = PendingLookups::new(3);
+        p.push_range(0, 9);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.overflowed, 7);
+    }
+
+    #[test]
+    fn end_to_end_loss_recovery() {
+        // Upstream tags 100 packets; the wire eats 5; downstream detects
+        // and upstream recovers exactly the victims' flows.
+        let mut up = PortTagger::new(64);
+        let mut down = GapDetector::new();
+        let mut lost_flows = Vec::new();
+        let mut recovered = Vec::new();
+        for n in 0..100u16 {
+            let seq = up.next(flow(n));
+            let eaten = (40..45).contains(&n);
+            if eaten {
+                lost_flows.push(flow(n));
+                continue;
+            }
+            if let Some((lo, hi)) = down.observe(seq) {
+                for s in lo..=hi {
+                    if let Some(f) = up.lookup(s) {
+                        recovered.push(f);
+                    }
+                }
+            }
+        }
+        assert_eq!(recovered, lost_flows);
+    }
+}

@@ -1,0 +1,259 @@
+//! Backend event storage and the operator query interface (§3.2 step 4):
+//! "Operators could flexibly query the storage by specifying a flow,
+//! event, device, or period and obtain related flow events."
+
+use fet_packet::event::{EventRecord, EventType};
+use fet_packet::FlowKey;
+use std::collections::{BTreeSet, HashMap};
+
+/// One event at rest in the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredEvent {
+    /// Backend receive time, ns.
+    pub time_ns: u64,
+    /// Reporting device.
+    pub device: u32,
+    /// The 24-byte record.
+    pub record: EventRecord,
+}
+
+/// A query: every field is an optional conjunctive filter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Query {
+    /// Restrict to one flow.
+    pub flow: Option<FlowKey>,
+    /// Restrict to one device.
+    pub device: Option<u32>,
+    /// Restrict to one event type.
+    pub ty: Option<EventType>,
+    /// Restrict to a half-open time window `[from, to)`.
+    pub window: Option<(u64, u64)>,
+}
+
+impl Query {
+    /// Match everything.
+    pub fn any() -> Self {
+        Query::default()
+    }
+
+    /// Filter by flow.
+    pub fn flow(mut self, f: FlowKey) -> Self {
+        self.flow = Some(f);
+        self
+    }
+
+    /// Filter by device.
+    pub fn device(mut self, d: u32) -> Self {
+        self.device = Some(d);
+        self
+    }
+
+    /// Filter by event type.
+    pub fn ty(mut self, t: EventType) -> Self {
+        self.ty = Some(t);
+        self
+    }
+
+    /// Filter by time window.
+    pub fn window(mut self, from: u64, to: u64) -> Self {
+        self.window = Some((from, to));
+        self
+    }
+
+    fn matches(&self, e: &StoredEvent) -> bool {
+        self.flow.is_none_or(|f| e.record.flow == f)
+            && self.device.is_none_or(|d| e.device == d)
+            && self.ty.is_none_or(|t| e.record.ty == t)
+            && self.window.is_none_or(|(a, b)| e.time_ns >= a && e.time_ns < b)
+    }
+}
+
+/// Indexed event store.
+#[derive(Debug, Default)]
+pub struct EventStore {
+    events: Vec<StoredEvent>,
+    by_flow: HashMap<FlowKey, Vec<usize>>,
+    by_device: HashMap<u32, Vec<usize>>,
+}
+
+impl EventStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one event.
+    pub fn insert(&mut self, e: StoredEvent) {
+        let i = self.events.len();
+        self.by_flow.entry(e.record.flow).or_default().push(i);
+        self.by_device.entry(e.device).or_default().push(i);
+        self.events.push(e);
+    }
+
+    /// Bulk insert.
+    pub fn extend(&mut self, it: impl IntoIterator<Item = StoredEvent>) {
+        for e in it {
+            self.insert(e);
+        }
+    }
+
+    /// Run a query. Uses the flow or device index when available.
+    pub fn query(&self, q: &Query) -> Vec<&StoredEvent> {
+        let candidates: Box<dyn Iterator<Item = &StoredEvent>> = if let Some(f) = q.flow {
+            match self.by_flow.get(&f) {
+                Some(idx) => Box::new(idx.iter().map(move |&i| &self.events[i])),
+                None => Box::new(std::iter::empty()),
+            }
+        } else if let Some(d) = q.device {
+            match self.by_device.get(&d) {
+                Some(idx) => Box::new(idx.iter().map(move |&i| &self.events[i])),
+                None => Box::new(std::iter::empty()),
+            }
+        } else {
+            Box::new(self.events.iter())
+        };
+        candidates.filter(|e| q.matches(e)).collect()
+    }
+
+    /// Total stored events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[StoredEvent] {
+        &self.events
+    }
+
+    /// Distinct (device, flow) pairs for one event type — the unit compared
+    /// against [`fet_netsim::GroundTruth::flow_events`] for coverage.
+    pub fn flow_events(&self, ty: EventType) -> BTreeSet<(u32, FlowKey)> {
+        self.events
+            .iter()
+            .filter(|e| e.record.ty == ty)
+            .map(|e| (e.device, e.record.flow))
+            .collect()
+    }
+
+    /// Count of events of one type.
+    pub fn count(&self, ty: EventType) -> usize {
+        self.events.iter().filter(|e| e.record.ty == ty).count()
+    }
+
+    /// Per-device, per-type event counts — the dashboard view an operator
+    /// scans before drilling into flow queries.
+    pub fn summarize(&self) -> Vec<(u32, EventType, usize)> {
+        let mut counts: HashMap<(u32, EventType), usize> = HashMap::new();
+        for e in &self.events {
+            *counts.entry((e.device, e.record.ty)).or_insert(0) += 1;
+        }
+        let mut v: Vec<(u32, EventType, usize)> =
+            counts.into_iter().map(|((d, t), n)| (d, t, n)).collect();
+        v.sort_by_key(|&(d, t, n)| (d, t, std::cmp::Reverse(n)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fet_packet::event::EventDetail;
+    use fet_packet::ipv4::Ipv4Addr;
+
+    fn flow(n: u16) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::from_octets([10, 0, 0, 1]),
+            n,
+            Ipv4Addr::from_octets([10, 0, 0, 2]),
+            80,
+        )
+    }
+
+    fn ev(t: u64, dev: u32, ty: EventType, n: u16) -> StoredEvent {
+        StoredEvent {
+            time_ns: t,
+            device: dev,
+            record: EventRecord {
+                ty,
+                flow: flow(n),
+                detail: EventDetail::Pause { egress_port: 0, queue: 0 },
+                counter: 1,
+                hash: u32::from(n),
+            },
+        }
+    }
+
+    fn store() -> EventStore {
+        let mut s = EventStore::new();
+        s.insert(ev(10, 1, EventType::Congestion, 1));
+        s.insert(ev(20, 1, EventType::Pause, 1));
+        s.insert(ev(30, 2, EventType::Congestion, 2));
+        s.insert(ev(40, 2, EventType::Congestion, 1));
+        s
+    }
+
+    #[test]
+    fn query_by_flow() {
+        let s = store();
+        let r = s.query(&Query::any().flow(flow(1)));
+        assert_eq!(r.len(), 3);
+        let r = s.query(&Query::any().flow(flow(9)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn query_by_device_and_type() {
+        let s = store();
+        let r = s.query(&Query::any().device(2).ty(EventType::Congestion));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn query_by_window() {
+        let s = store();
+        let r = s.query(&Query::any().window(15, 35));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn conjunctive_filters() {
+        let s = store();
+        let r = s.query(&Query::any().flow(flow(1)).device(2).window(0, 100));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].time_ns, 40);
+    }
+
+    #[test]
+    fn flow_events_deduplicate() {
+        let mut s = store();
+        s.insert(ev(50, 2, EventType::Congestion, 1));
+        let fe = s.flow_events(EventType::Congestion);
+        // (1, f1), (2, f2), (2, f1)
+        assert_eq!(fe.len(), 3);
+    }
+
+    #[test]
+    fn summarize_gives_device_type_counts() {
+        let s = store();
+        let sum = s.summarize();
+        assert!(sum.contains(&(1, EventType::Congestion, 1)));
+        assert!(sum.contains(&(2, EventType::Congestion, 2)));
+        assert!(sum.contains(&(1, EventType::Pause, 1)));
+        assert_eq!(sum.len(), 3);
+    }
+
+    #[test]
+    fn counts() {
+        let s = store();
+        assert_eq!(s.count(EventType::Congestion), 3);
+        assert_eq!(s.count(EventType::Pause), 1);
+        assert_eq!(s.count(EventType::MmuDrop), 0);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}

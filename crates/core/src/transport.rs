@@ -1,0 +1,145 @@
+//! Reliable event transport (§3.6): the switch CPU ships batched events to
+//! the backend over TCP. We model the property that matters — every
+//! message is eventually delivered exactly once despite management-network
+//! loss — with a stop-and-wait ARQ whose retransmissions are metered, plus
+//! pacing so report bursts don't spike the management network.
+
+use fet_netsim::rng::Pcg32;
+
+/// Delivery record for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Sequence number assigned by the sender.
+    pub seq: u64,
+    /// When the backend received it, ns.
+    pub delivered_ns: u64,
+    /// Attempts it took (1 = no retransmission).
+    pub attempts: u32,
+}
+
+/// Stop-and-wait reliable channel with Bernoulli loss.
+#[derive(Debug)]
+pub struct ReliableChannel {
+    loss_prob: f64,
+    rtt_ns: u64,
+    /// Pacing: minimum gap between first transmissions, ns (0 = none).
+    pace_gap_ns: u64,
+    rng: Pcg32,
+    next_seq: u64,
+    /// The sender's next free transmission slot.
+    next_send_ns: u64,
+    /// Bytes put on the management wire (including retransmissions).
+    pub wire_bytes: u64,
+    /// Total transmissions (first attempts + retransmissions).
+    pub transmissions: u64,
+    /// Retransmissions only.
+    pub retransmissions: u64,
+}
+
+impl ReliableChannel {
+    /// Create a channel. `loss_prob` applies per attempt.
+    pub fn new(loss_prob: f64, rtt_ns: u64, pace_gap_ns: u64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&loss_prob), "loss must be in [0,1)");
+        ReliableChannel {
+            loss_prob,
+            rtt_ns: rtt_ns.max(1),
+            pace_gap_ns,
+            rng: Pcg32::new(seed, 77),
+            next_seq: 0,
+            next_send_ns: 0,
+            wire_bytes: 0,
+            transmissions: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Send one message of `bytes` at `now_ns`; returns its delivery.
+    /// Always succeeds eventually (that is the point of the ARQ).
+    pub fn send(&mut self, now_ns: u64, bytes: usize) -> Delivery {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let start = self.next_send_ns.max(now_ns);
+        self.next_send_ns = start + self.pace_gap_ns;
+        let mut attempts = 0u32;
+        let mut t = start;
+        loop {
+            attempts += 1;
+            self.transmissions += 1;
+            self.wire_bytes += bytes as u64;
+            if attempts > 1 {
+                self.retransmissions += 1;
+            }
+            if !self.rng.chance(self.loss_prob) {
+                // One-way latency = rtt/2.
+                return Delivery { seq, delivered_ns: t + self.rtt_ns / 2, attempts };
+            }
+            // Retransmit timeout: 2 × RTT.
+            t += 2 * self.rtt_ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_channel_delivers_first_try() {
+        let mut ch = ReliableChannel::new(0.0, 1_000, 0, 1);
+        let d = ch.send(0, 100);
+        assert_eq!(d.attempts, 1);
+        assert_eq!(d.delivered_ns, 500);
+        assert_eq!(ch.retransmissions, 0);
+    }
+
+    #[test]
+    fn sequences_are_monotonic() {
+        let mut ch = ReliableChannel::new(0.0, 1_000, 0, 1);
+        let a = ch.send(0, 10);
+        let b = ch.send(0, 10);
+        assert_eq!(a.seq, 0);
+        assert_eq!(b.seq, 1);
+    }
+
+    #[test]
+    fn lossy_channel_retransmits_until_delivered() {
+        let mut ch = ReliableChannel::new(0.5, 1_000, 0, 42);
+        let mut total_attempts = 0u32;
+        for _ in 0..200 {
+            let d = ch.send(0, 100);
+            total_attempts += d.attempts;
+            assert!(d.attempts >= 1);
+        }
+        // Expected ~2 attempts per message at 50% loss.
+        assert!(total_attempts > 300, "attempts {total_attempts}");
+        assert_eq!(ch.retransmissions, u64::from(total_attempts) - 200);
+        assert_eq!(ch.wire_bytes, u64::from(total_attempts) * 100);
+    }
+
+    #[test]
+    fn retransmission_delays_delivery() {
+        // Deterministic: find a seed where the first attempt is lost.
+        let mut ch = ReliableChannel::new(0.9, 1_000, 0, 7);
+        let d = ch.send(0, 10);
+        if d.attempts > 1 {
+            assert!(d.delivered_ns >= 2_000, "delivery {d:?}");
+        }
+    }
+
+    #[test]
+    fn pacing_spaces_out_sends() {
+        let mut ch = ReliableChannel::new(0.0, 100, 1_000, 1);
+        let a = ch.send(0, 10);
+        let b = ch.send(0, 10);
+        let c = ch.send(0, 10);
+        assert_eq!(a.delivered_ns, 50);
+        assert_eq!(b.delivered_ns, 1_050);
+        assert_eq!(c.delivered_ns, 2_050);
+    }
+
+    #[test]
+    #[should_panic]
+    fn loss_prob_one_rejected() {
+        let _ = ReliableChannel::new(1.0, 100, 0, 1);
+    }
+}

@@ -1,0 +1,895 @@
+//! The discrete-event engine: owns all devices and links, orders events on
+//! a nanosecond timeline, and moves frames between devices.
+
+use crate::host::Host;
+use crate::link::{Link, LinkDirection, LinkOutcome};
+use crate::monitor::MgmtReport;
+use crate::switchdev::{ArrivalEffects, SwitchDevice};
+use crate::time::tx_time_ns;
+use crate::tracer::{GroundTruth, GtEvent};
+use fet_packet::builder::extract_flow;
+use fet_packet::event::{DropCode, EventType};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifies a device in the simulator.
+pub type NodeId = u32;
+
+/// A device: either a switch or a host.
+// Networks hold tens of devices, so the size difference between the two
+// variants is irrelevant next to the indirection a Box would add to every
+// per-packet access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum Node {
+    /// A switch.
+    Switch(SwitchDevice),
+    /// A host.
+    Host(Host),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Peer {
+    node: NodeId,
+    port: u8,
+    link: usize,
+    /// True when traveling this hop uses the link's a→b direction.
+    a_to_b: bool,
+}
+
+/// Scheduled simulator events.
+enum SimEvent {
+    Arrive { node: NodeId, port: u8, frame: Vec<u8>, fcs_error: bool },
+    Dequeue { node: NodeId, port: u8 },
+    RetryPort { node: NodeId, port: u8 },
+    HostFlowEmit { host: NodeId, flow: usize },
+    HostProbeRound { host: NodeId, interval_ns: u64, timeout_ns: u64 },
+    MonitorTimer { node: NodeId, interval_ns: u64 },
+    Control { idx: usize },
+}
+
+struct QEntry {
+    time: u64,
+    seq: u64,
+    ev: SimEvent,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Management-plane (monitoring traffic) accounting.
+#[derive(Debug, Default)]
+pub struct MgmtAccounting {
+    /// Per report kind: (messages, bytes).
+    pub per_kind: HashMap<&'static str, (u64, u64)>,
+    /// Per device: bytes.
+    pub per_node: HashMap<NodeId, u64>,
+}
+
+impl MgmtAccounting {
+    fn add(&mut self, node: NodeId, r: &MgmtReport) {
+        let e = self.per_kind.entry(r.kind).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += r.bytes as u64;
+        *self.per_node.entry(node).or_insert(0) += r.bytes as u64;
+    }
+
+    /// Total management bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_kind.values().map(|(_, b)| *b).sum()
+    }
+
+    /// Total messages across all kinds.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_kind.values().map(|(m, _)| *m).sum()
+    }
+
+    /// Bytes for one kind.
+    pub fn bytes_of(&self, kind: &str) -> u64 {
+        self.per_kind.get(kind).map(|(_, b)| *b).unwrap_or(0)
+    }
+}
+
+type ControlFn = Box<dyn FnOnce(&mut Simulator)>;
+
+/// The simulator: devices, links, event queue, ground truth, accounting.
+pub struct Simulator {
+    now: u64,
+    queue: BinaryHeap<Reverse<QEntry>>,
+    seq: u64,
+    /// All devices.
+    pub nodes: Vec<Node>,
+    links: Vec<Link>,
+    port_map: HashMap<(NodeId, u8), Peer>,
+    /// Ground-truth oracle.
+    pub gt: GroundTruth,
+    /// Monitoring traffic accounting.
+    pub mgmt: MgmtAccounting,
+    controls: Vec<Option<ControlFn>>,
+    events_processed: u64,
+    timers_armed: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Empty simulator.
+    pub fn new() -> Self {
+        Simulator {
+            now: 0,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            port_map: HashMap::new(),
+            gt: GroundTruth::new(),
+            mgmt: MgmtAccounting::default(),
+            controls: Vec::new(),
+            events_processed: 0,
+            timers_armed: false,
+        }
+    }
+
+    /// Current simulation time, ns.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Events handled so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Add a switch; returns its node id.
+    pub fn add_switch(&mut self, sw: SwitchDevice) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        debug_assert_eq!(sw.id, id, "switch id must match its slot");
+        self.nodes.push(Node::Switch(sw));
+        id
+    }
+
+    /// Add a host; returns its node id.
+    pub fn add_host(&mut self, h: Host) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        debug_assert_eq!(h.id, id, "host id must match its slot");
+        self.nodes.push(Node::Host(h));
+        id
+    }
+
+    /// Next node id that will be assigned.
+    pub fn next_node_id(&self) -> NodeId {
+        self.nodes.len() as NodeId
+    }
+
+    /// Connect (a, pa) ↔ (b, pb) with a full-duplex link. Returns link index.
+    pub fn connect(&mut self, a: NodeId, pa: u8, b: NodeId, pb: u8, link: Link) -> usize {
+        let idx = self.links.len();
+        self.links.push(link);
+        self.port_map.insert((a, pa), Peer { node: b, port: pb, link: idx, a_to_b: true });
+        self.port_map.insert((b, pb), Peer { node: a, port: pa, link: idx, a_to_b: false });
+        idx
+    }
+
+    /// Fault-injection access: the direction of `link` leaving `(node, port)`.
+    pub fn link_direction_mut(&mut self, node: NodeId, port: u8) -> Option<&mut LinkDirection> {
+        let peer = *self.port_map.get(&(node, port))?;
+        let l = &mut self.links[peer.link];
+        Some(if peer.a_to_b { &mut l.ab } else { &mut l.ba })
+    }
+
+    /// Peer of a port: (node, port).
+    pub fn peer_of(&self, node: NodeId, port: u8) -> Option<(NodeId, u8)> {
+        self.port_map.get(&(node, port)).map(|p| (p.node, p.port))
+    }
+
+    /// Borrow a switch.
+    pub fn switch(&self, id: NodeId) -> &SwitchDevice {
+        match &self.nodes[id as usize] {
+            Node::Switch(s) => s,
+            Node::Host(_) => panic!("node {id} is a host"),
+        }
+    }
+
+    /// Mutably borrow a switch.
+    pub fn switch_mut(&mut self, id: NodeId) -> &mut SwitchDevice {
+        match &mut self.nodes[id as usize] {
+            Node::Switch(s) => s,
+            Node::Host(_) => panic!("node {id} is a host"),
+        }
+    }
+
+    /// Borrow a host.
+    pub fn host(&self, id: NodeId) -> &Host {
+        match &self.nodes[id as usize] {
+            Node::Host(h) => h,
+            Node::Switch(_) => panic!("node {id} is a switch"),
+        }
+    }
+
+    /// Mutably borrow a host.
+    pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
+        match &mut self.nodes[id as usize] {
+            Node::Host(h) => h,
+            Node::Switch(_) => panic!("node {id} is a switch"),
+        }
+    }
+
+    /// Iterator over switch ids.
+    pub fn switch_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, Node::Switch(_)))
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+
+    /// Iterator over host ids.
+    pub fn host_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, Node::Host(_)))
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+
+    fn push(&mut self, time: u64, ev: SimEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QEntry { time, seq, ev }));
+    }
+
+    /// Schedule a scripted control action (fault injection, route change).
+    pub fn schedule_control(&mut self, at_ns: u64, f: impl FnOnce(&mut Simulator) + 'static) {
+        let idx = self.controls.len();
+        self.controls.push(Some(Box::new(f)));
+        self.push(at_ns, SimEvent::Control { idx });
+    }
+
+    /// Schedule flow `flow_idx` of `host` to begin at its spec'd start time.
+    pub fn schedule_flow(&mut self, host: NodeId, flow_idx: usize) {
+        let start = match &self.nodes[host as usize] {
+            Node::Host(h) => h.flows[flow_idx].0.start_ns,
+            Node::Switch(_) => panic!("flows start at hosts"),
+        };
+        self.push(start, SimEvent::HostFlowEmit { host, flow: flow_idx });
+    }
+
+    /// Start Pingmesh-style probing at `host`: a probe round to every other
+    /// host every `interval_ns`, with loss timeout `timeout_ns`.
+    pub fn schedule_probing(&mut self, host: NodeId, start_ns: u64, interval_ns: u64, timeout_ns: u64) {
+        self.push(start_ns, SimEvent::HostProbeRound { host, interval_ns, timeout_ns });
+    }
+
+    /// Arm monitor timers for all devices (idempotent; call before run).
+    pub fn arm_monitor_timers(&mut self) {
+        if self.timers_armed {
+            return;
+        }
+        self.timers_armed = true;
+        let ids: Vec<(NodeId, u64)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                let iv = match n {
+                    Node::Switch(s) => s.monitor.as_ref()?.timer_interval_ns()?,
+                    Node::Host(h) => h.monitor.as_ref()?.timer_interval_ns()?,
+                };
+                Some((i as NodeId, iv))
+            })
+            .collect();
+        for (node, interval_ns) in ids {
+            self.push(self.now + interval_ns, SimEvent::MonitorTimer { node, interval_ns });
+        }
+    }
+
+    /// Run until the queue is empty or simulated time reaches `until_ns`.
+    pub fn run_until(&mut self, until_ns: u64) {
+        self.arm_monitor_timers();
+        while let Some(Reverse(top)) = self.queue.peek() {
+            if top.time > until_ns {
+                break;
+            }
+            let Reverse(entry) = self.queue.pop().expect("peeked");
+            self.now = entry.time;
+            self.events_processed += 1;
+            self.dispatch(entry.ev);
+        }
+        self.now = self.now.max(until_ns.min(self.now + 1));
+    }
+
+    fn dispatch(&mut self, ev: SimEvent) {
+        match ev {
+            SimEvent::Arrive { node, port, frame, fcs_error } => {
+                self.handle_arrive(node, port, frame, fcs_error)
+            }
+            SimEvent::Dequeue { node, port } => self.handle_dequeue(node, port),
+            SimEvent::RetryPort { node, port } => self.kick_port(node, port),
+            SimEvent::HostFlowEmit { host, flow } => self.handle_flow_emit(host, flow),
+            SimEvent::HostProbeRound { host, interval_ns, timeout_ns } => {
+                self.handle_probe_round(host, interval_ns, timeout_ns)
+            }
+            SimEvent::MonitorTimer { node, interval_ns } => {
+                self.handle_monitor_timer(node, interval_ns)
+            }
+            SimEvent::Control { idx } => {
+                if let Some(f) = self.controls[idx].take() {
+                    f(self);
+                }
+            }
+        }
+    }
+
+    fn handle_arrive(&mut self, node: NodeId, port: u8, frame: Vec<u8>, fcs_error: bool) {
+        let now = self.now;
+        match &mut self.nodes[node as usize] {
+            Node::Switch(sw) => {
+                let fx = sw.handle_arrival(now, port, frame, fcs_error, &mut self.gt);
+                self.apply_switch_effects(node, fx);
+            }
+            Node::Host(h) => {
+                let fx = h.handle_arrival(now, frame, fcs_error);
+                for r in &fx.reports {
+                    self.mgmt.add(node, r);
+                }
+                if fx.kick {
+                    self.kick_port(node, 0);
+                }
+            }
+        }
+    }
+
+    fn apply_switch_effects(&mut self, node: NodeId, fx: ArrivalEffects) {
+        for r in &fx.reports {
+            self.mgmt.add(node, r);
+        }
+        // PFC frames bypass queues: serialize immediately on the wire.
+        for (port, pfc) in fx.pfc_frames {
+            self.transmit(node, port, pfc);
+        }
+        let mut kicked: Vec<u8> = fx.kick_ports;
+        kicked.sort_unstable();
+        kicked.dedup();
+        for p in kicked {
+            self.kick_port(node, p);
+        }
+    }
+
+    /// Ensure `port` of `node` is actively draining (schedules a dequeue if
+    /// the serializer is idle and something is transmittable).
+    fn kick_port(&mut self, node: NodeId, port: u8) {
+        let now = self.now;
+        match &mut self.nodes[node as usize] {
+            Node::Switch(sw) => {
+                let p = usize::from(port);
+                if sw.port_busy[p] {
+                    return;
+                }
+                if sw.has_transmittable(now, port) {
+                    sw.port_busy[p] = true;
+                    self.push(now, SimEvent::Dequeue { node, port });
+                } else if let Some(t) = sw.earliest_pause_expiry(now, port) {
+                    self.push(t, SimEvent::RetryPort { node, port });
+                }
+            }
+            Node::Host(h) => {
+                if h.port_busy {
+                    return;
+                }
+                if h.has_transmittable(now) {
+                    h.port_busy = true;
+                    self.push(now, SimEvent::Dequeue { node, port: 0 });
+                } else if h.paused_until > now && h.txq_depth_bytes() > 0 {
+                    let t = h.paused_until;
+                    self.push(t, SimEvent::RetryPort { node, port: 0 });
+                }
+            }
+        }
+    }
+
+    fn handle_dequeue(&mut self, node: NodeId, port: u8) {
+        let now = self.now;
+        // Phase 1: dequeue from the device, collecting what to do next.
+        enum Out {
+            Frame(Vec<u8>, ArrivalEffects),
+            Idle(Option<u64>),
+        }
+        let out = match &mut self.nodes[node as usize] {
+            Node::Switch(sw) => match sw.dequeue(now, port, &mut self.gt) {
+                Some(res) => Out::Frame(res.frame, res.effects),
+                None => {
+                    sw.port_busy[usize::from(port)] = false;
+                    Out::Idle(sw.earliest_pause_expiry(now, port))
+                }
+            },
+            Node::Host(h) => match h.dequeue_tx(now) {
+                Some((frame, reports)) => {
+                    let fx = ArrivalEffects { reports, ..Default::default() };
+                    Out::Frame(frame, fx)
+                }
+                None => {
+                    h.port_busy = false;
+                    let retry = (h.paused_until > now && h.txq_depth_bytes() > 0)
+                        .then_some(h.paused_until);
+                    Out::Idle(retry)
+                }
+            },
+        };
+        // Phase 2: act on it with full access to the engine.
+        match out {
+            Out::Frame(frame, fx) => {
+                let tx_done = self.transmit(node, port, frame);
+                self.apply_switch_effects(node, fx);
+                self.push(tx_done, SimEvent::Dequeue { node, port });
+            }
+            Out::Idle(retry) => {
+                if let Some(t) = retry {
+                    self.push(t, SimEvent::RetryPort { node, port });
+                }
+            }
+        }
+    }
+
+    /// Put `frame` on the wire leaving `(node, port)`. Returns the time the
+    /// serializer frees up. Applies link faults; records ground truth for
+    /// inter-switch losses.
+    fn transmit(&mut self, node: NodeId, port: u8, frame: Vec<u8>) -> u64 {
+        let now = self.now;
+        let Some(peer) = self.port_map.get(&(node, port)).copied() else {
+            // Unconnected port: the frame evaporates (like a dark fiber).
+            return now + 1;
+        };
+        let link = &mut self.links[peer.link];
+        let gbps = link.gbps;
+        let prop = link.prop_ns;
+        let dir = if peer.a_to_b { &mut link.ab } else { &mut link.ba };
+        let tx = tx_time_ns(frame.len(), gbps);
+        let outcome = dir.judge(now);
+        match outcome {
+            LinkOutcome::Delivered => {
+                self.push(
+                    now + tx + prop,
+                    SimEvent::Arrive { node: peer.node, port: peer.port, frame, fcs_error: false },
+                );
+            }
+            LinkOutcome::SilentDrop => {
+                self.gt.record(GtEvent {
+                    time_ns: now,
+                    device: node,
+                    ty: EventType::InterSwitchDrop,
+                    flow: extract_flow(&frame),
+                    drop_code: Some(DropCode::LinkLoss),
+                    acl_rule: None,
+                });
+            }
+            LinkOutcome::Corrupted => {
+                self.gt.record(GtEvent {
+                    time_ns: now,
+                    device: node,
+                    ty: EventType::InterSwitchDrop,
+                    flow: extract_flow(&frame),
+                    drop_code: Some(DropCode::LinkLoss),
+                    acl_rule: None,
+                });
+                self.push(
+                    now + tx + prop,
+                    SimEvent::Arrive { node: peer.node, port: peer.port, frame, fcs_error: true },
+                );
+            }
+        }
+        now + tx
+    }
+
+    fn handle_flow_emit(&mut self, host: NodeId, flow: usize) {
+        let now = self.now;
+        let gap = {
+            let h = self.host_mut(host);
+            h.emit_flow_packet(flow, now)
+        };
+        self.kick_port(host, 0);
+        if let Some(gap) = gap {
+            self.push(now + gap, SimEvent::HostFlowEmit { host, flow });
+        }
+    }
+
+    fn handle_probe_round(&mut self, host: NodeId, interval_ns: u64, timeout_ns: u64) {
+        let now = self.now;
+        let targets: Vec<_> = self
+            .host_ids()
+            .into_iter()
+            .filter(|&h| h != host)
+            .map(|h| self.host(h).config.ip)
+            .collect();
+        {
+            let h = self.host_mut(host);
+            h.expire_probes(now, timeout_ns);
+            for t in targets {
+                h.send_probe(now, t);
+            }
+        }
+        self.kick_port(host, 0);
+        self.push(now + interval_ns, SimEvent::HostProbeRound { host, interval_ns, timeout_ns });
+    }
+
+    fn handle_monitor_timer(&mut self, node: NodeId, interval_ns: u64) {
+        let now = self.now;
+        match &mut self.nodes[node as usize] {
+            Node::Switch(sw) => {
+                if let Some(mut m) = sw.monitor.take() {
+                    let mut actions = crate::monitor::Actions::new();
+                    m.on_timer(now, &sw.counters, &mut actions);
+                    sw.monitor = Some(m);
+                    let mut fx = ArrivalEffects::default();
+                    sw.apply_external_actions(now, actions, &mut self.gt, &mut fx);
+                    self.apply_switch_effects(node, fx);
+                }
+            }
+            Node::Host(h) => {
+                if let Some(mut m) = h.monitor.take() {
+                    let mut actions = crate::monitor::Actions::new();
+                    let counters = [h.counters];
+                    m.on_timer(now, &counters, &mut actions);
+                    h.monitor = Some(m);
+                    for r in &actions.reports {
+                        self.mgmt.add(node, r);
+                    }
+                    let mut kick = false;
+                    for e in actions.emit {
+                        kick |= self.host_mut(node).enqueue_tx(e.frame);
+                    }
+                    if kick {
+                        self.kick_port(node, 0);
+                    }
+                }
+            }
+        }
+        self.push(now + interval_ns, SimEvent::MonitorTimer { node, interval_ns });
+    }
+
+    /// Find the host owning an IP address.
+    pub fn host_by_ip(&self, ip: fet_packet::ipv4::Ipv4Addr) -> Option<NodeId> {
+        self.nodes.iter().enumerate().find_map(|(i, n)| match n {
+            Node::Host(h) if h.config.ip == ip => Some(i as NodeId),
+            _ => None,
+        })
+    }
+
+    /// Adjacency of the whole network: node → [(local port, peer node)].
+    pub fn adjacency(&self) -> HashMap<NodeId, Vec<(u8, NodeId)>> {
+        let mut adj: HashMap<NodeId, Vec<(u8, NodeId)>> = HashMap::new();
+        for (&(node, port), peer) in &self.port_map {
+            adj.entry(node).or_default().push((port, peer.node));
+        }
+        for v in adj.values_mut() {
+            v.sort_unstable();
+        }
+        adj
+    }
+
+    /// Total data bytes transmitted by all hosts (the "original traffic"
+    /// denominator of the paper's overhead figures).
+    pub fn host_tx_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Host(h) => Some(h.counters.tx_bytes),
+                Node::Switch(_) => None,
+            })
+            .sum()
+    }
+
+    /// Total bytes transmitted by all switch ports (per-hop traffic volume).
+    pub fn switch_tx_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Switch(s) => {
+                    Some(s.counters.iter().map(|c| c.tx_bytes).sum::<u64>())
+                }
+                Node::Host(_) => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::FlowSpec;
+    use crate::routing::install_ecmp_routes;
+    use crate::time::{MILLIS, SECONDS};
+    use crate::topology::{build_fat_tree, FatTreeParams};
+    use fet_packet::FlowKey;
+
+    fn setup() -> (Simulator, crate::topology::FatTree) {
+        let mut sim = Simulator::new();
+        let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+        install_ecmp_routes(&mut sim);
+        (sim, ft)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_flow(
+        sim: &mut Simulator,
+        ft: &crate::topology::FatTree,
+        src: usize,
+        dst: usize,
+        sport: u16,
+        bytes: u64,
+        rate: f64,
+        start: u64,
+    ) -> FlowKey {
+        let key = FlowKey::tcp(ft.host_ips[src], sport, ft.host_ips[dst], 80);
+        let h = ft.hosts[src];
+        let idx = sim.host_mut(h).add_flow(FlowSpec {
+            key,
+            total_bytes: bytes,
+            pkt_payload: 1000,
+            rate_gbps: rate,
+            start_ns: start,
+            dscp: 0,
+        });
+        sim.schedule_flow(h, idx);
+        key
+    }
+
+    #[test]
+    fn cross_pod_flow_delivers_every_byte() {
+        let (mut sim, ft) = setup();
+        let key = add_flow(&mut sim, &ft, 0, 7, 1000, 50_000, 5.0, 0);
+        sim.run_until(SECONDS);
+        let rx = sim.host(ft.hosts[7]).rx_flows.get(&key).copied().expect("flow seen");
+        assert_eq!(rx.pkts, 50);
+        assert!(rx.fin_seen, "FIN should arrive");
+        // No drops anywhere on a healthy fabric.
+        assert_eq!(sim.gt.count(fet_packet::EventType::MmuDrop), 0);
+        assert_eq!(sim.gt.count(fet_packet::EventType::InterSwitchDrop), 0);
+        assert_eq!(sim.gt.count(fet_packet::EventType::PipelineDrop), 0);
+    }
+
+    #[test]
+    fn same_tor_flow_stays_local() {
+        let (mut sim, ft) = setup();
+        let key = add_flow(&mut sim, &ft, 0, 1, 1001, 10_000, 5.0, 0);
+        sim.run_until(SECONDS);
+        let rx = sim.host(ft.hosts[1]).rx_flows.get(&key).copied().unwrap();
+        assert_eq!(rx.pkts, 10);
+        // Aggs and cores never forwarded data.
+        for &agg in ft.aggs.iter().flatten() {
+            let tx: u64 = sim.switch(agg).counters.iter().map(|c| c.tx_pkts).sum();
+            assert_eq!(tx, 0, "agg should be idle for intra-ToR traffic");
+        }
+    }
+
+    #[test]
+    fn silent_link_drop_recorded_in_ground_truth() {
+        let (mut sim, ft) = setup();
+        let key = add_flow(&mut sim, &ft, 0, 7, 1002, 20_000, 5.0, 0);
+        // Break the ToR0_0 uplink toward agg0_0 (drop 3 frames at 10us).
+        let tor = ft.edges[0][0];
+        // ToR ports 0,1 connect to aggs (wired before hosts).
+        for port in 0..2 {
+            let dir = sim.link_direction_mut(tor, port).unwrap();
+            dir.faults.burst_drop =
+                Some(crate::link::BurstDrop { at_ns: 10_000, count: 3, corrupt: false });
+        }
+        sim.run_until(SECONDS);
+        let lost = sim.gt.count(fet_packet::EventType::InterSwitchDrop);
+        assert_eq!(lost, 3, "exactly the burst should be lost");
+        let rx = sim.host(ft.hosts[7]).rx_flows.get(&key).copied().unwrap();
+        assert_eq!(rx.pkts, 17);
+        // Ground truth knows the victim flow even for silent drops.
+        let fe = sim.gt.flow_events(fet_packet::EventType::InterSwitchDrop);
+        assert!(fe.contains(&(tor, key)));
+    }
+
+    #[test]
+    fn incast_produces_congestion_and_mmu_drops() {
+        let mut params = FatTreeParams::default();
+        // Small buffers to force congestion quickly.
+        params.switch_config.mmu.total_bytes = 64 * 1024;
+        params.switch_config.congestion_threshold_ns = 5 * crate::time::MICROS;
+        let mut sim = Simulator::new();
+        let ft = build_fat_tree(&mut sim, &params);
+        install_ecmp_routes(&mut sim);
+        // 7 hosts blast host 0 at full NIC rate.
+        for src in 1..8 {
+            add_flow(&mut sim, &ft, src, 0, 2000 + src as u16, 2_000_000, 25.0, 0);
+        }
+        sim.run_until(20 * MILLIS);
+        assert!(sim.gt.count(fet_packet::EventType::Congestion) > 0, "expected congestion");
+        assert!(sim.gt.count(fet_packet::EventType::MmuDrop) > 0, "expected incast drops");
+    }
+
+    #[test]
+    fn blackhole_route_drops_with_table_miss() {
+        let (mut sim, ft) = setup();
+        let key = add_flow(&mut sim, &ft, 0, 7, 1003, 10_000, 5.0, 0);
+        let tor = ft.edges[0][0];
+        let victim_ip = ft.host_ips[7];
+        sim.schedule_control(5 * crate::time::MICROS, move |s| {
+            crate::routing::remove_route(s, tor, victim_ip);
+        });
+        sim.run_until(SECONDS);
+        let drops = sim.gt.count(fet_packet::EventType::PipelineDrop);
+        assert!(drops > 0, "blackhole should drop");
+        let fe = sim.gt.flow_events(fet_packet::EventType::PipelineDrop);
+        assert!(fe.contains(&(tor, key)));
+    }
+
+    #[test]
+    fn probing_measures_rtts() {
+        let (mut sim, ft) = setup();
+        sim.schedule_probing(ft.hosts[0], 0, MILLIS, 100 * MILLIS);
+        sim.run_until(10 * MILLIS);
+        let h = sim.host(ft.hosts[0]);
+        // ~10 rounds x 7 targets.
+        assert!(h.probe_samples.len() >= 60, "samples {}", h.probe_samples.len());
+        for s in &h.probe_samples {
+            assert!(s.rtt_ns > 0 && s.rtt_ns < MILLIS, "rtt {}", s.rtt_ns);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_world() {
+        let run = || {
+            let (mut sim, ft) = setup();
+            for src in 1..8 {
+                add_flow(&mut sim, &ft, src, 0, 3000 + src as u16, 500_000, 25.0, 0);
+            }
+            let tor = ft.edges[0][0];
+            sim.link_direction_mut(tor, 0).unwrap().faults.drop_prob = 0.001;
+            sim.run_until(10 * MILLIS);
+            (sim.events_processed(), sim.gt.events().len(), sim.host_tx_bytes())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn corruption_arrives_as_fcs_error_and_dies_at_mac() {
+        let (mut sim, ft) = setup();
+        add_flow(&mut sim, &ft, 0, 2, 1004, 10_000, 5.0, 0);
+        let tor = ft.edges[0][0];
+        for port in 0..2 {
+            sim.link_direction_mut(tor, port).unwrap().faults.corrupt_prob = 1.0;
+        }
+        sim.run_until(SECONDS);
+        // Everything crossing the uplinks was corrupted: receiver got nothing.
+        assert!(sim.host(ft.hosts[2]).rx_flows.is_empty());
+        // The downstream agg counted FCS errors.
+        let fcs: u64 = ft.aggs[0]
+            .iter()
+            .map(|&a| sim.switch(a).counters.iter().map(|c| c.fcs_errors).sum::<u64>())
+            .sum();
+        assert!(fcs > 0);
+        assert_eq!(sim.gt.count(fet_packet::EventType::InterSwitchDrop) as u64, fcs);
+    }
+}
+
+#[cfg(test)]
+mod engine_unit_tests {
+    use super::*;
+    use crate::monitor::{Actions, SwitchMonitor};
+    use crate::switchdev::{SwitchConfig, SwitchDevice};
+    use std::any::Any;
+
+    /// A monitor that reports a fixed number of bytes per timer tick.
+    struct TickReporter {
+        interval: u64,
+        ticks: u32,
+    }
+    impl SwitchMonitor for TickReporter {
+        fn on_timer(
+            &mut self,
+            _now_ns: u64,
+            _counters: &[crate::counters::PortCounters],
+            out: &mut Actions,
+        ) {
+            self.ticks += 1;
+            out.report(100, "tick");
+        }
+        fn timer_interval_ns(&self) -> Option<u64> {
+            Some(self.interval)
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn monitor_timers_fire_on_interval_and_meter_reports() {
+        let mut sim = Simulator::new();
+        let mut sw = SwitchDevice::new(0, "s", SwitchConfig::default());
+        sw.set_monitor(Box::new(TickReporter { interval: 1_000, ticks: 0 }));
+        let id = sim.add_switch(sw);
+        sim.run_until(10_500);
+        let m = sim.switch(id).monitor.as_ref().unwrap();
+        let t = m.as_any().downcast_ref::<TickReporter>().unwrap();
+        assert_eq!(t.ticks, 10, "ticks at 1us intervals over 10.5us");
+        assert_eq!(sim.mgmt.bytes_of("tick"), 1_000);
+        assert_eq!(sim.mgmt.total_msgs(), 10);
+        assert_eq!(sim.mgmt.per_node[&id], 1_000);
+    }
+
+    #[test]
+    fn controls_fire_once_in_time_order() {
+        let mut sim = Simulator::new();
+        let sw = SwitchDevice::new(0, "s", SwitchConfig::default());
+        let id = sim.add_switch(sw);
+        sim.schedule_control(2_000, move |s| {
+            s.switch_mut(id).port_up[1] = false;
+        });
+        sim.schedule_control(1_000, move |s| {
+            assert!(s.switch(id).port_up[1], "earlier control sees pre-state");
+        });
+        sim.run_until(5_000);
+        assert!(!sim.switch(id).port_up[1]);
+    }
+
+    #[test]
+    fn unconnected_port_transmits_into_the_void() {
+        // A frame sent on a dark port must not crash or loop.
+        let mut sim = Simulator::new();
+        let mut sw = SwitchDevice::new(0, "s", SwitchConfig::default());
+        sw.routes.insert(
+            fet_packet::ipv4::Ipv4Addr::from_octets([10, 0, 0, 9]),
+            32,
+            vec![5], // port 5 is unwired
+        );
+        let id = sim.add_switch(sw);
+        let flow = fet_packet::FlowKey::tcp(
+            fet_packet::ipv4::Ipv4Addr::from_octets([10, 0, 0, 1]),
+            1,
+            fet_packet::ipv4::Ipv4Addr::from_octets([10, 0, 0, 9]),
+            2,
+        );
+        let frame = fet_packet::builder::build_data_packet(&flow, 100, 0, 0, 64);
+        // Inject directly via a control that enqueues an arrival.
+        sim.schedule_control(0, move |s| {
+            let Node::Switch(sw) = &mut s.nodes[id as usize] else { unreachable!() };
+            let fx = sw.handle_arrival(0, 0, frame.clone(), false, &mut s.gt);
+            assert_eq!(fx.kick_ports, vec![5]);
+        });
+        sim.run_until(1_000);
+        // Frame is queued on port 5 but never transmitted (no kick); the
+        // simulation simply drains without panicking.
+        assert_eq!(sim.switch(id).queue_len(5, 0), 1);
+    }
+
+    #[test]
+    fn mgmt_accounting_aggregates_kinds() {
+        let mut acc = MgmtAccounting::default();
+        acc.add(1, &MgmtReport { bytes: 10, kind: "a" });
+        acc.add(1, &MgmtReport { bytes: 20, kind: "a" });
+        acc.add(2, &MgmtReport { bytes: 5, kind: "b" });
+        assert_eq!(acc.total_bytes(), 35);
+        assert_eq!(acc.total_msgs(), 3);
+        assert_eq!(acc.bytes_of("a"), 30);
+        assert_eq!(acc.bytes_of("b"), 5);
+        assert_eq!(acc.bytes_of("c"), 0);
+        assert_eq!(acc.per_node[&1], 30);
+    }
+}

@@ -1,0 +1,248 @@
+//! The monitor hook interface — the boundary between the simulated switch
+//! hardware and any telemetry system running on it.
+//!
+//! NetSeer (crates/core) and every baseline (crates/baselines) implement
+//! [`SwitchMonitor`]. The switch calls the hooks at the same points a
+//! programmable pipeline would expose:
+//!
+//! | hook               | pipeline position                               |
+//! |--------------------|-------------------------------------------------|
+//! | `on_ingress`       | after the ingress MAC, before parsing/routing — may rewrite the frame (strip a seq tag) or consume it (a notification addressed to this switch) |
+//! | `on_routed`        | end of the ingress pipeline: flow, ports, queue and pause state resolved |
+//! | `on_pipeline_drop` | wherever the pipeline kills a packet            |
+//! | `on_mmu_drop`      | the MMU's drop path (NetSeer redirects this)    |
+//! | `on_egress`        | egress pipeline at dequeue: queuing delay known — may rewrite the frame (insert a seq tag) |
+//! | `on_timer`         | periodic control-plane tick (CPU pacing, expiry) |
+//!
+//! Hooks communicate back through [`Actions`]: frames to transmit (e.g.
+//! loss notifications on a high-priority queue) and management-plane
+//! reports whose bytes are metered for the overhead figures.
+
+use crate::counters::PortCounters;
+use fet_packet::event::DropCode;
+use fet_packet::FlowKey;
+use fet_pdp::PacketMeta;
+use std::any::Any;
+
+/// Context for ingress-side hooks.
+#[derive(Debug, Clone, Copy)]
+pub struct IngressCtx {
+    /// Simulation time, ns.
+    pub now_ns: u64,
+    /// This device's id.
+    pub node: u32,
+    /// Arrival port.
+    pub port: u8,
+    /// True when the upstream neighbor runs telemetry too (frames on this
+    /// port are expected to carry sequence tags).
+    pub peer_tagged: bool,
+}
+
+/// Context after routing: everything the end of the ingress pipeline knows.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutedCtx {
+    /// Simulation time, ns.
+    pub now_ns: u64,
+    /// This device's id.
+    pub node: u32,
+    /// Arrival port.
+    pub ingress_port: u8,
+    /// Chosen egress port.
+    pub egress_port: u8,
+    /// Egress priority queue.
+    pub queue: u8,
+    /// True if that queue is currently PFC-paused.
+    pub queue_paused: bool,
+    /// The packet's flow.
+    pub flow: FlowKey,
+}
+
+/// Context for the egress pipeline (at dequeue).
+#[derive(Debug, Clone, Copy)]
+pub struct EgressCtx<'a> {
+    /// Simulation time, ns.
+    pub now_ns: u64,
+    /// This device's id.
+    pub node: u32,
+    /// Egress port.
+    pub port: u8,
+    /// Egress queue the packet waited in.
+    pub queue: u8,
+    /// True when the downstream neighbor runs telemetry (insert seq tags).
+    pub peer_tagged: bool,
+    /// Packet metadata (timestamps filled in; queuing delay available).
+    pub meta: &'a PacketMeta,
+}
+
+/// What `on_ingress` decided about the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookVerdict {
+    /// Keep processing the (possibly rewritten) frame.
+    Continue,
+    /// The monitor consumed the frame (e.g. a loss notification); the
+    /// switch stops processing it.
+    Consume,
+}
+
+/// A frame the monitor asks the switch to transmit.
+#[derive(Debug, Clone)]
+pub struct EmitFrame {
+    /// Egress port to send on.
+    pub out_port: u8,
+    /// Complete Ethernet frame.
+    pub frame: Vec<u8>,
+    /// Send on the dedicated high-priority queue (notifications).
+    pub high_priority: bool,
+}
+
+/// A management-plane report (metered for overhead accounting; contents
+/// stay inside the monitor's own state).
+#[derive(Debug, Clone)]
+pub struct MgmtReport {
+    /// Report size on the management network, bytes.
+    pub bytes: usize,
+    /// What kind of report (for per-step breakdowns).
+    pub kind: &'static str,
+}
+
+/// Out-parameters for all hooks.
+#[derive(Debug, Default)]
+pub struct Actions {
+    /// Frames to transmit.
+    pub emit: Vec<EmitFrame>,
+    /// Management-plane reports.
+    pub reports: Vec<MgmtReport>,
+}
+
+impl Actions {
+    /// Fresh empty action set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a frame for transmission.
+    pub fn emit(&mut self, out_port: u8, frame: Vec<u8>, high_priority: bool) {
+        self.emit.push(EmitFrame { out_port, frame, high_priority });
+    }
+
+    /// Meter a management-plane report.
+    pub fn report(&mut self, bytes: usize, kind: &'static str) {
+        self.reports.push(MgmtReport { bytes, kind });
+    }
+
+    /// True when nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.emit.is_empty() && self.reports.is_empty()
+    }
+}
+
+/// The telemetry interface implemented by NetSeer and all baselines.
+#[allow(unused_variables)]
+pub trait SwitchMonitor: Any {
+    /// Frame arrived (after MAC, before parse). May rewrite or consume.
+    fn on_ingress(
+        &mut self,
+        ctx: &IngressCtx,
+        frame: &mut Vec<u8>,
+        out: &mut Actions,
+    ) -> HookVerdict {
+        HookVerdict::Continue
+    }
+
+    /// Routing resolved (end of ingress pipeline).
+    fn on_routed(&mut self, ctx: &RoutedCtx, frame: &[u8], out: &mut Actions) {}
+
+    /// The pipeline dropped a packet.
+    #[allow(clippy::too_many_arguments)]
+    fn on_pipeline_drop(
+        &mut self,
+        ctx: &IngressCtx,
+        frame: &[u8],
+        flow: Option<FlowKey>,
+        code: DropCode,
+        egress_port: Option<u8>,
+        acl_rule: u32,
+        out: &mut Actions,
+    ) {
+    }
+
+    /// The MMU dropped (or, under NetSeer, redirected) a packet.
+    fn on_mmu_drop(&mut self, ctx: &RoutedCtx, frame: &[u8], out: &mut Actions) {}
+
+    /// Egress pipeline at dequeue (queuing delay known). May rewrite.
+    fn on_egress(&mut self, ctx: &EgressCtx<'_>, frame: &mut Vec<u8>, out: &mut Actions) {}
+
+    /// PFC pause state of (port, priority) changed.
+    fn on_pause_state(&mut self, now_ns: u64, port: u8, prio: u8, paused: bool) {}
+
+    /// Periodic control-plane tick.
+    fn on_timer(&mut self, now_ns: u64, counters: &[PortCounters], out: &mut Actions) {}
+
+    /// Requested tick interval, ns (None = no timer).
+    fn timer_interval_ns(&self) -> Option<u64> {
+        None
+    }
+
+    /// Downcast support for experiment harnesses.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl SwitchMonitor for Nop {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn default_hooks_do_nothing() {
+        let mut m = Nop;
+        let ctx = IngressCtx { now_ns: 0, node: 0, port: 0, peer_tagged: false };
+        let mut frame = vec![0u8; 64];
+        let mut out = Actions::new();
+        assert_eq!(m.on_ingress(&ctx, &mut frame, &mut out), HookVerdict::Continue);
+        assert!(out.is_empty());
+        assert_eq!(m.timer_interval_ns(), None);
+    }
+
+    #[test]
+    fn actions_collect() {
+        let mut a = Actions::new();
+        a.emit(3, vec![1, 2, 3], true);
+        a.report(128, "postcard");
+        assert_eq!(a.emit.len(), 1);
+        assert_eq!(a.emit[0].out_port, 3);
+        assert!(a.emit[0].high_priority);
+        assert_eq!(a.reports[0].bytes, 128);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn downcasting_works() {
+        struct WithState {
+            hits: u32,
+        }
+        impl SwitchMonitor for WithState {
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut m: Box<dyn SwitchMonitor> = Box::new(WithState { hits: 5 });
+        let s = m.as_any_mut().downcast_mut::<WithState>().unwrap();
+        s.hits += 1;
+        assert_eq!(m.as_any().downcast_ref::<WithState>().unwrap().hits, 6);
+    }
+}

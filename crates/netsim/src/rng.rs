@@ -1,0 +1,135 @@
+//! Deterministic PCG-32 random number generator.
+//!
+//! The simulator's reproducibility contract requires every stochastic
+//! decision (link faults, ECMP seeds in workloads) to flow from explicit
+//! seeds — never from global or time-based entropy.
+
+/// PCG-XSH-RR 64/32 (O'Neill 2014).
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    /// Seed the generator; `stream` selects an independent sequence.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 { state: 0, inc: (stream << 1) | 1 };
+        let _ = rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        let _ = rng.next_u32();
+        rng
+    }
+
+    /// Next 32 uniform random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniform random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. Returns 0 for bound 0.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        if bound == 0 {
+            return 0;
+        }
+        // Lemire's multiply-shift rejection-free approximation is fine here;
+        // simulator fairness does not need exact uniformity at this scale.
+        ((u64::from(self.next_u32()) * u64::from(bound)) >> 32) as u32
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg32::new(42, 1);
+        let mut b = Pcg32::new(42, 1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = Pcg32::new(42, 1);
+        let mut b = Pcg32::new(42, 2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Pcg32::new(7, 7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_values() {
+        let mut r = Pcg32::new(7, 7);
+        for _ in 0..1000 {
+            assert!(r.next_below(13) < 13);
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Pcg32::new(1, 1);
+        assert!(!r.chance(0.0));
+        for _ in 0..100 {
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut r = Pcg32::new(3, 3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(10.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_rate_roughly_right() {
+        let mut r = Pcg32::new(9, 9);
+        let hits = (0..100_000).filter(|_| r.chance(0.01)).count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,141 @@
+//! ECMP route computation: BFS shortest paths from every host, installing
+//! per-host /32 routes with the full set of equal-cost next-hop ports.
+
+use crate::engine::{Node, NodeId, Simulator};
+use std::collections::{HashMap, VecDeque};
+
+/// Compute and install ECMP routes for every host into every switch.
+///
+/// For each host H, a BFS over the device graph yields each switch's
+/// distance to H; the ECMP set of a switch is every port whose peer is one
+/// hop closer. Hosts get /32 routes (the testbed scale makes aggregation
+/// unnecessary and keeps fault injection surgical).
+pub fn install_ecmp_routes(sim: &mut Simulator) {
+    let adj = sim.adjacency();
+    let hosts = sim.host_ids();
+    for host in hosts {
+        let ip = sim.host(host).config.ip;
+        let dist = bfs_distances(&adj, host);
+        for sw_id in sim.switch_ids() {
+            let Some(&d_me) = dist.get(&sw_id) else { continue };
+            let mut ports: Vec<u8> = adj
+                .get(&sw_id)
+                .map(|nbrs| {
+                    nbrs.iter()
+                        .filter(|(_, peer)| {
+                            dist.get(peer).is_some_and(|&d| d + 1 == d_me)
+                        })
+                        .map(|(port, _)| *port)
+                        .collect()
+                })
+                .unwrap_or_default();
+            ports.sort_unstable();
+            if !ports.is_empty() {
+                sim.switch_mut(sw_id).routes.insert(ip, 32, ports);
+            }
+        }
+    }
+}
+
+/// BFS hop distances from `start` to every node, traversing only live links.
+fn bfs_distances(
+    adj: &HashMap<NodeId, Vec<(u8, NodeId)>>,
+    start: NodeId,
+) -> HashMap<NodeId, u32> {
+    let mut dist = HashMap::new();
+    dist.insert(start, 0);
+    let mut q = VecDeque::new();
+    q.push_back(start);
+    while let Some(n) = q.pop_front() {
+        let d = dist[&n];
+        if let Some(nbrs) = adj.get(&n) {
+            for &(_, peer) in nbrs {
+                dist.entry(peer).or_insert_with(|| {
+                    q.push_back(peer);
+                    d + 1
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// Remove the route toward `ip` from one switch (blackhole injection,
+/// the paper's case study #1 and #3 fault).
+pub fn remove_route(sim: &mut Simulator, sw: NodeId, ip: fet_packet::ipv4::Ipv4Addr) {
+    sim.switch_mut(sw).routes.remove(ip, 32);
+}
+
+/// Point `ip` at a specific port set on one switch (mis-route injection).
+pub fn override_route(
+    sim: &mut Simulator,
+    sw: NodeId,
+    ip: fet_packet::ipv4::Ipv4Addr,
+    ports: Vec<u8>,
+) {
+    sim.switch_mut(sw).routes.insert(ip, 32, ports);
+}
+
+/// Sanity check: every switch can reach every host.
+pub fn routes_complete(sim: &Simulator) -> bool {
+    let host_ips: Vec<_> = sim
+        .host_ids()
+        .iter()
+        .map(|&h| sim.host(h).config.ip)
+        .collect();
+    sim.switch_ids().iter().all(|&s| {
+        let sw = match &sim.nodes[s as usize] {
+            Node::Switch(sw) => sw,
+            Node::Host(_) => unreachable!(),
+        };
+        host_ips.iter().all(|&ip| sw.routes.lookup(ip).is_some())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{build_fat_tree, FatTreeParams};
+
+    #[test]
+    fn routes_cover_every_host_from_every_switch() {
+        let mut sim = Simulator::new();
+        let _ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+        install_ecmp_routes(&mut sim);
+        assert!(routes_complete(&sim));
+    }
+
+    #[test]
+    fn tor_uses_multiple_uplinks_for_remote_pods() {
+        let mut sim = Simulator::new();
+        let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+        install_ecmp_routes(&mut sim);
+        // From tor0_0, a host in pod 1 should be reachable via both aggs.
+        let tor = ft.edges[0][0];
+        let remote_ip = ft.host_ips[ft.hosts.len() - 1];
+        let ports = sim.switch(tor).routes.lookup(remote_ip).unwrap();
+        assert_eq!(ports.len(), 2, "expected 2-way ECMP, got {ports:?}");
+    }
+
+    #[test]
+    fn tor_uses_single_downlink_for_local_host() {
+        let mut sim = Simulator::new();
+        let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+        install_ecmp_routes(&mut sim);
+        let tor = ft.edges[0][0];
+        let local_ip = ft.host_ips[0];
+        let ports = sim.switch(tor).routes.lookup(local_ip).unwrap();
+        assert_eq!(ports.len(), 1);
+    }
+
+    #[test]
+    fn remove_route_blackholes() {
+        let mut sim = Simulator::new();
+        let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+        install_ecmp_routes(&mut sim);
+        let tor = ft.edges[0][0];
+        remove_route(&mut sim, tor, ft.host_ips[7]);
+        assert!(sim.switch(tor).routes.lookup(ft.host_ips[7]).is_none());
+        assert!(!routes_complete(&sim));
+    }
+}

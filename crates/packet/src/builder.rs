@@ -1,0 +1,387 @@
+//! High-level packet construction and inspection helpers.
+//!
+//! The simulator represents every packet as an owned `Vec<u8>` containing a
+//! complete Ethernet frame; these helpers build well-formed frames and
+//! extract flow information without callers touching raw offsets.
+
+use crate::cebp;
+use crate::error::{ParseError, Result};
+use crate::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
+use crate::event::EventRecord;
+use crate::flow::{FlowKey, IpProtocol};
+use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN};
+use crate::notification::{build_notification, LossNotification, NOTIFICATION_LEN};
+use crate::pfc::{PfcFrame, PFC_PAYLOAD_LEN};
+use crate::seqtag::{SeqTag, SEQTAG_LEN};
+use crate::tcp::{TcpSegment, TCP_HEADER_LEN};
+use crate::udp::{UdpDatagram, UDP_HEADER_LEN};
+use crate::MIN_FRAME_LEN;
+
+/// Build a complete Ethernet+IPv4+TCP/UDP frame for `flow` with `payload_len`
+/// bytes of application payload (zero-filled). `tcp_flags` applies to TCP
+/// flows only. Frames are padded to the 64-byte Ethernet minimum.
+pub fn build_data_packet(
+    flow: &FlowKey,
+    payload_len: usize,
+    tcp_flags: u8,
+    dscp: u8,
+    ttl: u8,
+) -> Vec<u8> {
+    let l4_len = match flow.proto {
+        IpProtocol::Tcp => TCP_HEADER_LEN,
+        IpProtocol::Udp => UDP_HEADER_LEN,
+        _ => 0,
+    };
+    let ip_total = IPV4_HEADER_LEN + l4_len + payload_len;
+    let frame_len = (ETHERNET_HEADER_LEN + ip_total).max(MIN_FRAME_LEN);
+    let mut buf = vec![0u8; frame_len];
+
+    let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.set_dst(MacAddr::BROADCAST);
+    eth.set_src(MacAddr::BROADCAST);
+    eth.set_ethertype(EtherType::Ipv4);
+
+    let mut ip = Ipv4Packet::new_unchecked(&mut buf[ETHERNET_HEADER_LEN..]);
+    ip.init();
+    ip.set_total_length(ip_total as u16);
+    ip.set_ttl(ttl);
+    ip.set_dscp(dscp);
+    ip.set_protocol(flow.proto);
+    ip.set_src(flow.src);
+    ip.set_dst(flow.dst);
+    ip.fill_checksum();
+
+    let l4_off = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+    match flow.proto {
+        IpProtocol::Tcp => {
+            let mut t = TcpSegment::new_unchecked(&mut buf[l4_off..]);
+            t.init();
+            t.set_sport(flow.sport);
+            t.set_dport(flow.dport);
+            t.set_flags(tcp_flags);
+        }
+        IpProtocol::Udp => {
+            let mut u = UdpDatagram::new_unchecked(&mut buf[l4_off..]);
+            u.set_sport(flow.sport);
+            u.set_dport(flow.dport);
+            u.set_length((UDP_HEADER_LEN + payload_len) as u16);
+        }
+        _ => {}
+    }
+    buf
+}
+
+/// Build a PFC frame pausing (`quanta > 0`) or resuming (`quanta == 0`) the
+/// given priority class.
+pub fn build_pfc_frame(class: usize, quanta: u16) -> Vec<u8> {
+    let mut buf = vec![0u8; (ETHERNET_HEADER_LEN + PFC_PAYLOAD_LEN).max(MIN_FRAME_LEN)];
+    let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.set_dst(MacAddr([0x01, 0x80, 0xc2, 0x00, 0x00, 0x01]));
+    eth.set_src(MacAddr::BROADCAST);
+    eth.set_ethertype(EtherType::MacControl);
+    let mut pfc = PfcFrame::new_unchecked(&mut buf[ETHERNET_HEADER_LEN..]);
+    pfc.init();
+    pfc.set_pause(class, quanta);
+    buf
+}
+
+/// Build the three redundant loss-notification frames for a missing range
+/// (the paper's default redundancy).
+pub fn build_notification_frames(lo: u32, hi: u32, observer_port: u8) -> Vec<Vec<u8>> {
+    build_notification_frames_with(lo, hi, observer_port, crate::notification::NOTIFICATION_COPIES)
+}
+
+/// Build `copies` redundant loss-notification frames (ablation knob).
+pub fn build_notification_frames_with(
+    lo: u32,
+    hi: u32,
+    observer_port: u8,
+    copies: u8,
+) -> Vec<Vec<u8>> {
+    (0..copies.max(1))
+        .map(|copy| {
+            let payload = build_notification(lo, hi, copy, observer_port);
+            let mut buf =
+                vec![0u8; (ETHERNET_HEADER_LEN + NOTIFICATION_LEN).max(MIN_FRAME_LEN)];
+            let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+            eth.set_dst(MacAddr::BROADCAST);
+            eth.set_src(MacAddr::BROADCAST);
+            eth.set_ethertype(EtherType::NetSeerNotify);
+            buf[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + NOTIFICATION_LEN]
+                .copy_from_slice(&payload);
+            buf
+        })
+        .collect()
+}
+
+/// Build a CEBP frame carrying the given events.
+pub fn build_cebp_frame(capacity: u16, events: &[EventRecord]) -> Result<Vec<u8>> {
+    let payload = cebp::buffer_len_for(capacity);
+    let mut buf = vec![0u8; ETHERNET_HEADER_LEN + payload];
+    let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.set_dst(MacAddr::BROADCAST);
+    eth.set_src(MacAddr::BROADCAST);
+    eth.set_ethertype(EtherType::NetSeerCebp);
+    let mut p = cebp::CebpPacket::new_checked(&mut buf[ETHERNET_HEADER_LEN..])
+        .expect("sized buffer");
+    p.init(capacity);
+    for ev in events {
+        p.push_event(ev)?;
+    }
+    Ok(buf)
+}
+
+/// Insert a NetSeer sequence tag into a frame (paper Figure 5 step 1),
+/// returning the re-framed packet. The original EtherType moves into the
+/// tag's inner-EtherType field.
+pub fn insert_seqtag(frame: &[u8], seq: u32) -> Result<Vec<u8>> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    if eth.ethertype() == EtherType::NetSeerSeq {
+        return Err(ParseError::Malformed { what: "seqtag.double-insert" });
+    }
+    let inner = eth.ethertype();
+    let mut out = Vec::with_capacity(frame.len() + SEQTAG_LEN);
+    out.extend_from_slice(&frame[..ETHERNET_HEADER_LEN]);
+    out.extend_from_slice(&[0u8; SEQTAG_LEN]);
+    out.extend_from_slice(&frame[ETHERNET_HEADER_LEN..]);
+    let mut eth = EthernetFrame::new_unchecked(&mut out[..]);
+    eth.set_ethertype(EtherType::NetSeerSeq);
+    let mut tag = SeqTag::new_checked(&mut out[ETHERNET_HEADER_LEN..]).expect("sized");
+    tag.set_seq(seq);
+    tag.set_inner_ethertype(inner);
+    Ok(out)
+}
+
+/// Strip a NetSeer sequence tag (paper Figure 5 step 2), returning the
+/// sequence number and the restored frame.
+pub fn strip_seqtag(frame: &[u8]) -> Result<(u32, Vec<u8>)> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    if eth.ethertype() != EtherType::NetSeerSeq {
+        return Err(ParseError::Malformed { what: "seqtag.missing" });
+    }
+    let tag = SeqTag::new_checked(eth.payload())?;
+    let seq = tag.seq();
+    let inner = tag.inner_ethertype();
+    let mut out = Vec::with_capacity(frame.len() - SEQTAG_LEN);
+    out.extend_from_slice(&frame[..ETHERNET_HEADER_LEN]);
+    out.extend_from_slice(&frame[ETHERNET_HEADER_LEN + SEQTAG_LEN..]);
+    let mut eth = EthernetFrame::new_unchecked(&mut out[..]);
+    eth.set_ethertype(inner);
+    Ok((seq, out))
+}
+
+/// Peek the sequence number of a tagged frame without re-framing.
+pub fn peek_seqtag(frame: &[u8]) -> Result<u32> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    if eth.ethertype() != EtherType::NetSeerSeq {
+        return Err(ParseError::Malformed { what: "seqtag.missing" });
+    }
+    Ok(SeqTag::new_checked(eth.payload())?.seq())
+}
+
+/// Extract the 5-tuple from an Ethernet frame, looking through a sequence
+/// tag if present. Non-IP frames yield `None`.
+pub fn extract_flow(frame: &[u8]) -> Option<FlowKey> {
+    let eth = EthernetFrame::new_checked(frame).ok()?;
+    let (ethertype, l3) = match eth.ethertype() {
+        EtherType::NetSeerSeq => {
+            let tag = SeqTag::new_checked(eth.payload()).ok()?;
+            (tag.inner_ethertype(), &eth.payload()[SEQTAG_LEN..])
+        }
+        ty => (ty, eth.payload()),
+    };
+    if ethertype != EtherType::Ipv4 {
+        return None;
+    }
+    let ip = Ipv4Packet::new_checked(l3).ok()?;
+    let (sport, dport) = match ip.protocol() {
+        IpProtocol::Tcp => {
+            let t = TcpSegment::new_checked(ip.payload()).ok()?;
+            (t.sport(), t.dport())
+        }
+        IpProtocol::Udp => {
+            let u = UdpDatagram::new_checked(ip.payload()).ok()?;
+            (u.sport(), u.dport())
+        }
+        _ => (0, 0),
+    };
+    Some(FlowKey { src: ip.src(), dst: ip.dst(), sport, dport, proto: ip.protocol() })
+}
+
+/// Classify a frame's top-level protocol for switch parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// IPv4 data traffic (possibly beneath a sequence tag).
+    Ipv4,
+    /// PFC pause frame.
+    Pfc,
+    /// NetSeer loss notification.
+    LossNotification,
+    /// NetSeer CEBP.
+    Cebp,
+    /// Anything else.
+    Other,
+}
+
+/// Determine the frame kind.
+pub fn classify(frame: &[u8]) -> FrameKind {
+    let Ok(eth) = EthernetFrame::new_checked(frame) else {
+        return FrameKind::Other;
+    };
+    match eth.ethertype() {
+        EtherType::Ipv4 => FrameKind::Ipv4,
+        EtherType::NetSeerSeq => {
+            match SeqTag::new_checked(eth.payload()).map(|t| t.inner_ethertype()) {
+                Ok(EtherType::Ipv4) => FrameKind::Ipv4,
+                Ok(EtherType::NetSeerNotify) => FrameKind::LossNotification,
+                _ => FrameKind::Other,
+            }
+        }
+        EtherType::MacControl => FrameKind::Pfc,
+        EtherType::NetSeerNotify => FrameKind::LossNotification,
+        EtherType::NetSeerCebp => FrameKind::Cebp,
+        EtherType::Unknown(_) => FrameKind::Other,
+    }
+}
+
+/// Parse a loss-notification frame (possibly beneath a sequence tag).
+pub fn parse_notification(frame: &[u8]) -> Result<(u32, u32, u8, u8)> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    let payload = match eth.ethertype() {
+        EtherType::NetSeerNotify => eth.payload(),
+        EtherType::NetSeerSeq => {
+            let tag = SeqTag::new_checked(eth.payload())?;
+            if tag.inner_ethertype() != EtherType::NetSeerNotify {
+                return Err(ParseError::Malformed { what: "notification.ethertype" });
+            }
+            &eth.payload()[SEQTAG_LEN..]
+        }
+        _ => return Err(ParseError::Malformed { what: "notification.ethertype" }),
+    };
+    let n = LossNotification::new_checked(payload)?;
+    Ok((n.seq_lo(), n.seq_hi(), n.copy_index(), n.observer_port()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Ipv4Addr;
+    use crate::tcp::flags;
+
+    fn flow() -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::from_octets([10, 0, 1, 1]),
+            40000,
+            Ipv4Addr::from_octets([10, 0, 2, 2]),
+            443,
+        )
+    }
+
+    #[test]
+    fn data_packet_roundtrip() {
+        let f = flow();
+        let pkt = build_data_packet(&f, 100, flags::SYN, 0, 64);
+        assert!(pkt.len() >= MIN_FRAME_LEN);
+        assert_eq!(classify(&pkt), FrameKind::Ipv4);
+        assert_eq!(extract_flow(&pkt), Some(f));
+    }
+
+    #[test]
+    fn small_packets_pad_to_minimum() {
+        let pkt = build_data_packet(&flow(), 0, 0, 0, 64);
+        assert_eq!(pkt.len(), MIN_FRAME_LEN);
+    }
+
+    #[test]
+    fn udp_packet_flow_extraction() {
+        let f = FlowKey::udp(
+            Ipv4Addr::from_octets([10, 0, 1, 1]),
+            5000,
+            Ipv4Addr::from_octets([10, 0, 2, 2]),
+            6000,
+        );
+        let pkt = build_data_packet(&f, 200, 0, 0, 64);
+        assert_eq!(extract_flow(&pkt), Some(f));
+    }
+
+    #[test]
+    fn seqtag_insert_strip_roundtrip() {
+        let pkt = build_data_packet(&flow(), 50, 0, 0, 64);
+        let tagged = insert_seqtag(&pkt, 12345).unwrap();
+        assert_eq!(tagged.len(), pkt.len() + SEQTAG_LEN);
+        assert_eq!(peek_seqtag(&tagged).unwrap(), 12345);
+        // Flow stays extractable through the tag.
+        assert_eq!(extract_flow(&tagged), Some(flow()));
+        assert_eq!(classify(&tagged), FrameKind::Ipv4);
+        let (seq, restored) = strip_seqtag(&tagged).unwrap();
+        assert_eq!(seq, 12345);
+        assert_eq!(restored, pkt);
+    }
+
+    #[test]
+    fn double_insert_rejected() {
+        let pkt = build_data_packet(&flow(), 50, 0, 0, 64);
+        let tagged = insert_seqtag(&pkt, 1).unwrap();
+        assert!(insert_seqtag(&tagged, 2).is_err());
+    }
+
+    #[test]
+    fn strip_untagged_rejected() {
+        let pkt = build_data_packet(&flow(), 50, 0, 0, 64);
+        assert!(strip_seqtag(&pkt).is_err());
+        assert!(peek_seqtag(&pkt).is_err());
+    }
+
+    #[test]
+    fn pfc_frame_classifies() {
+        let pkt = build_pfc_frame(3, 100);
+        assert_eq!(classify(&pkt), FrameKind::Pfc);
+        assert_eq!(extract_flow(&pkt), None);
+    }
+
+    #[test]
+    fn notification_frames_are_redundant_copies() {
+        let frames = build_notification_frames(10, 20, 5);
+        assert_eq!(frames.len(), 3);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(classify(f), FrameKind::LossNotification);
+            let (lo, hi, copy, port) = parse_notification(f).unwrap();
+            assert_eq!((lo, hi, port), (10, 20, 5));
+            assert_eq!(copy as usize, i);
+        }
+    }
+
+    #[test]
+    fn notification_survives_seqtag() {
+        let frames = build_notification_frames(1, 2, 0);
+        let tagged = insert_seqtag(&frames[0], 77).unwrap();
+        assert_eq!(classify(&tagged), FrameKind::LossNotification);
+        let (lo, hi, _, _) = parse_notification(&tagged).unwrap();
+        assert_eq!((lo, hi), (1, 2));
+    }
+
+    #[test]
+    fn cebp_frame_roundtrip() {
+        let ev = EventRecord {
+            ty: crate::event::EventType::Pause,
+            flow: flow(),
+            detail: crate::event::EventDetail::Pause { egress_port: 1, queue: 2 },
+            counter: 1,
+            hash: 42,
+        };
+        let frame = build_cebp_frame(10, &[ev]).unwrap();
+        assert_eq!(classify(&frame), FrameKind::Cebp);
+        let p = cebp::CebpPacket::new_checked(&frame[ETHERNET_HEADER_LEN..]).unwrap();
+        assert_eq!(p.count(), 1);
+        assert_eq!(p.events().unwrap()[0], ev);
+    }
+
+    #[test]
+    fn classify_garbage() {
+        assert_eq!(classify(&[0u8; 5]), FrameKind::Other);
+        let mut junk = vec![0u8; 64];
+        junk[12] = 0x12;
+        junk[13] = 0x34;
+        assert_eq!(classify(&junk), FrameKind::Other);
+    }
+}

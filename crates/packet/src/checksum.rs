@@ -1,0 +1,162 @@
+//! Internet checksum (RFC 1071) and CRC-32 (Ethernet FCS) helpers.
+
+/// Running one's-complement sum used by the Internet checksum family.
+///
+/// Fold with [`Checksum::finish`] to obtain the 16-bit complement value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Start a fresh accumulation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate a byte slice. Odd trailing bytes are padded with zero,
+    /// matching RFC 1071's treatment of the final octet.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Accumulate a big-endian 16-bit word.
+    pub fn add_u16(&mut self, v: u16) {
+        self.sum += u32::from(v);
+    }
+
+    /// Accumulate a big-endian 32-bit word as two 16-bit halves.
+    pub fn add_u32(&mut self, v: u32) {
+        self.add_u16((v >> 16) as u16);
+        self.add_u16((v & 0xffff) as u16);
+    }
+
+    /// Fold carries and return the one's complement of the sum.
+    pub fn finish(self) -> u16 {
+        let mut s = self.sum;
+        while s >> 16 != 0 {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// Compute the Internet checksum of one contiguous buffer.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Verify a buffer whose checksum field is already in place sums to zero.
+pub fn verify_internet_checksum(data: &[u8]) -> bool {
+    // A correct buffer folds to 0xffff before complement, i.e. finish() == 0.
+    internet_checksum(data) == 0
+}
+
+/// CRC-32 (IEEE 802.3) over a buffer, as used by the Ethernet FCS.
+///
+/// Implemented bitwise with the reflected polynomial 0xEDB88320; the
+/// simulator uses this both for FCS validation of corrupted frames and as
+/// one of the PDP hash units.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// CRC-16/CCITT used as the second independent PDP hash unit.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xffff;
+    for &b in data {
+        crc ^= u16::from(b) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold 0xddf2
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn checksum_roundtrip_verifies() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0];
+        data.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let cks = internet_checksum(&data);
+        data[10] = (cks >> 8) as u8;
+        data[11] = (cks & 0xff) as u8;
+        assert!(verify_internet_checksum(&data));
+    }
+
+    #[test]
+    fn odd_length_is_zero_padded() {
+        let even = internet_checksum(&[0xab, 0x00]);
+        let odd = internet_checksum(&[0xab]);
+        assert_eq!(even, odd);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" is the canonical CRC check string.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let mut buf = b"hello netseer packet".to_vec();
+        let orig = crc32(&buf);
+        buf[3] ^= 0x04;
+        assert_ne!(orig, crc32(&buf));
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE of "123456789".
+        assert_eq!(crc16(b"123456789"), 0x29b1);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut c = Checksum::new();
+        c.add_bytes(&data[..100]);
+        c.add_bytes(&data[100..]);
+        assert_eq!(c.finish(), internet_checksum(&data));
+    }
+
+    #[test]
+    fn add_u32_matches_bytes() {
+        let mut a = Checksum::new();
+        a.add_u32(0xdead_beef);
+        let mut b = Checksum::new();
+        b.add_bytes(&0xdead_beefu32.to_be_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for packet parsing and construction.
+
+use core::fmt;
+
+/// Errors raised when interpreting a byte buffer as a protocol frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed header of the protocol.
+    Truncated {
+        /// Protocol whose header did not fit.
+        what: &'static str,
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A field carries a value that the format forbids
+    /// (e.g. IPv4 IHL < 5, wrong PFC opcode).
+    Malformed {
+        /// Protocol and field that failed validation.
+        what: &'static str,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Protocol whose checksum failed.
+        what: &'static str,
+    },
+    /// An EtherType / protocol number is not one this stack understands.
+    Unsupported {
+        /// Offending protocol identifier.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { what, need, have } => {
+                write!(f, "{what}: truncated (need {need} bytes, have {have})")
+            }
+            ParseError::Malformed { what } => write!(f, "{what}: malformed field"),
+            ParseError::BadChecksum { what } => write!(f, "{what}: checksum mismatch"),
+            ParseError::Unsupported { what } => write!(f, "{what}: unsupported protocol"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = ParseError::Truncated { what: "ipv4", need: 20, have: 7 };
+        assert_eq!(e.to_string(), "ipv4: truncated (need 20 bytes, have 7)");
+        let e = ParseError::Malformed { what: "ipv4.ihl" };
+        assert!(e.to_string().contains("ipv4.ihl"));
+        let e = ParseError::BadChecksum { what: "tcp" };
+        assert!(e.to_string().contains("checksum"));
+        let e = ParseError::Unsupported { what: "ethertype 0x1234" };
+        assert!(e.to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            ParseError::Malformed { what: "x" },
+            ParseError::Malformed { what: "x" }
+        );
+        assert_ne!(
+            ParseError::Malformed { what: "x" },
+            ParseError::BadChecksum { what: "x" }
+        );
+    }
+}

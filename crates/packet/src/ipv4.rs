@@ -1,0 +1,298 @@
+//! IPv4 header view (fixed 20-byte header; options unsupported, like most
+//! data center fabrics which drop optioned packets at the edge).
+
+use crate::checksum::{internet_checksum, verify_internet_checksum};
+use crate::error::{ParseError, Result};
+use crate::flow::IpProtocol;
+use core::fmt;
+
+/// Fixed IPv4 header length (IHL = 5).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// An IPv4 address. A thin wrapper over 4 octets so the crate stays
+/// dependency-free and `no_std`-friendly in spirit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4Addr(u32);
+
+impl Ipv4Addr {
+    /// Build from octets.
+    pub const fn from_octets(o: [u8; 4]) -> Self {
+        Ipv4Addr(u32::from_be_bytes(o))
+    }
+
+    /// Build from a host-order u32.
+    pub const fn from_u32(v: u32) -> Self {
+        Ipv4Addr(v)
+    }
+
+    /// Octet representation.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Host-order u32 representation.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// Typed view of an IPv4 packet (header + payload).
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer, checking length, version, and IHL.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated { what: "ipv4", need: IPV4_HEADER_LEN, have: len });
+        }
+        let p = Ipv4Packet { buffer };
+        let b = p.buffer.as_ref();
+        if b[0] >> 4 != 4 {
+            return Err(ParseError::Malformed { what: "ipv4.version" });
+        }
+        if b[0] & 0x0f != 5 {
+            return Err(ParseError::Unsupported { what: "ipv4 options (ihl != 5)" });
+        }
+        if usize::from(p.total_length()) > len {
+            return Err(ParseError::Truncated {
+                what: "ipv4.total_length",
+                need: usize::from(p.total_length()),
+                have: len,
+            });
+        }
+        Ok(p)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_length(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// DSCP (top 6 bits of the traffic class byte) — the simulator maps this
+    /// to the egress priority queue.
+    pub fn dscp(&self) -> u8 {
+        self.buffer.as_ref()[1] >> 2
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// IP protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from_number(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::from_octets([b[12], b[13], b[14], b[15]])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::from_octets([b[16], b[17], b[18], b[19]])
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        verify_internet_checksum(&self.buffer.as_ref()[..IPV4_HEADER_LEN])
+    }
+
+    /// Payload after the header (bounded by total_length when valid).
+    pub fn payload(&self) -> &[u8] {
+        let end = usize::from(self.total_length()).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[IPV4_HEADER_LEN..end]
+    }
+
+    /// Consume and return the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Initialize version/IHL and sensible defaults.
+    pub fn init(&mut self) {
+        let b = self.buffer.as_mut();
+        b[0] = 0x45;
+        b[1] = 0;
+        b[6] = 0x40; // don't fragment
+        b[7] = 0;
+        b[8] = 64;
+    }
+
+    /// Set the total length field.
+    pub fn set_total_length(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set DSCP (priority class).
+    pub fn set_dscp(&mut self, dscp: u8) {
+        let b = self.buffer.as_mut();
+        b[1] = (b[1] & 0x03) | (dscp << 2);
+    }
+
+    /// Set TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Decrement TTL, saturating at zero. Returns the new value.
+    pub fn decrement_ttl(&mut self) -> u8 {
+        let b = self.buffer.as_mut();
+        b[8] = b[8].saturating_sub(1);
+        let ttl = b[8];
+        self.fill_checksum();
+        ttl
+    }
+
+    /// Set the protocol field.
+    pub fn set_protocol(&mut self, p: IpProtocol) {
+        self.buffer.as_mut()[9] = p.number();
+    }
+
+    /// Set the source address.
+    pub fn set_src(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.octets());
+    }
+
+    /// Set the destination address.
+    pub fn set_dst(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.octets());
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        let b = self.buffer.as_mut();
+        b[10] = 0;
+        b[11] = 0;
+        let cks = internet_checksum(&b[..IPV4_HEADER_LEN]);
+        b[10..12].copy_from_slice(&cks.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[IPV4_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; 40];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.init();
+        p.set_total_length(40);
+        p.set_src(Ipv4Addr::from_octets([10, 0, 0, 1]));
+        p.set_dst(Ipv4Addr::from_octets([10, 0, 0, 2]));
+        p.set_protocol(IpProtocol::Tcp);
+        p.set_ttl(64);
+        p.fill_checksum();
+        buf
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let buf = sample();
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.src(), Ipv4Addr::from_octets([10, 0, 0, 1]));
+        assert_eq!(p.dst(), Ipv4Addr::from_octets([10, 0, 0, 2]));
+        assert_eq!(p.protocol(), IpProtocol::Tcp);
+        assert_eq!(p.ttl(), 64);
+        assert!(p.verify_checksum());
+        assert_eq!(p.payload().len(), 20);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = sample();
+        buf[0] = 0x65;
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_options() {
+        let mut buf = sample();
+        buf[0] = 0x46;
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]),
+            Err(ParseError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_total_length_beyond_buffer() {
+        let mut buf = sample();
+        buf[2] = 0xff;
+        buf[3] = 0xff;
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn ttl_decrement_saturates_and_rechecksums() {
+        let mut buf = sample();
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.set_ttl(1);
+        p.fill_checksum();
+        assert_eq!(p.decrement_ttl(), 0);
+        assert_eq!(p.decrement_ttl(), 0);
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut buf = sample();
+        buf[15] ^= 1;
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn dscp_field() {
+        let mut buf = sample();
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        p.set_dscp(46); // EF
+        assert_eq!(p.dscp(), 46);
+    }
+
+    #[test]
+    fn addr_display_and_conversion() {
+        let a = Ipv4Addr::from_octets([192, 168, 1, 9]);
+        assert_eq!(a.to_string(), "192.168.1.9");
+        assert_eq!(Ipv4Addr::from_u32(a.as_u32()), a);
+    }
+}

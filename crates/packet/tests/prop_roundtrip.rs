@@ -1,0 +1,165 @@
+//! Property tests: every wire format must round-trip bit-exactly, and the
+//! sequence-number arithmetic must be total and wrap-safe.
+
+use fet_packet::builder::{
+    build_data_packet, classify, extract_flow, insert_seqtag, peek_seqtag, strip_seqtag,
+    FrameKind,
+};
+use fet_packet::checksum::{crc32, internet_checksum, verify_internet_checksum, Checksum};
+use fet_packet::event::{DropCode, EventDetail, EventRecord, EventType};
+use fet_packet::flow::FLOW_KEY_LEN;
+use fet_packet::ipv4::Ipv4Addr;
+use fet_packet::seqtag::{gap_between, seq_before};
+use fet_packet::{FlowKey, IpProtocol};
+use proptest::prelude::*;
+
+fn arb_flow() -> impl Strategy<Value = FlowKey> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), prop_oneof![Just(6u8), Just(17u8)])
+        .prop_map(|(s, d, sp, dp, proto)| FlowKey {
+            src: Ipv4Addr::from_u32(s),
+            dst: Ipv4Addr::from_u32(d),
+            sport: sp,
+            dport: dp,
+            proto: IpProtocol::from_number(proto),
+        })
+}
+
+fn arb_detail(ty: EventType) -> impl Strategy<Value = EventDetail> {
+    (any::<u8>(), any::<u8>(), any::<u16>(), 1u8..=8).prop_map(move |(a, b, c, code)| match ty {
+        EventType::PipelineDrop | EventType::MmuDrop | EventType::InterSwitchDrop => {
+            EventDetail::Drop {
+                ingress_port: a,
+                egress_port: b,
+                code: DropCode::from_code(code).unwrap(),
+            }
+        }
+        EventType::Congestion => {
+            EventDetail::Congestion { egress_port: a, queue: b, latency_us: c }
+        }
+        EventType::PathChange => EventDetail::PathChange { ingress_port: a, egress_port: b },
+        EventType::Pause => EventDetail::Pause { egress_port: a, queue: b },
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = EventRecord> {
+    prop_oneof![
+        Just(EventType::PipelineDrop),
+        Just(EventType::MmuDrop),
+        Just(EventType::InterSwitchDrop),
+        Just(EventType::Congestion),
+        Just(EventType::PathChange),
+        Just(EventType::Pause),
+    ]
+    .prop_flat_map(|ty| {
+        (Just(ty), arb_flow(), arb_detail(ty), any::<u16>(), any::<u32>())
+            .prop_map(|(ty, flow, detail, counter, hash)| EventRecord {
+                ty,
+                flow,
+                detail,
+                counter,
+                hash,
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn flow_key_roundtrips(flow in arb_flow()) {
+        let mut buf = [0u8; FLOW_KEY_LEN];
+        flow.write_to(&mut buf);
+        prop_assert_eq!(FlowKey::read_from(&buf), flow);
+    }
+
+    #[test]
+    fn flow_reversal_is_involution(flow in arb_flow()) {
+        prop_assert_eq!(flow.reversed().reversed(), flow);
+    }
+
+    #[test]
+    fn event_record_roundtrips(ev in arb_event()) {
+        let bytes = ev.to_bytes();
+        prop_assert_eq!(EventRecord::read_from(&bytes).unwrap(), ev);
+        // And via the checked slice parser too.
+        prop_assert_eq!(EventRecord::parse(&bytes).unwrap(), ev);
+    }
+
+    #[test]
+    fn data_packets_always_classify_and_extract(
+        flow in arb_flow(),
+        payload in 0usize..1400,
+        dscp in 0u8..64,
+        ttl in 1u8..=255,
+    ) {
+        let pkt = build_data_packet(&flow, payload, 0, dscp, ttl);
+        prop_assert!(pkt.len() >= 64);
+        prop_assert_eq!(classify(&pkt), FrameKind::Ipv4);
+        prop_assert_eq!(extract_flow(&pkt), Some(flow));
+    }
+
+    #[test]
+    fn seqtag_roundtrip_any_seq(flow in arb_flow(), seq in any::<u32>(), payload in 0usize..1000) {
+        let pkt = build_data_packet(&flow, payload, 0, 0, 64);
+        let tagged = insert_seqtag(&pkt, seq).unwrap();
+        prop_assert_eq!(peek_seqtag(&tagged).unwrap(), seq);
+        prop_assert_eq!(extract_flow(&tagged), Some(flow));
+        let (got, restored) = strip_seqtag(&tagged).unwrap();
+        prop_assert_eq!(got, seq);
+        prop_assert_eq!(restored, pkt);
+    }
+
+    #[test]
+    fn internet_checksum_self_verifies(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Append the checksum; the whole buffer then verifies.
+        let cks = internet_checksum(&data);
+        let mut with = data.clone();
+        with.extend_from_slice(&cks.to_be_bytes());
+        // Only even-length buffers keep the field aligned.
+        if data.len() % 2 == 0 {
+            prop_assert!(verify_internet_checksum(&with));
+        }
+    }
+
+    #[test]
+    fn checksum_incremental_equals_oneshot(
+        a in proptest::collection::vec(any::<u8>(), 0..128),
+        b in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // Split accumulation only matches when the first part is
+        // even-length (RFC 1071 words are 16-bit).
+        prop_assume!(a.len() % 2 == 0);
+        let mut inc = Checksum::new();
+        inc.add_bytes(&a);
+        inc.add_bytes(&b);
+        let mut whole = a.clone();
+        whole.extend_from_slice(&b);
+        prop_assert_eq!(inc.finish(), internet_checksum(&whole));
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        bit in any::<u16>(),
+    ) {
+        let orig = crc32(&data);
+        let mut flipped = data.clone();
+        let pos = usize::from(bit) % (data.len() * 8);
+        flipped[pos / 8] ^= 1 << (pos % 8);
+        prop_assert_ne!(orig, crc32(&flipped));
+    }
+
+    #[test]
+    fn seq_ordering_antisymmetric(a in any::<u32>(), b in any::<u32>()) {
+        if a != b {
+            prop_assert_ne!(seq_before(a, b), seq_before(b, a));
+        } else {
+            prop_assert!(!seq_before(a, b));
+        }
+    }
+
+    #[test]
+    fn gap_counts_match_distance(start in any::<u32>(), gap in 0u32..10_000) {
+        // If we see `start` then `start + gap + 1`, exactly `gap` are missing.
+        let next = start.wrapping_add(gap).wrapping_add(1);
+        prop_assert_eq!(gap_between(start, next), gap);
+    }
+}

@@ -1,0 +1,229 @@
+//! Pipeline stage placement: match-action programs must fit a fixed
+//! number of physical stages, and any stateful structure wider than one
+//! stage's register budget must be sliced across consecutive stages —
+//! the constraint behind the paper's observation that "one event cannot
+//! be entirely accommodated in one stage, let alone 50" (§3.5), which
+//! forced the circulating-CEBP design.
+
+use crate::register::MAX_CELL_BITS_PER_STAGE;
+
+/// A named structure to place, with its width requirement.
+#[derive(Debug, Clone, Copy)]
+pub struct Placement {
+    /// Structure name (diagnostics).
+    pub name: &'static str,
+    /// Logical cell width, bits.
+    pub cell_bits: u32,
+    /// Stateful ALUs the structure needs per occupied stage.
+    pub alus_per_stage: u32,
+}
+
+impl Placement {
+    /// Stages this structure spans.
+    pub fn stages(&self) -> u32 {
+        self.cell_bits.div_ceil(MAX_CELL_BITS_PER_STAGE).max(1)
+    }
+}
+
+/// A physical pipeline profile.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineProfile {
+    /// Physical match-action stages (Tofino-class: 12).
+    pub stages: u32,
+    /// Stateful ALUs available per stage.
+    pub alus_per_stage: u32,
+}
+
+/// The Tofino-like profile matching [`crate::resources::TOFINO_32D`].
+pub const TOFINO_PIPELINE: PipelineProfile = PipelineProfile { stages: 12, alus_per_stage: 4 };
+
+/// Result of placing structures into stages.
+#[derive(Debug, Clone)]
+pub struct LayoutResult {
+    /// (structure name, first stage index, stages occupied).
+    pub placed: Vec<(&'static str, u32, u32)>,
+    /// ALUs used per stage after placement.
+    pub alu_usage: Vec<u32>,
+}
+
+impl LayoutResult {
+    /// Highest stage index used + 1 (i.e. pipeline depth consumed).
+    pub fn depth(&self) -> u32 {
+        self.placed.iter().map(|(_, first, n)| first + n).max().unwrap_or(0)
+    }
+}
+
+/// Error when a program cannot fit the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoesNotFit {
+    /// The structure that failed to place.
+    pub name: &'static str,
+}
+
+impl std::fmt::Display for DoesNotFit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "structure '{}' does not fit the pipeline", self.name)
+    }
+}
+
+impl std::error::Error for DoesNotFit {}
+
+/// First-fit placement of structures into consecutive stages, respecting
+/// per-stage ALU budgets. Structures are placed in the given order (the
+/// program's logical order — a dependency chain: each structure starts no
+/// earlier than where the previous one started).
+pub fn place(
+    profile: PipelineProfile,
+    structures: &[Placement],
+) -> Result<LayoutResult, DoesNotFit> {
+    let mut alu_usage = vec![0u32; profile.stages as usize];
+    let mut placed = Vec::with_capacity(structures.len());
+    let mut min_start = 0u32;
+    for s in structures {
+        let span = s.stages();
+        let mut start = min_start;
+        loop {
+            if start + span > profile.stages {
+                return Err(DoesNotFit { name: s.name });
+            }
+            let fits = (start..start + span).all(|i| {
+                alu_usage[i as usize] + s.alus_per_stage <= profile.alus_per_stage
+            });
+            if fits {
+                break;
+            }
+            start += 1;
+        }
+        for i in start..start + span {
+            alu_usage[i as usize] += s.alus_per_stage;
+        }
+        placed.push((s.name, start, span));
+        min_start = start; // dependencies flow forward
+    }
+    Ok(LayoutResult { placed, alu_usage })
+}
+
+/// The NetSeer program's stateful structures, in pipeline order, for a
+/// fit check against a profile (the Figure 7 companion).
+pub fn netseer_structures() -> Vec<Placement> {
+    vec![
+        // Ingress: gap detector (expected seq per port) + pause bits.
+        Placement { name: "gap-expected-seq", cell_bits: 32, alus_per_stage: 1 },
+        Placement { name: "pause-status", cell_bits: 1, alus_per_stage: 1 },
+        // Path-change flow table: 121-bit entries => 1 stage at 128b.
+        Placement { name: "path-table", cell_bits: 121, alus_per_stage: 1 },
+        // Six dedup group caches: 176-bit entries => 2 stages each.
+        Placement { name: "dedup-congestion", cell_bits: 176, alus_per_stage: 1 },
+        Placement { name: "dedup-pipedrop", cell_bits: 176, alus_per_stage: 1 },
+        Placement { name: "dedup-mmudrop", cell_bits: 176, alus_per_stage: 1 },
+        Placement { name: "dedup-iswdrop", cell_bits: 176, alus_per_stage: 1 },
+        Placement { name: "dedup-path", cell_bits: 176, alus_per_stage: 1 },
+        Placement { name: "dedup-pause", cell_bits: 176, alus_per_stage: 1 },
+        // Egress: seq counter + ring buffer (137-bit slots => 2 stages).
+        Placement { name: "seq-counter", cell_bits: 32, alus_per_stage: 1 },
+        Placement { name: "isw-ring", cell_bits: 137, alus_per_stage: 1 },
+        // Event stack: six slices, each holding one 24 B (192-bit) event —
+        // a single slice already exceeds one stage's register width, which
+        // is exactly the §3.5 constraint that motivates CEBPs.
+        Placement { name: "stack-slice-0", cell_bits: 192, alus_per_stage: 1 },
+        Placement { name: "stack-slice-1", cell_bits: 192, alus_per_stage: 1 },
+        Placement { name: "stack-slice-2", cell_bits: 192, alus_per_stage: 1 },
+        Placement { name: "stack-slice-3", cell_bits: 192, alus_per_stage: 1 },
+        Placement { name: "stack-slice-4", cell_bits: 192, alus_per_stage: 1 },
+        Placement { name: "stack-slice-5", cell_bits: 192, alus_per_stage: 1 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stage_structures_pack_together() {
+        let r = place(
+            TOFINO_PIPELINE,
+            &[
+                Placement { name: "a", cell_bits: 32, alus_per_stage: 1 },
+                Placement { name: "b", cell_bits: 64, alus_per_stage: 1 },
+                Placement { name: "c", cell_bits: 128, alus_per_stage: 1 },
+            ],
+        )
+        .unwrap();
+        // All fit in stage 0 (4 ALUs available).
+        assert!(r.placed.iter().all(|&(_, first, n)| first == 0 && n == 1));
+        assert_eq!(r.alu_usage[0], 3);
+        assert_eq!(r.depth(), 1);
+    }
+
+    #[test]
+    fn wide_structure_spans_stages() {
+        let r = place(
+            TOFINO_PIPELINE,
+            &[Placement { name: "wide", cell_bits: 300, alus_per_stage: 1 }],
+        )
+        .unwrap();
+        assert_eq!(r.placed[0], ("wide", 0, 3));
+        assert_eq!(r.depth(), 3);
+    }
+
+    #[test]
+    fn alu_exhaustion_pushes_to_later_stages() {
+        let structures: Vec<Placement> = (0..6)
+            .map(|_| Placement { name: "x", cell_bits: 32, alus_per_stage: 4 })
+            .collect();
+        let r = place(TOFINO_PIPELINE, &structures).unwrap();
+        // Each takes a whole stage's ALUs: six consecutive stages.
+        let firsts: Vec<u32> = r.placed.iter().map(|&(_, f, _)| f).collect();
+        assert_eq!(firsts, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn oversized_program_rejected() {
+        let structures: Vec<Placement> = (0..13)
+            .map(|_| Placement { name: "hog", cell_bits: 32, alus_per_stage: 4 })
+            .collect();
+        assert_eq!(
+            place(TOFINO_PIPELINE, &structures).unwrap_err(),
+            DoesNotFit { name: "hog" }
+        );
+    }
+
+    #[test]
+    fn a_50_event_register_would_not_fit_one_stage() {
+        // The §3.5 motivation: 50 events x 24B = 9600 bits needs 75 stages
+        // as a single register — impossible; hence CEBPs.
+        let naive = Placement { name: "batch-50", cell_bits: 50 * 24 * 8, alus_per_stage: 1 };
+        assert_eq!(naive.stages(), 75);
+        assert!(place(TOFINO_PIPELINE, &[naive]).is_err());
+    }
+
+    #[test]
+    fn netseer_program_fits_tofino() {
+        let r = place(TOFINO_PIPELINE, &netseer_structures()).unwrap();
+        assert!(
+            r.depth() <= TOFINO_PIPELINE.stages,
+            "NetSeer must fit 12 stages, used {}",
+            r.depth()
+        );
+        // Every stack slice needs two stages (192 > 128 bits) — the very
+        // width limit that §3.5 cites.
+        for (name, _, span) in r.placed.iter().filter(|(n, _, _)| n.starts_with("stack-")) {
+            assert_eq!(*span, 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn dependencies_flow_forward() {
+        let r = place(
+            TOFINO_PIPELINE,
+            &[
+                Placement { name: "first", cell_bits: 256, alus_per_stage: 4 },
+                Placement { name: "second", cell_bits: 32, alus_per_stage: 1 },
+            ],
+        )
+        .unwrap();
+        let f = r.placed[0];
+        let s = r.placed[1];
+        assert!(s.1 >= f.1, "later structures never placed before earlier ones");
+    }
+}

@@ -1,0 +1,38 @@
+//! Programmable data plane (PDP) emulator.
+//!
+//! There is no P4/Tofino ecosystem in Rust, so this crate emulates the
+//! *constraints* that shaped NetSeer's design rather than the silicon
+//! itself (see DESIGN.md, substitution table):
+//!
+//! * **match-action tables** — exact, longest-prefix, and ternary (ACL)
+//!   tables with entry/bit accounting ([`table`]);
+//! * **stateful register arrays** — per-stage memories with bounded cell
+//!   width and single read-modify-write semantics per packet, the model of
+//!   Tofino's stateful ALUs ([`register`]);
+//! * **hash units** — CRC-based hash engines with hash-bit accounting
+//!   ([`hash`]);
+//! * **packet header vector** — the metadata bundle that accompanies a
+//!   packet through the pipeline ([`phv`]);
+//! * **rate-limited internal channels** — the internal ports / recirculation
+//!   paths / PCIe link whose finite bandwidth caps NetSeer's event capacity
+//!   ([`channel`]);
+//! * **resource ledger** — aggregates SRAM/TCAM/stateful-ALU/hash-bit/PHV
+//!   usage per module to regenerate the paper's Figure 7 ([`resources`]).
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod hash;
+pub mod layout;
+pub mod phv;
+pub mod register;
+pub mod resources;
+pub mod table;
+
+pub use channel::RateLimitedChannel;
+pub use hash::HashUnit;
+pub use layout::{place, PipelineProfile, Placement, TOFINO_PIPELINE};
+pub use phv::{PacketMeta, PipelinePoint};
+pub use register::RegisterArray;
+pub use resources::{ResourceKind, ResourceLedger, TOFINO_32D};
+pub use table::{AclAction, AclTable, ExactTable, LpmTable};

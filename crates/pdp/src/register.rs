@@ -1,0 +1,183 @@
+//! Stateful register arrays — the emulated stateful ALU memories.
+//!
+//! Tofino-class ASICs expose per-stage register arrays: each packet may
+//! perform at most one read-modify-write on one index of one array per
+//! stage, and a cell is at most two 32/64-bit words wide. Wider state (like
+//! NetSeer's 17-byte ring-buffer slots of 13 B flow + 4 B packet ID) must be
+//! **sliced across stages**. [`RegisterArray`] models a single array and
+//! reports the stage count a given cell width implies, so the resource
+//! ledger charges the honest cost.
+
+use crate::resources::{ResourceKind, ResourceLedger};
+
+/// Maximum register cell width a single stage can hold (two 64-bit words,
+/// the dual-width stateful ALU configuration).
+pub const MAX_CELL_BITS_PER_STAGE: u32 = 128;
+
+/// A stateful register array of `N`-byte cells.
+///
+/// The emulator stores cells as plain Rust values but *accounts* for them as
+/// hardware would: SRAM bits, one stateful ALU per touched stage, and
+/// `stages_spanned()` pipeline stages.
+#[derive(Debug, Clone)]
+pub struct RegisterArray<V: Copy + Default> {
+    name: &'static str,
+    cells: Vec<V>,
+    cell_bits: u32,
+    /// Total read-modify-write operations performed (for ALU pressure
+    /// statistics).
+    rmw_ops: u64,
+}
+
+impl<V: Copy + Default> RegisterArray<V> {
+    /// Allocate an array of `size` cells of `cell_bits` logical width.
+    pub fn new(name: &'static str, size: usize, cell_bits: u32) -> Self {
+        RegisterArray { name, cells: vec![V::default(); size], cell_bits, rmw_ops: 0 }
+    }
+
+    /// Array length.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Logical cell width in bits.
+    pub fn cell_bits(&self) -> u32 {
+        self.cell_bits
+    }
+
+    /// How many pipeline stages this array occupies: a cell wider than the
+    /// per-stage limit is sliced across consecutive stages.
+    pub fn stages_spanned(&self) -> u32 {
+        self.cell_bits.div_ceil(MAX_CELL_BITS_PER_STAGE).max(1)
+    }
+
+    /// Read a cell (no ALU charge; reads ride the RMW). Empty arrays return
+    /// the default value.
+    pub fn read(&self, index: usize) -> V {
+        if self.cells.is_empty() {
+            return V::default();
+        }
+        self.cells[index % self.cells.len()]
+    }
+
+    /// The single per-packet read-modify-write: applies `f` to the cell and
+    /// returns the *previous* value, mirroring the ALU's "output old value"
+    /// mode that NetSeer's eviction logic relies on. A no-op on empty arrays.
+    pub fn read_modify_write(&mut self, index: usize, f: impl FnOnce(V) -> V) -> V {
+        if self.cells.is_empty() {
+            return V::default();
+        }
+        let len = self.cells.len();
+        let slot = &mut self.cells[index % len];
+        let old = *slot;
+        *slot = f(old);
+        self.rmw_ops += 1;
+        old
+    }
+
+    /// Overwrite a cell unconditionally (control-plane style write).
+    pub fn write(&mut self, index: usize, v: V) {
+        if self.cells.is_empty() {
+            return;
+        }
+        let len = self.cells.len();
+        self.cells[index % len] = v;
+    }
+
+    /// Reset every cell to default (control-plane table clear).
+    pub fn clear(&mut self) {
+        for c in &mut self.cells {
+            *c = V::default();
+        }
+    }
+
+    /// Total RMW operations performed so far.
+    pub fn rmw_ops(&self) -> u64 {
+        self.rmw_ops
+    }
+
+    /// SRAM bits this array occupies.
+    pub fn sram_bits(&self) -> u64 {
+        u64::from(self.cell_bits) * self.cells.len() as u64
+    }
+
+    /// Charge this array to a resource ledger under `module`.
+    pub fn account(&self, ledger: &mut ResourceLedger, module: &'static str) {
+        ledger.charge(module, ResourceKind::SramBits, self.sram_bits());
+        ledger.charge(
+            module,
+            ResourceKind::StatefulAlu,
+            u64::from(self.stages_spanned()),
+        );
+    }
+
+    /// Array name (diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::TOFINO_32D;
+
+    #[test]
+    fn rmw_returns_old_value() {
+        let mut r: RegisterArray<u64> = RegisterArray::new("ctr", 16, 64);
+        assert_eq!(r.read_modify_write(3, |v| v + 1), 0);
+        assert_eq!(r.read_modify_write(3, |v| v + 1), 1);
+        assert_eq!(r.read(3), 2);
+        assert_eq!(r.rmw_ops(), 2);
+    }
+
+    #[test]
+    fn index_wraps_like_hash_indexing() {
+        let mut r: RegisterArray<u32> = RegisterArray::new("ctr", 8, 32);
+        r.write(8, 7); // wraps to 0
+        assert_eq!(r.read(0), 7);
+        assert_eq!(r.read(16), 7);
+    }
+
+    #[test]
+    fn stage_spanning() {
+        let narrow: RegisterArray<u32> = RegisterArray::new("a", 1, 32);
+        assert_eq!(narrow.stages_spanned(), 1);
+        let exactly: RegisterArray<u128> = RegisterArray::new("b", 1, 128);
+        assert_eq!(exactly.stages_spanned(), 1);
+        // A 17-byte ring-buffer slot (136 bits) needs two stages.
+        let ring: RegisterArray<[u8; 17]> = RegisterArray::new("ring", 1, 136);
+        assert_eq!(ring.stages_spanned(), 2);
+    }
+
+    #[test]
+    fn sram_accounting() {
+        let r: RegisterArray<u64> = RegisterArray::new("ctr", 1024, 64);
+        assert_eq!(r.sram_bits(), 65_536);
+        let mut ledger = ResourceLedger::new(TOFINO_32D);
+        r.account(&mut ledger, "dedup");
+        assert_eq!(ledger.used(ResourceKind::SramBits), 65_536);
+        assert_eq!(ledger.used(ResourceKind::StatefulAlu), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r: RegisterArray<u32> = RegisterArray::new("x", 4, 32);
+        r.write(1, 9);
+        r.clear();
+        assert_eq!(r.read(1), 0);
+    }
+
+    #[test]
+    fn default_array_handles_zero_len() {
+        let mut r: RegisterArray<u32> = RegisterArray::new("z", 0, 32);
+        assert!(r.is_empty());
+        // Must not panic even with no cells.
+        let _ = r.read_modify_write(0, |v| v);
+    }
+}

@@ -1,0 +1,251 @@
+//! Synthetic NPA ticket generation — regenerates the *shapes* of the
+//! paper's production statistics (Figures 1 and 3) from the marginal
+//! distributions stated in the text, since the real O(100) Alibaba service
+//! tickets are proprietary (see DESIGN.md, substitution table).
+
+use fet_netsim::rng::Pcg32;
+
+/// NPA classes of Figure 1(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NpaType {
+    /// Long-tailed latency.
+    LongTailLatency,
+    /// Bandwidth loss.
+    BandwidthLoss,
+    /// Packet timeout.
+    PacketTimeout,
+}
+
+/// Cause sources of Figure 1(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CauseSource {
+    /// The network itself.
+    Network,
+    /// Server hardware/software.
+    Server,
+    /// Resource provisioning.
+    ResourceProvisioning,
+    /// Power problems.
+    Power,
+    /// Security attack.
+    Attack,
+}
+
+/// Drop classes of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropClass {
+    /// Pipeline drop (routing blackhole, ACL, TTL, MTU…).
+    Pipeline,
+    /// MMU congestion drop.
+    MmuCongestion,
+    /// Inter-switch (link) drop.
+    InterSwitch,
+    /// Inter-card (backplane) drop.
+    InterCard,
+    /// Switch ASIC failure.
+    AsicFailure,
+    /// MMU hardware failure.
+    MmuFailure,
+}
+
+/// One synthetic trouble ticket.
+#[derive(Debug, Clone, Copy)]
+pub struct Ticket {
+    /// The NPA type reported.
+    pub npa: NpaType,
+    /// Root-cause source.
+    pub source: CauseSource,
+    /// Minutes to locate the root cause.
+    pub location_minutes: f64,
+    /// Minutes of actual recovery operations after location.
+    pub recovery_minutes: f64,
+    /// For drop-caused network NPAs: the drop class.
+    pub drop_class: Option<DropClass>,
+}
+
+impl Ticket {
+    /// Total mitigation time.
+    pub fn total_minutes(&self) -> f64 {
+        self.location_minutes + self.recovery_minutes
+    }
+}
+
+fn pick<T: Copy>(rng: &mut Pcg32, table: &[(T, f64)]) -> T {
+    let total: f64 = table.iter().map(|(_, w)| w).sum();
+    let mut u = rng.next_f64() * total;
+    for &(v, w) in table {
+        if u < w {
+            return v;
+        }
+        u -= w;
+    }
+    table[table.len() - 1].0
+}
+
+/// Log-normal-ish positive sample with the given median (minutes).
+fn skewed_minutes(rng: &mut Pcg32, median: f64, sigma: f64) -> f64 {
+    // Box–Muller from two uniforms.
+    let u1 = rng.next_f64().max(1e-12);
+    let u2 = rng.next_f64();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (median * (sigma * z).exp()).min(12.0 * 60.0) // paper max ≈ 12h
+}
+
+/// Generate `n` tickets matching the paper's published marginals:
+/// 86% of network NPAs are drop-caused; pipeline drops >60% of those,
+/// congestion ~10%, inter-switch+card ~18%, hardware ~10%; inter-switch
+/// drops take the longest to locate (mean ≈161 min); ~half of all NPAs
+/// take >10 minutes to recover; location is ~90% of mitigation time.
+pub fn synthesize_tickets(n: usize, seed: u64) -> Vec<Ticket> {
+    let mut rng = Pcg32::new(seed, 13);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let npa = pick(
+            &mut rng,
+            &[
+                (NpaType::LongTailLatency, 0.4),
+                (NpaType::BandwidthLoss, 0.35),
+                (NpaType::PacketTimeout, 0.25),
+            ],
+        );
+        // Fractions of cause sources differ per NPA type (Fig. 1b shape).
+        let source = match npa {
+            NpaType::LongTailLatency => pick(
+                &mut rng,
+                &[
+                    (CauseSource::Network, 0.45),
+                    (CauseSource::Server, 0.35),
+                    (CauseSource::ResourceProvisioning, 0.12),
+                    (CauseSource::Power, 0.05),
+                    (CauseSource::Attack, 0.03),
+                ],
+            ),
+            NpaType::BandwidthLoss => pick(
+                &mut rng,
+                &[
+                    (CauseSource::Network, 0.55),
+                    (CauseSource::Server, 0.20),
+                    (CauseSource::ResourceProvisioning, 0.15),
+                    (CauseSource::Power, 0.05),
+                    (CauseSource::Attack, 0.05),
+                ],
+            ),
+            NpaType::PacketTimeout => pick(
+                &mut rng,
+                &[
+                    (CauseSource::Network, 0.60),
+                    (CauseSource::Server, 0.25),
+                    (CauseSource::ResourceProvisioning, 0.08),
+                    (CauseSource::Power, 0.04),
+                    (CauseSource::Attack, 0.03),
+                ],
+            ),
+        };
+        let drop_class = if source == CauseSource::Network && rng.chance(0.86) {
+            Some(pick(
+                &mut rng,
+                &[
+                    (DropClass::Pipeline, 0.62),
+                    (DropClass::MmuCongestion, 0.10),
+                    (DropClass::InterSwitch, 0.12),
+                    (DropClass::InterCard, 0.06),
+                    (DropClass::AsicFailure, 0.06),
+                    (DropClass::MmuFailure, 0.04),
+                ],
+            ))
+        } else {
+            None
+        };
+        // Location time: inter-switch/card drops are the slow ones
+        // (paper: average ≈161 min; 50% of >180-min cases).
+        let location_minutes = match drop_class {
+            Some(DropClass::InterSwitch) | Some(DropClass::InterCard) => {
+                skewed_minutes(&mut rng, 120.0, 0.8)
+            }
+            Some(DropClass::AsicFailure) | Some(DropClass::MmuFailure) => {
+                skewed_minutes(&mut rng, 60.0, 0.9)
+            }
+            Some(_) => skewed_minutes(&mut rng, 25.0, 1.1),
+            None => skewed_minutes(&mut rng, 12.0, 1.2),
+        };
+        // Recovery is fast once located (location ≈ 90% of mitigation).
+        let recovery_minutes = location_minutes * (0.05 + 0.1 * rng.next_f64());
+        out.push(Ticket { npa, source, location_minutes, recovery_minutes, drop_class });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tickets() -> Vec<Ticket> {
+        synthesize_tickets(20_000, 7)
+    }
+
+    #[test]
+    fn drop_caused_fraction_near_86_percent() {
+        let t = tickets();
+        let net: Vec<_> = t.iter().filter(|t| t.source == CauseSource::Network).collect();
+        let dropped = net.iter().filter(|t| t.drop_class.is_some()).count();
+        let frac = dropped as f64 / net.len() as f64;
+        assert!((0.82..=0.90).contains(&frac), "drop fraction {frac}");
+    }
+
+    #[test]
+    fn pipeline_drops_dominate() {
+        let t = tickets();
+        let drops: Vec<DropClass> = t.iter().filter_map(|t| t.drop_class).collect();
+        let pipeline =
+            drops.iter().filter(|&&d| d == DropClass::Pipeline).count() as f64 / drops.len() as f64;
+        assert!(pipeline > 0.55, "pipeline fraction {pipeline}");
+    }
+
+    #[test]
+    fn interswitch_location_is_slowest() {
+        let t = tickets();
+        let mean = |class: DropClass| {
+            let v: Vec<f64> = t
+                .iter()
+                .filter(|t| t.drop_class == Some(class))
+                .map(|t| t.location_minutes)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let isw = mean(DropClass::InterSwitch);
+        let pipe = mean(DropClass::Pipeline);
+        assert!(isw > pipe * 2.0, "inter-switch {isw} vs pipeline {pipe}");
+        assert!((100.0..=250.0).contains(&isw), "inter-switch mean {isw}");
+    }
+
+    #[test]
+    fn location_dominates_mitigation() {
+        let t = tickets();
+        let loc: f64 = t.iter().map(|t| t.location_minutes).sum();
+        let total: f64 = t.iter().map(|t| t.total_minutes()).sum();
+        assert!(loc / total > 0.85, "location share {}", loc / total);
+    }
+
+    #[test]
+    fn about_half_take_over_ten_minutes() {
+        let t = tickets();
+        let slow = t.iter().filter(|t| t.total_minutes() > 10.0).count() as f64 / t.len() as f64;
+        assert!((0.35..=0.75).contains(&slow), "slow fraction {slow}");
+    }
+
+    #[test]
+    fn capped_at_twelve_hours() {
+        let t = tickets();
+        assert!(t.iter().all(|t| t.location_minutes <= 720.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = synthesize_tickets(100, 1);
+        let b = synthesize_tickets(100, 1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.location_minutes, y.location_minutes);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Middlebox triage (paper §3.7): a firewall sits bump-in-the-wire on the
+//! path. When RPCs slow down, is it the fabric, the firewall's cables, or
+//! the firewall itself running out of steam? With NetSeer's three
+//! middlebox principles, one query distinguishes all three.
+//!
+//! Run with: `cargo run --release --example firewall_bump`
+
+use netseer_repro::fet_netsim::host::{FlowSpec, HostConfig};
+use netseer_repro::fet_netsim::routing::install_ecmp_routes;
+use netseer_repro::fet_netsim::switchdev::{ProcessingModel, SwitchConfig};
+use netseer_repro::fet_netsim::time::{fmt_ns, MILLIS};
+use netseer_repro::fet_netsim::topology::TopologyBuilder;
+use netseer_repro::fet_netsim::Simulator;
+use netseer_repro::fet_packet::event::DropCode;
+use netseer_repro::fet_packet::ipv4::Ipv4Addr;
+use netseer_repro::fet_packet::{EventType, FlowKey};
+use netseer_repro::netseer::deploy::collect_events;
+use netseer_repro::netseer::{NetSeerConfig, NetSeerMonitor, Query, Role};
+
+fn main() {
+    // client — sw1 — firewall — sw2 — server, with NetSeer on everything.
+    let mut sim = Simulator::new();
+    let mut b = TopologyBuilder::new();
+    let sw1 = b.switch(&mut sim, "sw1", SwitchConfig::default());
+    let sw2 = b.switch(&mut sim, "sw2", SwitchConfig::default());
+    // The firewall inspects at most 8 Gbps.
+    let fw = b.switch(
+        &mut sim,
+        "firewall0",
+        SwitchConfig {
+            processing: Some(ProcessingModel { gbps: 8.0, buffer_bytes: 64 * 1024 }),
+            ..SwitchConfig::default()
+        },
+    );
+    let client_ip = Ipv4Addr::from_octets([10, 20, 0, 1]);
+    let server_ip = Ipv4Addr::from_octets([10, 20, 0, 2]);
+    let client = b.host(
+        &mut sim,
+        HostConfig { ip: client_ip, nic_gbps: 25.0, ..Default::default() },
+    );
+    let server = b.host(
+        &mut sim,
+        HostConfig { ip: server_ip, nic_gbps: 25.0, ..Default::default() },
+    );
+    b.connect(&mut sim, sw1, fw, 25.0, 200, 1);
+    b.connect(&mut sim, fw, sw2, 25.0, 200, 2);
+    b.connect(&mut sim, sw1, client, 25.0, 200, 3);
+    b.connect(&mut sim, sw2, server, 25.0, 200, 4);
+    install_ecmp_routes(&mut sim);
+    for dev in [sw1, sw2, fw] {
+        let m = NetSeerMonitor::new(dev, Role::Switch, NetSeerConfig::default());
+        sim.switch_mut(dev).set_monitor(Box::new(m));
+        for port in 0..2 {
+            sim.switch_mut(dev).tag_ports[port] = true;
+        }
+    }
+
+    // Backup traffic ramps from polite to firewall-crushing at t = 5 ms.
+    let polite = FlowKey::tcp(client_ip, 4000, server_ip, 445);
+    let burst = FlowKey::tcp(client_ip, 4001, server_ip, 445);
+    for (key, rate, start, bytes) in
+        [(polite, 4.0, 0u64, 3_000_000u64), (burst, 20.0, 5 * MILLIS, 20_000_000)]
+    {
+        let idx = sim.host_mut(client).add_flow(FlowSpec {
+            key,
+            total_bytes: bytes,
+            pkt_payload: 1000,
+            rate_gbps: rate,
+            start_ns: start,
+            dscp: 0,
+        });
+        sim.schedule_flow(client, idx);
+    }
+    sim.run_until(40 * MILLIS);
+
+    // The "backups are slow" ticket arrives. Query by the path's devices.
+    let store = collect_events(&mut sim);
+    println!("events per device:");
+    for (dev, ty, n) in store.summarize() {
+        println!("  {:<10} {:<18} {n}", sim.switch(dev).name, ty.to_string());
+    }
+
+    let fw_drops = store.query(&Query::any().device(fw).ty(EventType::PipelineDrop));
+    let overloads: Vec<_> = fw_drops
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.record.detail,
+                netseer_repro::fet_packet::event::EventDetail::Drop {
+                    code: DropCode::Overload,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert!(!overloads.is_empty());
+    let first = overloads.iter().map(|e| e.time_ns).min().unwrap();
+    let victims: std::collections::BTreeSet<_> =
+        overloads.iter().map(|e| e.record.flow).collect();
+    println!(
+        "\n=> verdict: '{}' overload starting {} — not the fabric, not a cable.",
+        sim.switch(fw).name,
+        fmt_ns(first)
+    );
+    println!("   victim flows:");
+    for v in victims {
+        let who = if v == burst { "<- the new backup job" } else { "" };
+        println!("     {v} {who}");
+    }
+    println!("   (fabric exonerated: zero drop/congestion events at sw1 or sw2)");
+    for dev in [sw1, sw2] {
+        assert!(store
+            .query(&Query::any().device(dev).ty(EventType::PipelineDrop))
+            .is_empty());
+    }
+}

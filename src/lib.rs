@@ -1,0 +1,19 @@
+//! Umbrella crate for the NetSeer reproduction workspace.
+//!
+//! This crate only re-exports the workspace members so that the top-level
+//! `examples/` and `tests/` can use every subsystem through one dependency.
+//! The real functionality lives in the member crates:
+//!
+//! * [`fet_packet`] — typed packet views and NetSeer wire formats
+//! * [`fet_pdp`] — programmable-data-plane pipeline emulator
+//! * [`fet_netsim`] — discrete-event network simulator
+//! * [`netseer`] — the flow-event-telemetry system itself
+//! * [`fet_baselines`] — SNMP / sampling / Pingmesh / EverFlow / NetSight
+//! * [`fet_workloads`] — traffic distributions and fault scenarios
+
+pub use fet_baselines;
+pub use fet_netsim;
+pub use fet_packet;
+pub use fet_pdp;
+pub use fet_workloads;
+pub use netseer;

@@ -1,0 +1,108 @@
+//! The five §5.1 case studies as assertions: for each incident, NetSeer's
+//! backend must contain the key event, at the faulty device, for the
+//! affected traffic, shortly after the fault — the property behind
+//! Figure 8(a)'s 61%–99% reductions.
+
+use fet_netsim::time::MILLIS;
+use fet_workloads::scenarios::{build_case, CaseId, ALL_CASES};
+use netseer::deploy::{collect_events, deploy, DeployOptions};
+use netseer::Query;
+
+#[test]
+fn every_case_yields_the_key_event_at_the_fault_device() {
+    for case in ALL_CASES {
+        let paper = case.paper();
+        let mut built = build_case(case, 0x5EED);
+        deploy(&mut built.sim, &DeployOptions::default());
+        built.sim.run_until(built.horizon_ns);
+        let store = collect_events(&mut built.sim);
+        let hits = store.query(&Query::any().device(built.fault_device).ty(paper.key_event));
+        assert!(
+            !hits.is_empty(),
+            "{}: no {} events at fault device",
+            paper.label,
+            paper.key_event
+        );
+        let first = hits.iter().map(|e| e.time_ns).min().unwrap();
+        let latency = first.saturating_sub(built.fault_at_ns);
+        assert!(
+            latency < 20 * MILLIS,
+            "{}: first event {}ns after fault — too slow",
+            paper.label,
+            latency
+        );
+    }
+}
+
+#[test]
+fn acl_case_points_at_the_rule() {
+    let mut built = build_case(CaseId::AclError, 7);
+    deploy(&mut built.sim, &DeployOptions::default());
+    built.sim.run_until(built.horizon_ns);
+    let store = collect_events(&mut built.sim);
+    // ACL drops are reported at rule granularity; the rule id rides the
+    // synthetic rule flow and the hash field.
+    let rule_flow = netseer::monitor::acl_rule_flow(7_001);
+    let hits = store.query(&Query::any().flow(rule_flow));
+    assert!(!hits.is_empty(), "rule-aggregated report missing");
+    assert!(hits.iter().all(|e| e.device == built.fault_device));
+    // A CPU-side registry resolves the id for the operator.
+    let mut registry = netseer::acl_agg::RuleRegistry::new();
+    registry.register(7_001, "deny tcp any any eq 443 (change #8841)");
+    assert_eq!(registry.describe(hits[0].record.flow.src.as_u32()), "deny tcp any any eq 443 (change #8841)");
+}
+
+#[test]
+fn routing_error_case_shows_path_changes_then_drops() {
+    let mut built = build_case(CaseId::RoutingError, 9);
+    deploy(&mut built.sim, &DeployOptions::default());
+    built.sim.run_until(built.horizon_ns);
+    let store = collect_events(&mut built.sim);
+    let victim = built.victim_flows[0];
+    // The victim flow shows both the symptom (TTL-expired drops from the
+    // loop) and the cause trail (path-change events after the update).
+    let drops = store.query(
+        &Query::any().flow(victim).ty(fet_packet::EventType::PipelineDrop),
+    );
+    let paths = store.query(
+        &Query::any().flow(victim).ty(fet_packet::EventType::PathChange),
+    );
+    assert!(!drops.is_empty(), "loop drops missing");
+    assert!(
+        paths.iter().any(|e| e.time_ns >= built.fault_at_ns),
+        "post-update path-change events missing"
+    );
+}
+
+#[test]
+fn ssd_case_quantifies_network_share_precisely() {
+    let mut built = build_case(CaseId::SsdFirmwareBug, 11);
+    deploy(&mut built.sim, &DeployOptions::default());
+    built.sim.run_until(built.horizon_ns);
+    let store = collect_events(&mut built.sim);
+    // The operator can say exactly which storage flows lost packets in
+    // the network and which did not — the exoneration the paper's
+    // operators could not produce for 284 minutes.
+    // The storm exceeds the 40 Gbps MMU-redirect budget (3×25G into 25G),
+    // so per the paper's §4 capacity caveat coverage is near- but not
+    // guaranteed-full. What must hold exactly: no invented drops, and the
+    // big hog flows (the actual storage traffic) are all present.
+    let gt_dropped = built.sim.gt.flow_events(fet_packet::EventType::MmuDrop);
+    let seen = store.flow_events(fet_packet::EventType::MmuDrop);
+    let covered = gt_dropped.iter().filter(|fe| seen.contains(fe)).count();
+    assert!(
+        covered as f64 >= 0.85 * gt_dropped.len() as f64,
+        "network share badly under-reported: {covered}/{}",
+        gt_dropped.len()
+    );
+    for key in &built.victim_flows[1..] {
+        assert!(
+            seen.iter().any(|(_, f)| f == key),
+            "storage hog {key} missing from the drop report"
+        );
+    }
+    // And no invented drops.
+    for fe in &seen {
+        assert!(gt_dropped.contains(fe), "network share over-reported: {fe:?}");
+    }
+}

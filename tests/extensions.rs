@@ -1,0 +1,223 @@
+//! Extension features beyond the paper's headline evaluation:
+//! partial deployment (§2.3), inter-card drop detection on chassis
+//! switches (§3.3), and the bench harness needs fet-bench as a dev-dep —
+//! these tests exercise them end to end.
+
+use fet_netsim::host::FlowSpec;
+use fet_netsim::link::BurstDrop;
+use fet_netsim::routing::install_ecmp_routes;
+use fet_netsim::time::{MILLIS, SECONDS};
+use fet_netsim::topology::{
+    build_chassis, build_fat_tree, FatTreeParams, TopologyBuilder,
+};
+use fet_netsim::{Simulator, SwitchConfig};
+use fet_packet::event::EventType;
+use fet_packet::ipv4::Ipv4Addr;
+use fet_packet::FlowKey;
+use netseer::config::FlowFilter;
+use netseer::deploy::{collect_events, deploy, DeployOptions};
+use netseer::{NetSeerConfig, NetSeerMonitor, Role};
+
+/// Partial deployment: only the monitored application's flows generate
+/// events; everything else is invisible — and cheaper.
+#[test]
+fn partial_deployment_filters_to_the_application() {
+    // Monitor only traffic to/from host 7 (10.1.1.2/32).
+    let cfg = NetSeerConfig {
+        flow_filter: Some(FlowFilter {
+            prefix: Ipv4Addr::from_octets([10, 1, 1, 2]),
+            len: 32,
+        }),
+        ..NetSeerConfig::default()
+    };
+    let mut sim = Simulator::new();
+    let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+    install_ecmp_routes(&mut sim);
+    deploy(&mut sim, &DeployOptions { cfg, on_nics: false });
+
+    // Two flows through the same blackhole: one monitored, one not.
+    let monitored = FlowKey::tcp(ft.host_ips[0], 7000, ft.host_ips[7], 80);
+    let unmonitored = FlowKey::tcp(ft.host_ips[0], 7001, ft.host_ips[6], 80);
+    for (i, key) in [monitored, unmonitored].into_iter().enumerate() {
+        let h = ft.hosts[0];
+        let idx = sim.host_mut(h).add_flow(FlowSpec {
+            key,
+            total_bytes: 4_000_000,
+            pkt_payload: 1000,
+            rate_gbps: 2.0,
+            start_ns: i as u64 * 1000,
+            dscp: 0,
+        });
+        sim.schedule_flow(h, idx);
+    }
+    let tor = ft.edges[1][1]; // serves hosts 6 and 7
+    let v7 = ft.host_ips[7];
+    let v6 = ft.host_ips[6];
+    sim.schedule_control(MILLIS, move |s| {
+        fet_netsim::routing::remove_route(s, tor, v7);
+        fet_netsim::routing::remove_route(s, tor, v6);
+    });
+    sim.run_until(SECONDS);
+
+    let store = collect_events(&mut sim);
+    let drops = store.flow_events(EventType::PipelineDrop);
+    assert!(drops.contains(&(tor, monitored)), "monitored flow must be covered");
+    assert!(
+        !drops.contains(&(tor, unmonitored)),
+        "unmonitored flow must be invisible in partial deployment"
+    );
+}
+
+/// Inter-card drops on a chassis: the same sequence-tag machinery covers
+/// the backplane link between two line cards.
+#[test]
+fn intercard_drop_detection_on_chassis() {
+    let mut sim = Simulator::new();
+    let mut b = TopologyBuilder::new();
+    let ch = build_chassis(&mut sim, &mut b, "chassis0", SwitchConfig::default(), 400.0, 3);
+    // A host on each card.
+    let h_a = b.host(
+        &mut sim,
+        fet_netsim::host::HostConfig {
+            ip: Ipv4Addr::from_octets([10, 5, 0, 1]),
+            nic_gbps: 25.0,
+            ..Default::default()
+        },
+    );
+    b.connect(&mut sim, ch.card_a, h_a, 25.0, 100, 4);
+    let h_b = b.host(
+        &mut sim,
+        fet_netsim::host::HostConfig {
+            ip: Ipv4Addr::from_octets([10, 5, 0, 2]),
+            nic_gbps: 25.0,
+            ..Default::default()
+        },
+    );
+    b.connect(&mut sim, ch.card_b, h_b, 25.0, 100, 5);
+    install_ecmp_routes(&mut sim);
+
+    // NetSeer on both cards; the backplane ports tag like any fabric link.
+    for card in [ch.card_a, ch.card_b] {
+        let m = NetSeerMonitor::new(card, Role::Switch, NetSeerConfig::default());
+        sim.switch_mut(card).set_monitor(Box::new(m));
+    }
+    sim.switch_mut(ch.card_a).tag_ports[usize::from(ch.backplane_a)] = true;
+    sim.switch_mut(ch.card_b).tag_ports[usize::from(ch.backplane_b)] = true;
+
+    // Cross-card flow; the backplane eats 5 frames mid-run.
+    let key = FlowKey::tcp(
+        Ipv4Addr::from_octets([10, 5, 0, 1]),
+        9000,
+        Ipv4Addr::from_octets([10, 5, 0, 2]),
+        80,
+    );
+    let idx = sim.host_mut(h_a).add_flow(FlowSpec {
+        key,
+        total_bytes: 500_000,
+        pkt_payload: 1000,
+        rate_gbps: 5.0,
+        start_ns: 0,
+        dscp: 0,
+    });
+    sim.schedule_flow(h_a, idx);
+    sim.link_direction_mut(ch.card_a, ch.backplane_a).unwrap().faults.burst_drop =
+        Some(BurstDrop { at_ns: 100_000, count: 5, corrupt: false });
+
+    sim.run_until(SECONDS);
+    let gt = sim.gt.flow_events(EventType::InterSwitchDrop);
+    assert!(gt.contains(&(ch.card_a, key)), "backplane drop in ground truth");
+    let store = collect_events(&mut sim);
+    let seen = store.flow_events(EventType::InterSwitchDrop);
+    assert!(
+        seen.contains(&(ch.card_a, key)),
+        "inter-card drop must be recovered by card A's ring buffer"
+    );
+}
+
+/// Partial deployment reduces overhead proportionally to the monitored
+/// share of traffic.
+#[test]
+fn partial_deployment_cuts_overhead() {
+    let run = |filter: Option<FlowFilter>| {
+        let cfg = NetSeerConfig { flow_filter: filter, ..NetSeerConfig::default() };
+        let mut sim = Simulator::new();
+        let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+        install_ecmp_routes(&mut sim);
+        deploy(&mut sim, &DeployOptions { cfg, on_nics: false });
+        let tp = fet_workloads::generator::TrafficParams {
+            utilization: 0.4,
+            duration_ns: 10 * MILLIS,
+            max_flows: 1_500,
+            ..Default::default()
+        };
+        fet_workloads::generator::generate_traffic(
+            &mut sim,
+            &ft,
+            &fet_workloads::distributions::CACHE,
+            &tp,
+        );
+        sim.run_until(30 * MILLIS);
+        sim.mgmt.total_bytes()
+    };
+    let full = run(None);
+    let partial = run(Some(FlowFilter {
+        prefix: Ipv4Addr::from_octets([10, 0, 0, 0]),
+        len: 24, // pod-0 ToR-0's two hosts only
+    }));
+    assert!(partial > 0, "partial deployment still reports its app");
+    assert!(
+        (partial as f64) < 0.6 * full as f64,
+        "partial {partial} vs full {full}"
+    );
+}
+
+/// A silently failed port (link down without routing reconvergence):
+/// PortDown drops reported with the victim flows — Figure 4's
+/// "Port / Link down" row.
+#[test]
+fn port_failure_drops_reported() {
+    let mut sim = Simulator::new();
+    let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+    install_ecmp_routes(&mut sim);
+    deploy(&mut sim, &DeployOptions::default());
+    let key = FlowKey::tcp(ft.host_ips[0], 9100, ft.host_ips[7], 80);
+    let h = ft.hosts[0];
+    let idx = sim.host_mut(h).add_flow(FlowSpec {
+        key,
+        total_bytes: 4_000_000,
+        pkt_payload: 1000,
+        rate_gbps: 2.0,
+        start_ns: 0,
+        dscp: 0,
+    });
+    sim.schedule_flow(h, idx);
+    // The victim's ToR downlink port dies at 1 ms (hosts 6,7 are ports 2,3
+    // on tor1_1); routing does not reconverge — a silent port failure.
+    let tor = ft.edges[1][1];
+    sim.schedule_control(MILLIS, move |s| {
+        s.switch_mut(tor).port_up[3] = false;
+    });
+    sim.run_until(SECONDS);
+    let store = collect_events(&mut sim);
+    let hits: Vec<_> = store
+        .events()
+        .iter()
+        .filter(|e| {
+            e.device == tor
+                && matches!(
+                    e.record.detail,
+                    fet_packet::event::EventDetail::Drop {
+                        code: fet_packet::event::DropCode::PortDown,
+                        ..
+                    }
+                )
+        })
+        .collect();
+    assert!(!hits.is_empty(), "port-down drops must be reported");
+    assert!(hits.iter().any(|e| e.record.flow == key));
+    // The summary view points straight at the device.
+    let summary = store.summarize();
+    assert!(summary
+        .iter()
+        .any(|&(d, t, n)| d == tor && t == EventType::PipelineDrop && n > 0));
+}

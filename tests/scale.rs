@@ -1,0 +1,83 @@
+//! Scale-out sanity: nothing hard-codes the paper's 10-switch testbed.
+//! A full 4-pod fat-tree (20 switches, 16 hosts) with NetSeer everywhere
+//! keeps the same coverage and determinism properties.
+
+use fet_netsim::routing::install_ecmp_routes;
+use fet_netsim::time::MILLIS;
+use fet_netsim::topology::{build_fat_tree, FatTreeParams};
+use fet_netsim::Simulator;
+use fet_packet::event::EventType;
+use fet_workloads::distributions::WEB;
+use fet_workloads::generator::{generate_traffic, TrafficParams};
+use netseer::deploy::{collect_events, deploy, DeployOptions};
+
+fn four_pods() -> FatTreeParams {
+    FatTreeParams {
+        pods: 4,
+        edge_per_pod: 2,
+        agg_per_pod: 2,
+        cores: 4,
+        hosts_per_edge: 2,
+        ..FatTreeParams::default()
+    }
+}
+
+#[test]
+fn four_pod_fat_tree_routes_and_monitors() {
+    let mut sim = Simulator::new();
+    let ft = build_fat_tree(&mut sim, &four_pods());
+    assert_eq!(ft.all_switches().len(), 20);
+    assert_eq!(ft.hosts.len(), 16);
+    install_ecmp_routes(&mut sim);
+    assert!(fet_netsim::routing::routes_complete(&sim));
+    deploy(&mut sim, &DeployOptions::default());
+
+    let tp = TrafficParams {
+        utilization: 0.4,
+        duration_ns: 8 * MILLIS,
+        max_flows: 2_000,
+        ..Default::default()
+    };
+    generate_traffic(&mut sim, &ft, &WEB, &tp);
+    // A lossy core-facing link in pod 2.
+    let tor = ft.edges[2][0];
+    sim.link_direction_mut(tor, 0).unwrap().faults.drop_prob = 0.01;
+    sim.run_until(30 * MILLIS);
+
+    // Coverage holds at scale.
+    let gt = sim.gt.flow_events(EventType::InterSwitchDrop);
+    assert!(!gt.is_empty(), "the lossy link should bite");
+    let store = collect_events(&mut sim);
+    let seen = store.flow_events(EventType::InterSwitchDrop);
+    for fe in &gt {
+        assert!(seen.contains(fe), "missed at scale: {fe:?}");
+    }
+    // Traffic actually crossed pods.
+    let delivered: u64 = ft
+        .hosts
+        .iter()
+        .map(|&h| sim.host(h).counters.rx_bytes)
+        .sum();
+    assert!(delivered > 10_000_000, "delivered {delivered}");
+}
+
+#[test]
+fn four_pod_runs_are_deterministic() {
+    let run = || {
+        let mut sim = Simulator::new();
+        let ft = build_fat_tree(&mut sim, &four_pods());
+        install_ecmp_routes(&mut sim);
+        deploy(&mut sim, &DeployOptions::default());
+        let tp = TrafficParams {
+            utilization: 0.3,
+            duration_ns: 5 * MILLIS,
+            max_flows: 1_000,
+            ..Default::default()
+        };
+        generate_traffic(&mut sim, &ft, &WEB, &tp);
+        sim.run_until(15 * MILLIS);
+        let store = collect_events(&mut sim);
+        (sim.events_processed(), store.len(), sim.mgmt.total_bytes())
+    };
+    assert_eq!(run(), run());
+}
