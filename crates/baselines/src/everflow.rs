@@ -5,10 +5,10 @@
 //! hooks, since ERSPAN matches in ingress before the drop — but only for
 //! matched packets, so coverage of arbitrary-flow events stays tiny.
 
-use crate::observe::{Observation, ObservationLog, ObsKind};
+use crate::observe::{ObsKind, Observation, ObservationLog};
+use fet_netsim::counters::PortCounters;
 use fet_netsim::monitor::{Actions, EgressCtx, IngressCtx, RoutedCtx, SwitchMonitor};
 use fet_netsim::rng::Pcg32;
-use fet_netsim::counters::PortCounters;
 use fet_packet::event::DropCode;
 use fet_packet::tcp::TcpSegment;
 use fet_packet::{FlowKey, IpProtocol};
@@ -65,9 +65,7 @@ impl EverFlowMonitor {
         if frame.len() < off {
             return false;
         }
-        TcpSegment::new_checked(&frame[off..])
-            .map(|t| t.is_syn() || t.is_fin())
-            .unwrap_or(false)
+        TcpSegment::new_checked(&frame[off..]).map(|t| t.is_syn() || t.is_fin()).unwrap_or(false)
     }
 
     fn matches(&self, frame: &[u8], flow: &FlowKey) -> bool {

@@ -24,7 +24,7 @@ pub mod snmp;
 
 pub use everflow::EverFlowMonitor;
 pub use netsight::NetSightMonitor;
-pub use observe::{coverage, Observation, ObservationLog, ObsKind};
+pub use observe::{coverage, ObsKind, Observation, ObservationLog};
 pub use pingmesh::{pingmesh_congestion_coverage, pingmesh_saw_loss, pingmesh_saw_slowness};
 pub use sampling::SamplingMonitor;
 pub use snmp::SnmpMonitor;

@@ -2,7 +2,7 @@
 //! forwarded packets only — dropped packets are never sampled, which is
 //! why the paper finds "sampling cannot capture packet drops".
 
-use crate::observe::{Observation, ObservationLog, ObsKind};
+use crate::observe::{ObsKind, Observation, ObservationLog};
 use fet_netsim::monitor::{Actions, EgressCtx, SwitchMonitor};
 use std::any::Any;
 
@@ -73,7 +73,8 @@ mod tests {
             Ipv4Addr::from_octets([10, 0, 0, 2]),
             2,
         ));
-        let ctx = EgressCtx { now_ns: 1, node: 0, port: 0, queue: 0, peer_tagged: false, meta: &meta };
+        let ctx =
+            EgressCtx { now_ns: 1, node: 0, port: 0, queue: 0, peer_tagged: false, meta: &meta };
         let mut out = Actions::new();
         let mut f = vec![0u8; 64];
         for _ in 0..100 {
@@ -93,7 +94,8 @@ mod tests {
             Ipv4Addr::from_octets([10, 0, 0, 2]),
             2,
         ));
-        let ctx = EgressCtx { now_ns: 1, node: 0, port: 0, queue: 0, peer_tagged: false, meta: &meta };
+        let ctx =
+            EgressCtx { now_ns: 1, node: 0, port: 0, queue: 0, peer_tagged: false, meta: &meta };
         let mut out = Actions::new();
         let mut f = vec![0u8; 64];
         for _ in 0..5 {

@@ -41,17 +41,9 @@ impl SnmpMonitor {
         let totals: Vec<(u64, u64)> = self
             .polls
             .iter()
-            .map(|p| {
-                (
-                    p.time_ns,
-                    p.counters.iter().map(|c| c.total_drops()).sum::<u64>(),
-                )
-            })
+            .map(|p| (p.time_ns, p.counters.iter().map(|c| c.total_drops()).sum::<u64>()))
             .collect();
-        totals
-            .windows(2)
-            .map(|w| (w[1].0, w[1].1 - w[0].1))
-            .collect()
+        totals.windows(2).map(|w| (w[1].0, w[1].1 - w[0].1)).collect()
     }
 
     /// True if any poll interval showed drops — "the ToR indeed dropped

@@ -1,7 +1,10 @@
-//! Criterion micro-benchmarks for NetSeer's per-packet primitives — the
-//! operations that must run at line rate in the emulated pipeline.
+//! Micro-benchmarks for NetSeer's per-packet primitives — the operations
+//! that must run at line rate in the emulated pipeline.
+//!
+//! Uses a small std-only timing harness (median of batched runs) instead of
+//! Criterion so the workspace carries no external registry dependencies and
+//! builds fully offline. Run with `cargo bench -p fet-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use fet_packet::builder::{build_data_packet, extract_flow, insert_seqtag, strip_seqtag};
 use fet_packet::event::{EventDetail, EventRecord, EventType};
 use fet_packet::ipv4::Ipv4Addr;
@@ -14,7 +17,7 @@ use netseer::detect::interswitch::{GapDetector, PortTagger};
 use netseer::detect::path_change::PathTable;
 use netseer::NetSeerConfig;
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::Instant;
 
 fn flow(n: u32) -> FlowKey {
     FlowKey::tcp(
@@ -35,221 +38,196 @@ fn ev(n: u32) -> EventRecord {
     }
 }
 
-fn bench_dedup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dedup");
-    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("group_cache_offer_hot", |b| {
-        let mut gc = GroupCache::new("bench", 4096, 128, 1);
-        let f = flow(1);
-        b.iter(|| black_box(gc.offer(black_box(f))));
-    });
-    g.bench_function("group_cache_offer_churn", |b| {
-        let mut gc = GroupCache::new("bench", 4096, 128, 1);
-        let mut n = 0u32;
-        b.iter(|| {
-            n = n.wrapping_add(1);
-            black_box(gc.offer(flow(n)))
-        });
-    });
-    g.bench_function("bloom_offer_churn", |b| {
-        let mut bloom = BloomDedup::new(1 << 16, 1);
-        let mut n = 0u32;
-        b.iter(|| {
-            n = n.wrapping_add(1);
-            black_box(bloom.offer(flow(n)))
-        });
-    });
-    g.finish();
-}
-
-fn bench_interswitch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interswitch");
-    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("tagger_next", |b| {
-        let mut t = PortTagger::new(1024);
-        let f = flow(7);
-        b.iter(|| black_box(t.next(black_box(f))));
-    });
-    g.bench_function("tagger_lookup", |b| {
-        let mut t = PortTagger::new(1024);
-        for n in 0..1024 {
-            t.next(flow(n));
+/// Time `iters` calls of `f`, repeated over `samples` batches; report the
+/// median per-op latency so outliers (scheduler noise) don't skew results.
+fn bench<F: FnMut()>(group: &str, name: &str, ops_per_iter: u64, mut f: F) {
+    const SAMPLES: usize = 11;
+    const ITERS: u64 = 20_000;
+    // Warm-up.
+    for _ in 0..ITERS / 4 {
+        f();
+    }
+    let mut per_op = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            f();
         }
-        let mut seq = 0u32;
-        b.iter(|| {
-            seq = (seq + 1) % 1024;
-            black_box(t.lookup(black_box(seq)))
-        });
-    });
-    g.bench_function("gap_observe", |b| {
-        let mut gd = GapDetector::new();
-        let mut seq = 0u32;
-        b.iter(|| {
-            seq = seq.wrapping_add(1);
-            black_box(gd.observe(black_box(seq)))
-        });
-    });
-    g.finish();
+        let ns = start.elapsed().as_nanos() as f64;
+        per_op.push(ns / (ITERS * ops_per_iter) as f64);
+    }
+    per_op.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = per_op[SAMPLES / 2];
+    let mops = 1e3 / median;
+    println!("{group}/{name:<24} {median:>9.1} ns/op  ({mops:>8.2} Mops/s)");
 }
 
-fn bench_batching(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batching");
-    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("push_poll_cycle", |b| {
-        let mut batcher = CebpBatcher::new(&NetSeerConfig::default());
-        let mut n = 0u32;
-        let mut t = 0u64;
-        b.iter(|| {
-            n = n.wrapping_add(1);
-            t += 100;
-            batcher.push(t, ev(n));
-            black_box(batcher.poll(t).len())
-        });
+fn bench_dedup() {
+    let mut gc = GroupCache::new("bench", 4096, 128, 1);
+    let f = flow(1);
+    bench("dedup", "group_cache_offer_hot", 1, || {
+        black_box(gc.offer(black_box(f)));
     });
-    g.finish();
+    let mut gc = GroupCache::new("bench", 4096, 128, 1);
+    let mut n = 0u32;
+    bench("dedup", "group_cache_offer_churn", 1, || {
+        n = n.wrapping_add(1);
+        black_box(gc.offer(flow(n)));
+    });
+    let mut bloom = BloomDedup::new(1 << 16, 1);
+    let mut n = 0u32;
+    bench("dedup", "bloom_offer_churn", 1, || {
+        n = n.wrapping_add(1);
+        black_box(bloom.offer(flow(n)));
+    });
 }
 
-fn bench_cpu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("switch_cpu");
-    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+fn bench_interswitch() {
+    let mut t = PortTagger::new(1024);
+    let f = flow(7);
+    bench("interswitch", "tagger_next", 1, || {
+        black_box(t.next(black_box(f)));
+    });
+    let mut t = PortTagger::new(1024);
+    for n in 0..1024 {
+        t.next(flow(n));
+    }
+    let mut seq = 0u32;
+    bench("interswitch", "tagger_lookup", 1, || {
+        seq = (seq + 1) % 1024;
+        black_box(t.lookup(black_box(seq)));
+    });
+    let mut gd = GapDetector::new();
+    let mut seq = 0u32;
+    bench("interswitch", "gap_observe", 1, || {
+        seq = seq.wrapping_add(1);
+        black_box(gd.observe(black_box(seq)));
+    });
+}
+
+fn bench_batching() {
+    let mut batcher = CebpBatcher::new(&NetSeerConfig::default());
+    let mut n = 0u32;
+    let mut t = 0u64;
+    bench("batching", "push_poll_cycle", 1, || {
+        n = n.wrapping_add(1);
+        t += 100;
+        batcher.push(t, ev(n));
+        black_box(batcher.poll(t).len());
+    });
+}
+
+fn bench_cpu() {
     let batch: Vec<EventRecord> = (0..50).map(ev).collect();
-    g.throughput(Throughput::Elements(50));
-    g.bench_function("process_batch_50", |b| {
-        b.iter_batched(
-            || SwitchCpu::new(&NetSeerConfig::default()),
-            |mut cpu| black_box(cpu.process_batch(0, &batch, 1_264).len()),
-            BatchSize::SmallInput,
-        );
+    let mut cpu = SwitchCpu::new(&NetSeerConfig::default());
+    let mut calls = 0u64;
+    bench("switch_cpu", "process_batch_50", 50, || {
+        calls += 1;
+        if calls.is_multiple_of(1024) {
+            cpu = SwitchCpu::new(&NetSeerConfig::default());
+        }
+        black_box(cpu.process_batch(0, &batch, 1_264).len());
     });
-    g.finish();
 }
 
-fn bench_packets(c: &mut Criterion) {
-    let mut g = c.benchmark_group("packet");
-    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+fn bench_packets() {
     let pkt = build_data_packet(&flow(1), 1000, 0, 0, 64);
-    g.throughput(Throughput::Bytes(pkt.len() as u64));
-    g.bench_function("extract_flow", |b| {
-        b.iter(|| black_box(extract_flow(black_box(&pkt))));
+    bench("packet", "extract_flow", 1, || {
+        black_box(extract_flow(black_box(&pkt)));
     });
-    g.bench_function("seqtag_insert_strip", |b| {
-        b.iter(|| {
-            let tagged = insert_seqtag(black_box(&pkt), 42).unwrap();
-            black_box(strip_seqtag(&tagged).unwrap())
-        });
+    bench("packet", "seqtag_insert_strip", 1, || {
+        let tagged = insert_seqtag(black_box(&pkt), 42).unwrap();
+        black_box(strip_seqtag(&tagged).unwrap());
     });
     let rec = ev(9);
-    g.bench_function("event_encode_decode", |b| {
-        b.iter(|| {
-            let bytes = black_box(&rec).to_bytes();
-            black_box(EventRecord::read_from(&bytes).unwrap())
-        });
+    bench("packet", "event_encode_decode", 1, || {
+        let bytes = black_box(&rec).to_bytes();
+        black_box(EventRecord::read_from(&bytes).unwrap());
     });
-    g.bench_function("crc_hash_flow", |b| {
-        let h = HashUnit::new("bench", 7, 32);
-        let f = flow(3);
-        b.iter(|| black_box(h.hash_flow(black_box(&f))));
+    let h = HashUnit::new("bench", 7, 32);
+    let f = flow(3);
+    bench("packet", "crc_hash_flow", 1, || {
+        black_box(h.hash_flow(black_box(&f)));
     });
-    g.finish();
 }
 
-fn bench_path_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("path_table");
-    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("offer_churn", |b| {
-        let mut t = PathTable::new(8192, 1);
-        let mut n = 0u32;
-        b.iter(|| {
-            n = n.wrapping_add(1);
-            black_box(t.offer(flow(n), 1, 2))
-        });
+fn bench_path_table() {
+    let mut t = PathTable::new(8192, 1);
+    let mut n = 0u32;
+    bench("path_table", "offer_churn", 1, || {
+        n = n.wrapping_add(1);
+        black_box(t.offer(flow(n), 1, 2));
     });
-    g.finish();
 }
 
-fn bench_full_monitor_path(c: &mut Criterion) {
+fn bench_full_monitor_path() {
     use fet_netsim::monitor::{Actions, EgressCtx, RoutedCtx, SwitchMonitor};
     use fet_pdp::PacketMeta;
     use netseer::{NetSeerMonitor, Role};
 
-    let mut g = c.benchmark_group("monitor_path");
-    g.sample_size(30).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
-    g.throughput(Throughput::Elements(1));
     // The per-packet hot path of a healthy switch: routed + egress hooks
     // with tagging enabled and no events firing.
-    g.bench_function("healthy_packet", |b| {
-        let mut m = NetSeerMonitor::new(0, Role::Switch, NetSeerConfig::default());
-        let pkt = build_data_packet(&flow(1), 1000, 0, 0, 64);
-        let mut meta = PacketMeta::arriving(1, 0, pkt.len());
-        meta.flow = Some(flow(1));
-        let mut n = 0u64;
-        b.iter(|| {
-            n += 100;
-            let rctx = RoutedCtx {
-                now_ns: n,
-                node: 0,
-                ingress_port: 1,
-                egress_port: 2,
-                queue: 0,
-                queue_paused: false,
-                flow: flow((n % 1000) as u32),
-            };
-            let mut out = Actions::new();
-            let mut f = pkt.clone();
-            m.on_routed(&rctx, &f, &mut out);
-            meta.egress_ts_ns = n + 500;
-            let ectx = EgressCtx {
-                now_ns: n + 500,
-                node: 0,
-                port: 2,
-                queue: 0,
-                peer_tagged: true,
-                meta: &meta,
-            };
-            m.on_egress(&ectx, &mut f, &mut out);
-            black_box(out.is_empty())
-        });
+    let mut m = NetSeerMonitor::new(0, Role::Switch, NetSeerConfig::default());
+    let pkt = build_data_packet(&flow(1), 1000, 0, 0, 64);
+    let mut meta = PacketMeta::arriving(1, 0, pkt.len());
+    meta.flow = Some(flow(1));
+    let mut n = 0u64;
+    bench("monitor_path", "healthy_packet", 1, || {
+        n += 100;
+        let rctx = RoutedCtx {
+            now_ns: n,
+            node: 0,
+            ingress_port: 1,
+            egress_port: 2,
+            queue: 0,
+            queue_paused: false,
+            flow: flow((n % 1000) as u32),
+        };
+        let mut out = Actions::new();
+        let mut f = pkt.clone();
+        m.on_routed(&rctx, &f, &mut out);
+        meta.egress_ts_ns = n + 500;
+        let ectx = EgressCtx {
+            now_ns: n + 500,
+            node: 0,
+            port: 2,
+            queue: 0,
+            peer_tagged: true,
+            meta: &meta,
+        };
+        m.on_egress(&ectx, &mut f, &mut out);
+        black_box(out.is_empty());
     });
     // The event-storm path: every packet is a congestion event packet.
-    g.bench_function("event_packet", |b| {
-        let mut m = NetSeerMonitor::new(0, Role::Switch, NetSeerConfig::default());
-        let pkt = build_data_packet(&flow(1), 1000, 0, 0, 64);
-        let mut meta = PacketMeta::arriving(1, 0, pkt.len());
-        meta.flow = Some(flow(1));
-        let mut n = 0u64;
-        b.iter(|| {
-            n += 100;
-            meta.ingress_ts_ns = n;
-            meta.egress_ts_ns = n + 100_000; // 100 us queuing delay
-            let ectx = EgressCtx {
-                now_ns: n + 100_000,
-                node: 0,
-                port: 2,
-                queue: 0,
-                peer_tagged: false,
-                meta: &meta,
-            };
-            let mut out = Actions::new();
-            let mut f = pkt.clone();
-            m.on_egress(&ectx, &mut f, &mut out);
-            black_box(m.stats.event_packets)
-        });
+    let mut m = NetSeerMonitor::new(0, Role::Switch, NetSeerConfig::default());
+    let mut meta = PacketMeta::arriving(1, 0, pkt.len());
+    meta.flow = Some(flow(1));
+    let mut n = 0u64;
+    bench("monitor_path", "event_packet", 1, || {
+        n += 100;
+        meta.ingress_ts_ns = n;
+        meta.egress_ts_ns = n + 100_000; // 100 us queuing delay
+        let ectx = EgressCtx {
+            now_ns: n + 100_000,
+            node: 0,
+            port: 2,
+            queue: 0,
+            peer_tagged: false,
+            meta: &meta,
+        };
+        let mut out = Actions::new();
+        let mut f = pkt.clone();
+        m.on_egress(&ectx, &mut f, &mut out);
+        black_box(m.stats.event_packets);
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dedup,
-    bench_interswitch,
-    bench_batching,
-    bench_cpu,
-    bench_packets,
-    bench_path_table,
-    bench_full_monitor_path
-);
-criterion_main!(benches);
+fn main() {
+    bench_dedup();
+    bench_interswitch();
+    bench_batching();
+    bench_cpu();
+    bench_packets();
+    bench_path_table();
+    bench_full_monitor_path();
+}

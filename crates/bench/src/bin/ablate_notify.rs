@@ -73,10 +73,7 @@ fn main() {
                 covered += c;
                 total += t;
             }
-            print!(
-                " {:>13.1}%",
-                100.0 * covered as f64 / total.max(1) as f64
-            );
+            print!(" {:>13.1}%", 100.0 * covered as f64 / total.max(1) as f64);
         }
         println!();
     }

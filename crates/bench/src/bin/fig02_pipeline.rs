@@ -37,10 +37,7 @@ fn main() {
     let pb = pkt_bytes.max(1) as f64;
     println!("=== Figure 2: staged volume reduction, measured ===");
     println!("  stage                          packets/records          bytes     % of raw");
-    println!(
-        "  raw packets                  {pkts:>17} {pkt_bytes:>14} {:>11.4}%",
-        100.0
-    );
+    println!("  raw packets                  {pkts:>17} {pkt_bytes:>14} {:>11.4}%", 100.0);
     println!(
         "  1. event packet selection    {evpkts:>17} {evpkt_bytes:>14} {:>11.4}%",
         100.0 * evpkt_bytes as f64 / pb
@@ -59,5 +56,7 @@ fn main() {
         "  4. CPU FP elim + delivery    {final_reports:>17} {final_bytes:>14} {:>11.4}%",
         100.0 * final_bytes as f64 / pb
     );
-    println!("\n  (paper annotation: 100% -> ~10% -> ~0.5% -> ~0.01%; FP eliminated: {fp_eliminated})");
+    println!(
+        "\n  (paper annotation: 100% -> ~10% -> ~0.5% -> ~0.01%; FP eliminated: {fp_eliminated})"
+    );
 }

@@ -33,10 +33,8 @@ fn main() {
     let buckets = [(31.0, 60.0), (61.0, 120.0), (121.0, 180.0), (181.0, f64::MAX)];
     println!("  bucket(min)    pipeline  mmu-cong  inter-sw  inter-card  asic  mmu-fail");
     for (lo, hi) in buckets {
-        let in_b: Vec<_> = drops
-            .iter()
-            .filter(|t| t.location_minutes >= lo && t.location_minutes <= hi)
-            .collect();
+        let in_b: Vec<_> =
+            drops.iter().filter(|t| t.location_minutes >= lo && t.location_minutes <= hi).collect();
         if in_b.is_empty() {
             continue;
         }

@@ -59,11 +59,9 @@ fn main() {
     );
 
     // Stage placement: the whole stateful program must fit 12 stages.
-    let layout = fet_pdp::layout::place(
-        fet_pdp::TOFINO_PIPELINE,
-        &fet_pdp::layout::netseer_structures(),
-    )
-    .expect("NetSeer fits the pipeline");
+    let layout =
+        fet_pdp::layout::place(fet_pdp::TOFINO_PIPELINE, &fet_pdp::layout::netseer_structures())
+            .expect("NetSeer fits the pipeline");
     println!(
         "\n  stage placement: {} structures across {} of {} stages (ALUs/stage: {:?})",
         layout.placed.len(),

@@ -13,10 +13,7 @@ use netseer::Query;
 
 fn main() {
     println!("=== Figure 8(a): NPA cause-location time, with vs without NetSeer ===");
-    println!(
-        "  {:<24} {:>14} {:>14} {:>10}",
-        "case", "w/ NetSeer", "w/o NetSeer", "reduction"
-    );
+    println!("  {:<24} {:>14} {:>14} {:>10}", "case", "w/ NetSeer", "w/o NetSeer", "reduction");
     for case in ALL_CASES {
         let paper = case.paper();
         let mut built = build_case(case, 0x5EED);

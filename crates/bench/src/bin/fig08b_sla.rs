@@ -93,15 +93,12 @@ fn main() {
         for rpc in &rpcs {
             let dst = sim.host_by_ip(rpc.key.dst).unwrap();
             let stats = sim.host(dst).rx_flows.get(&rpc.key).copied();
-            let fct = stats
-                .map(|s| s.last_ns.saturating_sub(rpc.start_ns))
-                .unwrap_or(u64::MAX); // never completed = worst violation
-            // A flow whose FIN never arrived lost its tail on the fabric:
-            // the client would block on retransmission — a violation even
-            // though the bytes that did arrive came quickly.
+            let fct = stats.map(|s| s.last_ns.saturating_sub(rpc.start_ns)).unwrap_or(u64::MAX); // never completed = worst violation
+                                                                                                 // A flow whose FIN never arrived lost its tail on the fabric:
+                                                                                                 // the client would block on retransmission — a violation even
+                                                                                                 // though the bytes that did arrive came quickly.
             let expected_pkts = 64; // 64 KB at 1,000 B payload per packet
-            let truncated =
-                stats.map(|s| !s.fin_seen || s.pkts < expected_pkts).unwrap_or(true);
+            let truncated = stats.map(|s| !s.fin_seen || s.pkts < expected_pkts).unwrap_or(true);
             if truncated || fct > slo_ns {
                 violations.push(rpc);
             }
@@ -117,7 +114,10 @@ fn main() {
                 slow += host.probe_samples.iter().filter(|s| s.rtt_ns > 8_000).count();
                 lost += host.probes_lost;
             }
-            eprintln!("[debug] {stack:?}: probes {n}, slow {slow}, lost {lost}, violations {}", violations.len());
+            eprintln!(
+                "[debug] {stack:?}: probes {n}, slow {slow}, lost {lost}, violations {}",
+                violations.len()
+            );
             let net = violations.iter().filter(|v| !v.app_slow).count();
             eprintln!("[debug] net-caused violations: {net}");
         }
@@ -145,9 +145,7 @@ fn main() {
                 .as_ref()
                 .map(|st| {
                     !st.query(
-                        &Query::any()
-                            .flow(v.key)
-                            .window(v.start_ns, v.start_ns + 100 * MILLIS),
+                        &Query::any().flow(v.key).window(v.start_ns, v.start_ns + 100 * MILLIS),
                     )
                     .is_empty()
                 })

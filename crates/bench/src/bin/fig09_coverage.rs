@@ -34,9 +34,8 @@ fn main() {
             let gt = if ty == EventType::PathChange {
                 // Mid-flight changes only.
                 let fault = out.fault_at_ns;
-                let pre_existing = filter_gt(&out.sim.gt, |e| {
-                    e.ty == EventType::PathChange && e.time_ns < fault
-                });
+                let pre_existing =
+                    filter_gt(&out.sim.gt, |e| e.ty == EventType::PathChange && e.time_ns < fault);
                 let old_flows = pre_existing.flow_events(EventType::PathChange);
                 filter_gt(&out.sim.gt, |e| {
                     e.ty == EventType::PathChange

@@ -10,10 +10,7 @@ use netseer::deploy::monitor_of;
 fn main() {
     let inject = InjectSpec::default();
     println!("=== Figure 13(a): event packet ratio per workload ===");
-    println!(
-        "  {:<10} {:>12} {:>14} {:>10}",
-        "workload", "packets", "event pkts", "ratio"
-    );
+    println!("  {:<10} {:>12} {:>14} {:>10}", "workload", "packets", "event pkts", "ratio");
     let mut per_step_rows = Vec::new();
     for dist in ALL_WORKLOADS {
         let out = run_experiment(dist, MonitorKind::NetSeer, &inject, 0x13A, 12 * MILLIS);
@@ -49,7 +46,14 @@ fn main() {
             100.0 * evpkts as f64 / pkts.max(1) as f64
         );
         per_step_rows.push((
-            dist.name, evpkts, evbytes, dedup_in, dedup_out, extracted_bytes, cpu_recv, cpu_fp,
+            dist.name,
+            evpkts,
+            evbytes,
+            dedup_in,
+            dedup_out,
+            extracted_bytes,
+            cpu_recv,
+            cpu_fp,
             final_bytes,
         ));
     }

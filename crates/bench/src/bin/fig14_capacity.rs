@@ -21,17 +21,11 @@ fn main() {
     println!("  (paper: ≥20 batch → 9.5 Gbps / 57 Meps @1 core, 18 Gbps / 110 Meps @2)");
 
     println!("\n=== Figure 14(b): switch CPU capacity vs concurrent flows (2 cores) ===");
-    println!(
-        "  {:>10} {:>16} {:>16} {:>8}",
-        "flows", "offload Meps", "no-offload Meps", "gain"
-    );
+    println!("  {:>10} {:>16} {:>16} {:>8}", "flows", "offload Meps", "no-offload Meps", "gain");
     for flows in [1_000usize, 10_000, 100_000, 250_000, 500_000, 750_000, 1_000_000] {
         let with = cpu_capacity_eps(&two, flows, true) / 1e6;
         let without = cpu_capacity_eps(&two, flows, false) / 1e6;
-        println!(
-            "  {flows:>10} {with:>16.1} {without:>16.1} {:>7.1}x",
-            with / without
-        );
+        println!("  {flows:>10} {with:>16.1} {without:>16.1} {:>7.1}x", with / without);
     }
     println!("  (paper: 82 Meps @1K flows → 4.5 Meps @1M; hash offload 2.5x, 71.4% cycles saved)");
 }

@@ -75,10 +75,7 @@ fn main() {
     println!("  (paper: >25 slots for a 1024-byte packet)");
 
     println!("\n=== Figure 15(b): SRAM vs consecutive detectable drops (64x100G ports) ===");
-    println!(
-        "  {:>8} {:>10} {:>14} {:>14}",
-        "drops", "slots/port", "packed KB", "exact-17B KB"
-    );
+    println!("  {:>8} {:>10} {:>14} {:>14}", "drops", "slots/port", "packed KB", "exact-17B KB");
     for drops in [0usize, 200, 400, 600, 800, 1_000] {
         let slots = slots_for_consecutive_drops(drops, 1024, 100.0, rtt);
         let packed = ring_sram_bytes(64, slots, SLOT_BYTES_PACKED) / 1024.0;

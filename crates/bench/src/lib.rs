@@ -102,8 +102,7 @@ pub fn deploy_monitor(sim: &mut Simulator, kind: MonitorKind, cfg: &NetSeerConfi
             for s in sim.switch_ids() {
                 // 5 ms polls, scaled down from production's 30-60 s the
                 // same way probe rounds are scaled.
-                sim.switch_mut(s)
-                    .set_monitor(Box::new(SnmpMonitor::new(5 * MILLIS)));
+                sim.switch_mut(s).set_monitor(Box::new(SnmpMonitor::new(5 * MILLIS)));
             }
         }
         MonitorKind::Pingmesh => {
@@ -136,18 +135,11 @@ pub fn merged_log(sim: &mut Simulator, kind: MonitorKind) -> ObservationLog {
         let Node::Switch(sw) = &mut sim.nodes[id as usize] else { continue };
         let Some(m) = sw.monitor.as_mut() else { continue };
         let obs: Option<&ObservationLog> = match kind {
-            MonitorKind::NetSight => m
-                .as_any()
-                .downcast_ref::<NetSightMonitor>()
-                .map(|x| &x.log),
-            MonitorKind::Sampling(_) => m
-                .as_any()
-                .downcast_ref::<SamplingMonitor>()
-                .map(|x| &x.log),
-            MonitorKind::EverFlow => m
-                .as_any()
-                .downcast_ref::<EverFlowMonitor>()
-                .map(|x| &x.log),
+            MonitorKind::NetSight => m.as_any().downcast_ref::<NetSightMonitor>().map(|x| &x.log),
+            MonitorKind::Sampling(_) => {
+                m.as_any().downcast_ref::<SamplingMonitor>().map(|x| &x.log)
+            }
+            MonitorKind::EverFlow => m.as_any().downcast_ref::<EverFlowMonitor>().map(|x| &x.log),
             _ => None,
         };
         if let Some(o) = obs {
@@ -201,11 +193,8 @@ pub fn packet_coverage_of(
     gt: &GroundTruth,
     ty: EventType,
 ) -> (usize, usize) {
-    let pkt_events: Vec<_> = gt
-        .events()
-        .iter()
-        .filter(|e| e.ty == ty && e.flow.is_some())
-        .collect();
+    let pkt_events: Vec<_> =
+        gt.events().iter().filter(|e| e.ty == ty && e.flow.is_some()).collect();
     let total = pkt_events.len();
     if total == 0 {
         return (0, 0);
@@ -214,10 +203,8 @@ pub fn packet_coverage_of(
         MonitorKind::NetSeer => {
             let store = collect_events(sim);
             let seen = store.flow_events(ty);
-            let covered = pkt_events
-                .iter()
-                .filter(|e| seen.contains(&(e.device, e.flow.unwrap())))
-                .count();
+            let covered =
+                pkt_events.iter().filter(|e| seen.contains(&(e.device, e.flow.unwrap()))).count();
             (covered, total)
         }
         MonitorKind::Pingmesh => {
@@ -403,10 +390,7 @@ mod tests {
             // near- but not always exactly-full here.
             let (c, t) = coverage_of(&mut out.sim, kind, &gt, EventType::MmuDrop);
             assert!(t > 0);
-            assert!(
-                c as f64 >= 0.95 * t as f64,
-                "{kind:?}/mmu-drop: {c}/{t}"
-            );
+            assert!(c as f64 >= 0.95 * t as f64, "{kind:?}/mmu-drop: {c}/{t}");
         }
     }
 
@@ -415,10 +399,12 @@ mod tests {
         let inject = InjectSpec::default();
         let mut out = run_experiment(&WEB, MonitorKind::Sampling(100), &inject, 42, 10 * MILLIS);
         let gt = filter_gt(&out.sim.gt, |_| true);
-        let (c, t) = coverage_of(&mut out.sim, MonitorKind::Sampling(100), &gt, EventType::PipelineDrop);
+        let (c, t) =
+            coverage_of(&mut out.sim, MonitorKind::Sampling(100), &gt, EventType::PipelineDrop);
         assert!(t > 0);
         assert_eq!(c, 0, "sampling cannot see drops");
-        let (cc, ct) = coverage_of(&mut out.sim, MonitorKind::Sampling(100), &gt, EventType::Congestion);
+        let (cc, ct) =
+            coverage_of(&mut out.sim, MonitorKind::Sampling(100), &gt, EventType::Congestion);
         assert!(ct > 0);
         assert!(cc < ct / 2, "sampling congestion coverage too high: {cc}/{ct}");
     }

@@ -27,10 +27,7 @@ impl RuleRegistry {
 
     /// Resolve an id (drops silently report "unknown rule").
     pub fn describe(&self, rule_id: u32) -> &str {
-        self.rules
-            .get(&rule_id)
-            .map(String::as_str)
-            .unwrap_or("<unknown rule>")
+        self.rules.get(&rule_id).map(String::as_str).unwrap_or("<unknown rule>")
     }
 
     /// Remove a rule at uninstall time.

@@ -14,9 +14,11 @@
 //! one extra pass plus the full-frame serialization.
 
 use crate::config::NetSeerConfig;
+use crate::faults::{event_priority, stall_release, Window};
 use fet_packet::cebp::CEBP_HEADER_LEN;
-use fet_packet::event::{EventRecord, EVENT_RECORD_LEN};
 use fet_packet::ethernet::ETHERNET_HEADER_LEN;
+use fet_packet::event::{EventRecord, EventType, EVENT_RECORD_LEN};
+use std::collections::HashMap;
 
 /// A completed batch ready for the PCIe channel.
 #[derive(Debug, Clone)]
@@ -34,6 +36,20 @@ impl Batch {
     }
 }
 
+/// Outcome of offering one event to the stack under the bounded-backlog,
+/// priority-aware shedding policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Event stored; nothing shed.
+    Stored,
+    /// Stack full and the incoming event did not outrank any resident:
+    /// the incoming event was shed.
+    ShedIncoming,
+    /// Stack full but a lower-priority resident was evicted to make room;
+    /// carries the victim's type.
+    ShedVictim(EventType),
+}
+
 /// The in-pipeline stack + circulating CEBP model.
 #[derive(Debug)]
 pub struct CebpBatcher {
@@ -43,13 +59,19 @@ pub struct CebpBatcher {
     events_per_pass: u32,
     pass_latency_ns: u64,
     internal_gbps: f64,
+    /// Scheduled recirculation stalls (from the device fault plan).
+    stalls: Vec<Window>,
     open: Vec<EventRecord>,
     /// When the circulating CEBP next visits the stack.
     next_visit_ns: u64,
     /// Events pushed successfully.
     pub accepted: u64,
-    /// Events dropped because the stack was full (capacity limit).
+    /// Events shed because the stack was full (capacity limit). Shedding
+    /// is priority-aware: drops outrank congestion/pause, which outrank
+    /// path-change (see [`crate::faults::event_priority`]).
     pub dropped: u64,
+    /// Shed counts broken down by the victim's event type.
+    pub shed_by_type: HashMap<EventType, u64>,
     /// Batches delivered.
     pub delivered_batches: u64,
     /// Events delivered.
@@ -66,13 +88,20 @@ impl CebpBatcher {
             events_per_pass: cfg.events_per_pass.max(1),
             pass_latency_ns: cfg.pass_latency_ns.max(1),
             internal_gbps: cfg.capacity.internal_port_gbps,
+            stalls: cfg.faults.cebp_stalls.clone(),
             open: Vec::new(),
             next_visit_ns: 0,
             accepted: 0,
             dropped: 0,
+            shed_by_type: HashMap::new(),
             delivered_batches: 0,
             delivered_events: 0,
         }
+    }
+
+    fn shed(&mut self, ty: EventType) {
+        self.dropped += 1;
+        *self.shed_by_type.entry(ty).or_insert(0) += 1;
     }
 
     fn frame_bytes(&self, events: usize) -> usize {
@@ -83,16 +112,17 @@ impl CebpBatcher {
         // Recirculation is cut-through: serialization overlaps pipeline
         // traversal, so a pass costs the pipeline latency unless the frame
         // has grown so large that the internal port itself throttles it.
-        let ser = ((self.frame_bytes(events_in_cebp) as f64 * 8.0)
-            / self.internal_gbps
-            / 4.0) // four concurrent CEBPs share the port's serializer
+        let ser = ((self.frame_bytes(events_in_cebp) as f64 * 8.0) / self.internal_gbps / 4.0) // four concurrent CEBPs share the port's serializer
             .ceil() as u64;
         ser.max(self.pass_latency_ns)
     }
 
-    /// Push one event into the stack. Returns false (and counts a drop)
-    /// when the stack is full.
-    pub fn push(&mut self, now_ns: u64, ev: EventRecord) -> bool {
+    /// Push one event into the stack. When the stack is full the shedding
+    /// policy is priority-aware: a lower-priority resident (path-change
+    /// before congestion/pause before drops) is evicted in favor of a
+    /// higher-priority arrival; otherwise the arrival itself is shed.
+    /// Every shed is counted — never silent.
+    pub fn push(&mut self, now_ns: u64, ev: EventRecord) -> PushOutcome {
         // The CEBP circulates continuously; while the stack was empty its
         // visits found nothing. The first visit that can pick this event
         // up is therefore no earlier than now.
@@ -100,12 +130,31 @@ impl CebpBatcher {
             self.next_visit_ns = now_ns;
         }
         if self.stack.len() >= self.stack_cap {
-            self.dropped += 1;
-            return false;
+            let incoming = event_priority(ev.ty);
+            // Oldest lowest-priority resident is the victim candidate.
+            let victim = self
+                .stack
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, e)| (event_priority(e.ty), *i))
+                .map(|(i, e)| (i, event_priority(e.ty), e.ty));
+            match victim {
+                Some((i, vp, vty)) if vp < incoming => {
+                    self.stack.remove(i);
+                    self.shed(vty);
+                    self.stack.push(ev);
+                    self.accepted += 1;
+                    return PushOutcome::ShedVictim(vty);
+                }
+                _ => {
+                    self.shed(ev.ty);
+                    return PushOutcome::ShedIncoming;
+                }
+            }
         }
         self.stack.push(ev);
         self.accepted += 1;
-        true
+        PushOutcome::Stored
     }
 
     /// Advance the circulation model to `now_ns`, returning batches that
@@ -113,6 +162,12 @@ impl CebpBatcher {
     pub fn poll(&mut self, now_ns: u64) -> Vec<Batch> {
         let mut out = Vec::new();
         while self.next_visit_ns <= now_ns && !self.stack.is_empty() {
+            // A scheduled recirculation stall parks the CEBP until the
+            // window lifts; events wait in the (bounded) stack meanwhile.
+            if let Some(release) = stall_release(&self.stalls, self.next_visit_ns) {
+                self.next_visit_ns = release;
+                continue;
+            }
             // One circulation: pop up to events_per_pass from the stack.
             let take = (self.events_per_pass as usize)
                 .min(self.stack.len())
@@ -140,7 +195,11 @@ impl CebpBatcher {
             return None;
         }
         self.open.append(&mut self.stack);
-        let deliver_at = self.next_visit_ns.max(now_ns) + self.pass_time(self.open.len());
+        let mut start = self.next_visit_ns.max(now_ns);
+        if let Some(release) = stall_release(&self.stalls, start) {
+            start = release;
+        }
+        let deliver_at = start + self.pass_time(self.open.len());
         self.next_visit_ns = deliver_at;
         let events = std::mem::take(&mut self.open);
         self.delivered_batches += 1;
@@ -159,9 +218,7 @@ impl CebpBatcher {
 pub fn throughput_model(cfg: &NetSeerConfig, batch_size: usize) -> (f64, f64) {
     let b = batch_size.max(1);
     let epp = cfg.events_per_pass.max(1) as usize;
-    let frame = |events: usize| {
-        ETHERNET_HEADER_LEN + CEBP_HEADER_LEN + events * EVENT_RECORD_LEN
-    };
+    let frame = |events: usize| ETHERNET_HEADER_LEN + CEBP_HEADER_LEN + events * EVENT_RECORD_LEN;
     let pass = |events: usize| -> f64 {
         let ser = (frame(events) as f64 * 8.0) / cfg.capacity.internal_port_gbps / 4.0;
         ser.max(cfg.pass_latency_ns as f64)
@@ -210,7 +267,7 @@ mod tests {
     fn batches_form_at_batch_size() {
         let mut b = CebpBatcher::new(&cfg(10));
         for n in 0..25 {
-            assert!(b.push(0, ev(n)));
+            assert_eq!(b.push(0, ev(n)), PushOutcome::Stored);
         }
         let batches = b.poll(1_000_000);
         assert_eq!(batches.len(), 2);
@@ -246,6 +303,60 @@ mod tests {
         // No time has passed, so nothing drained: 4 accepted, 6 dropped.
         assert_eq!(b.accepted, 4);
         assert_eq!(b.dropped, 6);
+        assert_eq!(b.shed_by_type[&EventType::Congestion], 6);
+    }
+
+    #[test]
+    fn shedding_is_priority_aware() {
+        use fet_packet::event::DropCode;
+        let mut c = cfg(50);
+        c.stack_capacity = 3;
+        let mut b = CebpBatcher::new(&c);
+        // Fill with path-change (lowest priority).
+        for n in 0..3 {
+            let mut e = ev(n);
+            e.ty = EventType::PathChange;
+            e.detail = EventDetail::PathChange { ingress_port: 0, egress_port: 1 };
+            assert_eq!(b.push(0, e), PushOutcome::Stored);
+        }
+        // A congestion event outranks path-change: victim evicted.
+        assert_eq!(b.push(0, ev(100)), PushOutcome::ShedVictim(EventType::PathChange));
+        // A drop event outranks congestion.
+        let mut d = ev(101);
+        d.ty = EventType::MmuDrop;
+        d.detail =
+            EventDetail::Drop { ingress_port: 0, egress_port: 1, code: DropCode::BufferFull };
+        assert_eq!(b.push(0, d), PushOutcome::ShedVictim(EventType::PathChange));
+        // Another path-change cannot displace anyone: it is shed itself.
+        let mut p = ev(102);
+        p.ty = EventType::PathChange;
+        p.detail = EventDetail::PathChange { ingress_port: 0, egress_port: 1 };
+        assert_eq!(b.push(0, p), PushOutcome::ShedIncoming);
+        assert_eq!(b.dropped, 3);
+        assert_eq!(b.shed_by_type[&EventType::PathChange], 3);
+        // The high-priority drop event is still resident.
+        assert!(b.backlog() == 3);
+    }
+
+    #[test]
+    fn cebp_stall_parks_circulation_then_resumes() {
+        use crate::faults::Window;
+        let mut c = cfg(10);
+        c.faults.cebp_stalls = vec![Window { start_ns: 0, end_ns: 1_000_000 }];
+        let mut b = CebpBatcher::new(&c);
+        for n in 0..10 {
+            b.push(0, ev(n));
+        }
+        // During the stall nothing circulates.
+        assert!(b.poll(999_999).is_empty());
+        assert_eq!(b.backlog(), 10);
+        // After release the batch forms normally.
+        let batches = b.poll(10_000_000);
+        assert_eq!(batches.len(), 1);
+        assert!(batches[0].ready_ns >= 1_000_000);
+        // No events lost across the stall.
+        assert_eq!(b.dropped, 0);
+        assert_eq!(b.delivered_events, 10);
     }
 
     #[test]
@@ -303,9 +414,6 @@ mod tests {
         }
         let meps = delivered as f64 / (horizon as f64 * 1e-9) / 1e6;
         let (model_meps, _) = throughput_model(&c, 50);
-        assert!(
-            (meps - model_meps).abs() / model_meps < 0.25,
-            "sim {meps} vs model {model_meps}"
-        );
+        assert!((meps - model_meps).abs() / model_meps < 0.25, "sim {meps} vs model {model_meps}");
     }
 }

@@ -83,11 +83,7 @@ mod tests {
         // ~800KB SRAM with the packed slot format.
         let slots = slots_for_consecutive_drops(1_000, 1024, 100.0, 2_000);
         let sram = ring_sram_bytes(64, slots, SLOT_BYTES_PACKED);
-        assert!(
-            (700_000.0..=900_000.0).contains(&sram),
-            "sram = {:.0} KB",
-            sram / 1024.0
-        );
+        assert!((700_000.0..=900_000.0).contains(&sram), "sram = {:.0} KB", sram / 1024.0);
         // With the exact 17B slots the emulator stores, ~1.1 MB.
         let exact = ring_sram_bytes(64, slots, SLOT_BYTES_EXACT as f64);
         assert!(exact > sram);

@@ -1,6 +1,8 @@
 //! NetSeer configuration and the hardware capacity model of §4.
 
-use fet_netsim::time::MICROS;
+use crate::faults::FaultPlan;
+use crate::transport::DEFAULT_MAX_RETRIES;
+use fet_netsim::time::{MICROS, MILLIS};
 use fet_packet::ipv4::Ipv4Addr;
 
 /// Partial-deployment flow filter (paper §2.3: "a partial deployment of
@@ -17,11 +19,7 @@ pub struct FlowFilter {
 impl FlowFilter {
     /// Does this filter select the flow?
     pub fn matches(&self, flow: &fet_packet::FlowKey) -> bool {
-        let mask = if self.len == 0 {
-            0
-        } else {
-            u32::MAX << (32 - u32::from(self.len))
-        };
+        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - u32::from(self.len)) };
         let p = self.prefix.as_u32() & mask;
         flow.src.as_u32() & mask == p || flow.dst.as_u32() & mask == p
     }
@@ -113,6 +111,14 @@ pub struct NetSeerConfig {
     /// Partial deployment: only monitor flows matching this filter
     /// (None = monitor everything, the paper's always-on mode).
     pub flow_filter: Option<FlowFilter>,
+    /// Deterministic fault schedule for this device's reporting pipeline
+    /// (default: inject nothing).
+    pub faults: FaultPlan,
+    /// Transport retry budget before a report is shed-and-counted.
+    pub transport_max_retries: u32,
+    /// Switch-CPU overload controller: maximum backlog before batches are
+    /// shed-and-counted instead of queueing unboundedly, ns.
+    pub cpu_max_backlog_ns: u64,
 }
 
 impl Default for NetSeerConfig {
@@ -137,6 +143,9 @@ impl Default for NetSeerConfig {
             enable_fp_elimination: true,
             enable_interswitch: true,
             flow_filter: None,
+            faults: FaultPlan::default(),
+            transport_max_retries: DEFAULT_MAX_RETRIES,
+            cpu_max_backlog_ns: 10 * MILLIS,
         }
     }
 }

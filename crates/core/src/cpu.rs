@@ -11,6 +11,7 @@
 //! (the paper's §5.2 number).
 
 use crate::config::{CapacityModel, NetSeerConfig};
+use crate::faults::{stall_release, OverloadWindow, Window};
 use fet_packet::event::EventRecord;
 use fet_pdp::RateLimitedChannel;
 use std::collections::HashMap;
@@ -79,12 +80,24 @@ pub struct SwitchCpu {
     /// Last initial-report time per (type code, flow hash).
     seen: HashMap<(u8, u32), u64>,
     cpu_free_ns: u64,
+    /// Overload controller: maximum CPU backlog (how far `cpu_free_ns` may
+    /// run ahead of a batch's arrival) before the batch is shed-and-counted
+    /// instead of queueing unboundedly.
+    max_backlog_ns: u64,
+    /// Scheduled PCIe stall windows (from the device fault plan).
+    pcie_stalls: Vec<Window>,
+    /// Scheduled CPU overload windows: per-event cost multipliers.
+    overload: Vec<OverloadWindow>,
     /// Events received from PCIe.
     pub received: u64,
     /// Initial reports eliminated as false positives.
     pub fp_eliminated: u64,
     /// Batches rejected by PCIe overflow.
     pub pcie_rejected: u64,
+    /// Events inside PCIe-rejected batches (for delivery accounting).
+    pub pcie_rejected_events: u64,
+    /// Events shed by the overload controller.
+    pub shed_overload: u64,
     /// Total busy CPU time, ns.
     pub busy_ns: u64,
 }
@@ -105,35 +118,62 @@ impl SwitchCpu {
             enable_fp: cfg.enable_fp_elimination,
             seen: HashMap::new(),
             cpu_free_ns: 0,
+            max_backlog_ns: cfg.cpu_max_backlog_ns.max(1),
+            pcie_stalls: cfg.faults.pcie_stalls.clone(),
+            overload: cfg.faults.cpu_overload.clone(),
             received: 0,
             fp_eliminated: 0,
             pcie_rejected: 0,
+            pcie_rejected_events: 0,
+            shed_overload: 0,
             busy_ns: 0,
         }
     }
 
+    /// Per-event cost multiplier at `t` from the overload schedule.
+    fn overload_factor(&self, t: u64) -> f64 {
+        self.overload
+            .iter()
+            .filter(|o| o.window.contains(t))
+            .map(|o| o.factor.max(1.0))
+            .fold(1.0, f64::max)
+    }
+
     /// Process one batch arriving from the pipeline at `ready_ns`.
-    /// Returns the surviving events with completion timestamps, or an empty
-    /// vec if PCIe rejected the batch.
+    /// Returns the surviving events with completion timestamps. An empty
+    /// vec means the batch was shed — by PCIe rejection or by the overload
+    /// controller — and the shed is counted in `pcie_rejected_events` /
+    /// `shed_overload` respectively (never silent).
     pub fn process_batch(
         &mut self,
         ready_ns: u64,
         events: &[EventRecord],
         wire_bytes: usize,
     ) -> Vec<CpuOutput> {
-        let Some(pcie_done) = self.pcie.offer(ready_ns, wire_bytes) else {
+        // A scheduled PCIe stall delays DMA admission to the window's end.
+        let arrive_ns = stall_release(&self.pcie_stalls, ready_ns).unwrap_or(ready_ns);
+        let Some(pcie_done) = self.pcie.offer(arrive_ns, wire_bytes) else {
             self.pcie_rejected += 1;
+            self.pcie_rejected_events += events.len() as u64;
             return Vec::new();
         };
+        // Overload controller: if the CPU is already this far behind, shed
+        // the whole batch and count it rather than queueing unboundedly —
+        // bounded-memory degradation instead of an ever-growing backlog.
+        if self.cpu_free_ns.saturating_sub(pcie_done) > self.max_backlog_ns {
+            self.shed_overload += events.len() as u64;
+            return Vec::new();
+        }
         let mut out = Vec::with_capacity(events.len());
         let mut t = self.cpu_free_ns.max(pcie_done);
         let cycles_per_sec = self.capacity.cpu_ghz * 1e9 * f64::from(self.capacity.cpu_cores);
         for ev in events {
             self.received += 1;
-            let per_event_ns =
-                (cycles_per_event(self.seen.len().max(1), self.hash_offload) / cycles_per_sec
-                    * 1e9)
-                    .max(1.0) as u64;
+            let per_event_ns = (cycles_per_event(self.seen.len().max(1), self.hash_offload)
+                / cycles_per_sec
+                * 1e9
+                * self.overload_factor(t))
+            .max(1.0) as u64;
             t += per_event_ns;
             self.busy_ns += per_event_ns;
             if self.enable_fp && ev.counter <= 1 {
@@ -273,6 +313,60 @@ mod tests {
         assert_eq!(cpu.working_set(), 50);
         cpu.expire(u64::MAX);
         assert_eq!(cpu.working_set(), 0);
+    }
+
+    #[test]
+    fn overload_controller_sheds_and_counts() {
+        let cfg = NetSeerConfig { cpu_max_backlog_ns: 1_000, ..NetSeerConfig::default() };
+        let mut cpu = SwitchCpu::new(&cfg);
+        let batch: Vec<EventRecord> = (0..50).map(|n| ev(n, 1)).collect();
+        let mut processed = 0u64;
+        // Hammer batches at t=0: the CPU backlog grows ~610ns per batch,
+        // so the controller must start shedding after a couple of batches
+        // instead of queueing unboundedly.
+        for _ in 0..100 {
+            processed += cpu.process_batch(0, &batch, 1_264).len() as u64;
+        }
+        assert!(cpu.shed_overload > 0, "controller never engaged");
+        // Everything is accounted: processed + FP + shed == offered.
+        assert_eq!(
+            processed + cpu.fp_eliminated + cpu.shed_overload + cpu.pcie_rejected_events,
+            100 * 50
+        );
+        // The backlog oscillates around the bound (shed batches don't
+        // advance cpu_free_ns; PCIe keeps draining), never runs away.
+        let backlog = cpu.cpu_free_ns;
+        assert!(backlog < 100 * 700, "unbounded backlog {}", backlog);
+    }
+
+    #[test]
+    fn overload_window_slows_processing() {
+        use crate::faults::{OverloadWindow, Window};
+        let mut cfg = NetSeerConfig::default();
+        cfg.faults.cpu_overload =
+            vec![OverloadWindow { window: Window { start_ns: 0, end_ns: u64::MAX }, factor: 10.0 }];
+        let mut slow = SwitchCpu::new(&cfg);
+        let mut fast = SwitchCpu::new(&NetSeerConfig::default());
+        let batch: Vec<EventRecord> = (0..50).map(|n| ev(n, 1)).collect();
+        let s = slow.process_batch(0, &batch, 1_264);
+        let f = fast.process_batch(0, &batch, 1_264);
+        assert!(
+            s.last().unwrap().done_ns > 5 * f.last().unwrap().done_ns,
+            "overload {} vs healthy {}",
+            s.last().unwrap().done_ns,
+            f.last().unwrap().done_ns
+        );
+    }
+
+    #[test]
+    fn pcie_stall_delays_admission() {
+        use crate::faults::Window;
+        let mut cfg = NetSeerConfig::default();
+        cfg.faults.pcie_stalls = vec![Window { start_ns: 0, end_ns: 1_000_000 }];
+        let mut cpu = SwitchCpu::new(&cfg);
+        let out = cpu.process_batch(0, &[ev(1, 1)], 100);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].done_ns >= 1_000_000, "done at {}", out[0].done_ns);
     }
 
     #[test]

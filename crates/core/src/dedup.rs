@@ -296,11 +296,8 @@ impl BloomDedup {
     pub fn offer(&mut self, flow: fet_packet::FlowKey) -> bool {
         self.offered += 1;
         let mut all_set = true;
-        let idxs: Vec<usize> = self
-            .hashes
-            .iter()
-            .map(|h| h.hash_flow(&flow) as usize % self.nbits)
-            .collect();
+        let idxs: Vec<usize> =
+            self.hashes.iter().map(|h| h.hash_flow(&flow) as usize % self.nbits).collect();
         for &i in &idxs {
             if self.bits[i / 64] & (1 << (i % 64)) == 0 {
                 all_set = false;

@@ -85,10 +85,7 @@ pub fn monitor_of(sim: &Simulator, id: NodeId) -> &NetSeerMonitor {
         Node::Switch(s) => s.monitor.as_ref(),
         Node::Host(h) => h.monitor.as_ref(),
     };
-    m.expect("monitor attached")
-        .as_any()
-        .downcast_ref::<NetSeerMonitor>()
-        .expect("NetSeer monitor")
+    m.expect("monitor attached").as_any().downcast_ref::<NetSeerMonitor>().expect("NetSeer monitor")
 }
 
 /// Aggregate per-step stats across all switch monitors (for Figure 13).

@@ -66,8 +66,7 @@ impl PortTagger {
         let slots = self.ring.len().max(1);
         let mut fk = [0u8; FLOW_KEY_LEN];
         flow.write_to(&mut fk);
-        self.ring
-            .write(seq as usize % slots, RingSlot { valid: true, seq, flow: fk });
+        self.ring.write(seq as usize % slots, RingSlot { valid: true, seq, flow: fk });
         seq
     }
 
@@ -137,6 +136,12 @@ impl GapDetector {
     }
 }
 
+/// Ceiling on a single notification's missing-range width. Anything wider
+/// is a corrupted payload (no sane gap spans a million packets before the
+/// next arrival reveals it) and is truncated + counted, so one flipped bit
+/// can't wedge the lookup queue for seconds.
+pub const MAX_NOTIFICATION_RANGE: u32 = 1 << 20;
+
 /// Upstream queue of not-yet-performed ring lookups: one entry per missing
 /// packet ID, drained one per subsequent egress packet + by the timer.
 #[derive(Debug)]
@@ -147,6 +152,17 @@ pub struct PendingLookups {
     recent: VecDeque<(u32, u32)>,
     /// Lookups dropped because the pending queue overflowed.
     pub overflowed: u64,
+    /// Notification copies offered (including redundant ones).
+    pub copies_received: u64,
+    /// Redundant copies suppressed by dedup — each one is a copy that was
+    /// *not needed* because an earlier copy survived.
+    pub duplicate_copies: u64,
+    /// Distinct ranges accepted. `copies_received` ≥ `ranges_accepted`;
+    /// with triple redundancy and no loss it is 3× — the shortfall under
+    /// injected notification loss measures redundancy effectiveness.
+    pub ranges_accepted: u64,
+    /// Absurd (corrupted) ranges truncated to [`MAX_NOTIFICATION_RANGE`].
+    pub corrupted_ranges: u64,
 }
 
 impl PendingLookups {
@@ -157,22 +173,33 @@ impl PendingLookups {
             cap: cap.max(1),
             recent: VecDeque::new(),
             overflowed: 0,
+            copies_received: 0,
+            duplicate_copies: 0,
+            ranges_accepted: 0,
+            corrupted_ranges: 0,
         }
     }
 
     /// Enqueue a missing range from a notification. Redundant copies of the
-    /// same range are ignored. Returns true if newly enqueued.
+    /// same range are ignored (reordered copies included, up to the recent
+    /// window). Returns true if newly enqueued.
     pub fn push_range(&mut self, lo: u32, hi: u32) -> bool {
+        self.copies_received += 1;
         if self.recent.contains(&(lo, hi)) {
+            self.duplicate_copies += 1;
             return false;
         }
         self.recent.push_back((lo, hi));
         if self.recent.len() > 16 {
             self.recent.pop_front();
         }
+        self.ranges_accepted += 1;
         let count = hi.wrapping_sub(lo).wrapping_add(1);
         // Guard against absurd ranges (corrupted notification payloads).
-        let count = count.min(1 << 20);
+        if count > MAX_NOTIFICATION_RANGE {
+            self.corrupted_ranges += 1;
+        }
+        let count = count.min(MAX_NOTIFICATION_RANGE);
         for i in 0..count {
             if self.queue.len() >= self.cap {
                 self.overflowed += u64::from(count - i);
@@ -288,6 +315,126 @@ mod tests {
         p.push_range(0, 9);
         assert_eq!(p.len(), 3);
         assert_eq!(p.overflowed, 7);
+    }
+
+    #[test]
+    fn corrupted_range_is_truncated_and_counted() {
+        // A corrupted payload claiming "everything is missing" (hi < lo
+        // wraps to a ~4-billion-wide range) must not wedge the queue.
+        let mut p = PendingLookups::new(usize::MAX);
+        assert!(p.push_range(100, 98));
+        assert_eq!(p.corrupted_ranges, 1);
+        assert_eq!(p.len(), MAX_NOTIFICATION_RANGE as usize);
+        // A legitimate wraparound range (small width across u32::MAX) is
+        // not flagged.
+        let mut q = PendingLookups::new(100);
+        assert!(q.push_range(u32::MAX - 1, 2));
+        assert_eq!(q.corrupted_ranges, 0);
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![u32::MAX - 1, u32::MAX, 0, 1, 2]);
+    }
+
+    #[test]
+    fn redundancy_counters_measure_copy_loss() {
+        let mut p = PendingLookups::new(1000);
+        // Range A: all 3 copies arrive. Range B: only 1 survives.
+        for _ in 0..3 {
+            p.push_range(10, 12);
+        }
+        p.push_range(20, 21);
+        assert_eq!(p.copies_received, 4);
+        assert_eq!(p.ranges_accepted, 2);
+        assert_eq!(p.duplicate_copies, 2);
+    }
+
+    #[test]
+    fn dedup_survives_reordered_interleaved_copies() {
+        // Copies of different ranges interleave arbitrarily (the
+        // high-priority queue can reorder across ports): each range is
+        // still enqueued exactly once.
+        let mut p = PendingLookups::new(1000);
+        let copies =
+            [(5u32, 6u32), (9, 9), (5, 6), (20, 22), (9, 9), (5, 6), (20, 22), (9, 9), (20, 22)];
+        for (lo, hi) in copies {
+            p.push_range(lo, hi);
+        }
+        assert_eq!(p.ranges_accepted, 3);
+        let drained: Vec<u32> = std::iter::from_fn(|| p.pop()).collect();
+        assert_eq!(drained, vec![5, 6, 9, 20, 21, 22]);
+    }
+
+    #[test]
+    fn ring_wraparound_storm_sized_to_capacity_recovers_everything() {
+        // A consecutive-drop storm exactly as large as the provisioning
+        // rule slots_for_consecutive_drops() covers: the ring (sized with
+        // the feedback-interval margin) must still hold every victim when
+        // the notification arrives, even though the sequence space has
+        // wrapped several times beforehand.
+        let storm = 64usize;
+        let margin = 16usize; // models min_ring_slots(feedback interval)
+        let slots = storm + margin; // slots_for_consecutive_drops shape
+        let mut up = PortTagger::new(slots);
+        let mut down = GapDetector::new();
+        // Wrap the ring many times with healthy traffic first; downstream
+        // tracks the sequence the whole time.
+        for n in 0..(slots as u32 * 7) {
+            let seq = up.next(flow((n % 60_000) as u16));
+            assert_eq!(down.observe(seq), None);
+        }
+        let mut lost = Vec::new();
+        let mut recovered = Vec::new();
+        let base = slots as u32 * 7;
+        for i in 0..(storm as u32 + margin as u32) {
+            let f = flow((7_000 + i) as u16);
+            let seq = up.next(f);
+            assert_eq!(seq, base + i);
+            // The storm eats `storm` consecutive packets at the start.
+            if i < storm as u32 {
+                lost.push(f);
+                continue;
+            }
+            if let Some((lo, hi)) = down.observe(seq) {
+                for s in lo..=hi {
+                    if let Some(found) = up.lookup(s) {
+                        recovered.push(found);
+                    }
+                }
+            }
+        }
+        assert_eq!(recovered, lost, "ring sized per capacity rule loses nothing");
+    }
+
+    #[test]
+    fn ring_storm_beyond_capacity_misses_but_never_lies() {
+        // A storm larger than the ring: older victims are overwritten.
+        // The contract degrades to "fewer recoveries", never to "wrong
+        // flow reported".
+        let slots = 32usize;
+        let mut up = PortTagger::new(slots);
+        let mut down = GapDetector::new();
+        assert_eq!(down.observe(up.next(flow(60_000))), None); // sync
+        let storm = 100u32; // >> slots
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..storm {
+            let f = flow(i as u16);
+            let seq = up.next(f);
+            truth.insert(seq, f);
+        }
+        // One survivor reveals the gap.
+        let survivor = flow(60_001);
+        let seq = up.next(survivor);
+        let (lo, hi) = down.observe(seq).expect("storm gap must be detected");
+        assert_eq!((lo, hi), (1, storm));
+        let mut recovered = 0;
+        for s in lo..=hi {
+            if let Some(found) = up.lookup(s) {
+                assert_eq!(found, truth[&s], "reported flow must be the true victim");
+                recovered += 1;
+            }
+        }
+        assert!(recovered <= slots, "can't recover more than the ring holds");
+        assert!(recovered > 0, "the most recent victims are still resident");
+        assert!(up.lookup_misses > 0, "overwritten slots must miss, not lie");
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Deterministic fault injection and end-to-end event accounting.
+//!
+//! NetSeer's core promise (§3.5–§3.6) is *lossless* event reporting: every
+//! generated event either reaches the backend or is deliberately shed at a
+//! bounded, counted choke point. The happy path exercises none of that.
+//! This module provides two things:
+//!
+//! 1. [`FaultPlan`] — a seeded, schedulable description of every failure
+//!    mode the reporting pipeline crosses: burst (Gilbert–Elliott) loss and
+//!    partitions on the management network, loss of the redundant
+//!    inter-switch loss notifications, CEBP recirculation and PCIe stalls,
+//!    and switch-CPU overload windows. The same plan + seed reproduces the
+//!    same run bit-for-bit.
+//!
+//! 2. [`DeliveryLedger`] — the pipeline-wide accounting invariant:
+//!    `generated == delivered + shed + pending`, where every shed event is
+//!    attributed to a named choke point. Any imbalance is a silent-loss bug.
+//!
+//! The plan is pure data ([`Clone`], [`Default`]); per-concern runtime
+//! state (Gilbert–Elliott channel state, RNG streams) lives in
+//! [`LossGen`] instances derived from the plan so that independent
+//! subsystems draw from independent, reproducible streams.
+
+use fet_netsim::rng::Pcg32;
+
+/// A half-open time window `[start_ns, end_ns)` during which a scheduled
+/// fault is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Fault activates at this time (inclusive), ns.
+    pub start_ns: u64,
+    /// Fault clears at this time (exclusive), ns.
+    pub end_ns: u64,
+}
+
+impl Window {
+    /// Is `t` inside the window?
+    pub fn contains(&self, t: u64) -> bool {
+        self.start_ns <= t && t < self.end_ns
+    }
+}
+
+/// Returns the end of the first window containing `t`, if any — i.e. when
+/// a stalled operation may resume.
+pub fn stall_release(windows: &[Window], t: u64) -> Option<u64> {
+    windows.iter().filter(|w| w.contains(t)).map(|w| w.end_ns).max()
+}
+
+/// True when `t` falls inside any of the windows.
+pub fn in_any_window(windows: &[Window], t: u64) -> bool {
+    windows.iter().any(|w| w.contains(t))
+}
+
+/// A stochastic loss process for one link or message class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LossProcess {
+    /// No loss.
+    #[default]
+    None,
+    /// Independent per-attempt loss with probability `p`.
+    Bernoulli {
+        /// Loss probability per attempt, `[0, 1]`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott bursty loss: a good state with rare loss
+    /// and a bad state with heavy loss, with geometric sojourn times.
+    GilbertElliott {
+        /// P(good → bad) per attempt.
+        p_enter_bad: f64,
+        /// P(bad → good) per attempt.
+        p_exit_bad: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+    },
+}
+
+/// Runtime state of one [`LossProcess`]: owns an independent RNG stream
+/// so two subsystems never perturb each other's draws.
+#[derive(Debug, Clone)]
+pub struct LossGen {
+    process: LossProcess,
+    rng: Pcg32,
+    in_bad: bool,
+}
+
+impl LossGen {
+    /// Instantiate a process with an independent stream.
+    pub fn new(process: LossProcess, seed: u64, stream: u64) -> Self {
+        LossGen { process, rng: Pcg32::new(seed, stream), in_bad: false }
+    }
+
+    /// Decide one attempt: true = the attempt is lost.
+    pub fn lose(&mut self) -> bool {
+        match self.process {
+            LossProcess::None => false,
+            LossProcess::Bernoulli { p } => self.rng.chance(p.clamp(0.0, 1.0)),
+            LossProcess::GilbertElliott { p_enter_bad, p_exit_bad, loss_good, loss_bad } => {
+                // State transition first, then the loss draw in the new state.
+                if self.in_bad {
+                    if self.rng.chance(p_exit_bad) {
+                        self.in_bad = false;
+                    }
+                } else if self.rng.chance(p_enter_bad) {
+                    self.in_bad = true;
+                }
+                let p = if self.in_bad { loss_bad } else { loss_good };
+                self.rng.chance(p.clamp(0.0, 1.0))
+            }
+        }
+    }
+
+    /// Currently in the bad (bursty-loss) state?
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
+/// A CPU overload window: per-event processing cost is multiplied by
+/// `factor` while active (models the event cores being stolen by other
+/// control-plane work).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadWindow {
+    /// When the overload is active.
+    pub window: Window,
+    /// Per-event cost multiplier (≥ 1.0).
+    pub factor: f64,
+}
+
+/// The complete, seeded fault schedule for one device's reporting pipeline.
+///
+/// `FaultPlan::default()` injects nothing; every field is independent so a
+/// drill can compose exactly the failure modes it wants.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Master seed; every subsystem derives an independent stream from it.
+    pub seed: u64,
+    /// Stochastic loss on the management network (switch CPU → backend).
+    pub mgmt_loss: LossProcess,
+    /// Hard partitions of the management network: every transmission
+    /// attempted inside a window is lost, regardless of `mgmt_loss`.
+    pub mgmt_partitions: Vec<Window>,
+    /// Loss applied independently to each redundant inter-switch loss
+    /// notification copy on its way back upstream.
+    pub notification_loss: LossProcess,
+    /// Windows during which CEBP recirculation stalls (internal-port
+    /// arbitration loss, recirculation-queue backpressure).
+    pub cebp_stalls: Vec<Window>,
+    /// Windows during which the PCIe channel to the switch CPU stalls
+    /// (DMA engine busy, doorbell backpressure).
+    pub pcie_stalls: Vec<Window>,
+    /// Switch-CPU overload windows.
+    pub cpu_overload: Vec<OverloadWindow>,
+}
+
+/// RNG stream ids, one per concern, so streams never collide.
+pub mod streams {
+    /// Management-network loss draws (inside `ReliableChannel`).
+    pub const MGMT: u64 = 0x4d47;
+    /// Notification-copy loss draws (inside `NetSeerMonitor`).
+    pub const NOTIFICATION: u64 = 0x4e4f;
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the happy path).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// CPU cost multiplier at time `t` (1.0 = no overload).
+    pub fn cpu_factor(&self, t: u64) -> f64 {
+        self.cpu_overload
+            .iter()
+            .filter(|o| o.window.contains(t))
+            .map(|o| o.factor.max(1.0))
+            .fold(1.0, f64::max)
+    }
+
+    /// Is the management network partitioned at `t`?
+    pub fn mgmt_partitioned(&self, t: u64) -> bool {
+        in_any_window(&self.mgmt_partitions, t)
+    }
+
+    /// End of the partition containing `t`, if any.
+    pub fn mgmt_partition_release(&self, t: u64) -> Option<u64> {
+        stall_release(&self.mgmt_partitions, t)
+    }
+}
+
+/// Why an event was shed. Every category is a *named, bounded* choke point;
+/// the shed order under pressure is priority-aware (drops survive longest —
+/// see [`event_priority`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedCause {
+    /// In-pipeline event stack overflow (lowest-priority victim evicted).
+    StackOverflow,
+    /// PCIe channel rejected the batch (DMA ring full / stalled too long).
+    Pcie,
+    /// Switch-CPU overload controller dropped the batch instead of
+    /// queueing unboundedly.
+    CpuOverload,
+    /// CPU false-positive elimination (deliberate, §3.6).
+    FalsePositive,
+    /// Reliable transport exhausted its retry budget (prolonged partition).
+    Transport,
+}
+
+/// Reporting priority of an event type under shedding pressure: higher is
+/// kept longer. Per the paper's triage order, packet-loss events are the
+/// most actionable (drops > congestion/pause > path-change).
+pub fn event_priority(ty: fet_packet::event::EventType) -> u8 {
+    use fet_packet::event::EventType;
+    match ty {
+        EventType::PipelineDrop | EventType::MmuDrop | EventType::InterSwitchDrop => 2,
+        EventType::Congestion | EventType::Pause => 1,
+        EventType::PathChange => 0,
+    }
+}
+
+/// The end-to-end accounting snapshot for one monitor's reporting pipeline.
+///
+/// Invariant: `generated == delivered + shed_total() + pending`. The
+/// pipeline may legitimately hold events in flight (`pending`) or shed them
+/// at a counted choke point — but it must never lose one silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryLedger {
+    /// Event records handed to the reporting path (post-dedup).
+    pub generated: u64,
+    /// Events that reached the backend (or a NIC's local log).
+    pub delivered: u64,
+    /// Shed: in-pipeline stack overflow.
+    pub shed_stack: u64,
+    /// Shed: PCIe rejection.
+    pub shed_pcie: u64,
+    /// Shed: CPU overload controller.
+    pub shed_cpu_overload: u64,
+    /// Shed: CPU false-positive elimination (deliberate).
+    pub shed_false_positive: u64,
+    /// Shed: transport retry budget exhausted.
+    pub shed_transport: u64,
+    /// Events still in flight (batcher stack + open CEBP).
+    pub pending: u64,
+}
+
+impl DeliveryLedger {
+    /// Total events shed across all categories.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_stack
+            + self.shed_pcie
+            + self.shed_cpu_overload
+            + self.shed_false_positive
+            + self.shed_transport
+    }
+
+    /// Does the exactly-once-or-counted invariant hold?
+    pub fn balanced(&self) -> bool {
+        self.generated == self.delivered + self.shed_total() + self.pending
+    }
+
+    /// Events unaccounted for (0 on a healthy pipeline). A positive value
+    /// means silent loss; negative (reported as 0 here, see `surplus`)
+    /// would mean double delivery.
+    pub fn missing(&self) -> u64 {
+        self.generated.saturating_sub(self.delivered + self.shed_total() + self.pending)
+    }
+
+    /// Events delivered or shed beyond what was generated (double counting).
+    pub fn surplus(&self) -> u64 {
+        (self.delivered + self.shed_total() + self.pending).saturating_sub(self.generated)
+    }
+
+    /// Panic with a full breakdown unless the invariant holds.
+    pub fn assert_balanced(&self) {
+        assert!(
+            self.balanced(),
+            "delivery ledger imbalance (silent loss or double count): {self:?} \
+             missing={} surplus={}",
+            self.missing(),
+            self.surplus()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fet_packet::event::EventType;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        let mut g = LossGen::new(p.mgmt_loss, 1, streams::MGMT);
+        assert!((0..1000).all(|_| !g.lose()));
+        assert!(!p.mgmt_partitioned(0));
+        assert_eq!(p.cpu_factor(12345), 1.0);
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let w = Window { start_ns: 10, end_ns: 20 };
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+    }
+
+    #[test]
+    fn stall_release_picks_latest_cover() {
+        let ws = [Window { start_ns: 0, end_ns: 100 }, Window { start_ns: 50, end_ns: 300 }];
+        assert_eq!(stall_release(&ws, 60), Some(300));
+        assert_eq!(stall_release(&ws, 10), Some(100));
+        assert_eq!(stall_release(&ws, 400), None);
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let mut g = LossGen::new(LossProcess::Bernoulli { p: 0.3 }, 7, 1);
+        let losses = (0..100_000).filter(|_| g.lose()).count();
+        assert!((28_000..32_000).contains(&losses), "losses {losses}");
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        // Equal overall loss mass, but GE concentrates losses into runs.
+        let ge = LossProcess::GilbertElliott {
+            p_enter_bad: 0.01,
+            p_exit_bad: 0.1,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+        };
+        let mut g = LossGen::new(ge, 11, 2);
+        let outcomes: Vec<bool> = (0..200_000).map(|_| g.lose()).collect();
+        let losses = outcomes.iter().filter(|&&l| l).count();
+        assert!(losses > 5_000, "GE should lose packets: {losses}");
+        // Burstiness: P(loss | previous loss) far above the marginal rate.
+        let pairs = outcomes.windows(2).filter(|w| w[0]).count();
+        let both = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
+        let cond = both as f64 / pairs as f64;
+        let marginal = losses as f64 / outcomes.len() as f64;
+        assert!(cond > marginal * 3.0, "conditional loss {cond:.3} vs marginal {marginal:.3}");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let ge = LossProcess::GilbertElliott {
+            p_enter_bad: 0.05,
+            p_exit_bad: 0.2,
+            loss_good: 0.01,
+            loss_bad: 0.8,
+        };
+        let a: Vec<bool> = {
+            let mut g = LossGen::new(ge, 99, 3);
+            (0..1000).map(|_| g.lose()).collect()
+        };
+        let b: Vec<bool> = {
+            let mut g = LossGen::new(ge, 99, 3);
+            (0..1000).map(|_| g.lose()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn priorities_follow_paper_triage() {
+        assert!(event_priority(EventType::PipelineDrop) > event_priority(EventType::Congestion));
+        assert!(event_priority(EventType::MmuDrop) > event_priority(EventType::PathChange));
+        assert!(event_priority(EventType::InterSwitchDrop) > event_priority(EventType::Pause));
+        assert!(event_priority(EventType::Congestion) > event_priority(EventType::PathChange));
+    }
+
+    #[test]
+    fn ledger_balance_and_breakdown() {
+        let mut l = DeliveryLedger { generated: 100, delivered: 80, ..Default::default() };
+        assert!(!l.balanced());
+        assert_eq!(l.missing(), 20);
+        l.shed_stack = 5;
+        l.shed_transport = 10;
+        l.pending = 5;
+        l.assert_balanced();
+        assert_eq!(l.shed_total(), 15);
+        l.delivered += 1; // double delivery must also trip the invariant
+        assert!(!l.balanced());
+        assert_eq!(l.surplus(), 1);
+    }
+
+    #[test]
+    fn cpu_factor_takes_worst_overlap() {
+        let p = FaultPlan {
+            cpu_overload: vec![
+                OverloadWindow { window: Window { start_ns: 0, end_ns: 100 }, factor: 4.0 },
+                OverloadWindow { window: Window { start_ns: 50, end_ns: 80 }, factor: 10.0 },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.cpu_factor(60), 10.0);
+        assert_eq!(p.cpu_factor(90), 4.0);
+        assert_eq!(p.cpu_factor(200), 1.0);
+    }
+}

@@ -74,10 +74,12 @@ pub mod dedup;
 pub mod deploy;
 pub mod detect;
 pub mod extract;
+pub mod faults;
 pub mod monitor;
 pub mod storage;
 pub mod transport;
 
 pub use config::NetSeerConfig;
+pub use faults::{DeliveryLedger, FaultPlan, LossProcess, Window};
 pub use monitor::{NetSeerMonitor, Role};
 pub use storage::{EventStore, Query, StoredEvent};

@@ -10,6 +10,7 @@ use crate::cpu::SwitchCpu;
 use crate::dedup::{DedupOutcome, GroupCache};
 use crate::detect::{GapDetector, PathTable, PauseTracker, PendingLookups, PortTagger};
 use crate::extract::Extractor;
+use crate::faults::{streams, DeliveryLedger, LossGen};
 use crate::storage::StoredEvent;
 use crate::transport::ReliableChannel;
 use fet_netsim::counters::PortCounters;
@@ -110,6 +111,17 @@ pub struct NetSeerMonitor {
     pub delivered: Vec<StoredEvent>,
     /// Per-step volume stats.
     pub stats: StepStats,
+    // --- fault injection + delivery accounting ---
+    /// Loss process applied to each arriving loss-notification copy.
+    notif_loss: LossGen,
+    /// Event records handed to the reporting path (ledger numerator).
+    pub events_generated: u64,
+    /// Events shed because the transport exhausted its retry budget.
+    pub transport_failed_events: u64,
+    /// Reports (batches) the transport gave up on.
+    pub transport_failed_reports: u64,
+    /// Notification copies eaten by the injected loss process.
+    pub notification_copies_dropped: u64,
 }
 
 impl std::fmt::Debug for NetSeerMonitor {
@@ -149,7 +161,14 @@ impl NetSeerMonitor {
             extractor: Extractor::new(),
             batcher: CebpBatcher::new(&cfg),
             cpu: SwitchCpu::new(&cfg),
-            transport: ReliableChannel::new(0.0, 50 * fet_netsim::MICROS, 0, u64::from(seed)),
+            transport: ReliableChannel::with_process(
+                cfg.faults.mgmt_loss,
+                cfg.faults.mgmt_partitions.clone(),
+                50 * fet_netsim::MICROS,
+                0,
+                cfg.faults.seed ^ u64::from(seed),
+                cfg.transport_max_retries,
+            ),
             mmu_redirect: RateLimitedChannel::new(
                 "mmu-redirect",
                 cfg.capacity.mmu_redirect_gbps,
@@ -164,7 +183,33 @@ impl NetSeerMonitor {
             internal_port_missed: 0,
             delivered: Vec::new(),
             stats: StepStats::default(),
+            notif_loss: LossGen::new(
+                cfg.faults.notification_loss,
+                cfg.faults.seed ^ u64::from(seed),
+                streams::NOTIFICATION,
+            ),
+            events_generated: 0,
+            transport_failed_events: 0,
+            transport_failed_reports: 0,
+            notification_copies_dropped: 0,
             cfg,
+        }
+    }
+
+    /// The end-to-end delivery-accounting snapshot: every event handed to
+    /// the reporting path is delivered, shed at a counted choke point, or
+    /// still pending in the batcher. [`DeliveryLedger::balanced`] failing
+    /// means silent loss — a bug, not a degradation mode.
+    pub fn ledger(&self) -> DeliveryLedger {
+        DeliveryLedger {
+            generated: self.events_generated,
+            delivered: self.stats.final_reports,
+            shed_stack: self.batcher.dropped,
+            shed_pcie: self.cpu.pcie_rejected_events,
+            shed_cpu_overload: self.cpu.shed_overload,
+            shed_false_positive: self.cpu.fp_eliminated,
+            shed_transport: self.transport_failed_events,
+            pending: self.batcher.backlog() as u64,
         }
     }
 
@@ -238,9 +283,12 @@ impl NetSeerMonitor {
 
     /// Push one finished record into the reporting path.
     fn dispatch_record(&mut self, now_ns: u64, rec: EventRecord, out: &mut Actions) {
+        self.events_generated += 1;
         match self.role {
             Role::Switch => {
-                self.batcher.push(now_ns, rec);
+                // Shedding (priority-aware, when the bounded stack is
+                // full) is counted inside the batcher — never silent.
+                let _ = self.batcher.push(now_ns, rec);
             }
             Role::Nic => {
                 // NICs log locally (paper §4): no CEBP/CPU path.
@@ -271,17 +319,26 @@ impl NetSeerMonitor {
         }
         let last_done = survived.last().expect("nonempty").done_ns;
         let bytes = survived.len() * EVENT_RECORD_LEN + REPORT_HEADER_BYTES;
-        let delivery = self.transport.send(last_done, bytes);
-        for s in &survived {
-            self.delivered.push(StoredEvent {
-                time_ns: delivery.delivered_ns.max(s.done_ns),
-                device: self.device,
-                record: s.record,
-            });
+        match self.transport.send(last_done, bytes) {
+            Ok(delivery) => {
+                for s in &survived {
+                    self.delivered.push(StoredEvent {
+                        time_ns: delivery.delivered_ns.max(s.done_ns),
+                        device: self.device,
+                        record: s.record,
+                    });
+                }
+                self.stats.final_reports += survived.len() as u64;
+                self.stats.final_bytes += bytes as u64;
+                out.report(bytes, "netseer-events");
+            }
+            Err(_failure) => {
+                // Retry budget exhausted (e.g. a partition outlasting the
+                // backoff schedule): shed-and-count, never silent.
+                self.transport_failed_events += survived.len() as u64;
+                self.transport_failed_reports += 1;
+            }
         }
-        self.stats.final_reports += survived.len() as u64;
-        self.stats.final_bytes += bytes as u64;
-        out.report(bytes, "netseer-events");
     }
 
     /// Drain up to `n` pending ring lookups for a port, raising drop events.
@@ -339,11 +396,7 @@ impl NetSeerMonitor {
         // port x slot), so the stateful-ALU cost is fixed; SRAM scales with
         // the per-port rings.
         for t in self.taggers.values() {
-            ledger.charge(
-                "inter-switch",
-                ResourceKind::SramBits,
-                t.slots() as u64 * 137,
-            );
+            ledger.charge("inter-switch", ResourceKind::SramBits, t.slots() as u64 * 137);
         }
         ledger.charge("inter-switch", ResourceKind::StatefulAlu, 6);
         ledger.charge("inter-switch", ResourceKind::PhvBits, 48);
@@ -399,6 +452,13 @@ impl SwitchMonitor for NetSeerMonitor {
 
         match classify(frame) {
             FrameKind::LossNotification if self.cfg.enable_interswitch => {
+                // Injected fault: this notification copy died on the wire.
+                // Redundant copies (paper: three) are each drawn
+                // independently, so survival of any one suffices.
+                if self.notif_loss.lose() {
+                    self.notification_copies_dropped += 1;
+                    return HookVerdict::Consume;
+                }
                 // Fig. 5 step 5: queue ring lookups for the missing range.
                 if let Ok((lo, hi, _copy, _port)) = parse_notification(frame) {
                     let cap = self.cfg.pending_lookup_cap;
@@ -578,8 +638,8 @@ impl SwitchMonitor for NetSeerMonitor {
         // packets trigger the lookups).
         if self.cfg.enable_interswitch && ctx.peer_tagged {
             let kind = classify(frame);
-            let already_tagged = EthernetFrame::new_unchecked(frame.as_slice()).ethertype()
-                == EtherType::NetSeerSeq;
+            let already_tagged =
+                EthernetFrame::new_unchecked(frame.as_slice()).ethertype() == EtherType::NetSeerSeq;
             if kind != FrameKind::Pfc && !already_tagged {
                 let flow = extract_flow(frame).unwrap_or(acl_rule_flow(0));
                 let seq = self.tagger(ctx.port).next(flow);
@@ -653,7 +713,8 @@ mod tests {
         let mut frame = build_data_packet(&flow(1), 100, 0, 0, 64);
         let orig = frame.clone();
         let meta = fet_pdp::PacketMeta::arriving(0, 0, frame.len());
-        let ectx = EgressCtx { now_ns: 0, node: 3, port: 2, queue: 0, peer_tagged: true, meta: &meta };
+        let ectx =
+            EgressCtx { now_ns: 0, node: 3, port: 2, queue: 0, peer_tagged: true, meta: &meta };
         up.on_egress(&ectx, &mut frame, &mut out);
         assert_ne!(frame, orig, "frame should be tagged");
         // Downstream strips.
@@ -762,11 +823,8 @@ mod tests {
             m.on_egress(&ectx, &mut f, &mut out);
         }
         m.on_timer(10_000_000_000, &[], &mut out);
-        let cong: Vec<_> = m
-            .delivered
-            .iter()
-            .filter(|e| e.record.ty == EventType::Congestion)
-            .collect();
+        let cong: Vec<_> =
+            m.delivered.iter().filter(|e| e.record.ty == EventType::Congestion).collect();
         // 50 event packets dedup to a single initial report (c=128 not hit).
         assert_eq!(cong.len(), 1);
         assert_eq!(cong[0].record.flow, flow(1));
@@ -810,13 +868,7 @@ mod tests {
         let f = build_data_packet(&flow(2), 100, 0, 0, 64);
         m.on_routed(&rctx, &f, &mut out);
         m.on_timer(10_000_000_000, &[], &mut out);
-        assert_eq!(
-            m.delivered
-                .iter()
-                .filter(|e| e.record.ty == EventType::Pause)
-                .count(),
-            1
-        );
+        assert_eq!(m.delivered.iter().filter(|e| e.record.ty == EventType::Pause).count(), 1);
     }
 
     #[test]
@@ -836,13 +888,7 @@ mod tests {
         m.on_routed(&rctx, &f, &mut out);
         m.on_routed(&rctx, &f, &mut out); // second packet: no event
         m.on_timer(10_000_000_000, &[], &mut out);
-        assert_eq!(
-            m.delivered
-                .iter()
-                .filter(|e| e.record.ty == EventType::PathChange)
-                .count(),
-            1
-        );
+        assert_eq!(m.delivered.iter().filter(|e| e.record.ty == EventType::PathChange).count(), 1);
     }
 
     #[test]
@@ -864,11 +910,8 @@ mod tests {
             );
         }
         m.on_timer(10_000_000_000, &[], &mut out);
-        let acl_events: Vec<_> = m
-            .delivered
-            .iter()
-            .filter(|e| e.record.ty == EventType::PipelineDrop)
-            .collect();
+        let acl_events: Vec<_> =
+            m.delivered.iter().filter(|e| e.record.ty == EventType::PipelineDrop).collect();
         // 300 drops → first + 2 threshold refreshers (C=128), NOT 300.
         assert_eq!(acl_events.len(), 3);
         assert!(acl_events.iter().all(|e| e.record.flow == acl_rule_flow(42)));
@@ -880,15 +923,7 @@ mod tests {
         let mut m = mon();
         let mut out = Actions::new();
         let f = build_data_packet(&flow(5), 100, 0, 0, 64);
-        m.on_pipeline_drop(
-            &ictx(1, 10),
-            &f,
-            Some(flow(5)),
-            DropCode::TableMiss,
-            None,
-            0,
-            &mut out,
-        );
+        m.on_pipeline_drop(&ictx(1, 10), &f, Some(flow(5)), DropCode::TableMiss, None, 0, &mut out);
         m.on_timer(10_000_000_000, &[], &mut out);
         let ev = m
             .delivered
@@ -950,14 +985,8 @@ mod tests {
         let meta = fet_pdp::PacketMeta::arriving(0, 0, 64);
         for port in 0..4u8 {
             let mut f = build_data_packet(&flow(port.into()), 100, 0, 0, 64);
-            let ectx = EgressCtx {
-                now_ns: 0,
-                node: 3,
-                port,
-                queue: 0,
-                peer_tagged: true,
-                meta: &meta,
-            };
+            let ectx =
+                EgressCtx { now_ns: 0, node: 3, port, queue: 0, peer_tagged: true, meta: &meta };
             let mut out = Actions::new();
             m.on_egress(&ectx, &mut f, &mut out);
         }

@@ -39,12 +39,8 @@ mod tests {
 
     #[test]
     fn totals_aggregate() {
-        let c = PortCounters {
-            pipeline_drops: 3,
-            mmu_drops: 2,
-            fcs_errors: 1,
-            ..Default::default()
-        };
+        let c =
+            PortCounters { pipeline_drops: 3, mmu_drops: 2, fcs_errors: 1, ..Default::default() };
         assert_eq!(c.total_drops(), 6);
     }
 

@@ -276,7 +276,13 @@ impl Simulator {
 
     /// Start Pingmesh-style probing at `host`: a probe round to every other
     /// host every `interval_ns`, with loss timeout `timeout_ns`.
-    pub fn schedule_probing(&mut self, host: NodeId, start_ns: u64, interval_ns: u64, timeout_ns: u64) {
+    pub fn schedule_probing(
+        &mut self,
+        host: NodeId,
+        start_ns: u64,
+        interval_ns: u64,
+        timeout_ns: u64,
+    ) {
         self.push(start_ns, SimEvent::HostProbeRound { host, interval_ns, timeout_ns });
     }
 
@@ -429,8 +435,8 @@ impl Simulator {
                 }
                 None => {
                     h.port_busy = false;
-                    let retry = (h.paused_until > now && h.txq_depth_bytes() > 0)
-                        .then_some(h.paused_until);
+                    let retry =
+                        (h.paused_until > now && h.txq_depth_bytes() > 0).then_some(h.paused_until);
                     Out::Idle(retry)
                 }
             },
@@ -603,9 +609,7 @@ impl Simulator {
         self.nodes
             .iter()
             .filter_map(|n| match n {
-                Node::Switch(s) => {
-                    Some(s.counters.iter().map(|c| c.tx_bytes).sum::<u64>())
-                }
+                Node::Switch(s) => Some(s.counters.iter().map(|c| c.tx_bytes).sum::<u64>()),
                 Node::Host(_) => None,
             })
             .sum()

@@ -134,7 +134,10 @@ pub struct Host {
 
 impl std::fmt::Debug for Host {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Host").field("id", &self.id).field("ip", &self.config.ip).finish_non_exhaustive()
+        f.debug_struct("Host")
+            .field("id", &self.id)
+            .field("ip", &self.config.ip)
+            .finish_non_exhaustive()
     }
 }
 
@@ -288,8 +291,10 @@ impl Host {
                 ) {
                     for prio in 0..fet_packet::pfc::PFC_CLASSES {
                         if pfc.pauses(prio) {
-                            let dur =
-                                fet_packet::pfc::quanta_to_ns(pfc.timer(prio), self.config.nic_gbps);
+                            let dur = fet_packet::pfc::quanta_to_ns(
+                                pfc.timer(prio),
+                                self.config.nic_gbps,
+                            );
                             self.paused_until = self.paused_until.max(now_ns + dur);
                         } else if pfc.resumes(prio) {
                             self.paused_until = 0;
@@ -328,10 +333,10 @@ impl Host {
             return;
         }
         // Ordinary data: account it.
-        let s = self.rx_flows.entry(flow).or_insert_with(|| RxStats {
-            first_ns: now_ns,
-            ..Default::default()
-        });
+        let s = self
+            .rx_flows
+            .entry(flow)
+            .or_insert_with(|| RxStats { first_ns: now_ns, ..Default::default() });
         s.bytes += frame.len() as u64;
         s.pkts += 1;
         s.last_ns = now_ns;
@@ -439,12 +444,7 @@ mod tests {
     #[test]
     fn rx_accounting_tracks_flow() {
         let mut h = host();
-        let key = FlowKey::tcp(
-            Ipv4Addr::from_octets([10, 0, 9, 9]),
-            5,
-            h.config.ip,
-            80,
-        );
+        let key = FlowKey::tcp(Ipv4Addr::from_octets([10, 0, 9, 9]), 5, h.config.ip, 80);
         let f1 = build_data_packet(&key, 500, flags::SYN, 0, 60);
         let f2 = build_data_packet(&key, 500, flags::FIN, 0, 60);
         let _ = h.handle_arrival(100, f1, false);
@@ -487,10 +487,7 @@ mod tests {
 
     #[test]
     fn txq_overflow_drops() {
-        let mut h = Host::new(
-            1,
-            HostConfig { txq_cap_bytes: 100, ..HostConfig::default() },
-        );
+        let mut h = Host::new(1, HostConfig { txq_cap_bytes: 100, ..HostConfig::default() });
         assert!(h.enqueue_tx(vec![0; 80]));
         assert!(!h.enqueue_tx(vec![0; 80]));
         assert_eq!(h.txq_drops, 1);

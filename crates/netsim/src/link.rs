@@ -113,12 +113,7 @@ pub struct Link {
 impl Link {
     /// Create a healthy link.
     pub fn new(gbps: f64, prop_ns: u64, seed: u64) -> Self {
-        Link {
-            gbps,
-            prop_ns,
-            ab: LinkDirection::new(seed, 101),
-            ba: LinkDirection::new(seed, 202),
-        }
+        Link { gbps, prop_ns, ab: LinkDirection::new(seed, 101), ba: LinkDirection::new(seed, 202) }
     }
 }
 
@@ -140,9 +135,7 @@ mod tests {
     fn drop_probability_takes_effect() {
         let mut d = LinkDirection::new(2, 2);
         d.faults.drop_prob = 0.1;
-        let dropped = (0..10_000)
-            .filter(|&t| d.judge(t) == LinkOutcome::SilentDrop)
-            .count();
+        let dropped = (0..10_000).filter(|&t| d.judge(t) == LinkOutcome::SilentDrop).count();
         assert!((800..1200).contains(&dropped), "dropped {dropped}");
     }
 
@@ -150,9 +143,7 @@ mod tests {
     fn corruption_probability_takes_effect() {
         let mut d = LinkDirection::new(3, 3);
         d.faults.corrupt_prob = 0.05;
-        let corrupted = (0..10_000)
-            .filter(|&t| d.judge(t) == LinkOutcome::Corrupted)
-            .count();
+        let corrupted = (0..10_000).filter(|&t| d.judge(t) == LinkOutcome::Corrupted).count();
         assert!((350..650).contains(&corrupted), "corrupted {corrupted}");
     }
 

@@ -61,14 +61,7 @@ impl Mmu {
     /// Create an MMU for `ports` ports.
     pub fn new(ports: u8, config: MmuConfig) -> Self {
         let n = usize::from(ports) * usize::from(config.queues_per_port);
-        Mmu {
-            config,
-            used_bytes: 0,
-            depths: vec![0; n],
-            ports,
-            admitted: 0,
-            dropped: 0,
-        }
+        Mmu { config, used_bytes: 0, depths: vec![0; n], ports, admitted: 0, dropped: 0 }
     }
 
     fn idx(&self, port: u8, queue: u8) -> usize {

@@ -22,9 +22,7 @@ pub fn install_ecmp_routes(sim: &mut Simulator) {
                 .get(&sw_id)
                 .map(|nbrs| {
                     nbrs.iter()
-                        .filter(|(_, peer)| {
-                            dist.get(peer).is_some_and(|&d| d + 1 == d_me)
-                        })
+                        .filter(|(_, peer)| dist.get(peer).is_some_and(|&d| d + 1 == d_me))
                         .map(|(port, _)| *port)
                         .collect()
                 })
@@ -38,10 +36,7 @@ pub fn install_ecmp_routes(sim: &mut Simulator) {
 }
 
 /// BFS hop distances from `start` to every node, traversing only live links.
-fn bfs_distances(
-    adj: &HashMap<NodeId, Vec<(u8, NodeId)>>,
-    start: NodeId,
-) -> HashMap<NodeId, u32> {
+fn bfs_distances(adj: &HashMap<NodeId, Vec<(u8, NodeId)>>, start: NodeId) -> HashMap<NodeId, u32> {
     let mut dist = HashMap::new();
     dist.insert(start, 0);
     let mut q = VecDeque::new();
@@ -78,11 +73,7 @@ pub fn override_route(
 
 /// Sanity check: every switch can reach every host.
 pub fn routes_complete(sim: &Simulator) -> bool {
-    let host_ips: Vec<_> = sim
-        .host_ids()
-        .iter()
-        .map(|&h| sim.host(h).config.ip)
-        .collect();
+    let host_ips: Vec<_> = sim.host_ids().iter().map(|&h| sim.host(h).config.ip).collect();
     sim.switch_ids().iter().all(|&s| {
         let sw = match &sim.nodes[s as usize] {
             Node::Switch(sw) => sw,

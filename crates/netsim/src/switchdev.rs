@@ -9,8 +9,8 @@ use crate::monitor::{
 };
 use crate::tracer::{GroundTruth, GtEvent};
 use fet_packet::builder::{classify, extract_flow, FrameKind};
-use fet_packet::event::{DropCode, EventType};
 use fet_packet::ethernet::ETHERNET_HEADER_LEN;
+use fet_packet::event::{DropCode, EventType};
 use fet_packet::ipv4::{Ipv4Addr, Ipv4Packet};
 use fet_packet::pfc::{quanta_to_ns, PfcFrame, PFC_CLASSES};
 use fet_packet::FlowKey;
@@ -157,15 +157,13 @@ impl SwitchDevice {
             counters: vec![PortCounters::default(); ports],
             monitor: None,
             mmu,
-            queues: (0..ports * usize::from(QUEUES))
-                .map(|_| VecDeque::new())
-                .collect::<Vec<_>>(),
+            queues: (0..ports * usize::from(QUEUES)).map(|_| VecDeque::new()).collect::<Vec<_>>(),
             paused_until: vec![0; ports * PFC_CLASSES],
             paused_upstreams: HashMap::new(),
             ecmp_hash: HashUnit::new("ecmp", config.ecmp_seed, 32),
-            processor: config.processing.map(|p| {
-                fet_pdp::RateLimitedChannel::new("processing", p.gbps, p.buffer_bytes)
-            }),
+            processor: config
+                .processing
+                .map(|p| fet_pdp::RateLimitedChannel::new("processing", p.gbps, p.buffer_bytes)),
             gt_paths: HashMap::new(),
             port_busy: vec![false; ports],
             config,
@@ -241,12 +239,7 @@ impl SwitchDevice {
         // Monitor ingress hook (strip sequence tags, consume notifications).
         let mut actions = Actions::new();
         if let Some(m) = self.monitor.as_mut() {
-            let ctx = IngressCtx {
-                now_ns,
-                node: self.id,
-                port,
-                peer_tagged: self.tag_ports[p],
-            };
+            let ctx = IngressCtx { now_ns, node: self.id, port, peer_tagged: self.tag_ports[p] };
             let verdict = m.on_ingress(&ctx, &mut frame, &mut actions);
             self.apply_actions(now_ns, actions, gt, &mut fx);
             if verdict == HookVerdict::Consume {
@@ -516,8 +509,7 @@ impl SwitchDevice {
                 if self.config.pfc_priorities & (1 << queue) != 0
                     && self.mmu.above_xoff(eport, queue)
                 {
-                    let pause_ns =
-                        fet_packet::pfc::quanta_to_ns(self.config.pfc_quanta, 100.0);
+                    let pause_ns = fet_packet::pfc::quanta_to_ns(self.config.pfc_quanta, 100.0);
                     let ups = self.paused_upstreams.entry((eport, queue)).or_default();
                     let entry = ups.entry(rctx.ingress_port).or_insert(0);
                     // Refresh once 60% of the previous pause has elapsed.
@@ -654,11 +646,9 @@ impl SwitchDevice {
         gt: &mut GroundTruth,
     ) -> Option<DequeueResult> {
         let mut fx = ArrivalEffects::default();
-        let chosen = (0..QUEUES)
-            .rev()
-            .find(|&q| {
-                !self.queues[self.qidx(port, q)].is_empty() && !self.tx_paused(now_ns, port, q)
-            })?;
+        let chosen = (0..QUEUES).rev().find(|&q| {
+            !self.queues[self.qidx(port, q)].is_empty() && !self.tx_paused(now_ns, port, q)
+        })?;
         let qi = self.qidx(port, chosen);
         let (mut frame, mut meta) = self.queues[qi].pop_front()?;
         self.mmu.release(port, chosen, frame.len() as u64);

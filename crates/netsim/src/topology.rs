@@ -317,10 +317,7 @@ mod chassis_tests {
         let mut sim = Simulator::new();
         let mut b = TopologyBuilder::new();
         let ch = build_chassis(&mut sim, &mut b, "big", SwitchConfig::default(), 400.0, 1);
-        assert_eq!(
-            sim.peer_of(ch.card_a, ch.backplane_a),
-            Some((ch.card_b, ch.backplane_b))
-        );
+        assert_eq!(sim.peer_of(ch.card_a, ch.backplane_a), Some((ch.card_b, ch.backplane_b)));
         assert_eq!(sim.switch(ch.card_a).name, "big_cardA");
     }
 }

@@ -1,3 +1,7 @@
+// Gated: requires the external `proptest` crate (offline builds cannot
+// fetch it). Re-add the dev-dependency and build with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests for simulator invariants: MMU byte conservation, fault
 //! determinism, and tx-time monotonicity.
 

@@ -101,8 +101,7 @@ pub fn build_notification_frames_with(
     (0..copies.max(1))
         .map(|copy| {
             let payload = build_notification(lo, hi, copy, observer_port);
-            let mut buf =
-                vec![0u8; (ETHERNET_HEADER_LEN + NOTIFICATION_LEN).max(MIN_FRAME_LEN)];
+            let mut buf = vec![0u8; (ETHERNET_HEADER_LEN + NOTIFICATION_LEN).max(MIN_FRAME_LEN)];
             let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
             eth.set_dst(MacAddr::BROADCAST);
             eth.set_src(MacAddr::BROADCAST);
@@ -122,8 +121,8 @@ pub fn build_cebp_frame(capacity: u16, events: &[EventRecord]) -> Result<Vec<u8>
     eth.set_dst(MacAddr::BROADCAST);
     eth.set_src(MacAddr::BROADCAST);
     eth.set_ethertype(EtherType::NetSeerCebp);
-    let mut p = cebp::CebpPacket::new_checked(&mut buf[ETHERNET_HEADER_LEN..])
-        .expect("sized buffer");
+    let mut p =
+        cebp::CebpPacket::new_checked(&mut buf[ETHERNET_HEADER_LEN..]).expect("sized buffer");
     p.init(capacity);
     for ev in events {
         p.push_event(ev)?;

@@ -68,13 +68,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            ParseError::Malformed { what: "x" },
-            ParseError::Malformed { what: "x" }
-        );
-        assert_ne!(
-            ParseError::Malformed { what: "x" },
-            ParseError::BadChecksum { what: "x" }
-        );
+        assert_eq!(ParseError::Malformed { what: "x" }, ParseError::Malformed { what: "x" });
+        assert_ne!(ParseError::Malformed { what: "x" }, ParseError::BadChecksum { what: "x" });
     }
 }

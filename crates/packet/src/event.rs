@@ -76,10 +76,7 @@ impl EventType {
 
     /// True for the three drop classes.
     pub fn is_drop(self) -> bool {
-        matches!(
-            self,
-            EventType::PipelineDrop | EventType::MmuDrop | EventType::InterSwitchDrop
-        )
+        matches!(self, EventType::PipelineDrop | EventType::MmuDrop | EventType::InterSwitchDrop)
     }
 }
 
@@ -399,10 +396,7 @@ mod tests {
 
     #[test]
     fn parse_rejects_short_slice() {
-        assert!(matches!(
-            EventRecord::parse(&[0u8; 23]),
-            Err(ParseError::Truncated { .. })
-        ));
+        assert!(matches!(EventRecord::parse(&[0u8; 23]), Err(ParseError::Truncated { .. })));
     }
 
     #[test]

@@ -114,11 +114,7 @@ impl FlowKey {
 
 impl fmt::Display for FlowKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{} -> {}:{} ({})",
-            self.src, self.sport, self.dst, self.dport, self.proto
-        )
+        write!(f, "{}:{} -> {}:{} ({})", self.src, self.sport, self.dst, self.dport, self.proto)
     }
 }
 

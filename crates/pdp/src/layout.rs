@@ -86,9 +86,8 @@ pub fn place(
             if start + span > profile.stages {
                 return Err(DoesNotFit { name: s.name });
             }
-            let fits = (start..start + span).all(|i| {
-                alu_usage[i as usize] + s.alus_per_stage <= profile.alus_per_stage
-            });
+            let fits = (start..start + span)
+                .all(|i| alu_usage[i as usize] + s.alus_per_stage <= profile.alus_per_stage);
             if fits {
                 break;
             }
@@ -168,9 +167,8 @@ mod tests {
 
     #[test]
     fn alu_exhaustion_pushes_to_later_stages() {
-        let structures: Vec<Placement> = (0..6)
-            .map(|_| Placement { name: "x", cell_bits: 32, alus_per_stage: 4 })
-            .collect();
+        let structures: Vec<Placement> =
+            (0..6).map(|_| Placement { name: "x", cell_bits: 32, alus_per_stage: 4 }).collect();
         let r = place(TOFINO_PIPELINE, &structures).unwrap();
         // Each takes a whole stage's ALUs: six consecutive stages.
         let firsts: Vec<u32> = r.placed.iter().map(|&(_, f, _)| f).collect();
@@ -179,13 +177,9 @@ mod tests {
 
     #[test]
     fn oversized_program_rejected() {
-        let structures: Vec<Placement> = (0..13)
-            .map(|_| Placement { name: "hog", cell_bits: 32, alus_per_stage: 4 })
-            .collect();
-        assert_eq!(
-            place(TOFINO_PIPELINE, &structures).unwrap_err(),
-            DoesNotFit { name: "hog" }
-        );
+        let structures: Vec<Placement> =
+            (0..13).map(|_| Placement { name: "hog", cell_bits: 32, alus_per_stage: 4 }).collect();
+        assert_eq!(place(TOFINO_PIPELINE, &structures).unwrap_err(), DoesNotFit { name: "hog" });
     }
 
     #[test]

@@ -109,11 +109,7 @@ impl<V: Copy + Default> RegisterArray<V> {
     /// Charge this array to a resource ledger under `module`.
     pub fn account(&self, ledger: &mut ResourceLedger, module: &'static str) {
         ledger.charge(module, ResourceKind::SramBits, self.sram_bits());
-        ledger.charge(
-            module,
-            ResourceKind::StatefulAlu,
-            u64::from(self.stages_spanned()),
-        );
+        ledger.charge(module, ResourceKind::StatefulAlu, u64::from(self.stages_spanned()));
     }
 
     /// Array name (diagnostics).

@@ -72,14 +72,14 @@ pub struct CapacityProfile {
 pub const TOFINO_32D: CapacityProfile = CapacityProfile {
     name: "tofino-32d",
     capacity: [
-        12 * 128 * 8,        // ExactXbar: 128 bytes/stage
-        12 * 66 * 8,         // TernaryXbar: 66 bytes/stage
-        12 * 5184,           // HashBits
+        12 * 128 * 8,             // ExactXbar: 128 bytes/stage
+        12 * 66 * 8,              // TernaryXbar: 66 bytes/stage
+        12 * 5184,                // HashBits
         12 * 80 * 128 * 1024 * 8, // SramBits: 80 blocks x 128KB... (see note)
-        12 * 24 * 44 * 512,  // TcamBits: 24 TCAM blocks of 44b x 512
-        12 * 32,             // VliwActions: 32 slots/stage
-        12 * 4,              // StatefulAlu: 4 meter/stateful ALUs per stage
-        4096 * 8,            // PhvBits: 4KB PHV
+        12 * 24 * 44 * 512,       // TcamBits: 24 TCAM blocks of 44b x 512
+        12 * 32,                  // VliwActions: 32 slots/stage
+        12 * 4,                   // StatefulAlu: 4 meter/stateful ALUs per stage
+        4096 * 8,                 // PhvBits: 4KB PHV
     ],
 };
 
@@ -107,20 +107,12 @@ impl ResourceLedger {
 
     /// Total usage of one resource kind across modules.
     pub fn used(&self, kind: ResourceKind) -> u64 {
-        self.used
-            .iter()
-            .filter(|((_, k), _)| *k == kind)
-            .map(|(_, v)| *v)
-            .sum()
+        self.used.iter().filter(|((_, k), _)| *k == kind).map(|(_, v)| *v).sum()
     }
 
     /// Usage of one resource kind by one module.
     pub fn used_by(&self, module: &str, kind: ResourceKind) -> u64 {
-        self.used
-            .iter()
-            .filter(|((m, k), _)| *m == module && *k == kind)
-            .map(|(_, v)| *v)
-            .sum()
+        self.used.iter().filter(|((m, k), _)| *m == module && *k == kind).map(|(_, v)| *v).sum()
     }
 
     /// Fraction (0..=1+) of the device capacity consumed for `kind`.

@@ -103,11 +103,7 @@ impl<A: Clone> LpmTable<A> {
     pub fn insert(&mut self, addr: Ipv4Addr, len: u8, action: A) {
         assert!(len <= 32);
         let masked = mask(addr.as_u32(), len);
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|(p, l, _)| *p == masked && *l == len)
-        {
+        if let Some(e) = self.entries.iter_mut().find(|(p, l, _)| *p == masked && *l == len) {
             e.2 = action;
             return;
         }
@@ -125,10 +121,7 @@ impl<A: Clone> LpmTable<A> {
     /// Longest-prefix lookup.
     pub fn lookup(&self, addr: Ipv4Addr) -> Option<&A> {
         let a = addr.as_u32();
-        self.entries
-            .iter()
-            .find(|(p, l, _)| mask(a, *l) == *p)
-            .map(|(_, _, act)| act)
+        self.entries.iter().find(|(p, l, _)| mask(a, *l) == *p).map(|(_, _, act)| act)
     }
 
     /// Number of routes installed.

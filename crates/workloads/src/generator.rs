@@ -56,11 +56,7 @@ pub fn generate_traffic(
     assert!(n_hosts >= 2, "need at least two hosts");
     let mean = dist.mean_bytes();
     // Aggregate offered load across all uplinks.
-    let host_gbps: f64 = ft
-        .hosts
-        .iter()
-        .map(|&h| sim.host(h).config.nic_gbps)
-        .sum();
+    let host_gbps: f64 = ft.hosts.iter().map(|&h| sim.host(h).config.nic_gbps).sum();
     let target_bps = params.utilization * host_gbps * 1e9;
     let flows_per_sec = target_bps / (mean * 8.0);
     let mean_gap_ns = 1e9 / flows_per_sec;
@@ -113,12 +109,7 @@ pub fn generate_incast(
         if src == dst {
             continue;
         }
-        let key = FlowKey::tcp(
-            ft.host_ips[src],
-            40_000 + i as u16,
-            ft.host_ips[dst],
-            9000,
-        );
+        let key = FlowKey::tcp(ft.host_ips[src], 40_000 + i as u16, ft.host_ips[dst], 9000);
         let h = ft.hosts[src];
         let rate = sim.host(h).config.nic_gbps;
         let idx = sim.host_mut(h).add_flow(FlowSpec {
@@ -186,11 +177,8 @@ mod tests {
     fn deterministic_for_seed() {
         let gen = |seed| {
             let (mut sim, ft) = setup();
-            let params = TrafficParams {
-                seed,
-                duration_ns: 5 * fet_netsim::MILLIS,
-                ..Default::default()
-            };
+            let params =
+                TrafficParams { seed, duration_ns: 5 * fet_netsim::MILLIS, ..Default::default() };
             generate_traffic(&mut sim, &ft, &WEB, &params)
         };
         assert_eq!(gen(7), gen(7));

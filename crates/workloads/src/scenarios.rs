@@ -195,14 +195,7 @@ pub fn build_case(case: CaseId, seed: u64) -> BuiltCase {
             fault_device = ft.edges[1][1];
             let dst = 7;
             let sources: Vec<usize> = (1..7).collect();
-            let keys = generate_incast(
-                &mut sim,
-                &ft,
-                dst,
-                &sources,
-                5_000_000,
-                fault_at_ns,
-            );
+            let keys = generate_incast(&mut sim, &ft, dst, &sources, 5_000_000, fault_at_ns);
             // The hogs, not the victim, are what the operator must find.
             victim_flows.extend(keys);
         }
@@ -211,8 +204,7 @@ pub fn build_case(case: CaseId, seed: u64) -> BuiltCase {
             // the root cause is host-side. NetSeer's value: precisely
             // quantifying which storage packets the network did drop.
             fault_device = ft.edges[1][1];
-            let keys =
-                generate_incast(&mut sim, &ft, 7, &[4, 5, 6], 8_000_000, fault_at_ns);
+            let keys = generate_incast(&mut sim, &ft, 7, &[4, 5, 6], 8_000_000, fault_at_ns);
             victim_flows.extend(keys);
         }
     }

@@ -34,14 +34,10 @@ fn main() {
     );
     let client_ip = Ipv4Addr::from_octets([10, 20, 0, 1]);
     let server_ip = Ipv4Addr::from_octets([10, 20, 0, 2]);
-    let client = b.host(
-        &mut sim,
-        HostConfig { ip: client_ip, nic_gbps: 25.0, ..Default::default() },
-    );
-    let server = b.host(
-        &mut sim,
-        HostConfig { ip: server_ip, nic_gbps: 25.0, ..Default::default() },
-    );
+    let client =
+        b.host(&mut sim, HostConfig { ip: client_ip, nic_gbps: 25.0, ..Default::default() });
+    let server =
+        b.host(&mut sim, HostConfig { ip: server_ip, nic_gbps: 25.0, ..Default::default() });
     b.connect(&mut sim, sw1, fw, 25.0, 200, 1);
     b.connect(&mut sim, fw, sw2, 25.0, 200, 2);
     b.connect(&mut sim, sw1, client, 25.0, 200, 3);
@@ -95,8 +91,7 @@ fn main() {
         .collect();
     assert!(!overloads.is_empty());
     let first = overloads.iter().map(|e| e.time_ns).min().unwrap();
-    let victims: std::collections::BTreeSet<_> =
-        overloads.iter().map(|e| e.record.flow).collect();
+    let victims: std::collections::BTreeSet<_> = overloads.iter().map(|e| e.record.flow).collect();
     println!(
         "\n=> verdict: '{}' overload starting {} — not the fabric, not a cable.",
         sim.switch(fw).name,
@@ -109,8 +104,6 @@ fn main() {
     }
     println!("   (fabric exonerated: zero drop/congestion events at sw1 or sw2)");
     for dev in [sw1, sw2] {
-        assert!(store
-            .query(&Query::any().device(dev).ty(EventType::PipelineDrop))
-            .is_empty());
+        assert!(store.query(&Query::any().device(dev).ty(EventType::PipelineDrop)).is_empty());
     }
 }

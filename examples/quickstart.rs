@@ -60,9 +60,8 @@ fn main() {
             e.record.detail,
         );
     }
-    let drops = store.query(
-        &Query::any().flow(flow).ty(netseer_repro::fet_packet::EventType::PipelineDrop),
-    );
+    let drops = store
+        .query(&Query::any().flow(flow).ty(netseer_repro::fet_packet::EventType::PipelineDrop));
     assert!(!drops.is_empty(), "the blackhole must be visible");
     let device = drops[0].device;
     println!(

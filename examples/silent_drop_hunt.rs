@@ -73,9 +73,7 @@ fn main() {
         "\n=> the fault is on a link leaving '{}' — first report at {} \
          after onset (paper: hours with counters alone).",
         sim.switch(agg).name,
-        fmt_ns(
-            all.iter().map(|e| e.time_ns).min().unwrap_or(0).saturating_sub(10 * MILLIS)
-        ),
+        fmt_ns(all.iter().map(|e| e.time_ns).min().unwrap_or(0).saturating_sub(10 * MILLIS)),
     );
 
     // The ring buffers never reported a wrong packet: every reported

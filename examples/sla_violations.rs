@@ -91,10 +91,7 @@ fn main() {
     println!(
         "  app-slow RPCs: {} — of which {} (correctly) show no network events",
         app_only.len(),
-        app_only
-            .iter()
-            .filter(|(k, _)| anomaly_events(k).is_empty())
-            .count()
+        app_only.iter().filter(|(k, _)| anomaly_events(k).is_empty()).count()
     );
     println!("\n=> with NetSeer the network answers in seconds; without it, case #5");
     println!("   took 284 minutes of back-and-forth before the SSD bug surfaced.");

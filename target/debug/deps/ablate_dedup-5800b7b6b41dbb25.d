@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_dedup-5800b7b6b41dbb25.d: crates/bench/src/bin/ablate_dedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_dedup-5800b7b6b41dbb25.rmeta: crates/bench/src/bin/ablate_dedup.rs Cargo.toml
+
+crates/bench/src/bin/ablate_dedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_dedup-9c2eb0f467b41829.d: crates/bench/src/bin/ablate_dedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_dedup-9c2eb0f467b41829.rmeta: crates/bench/src/bin/ablate_dedup.rs Cargo.toml
+
+crates/bench/src/bin/ablate_dedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_dedup-add39b1f040b3aeb.d: crates/bench/src/bin/ablate_dedup.rs
+
+/root/repo/target/debug/deps/ablate_dedup-add39b1f040b3aeb: crates/bench/src/bin/ablate_dedup.rs
+
+crates/bench/src/bin/ablate_dedup.rs:

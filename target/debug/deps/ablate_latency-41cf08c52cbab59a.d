@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_latency-41cf08c52cbab59a.d: crates/bench/src/bin/ablate_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_latency-41cf08c52cbab59a.rmeta: crates/bench/src/bin/ablate_latency.rs Cargo.toml
+
+crates/bench/src/bin/ablate_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_latency-dc4e1264832dbefd.d: crates/bench/src/bin/ablate_latency.rs
+
+/root/repo/target/debug/deps/ablate_latency-dc4e1264832dbefd: crates/bench/src/bin/ablate_latency.rs
+
+crates/bench/src/bin/ablate_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_notify-614d1a8be5b236dc.d: crates/bench/src/bin/ablate_notify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_notify-614d1a8be5b236dc.rmeta: crates/bench/src/bin/ablate_notify.rs Cargo.toml
+
+crates/bench/src/bin/ablate_notify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_notify-87a1aa66c3b756d2.d: crates/bench/src/bin/ablate_notify.rs
+
+/root/repo/target/debug/deps/ablate_notify-87a1aa66c3b756d2: crates/bench/src/bin/ablate_notify.rs
+
+crates/bench/src/bin/ablate_notify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_notify-ebacc0be3f083cd4.d: crates/bench/src/bin/ablate_notify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_notify-ebacc0be3f083cd4.rmeta: crates/bench/src/bin/ablate_notify.rs Cargo.toml
+
+crates/bench/src/bin/ablate_notify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_monitors-991a64d0b4d26720.d: tests/baseline_monitors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_monitors-991a64d0b4d26720.rmeta: tests/baseline_monitors.rs Cargo.toml
+
+tests/baseline_monitors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_monitors-a076b240112194c8.d: tests/baseline_monitors.rs
+
+/root/repo/target/debug/deps/baseline_monitors-a076b240112194c8: tests/baseline_monitors.rs
+
+tests/baseline_monitors.rs:

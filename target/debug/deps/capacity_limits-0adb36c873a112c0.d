@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capacity_limits-0adb36c873a112c0.d: tests/capacity_limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapacity_limits-0adb36c873a112c0.rmeta: tests/capacity_limits.rs Cargo.toml
+
+tests/capacity_limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

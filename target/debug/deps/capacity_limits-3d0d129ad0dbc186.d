@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity_limits-3d0d129ad0dbc186.d: tests/capacity_limits.rs
+
+/root/repo/target/debug/deps/capacity_limits-3d0d129ad0dbc186: tests/capacity_limits.rs
+
+tests/capacity_limits.rs:

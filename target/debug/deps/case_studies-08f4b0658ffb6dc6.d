@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/case_studies-08f4b0658ffb6dc6.d: tests/case_studies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcase_studies-08f4b0658ffb6dc6.rmeta: tests/case_studies.rs Cargo.toml
+
+tests/case_studies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

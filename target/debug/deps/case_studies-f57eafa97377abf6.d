@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_studies-f57eafa97377abf6.d: tests/case_studies.rs
+
+/root/repo/target/debug/deps/case_studies-f57eafa97377abf6: tests/case_studies.rs
+
+tests/case_studies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-3619c062a82aa4b8.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-3619c062a82aa4b8: tests/chaos.rs
+
+tests/chaos.rs:

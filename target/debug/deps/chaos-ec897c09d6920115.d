@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-ec897c09d6920115.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-ec897c09d6920115.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-01f40454703889b6.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-01f40454703889b6.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

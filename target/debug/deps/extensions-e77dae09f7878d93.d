@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-e77dae09f7878d93.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-e77dae09f7878d93: tests/extensions.rs
+
+tests/extensions.rs:

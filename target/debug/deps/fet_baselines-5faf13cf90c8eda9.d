@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fet_baselines-5faf13cf90c8eda9.d: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfet_baselines-5faf13cf90c8eda9.rmeta: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/everflow.rs:
+crates/baselines/src/netsight.rs:
+crates/baselines/src/observe.rs:
+crates/baselines/src/pingmesh.rs:
+crates/baselines/src/sampling.rs:
+crates/baselines/src/snmp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

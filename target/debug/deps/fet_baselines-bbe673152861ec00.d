@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fet_baselines-bbe673152861ec00.d: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs
+
+/root/repo/target/debug/deps/fet_baselines-bbe673152861ec00: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/everflow.rs:
+crates/baselines/src/netsight.rs:
+crates/baselines/src/observe.rs:
+crates/baselines/src/pingmesh.rs:
+crates/baselines/src/sampling.rs:
+crates/baselines/src/snmp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fet_baselines-eac84bdd5b1a8bb7.d: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs
+
+/root/repo/target/debug/deps/libfet_baselines-eac84bdd5b1a8bb7.rlib: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs
+
+/root/repo/target/debug/deps/libfet_baselines-eac84bdd5b1a8bb7.rmeta: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/everflow.rs:
+crates/baselines/src/netsight.rs:
+crates/baselines/src/observe.rs:
+crates/baselines/src/pingmesh.rs:
+crates/baselines/src/sampling.rs:
+crates/baselines/src/snmp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fet_bench-57a51b4ba9b0adb3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfet_bench-57a51b4ba9b0adb3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfet_bench-57a51b4ba9b0adb3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

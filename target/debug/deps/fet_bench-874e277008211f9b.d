@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fet_bench-874e277008211f9b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfet_bench-874e277008211f9b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fet_bench-c8a36ff06c969252.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fet_bench-c8a36ff06c969252: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

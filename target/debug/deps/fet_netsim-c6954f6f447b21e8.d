@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fet_netsim-c6954f6f447b21e8.d: crates/netsim/src/lib.rs crates/netsim/src/counters.rs crates/netsim/src/engine.rs crates/netsim/src/host.rs crates/netsim/src/link.rs crates/netsim/src/mmu.rs crates/netsim/src/monitor.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/switchdev.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/tracer.rs
+
+/root/repo/target/debug/deps/libfet_netsim-c6954f6f447b21e8.rlib: crates/netsim/src/lib.rs crates/netsim/src/counters.rs crates/netsim/src/engine.rs crates/netsim/src/host.rs crates/netsim/src/link.rs crates/netsim/src/mmu.rs crates/netsim/src/monitor.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/switchdev.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/tracer.rs
+
+/root/repo/target/debug/deps/libfet_netsim-c6954f6f447b21e8.rmeta: crates/netsim/src/lib.rs crates/netsim/src/counters.rs crates/netsim/src/engine.rs crates/netsim/src/host.rs crates/netsim/src/link.rs crates/netsim/src/mmu.rs crates/netsim/src/monitor.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/switchdev.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/tracer.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/counters.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/host.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/mmu.rs:
+crates/netsim/src/monitor.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/switchdev.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/tracer.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/fet_netsim-e7c56873f5c4167b.d: crates/netsim/src/lib.rs crates/netsim/src/counters.rs crates/netsim/src/engine.rs crates/netsim/src/host.rs crates/netsim/src/link.rs crates/netsim/src/mmu.rs crates/netsim/src/monitor.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/switchdev.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/tracer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfet_netsim-e7c56873f5c4167b.rmeta: crates/netsim/src/lib.rs crates/netsim/src/counters.rs crates/netsim/src/engine.rs crates/netsim/src/host.rs crates/netsim/src/link.rs crates/netsim/src/mmu.rs crates/netsim/src/monitor.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/switchdev.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/tracer.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/counters.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/host.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/mmu.rs:
+crates/netsim/src/monitor.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/switchdev.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/tracer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

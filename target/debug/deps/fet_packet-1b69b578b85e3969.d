@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/fet_packet-1b69b578b85e3969.d: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/cebp.rs crates/packet/src/checksum.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/event.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/notification.rs crates/packet/src/pfc.rs crates/packet/src/seqtag.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfet_packet-1b69b578b85e3969.rmeta: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/cebp.rs crates/packet/src/checksum.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/event.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/notification.rs crates/packet/src/pfc.rs crates/packet/src/seqtag.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs Cargo.toml
+
+crates/packet/src/lib.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/cebp.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/event.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/notification.rs:
+crates/packet/src/pfc.rs:
+crates/packet/src/seqtag.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

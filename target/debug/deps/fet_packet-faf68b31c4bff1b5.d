@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fet_packet-faf68b31c4bff1b5.d: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/cebp.rs crates/packet/src/checksum.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/event.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/notification.rs crates/packet/src/pfc.rs crates/packet/src/seqtag.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/debug/deps/libfet_packet-faf68b31c4bff1b5.rlib: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/cebp.rs crates/packet/src/checksum.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/event.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/notification.rs crates/packet/src/pfc.rs crates/packet/src/seqtag.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/debug/deps/libfet_packet-faf68b31c4bff1b5.rmeta: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/cebp.rs crates/packet/src/checksum.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/event.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/notification.rs crates/packet/src/pfc.rs crates/packet/src/seqtag.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/cebp.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/event.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/notification.rs:
+crates/packet/src/pfc.rs:
+crates/packet/src/seqtag.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fet_pdp-8d69ebd5b6f6f87b.d: crates/pdp/src/lib.rs crates/pdp/src/channel.rs crates/pdp/src/hash.rs crates/pdp/src/layout.rs crates/pdp/src/phv.rs crates/pdp/src/register.rs crates/pdp/src/resources.rs crates/pdp/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfet_pdp-8d69ebd5b6f6f87b.rmeta: crates/pdp/src/lib.rs crates/pdp/src/channel.rs crates/pdp/src/hash.rs crates/pdp/src/layout.rs crates/pdp/src/phv.rs crates/pdp/src/register.rs crates/pdp/src/resources.rs crates/pdp/src/table.rs Cargo.toml
+
+crates/pdp/src/lib.rs:
+crates/pdp/src/channel.rs:
+crates/pdp/src/hash.rs:
+crates/pdp/src/layout.rs:
+crates/pdp/src/phv.rs:
+crates/pdp/src/register.rs:
+crates/pdp/src/resources.rs:
+crates/pdp/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fet_pdp-db3be6afbfd59706.d: crates/pdp/src/lib.rs crates/pdp/src/channel.rs crates/pdp/src/hash.rs crates/pdp/src/layout.rs crates/pdp/src/phv.rs crates/pdp/src/register.rs crates/pdp/src/resources.rs crates/pdp/src/table.rs
+
+/root/repo/target/debug/deps/fet_pdp-db3be6afbfd59706: crates/pdp/src/lib.rs crates/pdp/src/channel.rs crates/pdp/src/hash.rs crates/pdp/src/layout.rs crates/pdp/src/phv.rs crates/pdp/src/register.rs crates/pdp/src/resources.rs crates/pdp/src/table.rs
+
+crates/pdp/src/lib.rs:
+crates/pdp/src/channel.rs:
+crates/pdp/src/hash.rs:
+crates/pdp/src/layout.rs:
+crates/pdp/src/phv.rs:
+crates/pdp/src/register.rs:
+crates/pdp/src/resources.rs:
+crates/pdp/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fet_workloads-07cd967a526aa45b.d: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs
+
+/root/repo/target/debug/deps/fet_workloads-07cd967a526aa45b: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/distributions.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/scenarios.rs:
+crates/workloads/src/tickets.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fet_workloads-6f2efa4483db3488.d: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfet_workloads-6f2efa4483db3488.rmeta: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/distributions.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/scenarios.rs:
+crates/workloads/src/tickets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

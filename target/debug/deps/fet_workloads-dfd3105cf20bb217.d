@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fet_workloads-dfd3105cf20bb217.d: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs
+
+/root/repo/target/debug/deps/libfet_workloads-dfd3105cf20bb217.rlib: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs
+
+/root/repo/target/debug/deps/libfet_workloads-dfd3105cf20bb217.rmeta: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/distributions.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/scenarios.rs:
+crates/workloads/src/tickets.rs:

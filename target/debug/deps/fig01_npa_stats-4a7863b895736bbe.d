@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_npa_stats-4a7863b895736bbe.d: crates/bench/src/bin/fig01_npa_stats.rs
+
+/root/repo/target/debug/deps/fig01_npa_stats-4a7863b895736bbe: crates/bench/src/bin/fig01_npa_stats.rs
+
+crates/bench/src/bin/fig01_npa_stats.rs:

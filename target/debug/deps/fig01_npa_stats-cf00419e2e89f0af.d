@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_npa_stats-cf00419e2e89f0af.d: crates/bench/src/bin/fig01_npa_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_npa_stats-cf00419e2e89f0af.rmeta: crates/bench/src/bin/fig01_npa_stats.rs Cargo.toml
+
+crates/bench/src/bin/fig01_npa_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_npa_stats-ebd802af23c8681e.d: crates/bench/src/bin/fig01_npa_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_npa_stats-ebd802af23c8681e.rmeta: crates/bench/src/bin/fig01_npa_stats.rs Cargo.toml
+
+crates/bench/src/bin/fig01_npa_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

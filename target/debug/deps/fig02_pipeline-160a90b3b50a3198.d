@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_pipeline-160a90b3b50a3198.d: crates/bench/src/bin/fig02_pipeline.rs
+
+/root/repo/target/debug/deps/fig02_pipeline-160a90b3b50a3198: crates/bench/src/bin/fig02_pipeline.rs
+
+crates/bench/src/bin/fig02_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_pipeline-39591ea709da77b1.d: crates/bench/src/bin/fig02_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_pipeline-39591ea709da77b1.rmeta: crates/bench/src/bin/fig02_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/fig02_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_drop_stats-154e8b5564b904b3.d: crates/bench/src/bin/fig03_drop_stats.rs
+
+/root/repo/target/debug/deps/fig03_drop_stats-154e8b5564b904b3: crates/bench/src/bin/fig03_drop_stats.rs
+
+crates/bench/src/bin/fig03_drop_stats.rs:

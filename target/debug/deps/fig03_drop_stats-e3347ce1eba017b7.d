@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_drop_stats-e3347ce1eba017b7.d: crates/bench/src/bin/fig03_drop_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_drop_stats-e3347ce1eba017b7.rmeta: crates/bench/src/bin/fig03_drop_stats.rs Cargo.toml
+
+crates/bench/src/bin/fig03_drop_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_resources-4745641de53f3911.d: crates/bench/src/bin/fig07_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_resources-4745641de53f3911.rmeta: crates/bench/src/bin/fig07_resources.rs Cargo.toml
+
+crates/bench/src/bin/fig07_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_resources-d6322b27fe4b33f4.d: crates/bench/src/bin/fig07_resources.rs
+
+/root/repo/target/debug/deps/fig07_resources-d6322b27fe4b33f4: crates/bench/src/bin/fig07_resources.rs
+
+crates/bench/src/bin/fig07_resources.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08a_case_study-1622b7ce4489118a.d: crates/bench/src/bin/fig08a_case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08a_case_study-1622b7ce4489118a.rmeta: crates/bench/src/bin/fig08a_case_study.rs Cargo.toml
+
+crates/bench/src/bin/fig08a_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

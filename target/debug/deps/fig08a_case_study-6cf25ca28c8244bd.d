@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08a_case_study-6cf25ca28c8244bd.d: crates/bench/src/bin/fig08a_case_study.rs
+
+/root/repo/target/debug/deps/fig08a_case_study-6cf25ca28c8244bd: crates/bench/src/bin/fig08a_case_study.rs
+
+crates/bench/src/bin/fig08a_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08b_sla-0f417f8290461663.d: crates/bench/src/bin/fig08b_sla.rs
+
+/root/repo/target/debug/deps/fig08b_sla-0f417f8290461663: crates/bench/src/bin/fig08b_sla.rs
+
+crates/bench/src/bin/fig08b_sla.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08b_sla-1bfee0438caf33a2.d: crates/bench/src/bin/fig08b_sla.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08b_sla-1bfee0438caf33a2.rmeta: crates/bench/src/bin/fig08b_sla.rs Cargo.toml
+
+crates/bench/src/bin/fig08b_sla.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

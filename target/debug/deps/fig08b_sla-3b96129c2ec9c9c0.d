@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08b_sla-3b96129c2ec9c9c0.d: crates/bench/src/bin/fig08b_sla.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08b_sla-3b96129c2ec9c9c0.rmeta: crates/bench/src/bin/fig08b_sla.rs Cargo.toml
+
+crates/bench/src/bin/fig08b_sla.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_coverage-8ad67d8c27da2bca.d: crates/bench/src/bin/fig09_coverage.rs
+
+/root/repo/target/debug/deps/fig09_coverage-8ad67d8c27da2bca: crates/bench/src/bin/fig09_coverage.rs
+
+crates/bench/src/bin/fig09_coverage.rs:

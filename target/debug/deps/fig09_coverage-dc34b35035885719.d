@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_coverage-dc34b35035885719.d: crates/bench/src/bin/fig09_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_coverage-dc34b35035885719.rmeta: crates/bench/src/bin/fig09_coverage.rs Cargo.toml
+
+crates/bench/src/bin/fig09_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_congestion-8503bff49fd9fb48.d: crates/bench/src/bin/fig10_congestion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_congestion-8503bff49fd9fb48.rmeta: crates/bench/src/bin/fig10_congestion.rs Cargo.toml
+
+crates/bench/src/bin/fig10_congestion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_congestion-bc643a311b01dc97.d: crates/bench/src/bin/fig10_congestion.rs
+
+/root/repo/target/debug/deps/fig10_congestion-bc643a311b01dc97: crates/bench/src/bin/fig10_congestion.rs
+
+crates/bench/src/bin/fig10_congestion.rs:

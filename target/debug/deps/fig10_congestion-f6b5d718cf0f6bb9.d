@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_congestion-f6b5d718cf0f6bb9.d: crates/bench/src/bin/fig10_congestion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_congestion-f6b5d718cf0f6bb9.rmeta: crates/bench/src/bin/fig10_congestion.rs Cargo.toml
+
+crates/bench/src/bin/fig10_congestion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

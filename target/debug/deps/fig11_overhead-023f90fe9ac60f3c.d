@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_overhead-023f90fe9ac60f3c.d: crates/bench/src/bin/fig11_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_overhead-023f90fe9ac60f3c.rmeta: crates/bench/src/bin/fig11_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig11_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_overhead-51dc1e076f87a6d3.d: crates/bench/src/bin/fig11_overhead.rs
+
+/root/repo/target/debug/deps/fig11_overhead-51dc1e076f87a6d3: crates/bench/src/bin/fig11_overhead.rs
+
+crates/bench/src/bin/fig11_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_overhead-da920dcb560877a4.d: crates/bench/src/bin/fig11_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_overhead-da920dcb560877a4.rmeta: crates/bench/src/bin/fig11_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig11_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_batching-4ce4a1aa979315f2.d: crates/bench/src/bin/fig12_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_batching-4ce4a1aa979315f2.rmeta: crates/bench/src/bin/fig12_batching.rs Cargo.toml
+
+crates/bench/src/bin/fig12_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

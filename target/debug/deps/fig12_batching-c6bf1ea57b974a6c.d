@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_batching-c6bf1ea57b974a6c.d: crates/bench/src/bin/fig12_batching.rs
+
+/root/repo/target/debug/deps/fig12_batching-c6bf1ea57b974a6c: crates/bench/src/bin/fig12_batching.rs
+
+crates/bench/src/bin/fig12_batching.rs:

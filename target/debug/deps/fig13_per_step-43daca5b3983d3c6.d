@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_per_step-43daca5b3983d3c6.d: crates/bench/src/bin/fig13_per_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_per_step-43daca5b3983d3c6.rmeta: crates/bench/src/bin/fig13_per_step.rs Cargo.toml
+
+crates/bench/src/bin/fig13_per_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_per_step-461f541f7ceb57eb.d: crates/bench/src/bin/fig13_per_step.rs
+
+/root/repo/target/debug/deps/fig13_per_step-461f541f7ceb57eb: crates/bench/src/bin/fig13_per_step.rs
+
+crates/bench/src/bin/fig13_per_step.rs:

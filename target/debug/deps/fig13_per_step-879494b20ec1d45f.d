@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_per_step-879494b20ec1d45f.d: crates/bench/src/bin/fig13_per_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_per_step-879494b20ec1d45f.rmeta: crates/bench/src/bin/fig13_per_step.rs Cargo.toml
+
+crates/bench/src/bin/fig13_per_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

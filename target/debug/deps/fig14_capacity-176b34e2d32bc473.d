@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_capacity-176b34e2d32bc473.d: crates/bench/src/bin/fig14_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_capacity-176b34e2d32bc473.rmeta: crates/bench/src/bin/fig14_capacity.rs Cargo.toml
+
+crates/bench/src/bin/fig14_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

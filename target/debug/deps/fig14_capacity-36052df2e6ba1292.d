@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_capacity-36052df2e6ba1292.d: crates/bench/src/bin/fig14_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_capacity-36052df2e6ba1292.rmeta: crates/bench/src/bin/fig14_capacity.rs Cargo.toml
+
+crates/bench/src/bin/fig14_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

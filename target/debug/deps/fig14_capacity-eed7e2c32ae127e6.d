@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_capacity-eed7e2c32ae127e6.d: crates/bench/src/bin/fig14_capacity.rs
+
+/root/repo/target/debug/deps/fig14_capacity-eed7e2c32ae127e6: crates/bench/src/bin/fig14_capacity.rs
+
+crates/bench/src/bin/fig14_capacity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_ringbuffer-25b9db9cd5c0564c.d: crates/bench/src/bin/fig15_ringbuffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_ringbuffer-25b9db9cd5c0564c.rmeta: crates/bench/src/bin/fig15_ringbuffer.rs Cargo.toml
+
+crates/bench/src/bin/fig15_ringbuffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

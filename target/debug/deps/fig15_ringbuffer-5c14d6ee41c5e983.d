@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_ringbuffer-5c14d6ee41c5e983.d: crates/bench/src/bin/fig15_ringbuffer.rs
+
+/root/repo/target/debug/deps/fig15_ringbuffer-5c14d6ee41c5e983: crates/bench/src/bin/fig15_ringbuffer.rs
+
+crates/bench/src/bin/fig15_ringbuffer.rs:

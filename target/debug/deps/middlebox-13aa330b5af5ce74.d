@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/middlebox-13aa330b5af5ce74.d: tests/middlebox.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmiddlebox-13aa330b5af5ce74.rmeta: tests/middlebox.rs Cargo.toml
+
+tests/middlebox.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/middlebox-f15fdaca2a2d8c03.d: tests/middlebox.rs
+
+/root/repo/target/debug/deps/middlebox-f15fdaca2a2d8c03: tests/middlebox.rs
+
+tests/middlebox.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netseer_coverage-12ad4a9e576647d0.d: tests/netseer_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetseer_coverage-12ad4a9e576647d0.rmeta: tests/netseer_coverage.rs Cargo.toml
+
+tests/netseer_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

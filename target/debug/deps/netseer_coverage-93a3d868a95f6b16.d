@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netseer_coverage-93a3d868a95f6b16.d: tests/netseer_coverage.rs
+
+/root/repo/target/debug/deps/netseer_coverage-93a3d868a95f6b16: tests/netseer_coverage.rs
+
+tests/netseer_coverage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netseer_repro-168741d4ebf6a7c9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetseer_repro-168741d4ebf6a7c9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netseer_repro-b899b542b1c05e7d.d: src/lib.rs
+
+/root/repo/target/debug/deps/netseer_repro-b899b542b1c05e7d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netseer_repro-f26c6965c49c6218.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnetseer_repro-f26c6965c49c6218.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnetseer_repro-f26c6965c49c6218.rmeta: src/lib.rs
+
+src/lib.rs:

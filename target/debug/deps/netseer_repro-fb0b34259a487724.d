@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netseer_repro-fb0b34259a487724.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetseer_repro-fb0b34259a487724.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pfc_and_pause-985bcb7d19fb5073.d: tests/pfc_and_pause.rs
+
+/root/repo/target/debug/deps/pfc_and_pause-985bcb7d19fb5073: tests/pfc_and_pause.rs
+
+tests/pfc_and_pause.rs:

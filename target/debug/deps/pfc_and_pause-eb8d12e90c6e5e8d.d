@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfc_and_pause-eb8d12e90c6e5e8d.d: tests/pfc_and_pause.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfc_and_pause-eb8d12e90c6e5e8d.rmeta: tests/pfc_and_pause.rs Cargo.toml
+
+tests/pfc_and_pause.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-9c3843e2858f9bcd.d: crates/core/tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-9c3843e2858f9bcd: crates/core/tests/prop_invariants.rs
+
+crates/core/tests/prop_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_invariants-e08cb375e795e52b.d: crates/core/tests/prop_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_invariants-e08cb375e795e52b.rmeta: crates/core/tests/prop_invariants.rs Cargo.toml
+
+crates/core/tests/prop_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

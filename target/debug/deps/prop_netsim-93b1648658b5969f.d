@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_netsim-93b1648658b5969f.d: crates/netsim/tests/prop_netsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_netsim-93b1648658b5969f.rmeta: crates/netsim/tests/prop_netsim.rs Cargo.toml
+
+crates/netsim/tests/prop_netsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_netsim-9cd4829d40a672b4.d: crates/netsim/tests/prop_netsim.rs
+
+/root/repo/target/debug/deps/prop_netsim-9cd4829d40a672b4: crates/netsim/tests/prop_netsim.rs
+
+crates/netsim/tests/prop_netsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-85f699fb72054356.d: crates/packet/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-85f699fb72054356: crates/packet/tests/prop_roundtrip.rs
+
+crates/packet/tests/prop_roundtrip.rs:

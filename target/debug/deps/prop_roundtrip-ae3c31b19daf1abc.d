@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-ae3c31b19daf1abc.d: crates/packet/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-ae3c31b19daf1abc.rmeta: crates/packet/tests/prop_roundtrip.rs Cargo.toml
+
+crates/packet/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_tables-0e4d93b10ea85183.d: crates/pdp/tests/prop_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_tables-0e4d93b10ea85183.rmeta: crates/pdp/tests/prop_tables.rs Cargo.toml
+
+crates/pdp/tests/prop_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

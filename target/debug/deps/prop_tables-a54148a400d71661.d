@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_tables-a54148a400d71661.d: crates/pdp/tests/prop_tables.rs
+
+/root/repo/target/debug/deps/prop_tables-a54148a400d71661: crates/pdp/tests/prop_tables.rs
+
+crates/pdp/tests/prop_tables.rs:

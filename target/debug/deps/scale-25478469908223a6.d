@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-25478469908223a6.d: tests/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-25478469908223a6.rmeta: tests/scale.rs Cargo.toml
+
+tests/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-553068984a09cd40.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-553068984a09cd40: tests/scale.rs
+
+tests/scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_drill-dca7c07dbec035d4.d: examples/chaos_drill.rs
+
+/root/repo/target/debug/examples/chaos_drill-dca7c07dbec035d4: examples/chaos_drill.rs
+
+examples/chaos_drill.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_drill-ed219daa273926d3.d: examples/chaos_drill.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_drill-ed219daa273926d3.rmeta: examples/chaos_drill.rs Cargo.toml
+
+examples/chaos_drill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

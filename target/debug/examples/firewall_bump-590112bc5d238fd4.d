@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/firewall_bump-590112bc5d238fd4.d: examples/firewall_bump.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfirewall_bump-590112bc5d238fd4.rmeta: examples/firewall_bump.rs Cargo.toml
+
+examples/firewall_bump.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

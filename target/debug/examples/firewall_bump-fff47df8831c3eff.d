@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firewall_bump-fff47df8831c3eff.d: examples/firewall_bump.rs
+
+/root/repo/target/debug/examples/firewall_bump-fff47df8831c3eff: examples/firewall_bump.rs
+
+examples/firewall_bump.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incast_congestion-6209609c73c01b26.d: examples/incast_congestion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincast_congestion-6209609c73c01b26.rmeta: examples/incast_congestion.rs Cargo.toml
+
+examples/incast_congestion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

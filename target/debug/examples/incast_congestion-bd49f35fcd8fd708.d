@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incast_congestion-bd49f35fcd8fd708.d: examples/incast_congestion.rs
+
+/root/repo/target/debug/examples/incast_congestion-bd49f35fcd8fd708: examples/incast_congestion.rs
+
+examples/incast_congestion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9db8e7a2c9755056.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9db8e7a2c9755056: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-bb4c832018e92b23.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-bb4c832018e92b23.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/silent_drop_hunt-03186b5f3d47a509.d: examples/silent_drop_hunt.rs
+
+/root/repo/target/debug/examples/silent_drop_hunt-03186b5f3d47a509: examples/silent_drop_hunt.rs
+
+examples/silent_drop_hunt.rs:

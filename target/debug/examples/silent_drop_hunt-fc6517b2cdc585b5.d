@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/silent_drop_hunt-fc6517b2cdc585b5.d: examples/silent_drop_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsilent_drop_hunt-fc6517b2cdc585b5.rmeta: examples/silent_drop_hunt.rs Cargo.toml
+
+examples/silent_drop_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

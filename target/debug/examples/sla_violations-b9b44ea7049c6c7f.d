@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sla_violations-b9b44ea7049c6c7f.d: examples/sla_violations.rs
+
+/root/repo/target/debug/examples/sla_violations-b9b44ea7049c6c7f: examples/sla_violations.rs
+
+examples/sla_violations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sla_violations-fa39af4996faea40.d: examples/sla_violations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsla_violations-fa39af4996faea40.rmeta: examples/sla_violations.rs Cargo.toml
+
+examples/sla_violations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_dedup-0a68060164f7fd44.d: crates/bench/src/bin/ablate_dedup.rs
+
+/root/repo/target/release/deps/ablate_dedup-0a68060164f7fd44: crates/bench/src/bin/ablate_dedup.rs
+
+crates/bench/src/bin/ablate_dedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_dedup-c1d274a37aeea834.d: crates/bench/src/bin/ablate_dedup.rs
+
+/root/repo/target/release/deps/ablate_dedup-c1d274a37aeea834: crates/bench/src/bin/ablate_dedup.rs
+
+crates/bench/src/bin/ablate_dedup.rs:

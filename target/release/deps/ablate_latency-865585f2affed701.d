@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_latency-865585f2affed701.d: crates/bench/src/bin/ablate_latency.rs
+
+/root/repo/target/release/deps/ablate_latency-865585f2affed701: crates/bench/src/bin/ablate_latency.rs
+
+crates/bench/src/bin/ablate_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_latency-da2149f9528a7ed1.d: crates/bench/src/bin/ablate_latency.rs
+
+/root/repo/target/release/deps/ablate_latency-da2149f9528a7ed1: crates/bench/src/bin/ablate_latency.rs
+
+crates/bench/src/bin/ablate_latency.rs:

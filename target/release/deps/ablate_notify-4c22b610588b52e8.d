@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_notify-4c22b610588b52e8.d: crates/bench/src/bin/ablate_notify.rs
+
+/root/repo/target/release/deps/ablate_notify-4c22b610588b52e8: crates/bench/src/bin/ablate_notify.rs
+
+crates/bench/src/bin/ablate_notify.rs:

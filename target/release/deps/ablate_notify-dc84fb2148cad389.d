@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_notify-dc84fb2148cad389.d: crates/bench/src/bin/ablate_notify.rs
+
+/root/repo/target/release/deps/ablate_notify-dc84fb2148cad389: crates/bench/src/bin/ablate_notify.rs
+
+crates/bench/src/bin/ablate_notify.rs:

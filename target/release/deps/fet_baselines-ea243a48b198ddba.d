@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fet_baselines-ea243a48b198ddba.d: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs
+
+/root/repo/target/release/deps/libfet_baselines-ea243a48b198ddba.rlib: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs
+
+/root/repo/target/release/deps/libfet_baselines-ea243a48b198ddba.rmeta: crates/baselines/src/lib.rs crates/baselines/src/everflow.rs crates/baselines/src/netsight.rs crates/baselines/src/observe.rs crates/baselines/src/pingmesh.rs crates/baselines/src/sampling.rs crates/baselines/src/snmp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/everflow.rs:
+crates/baselines/src/netsight.rs:
+crates/baselines/src/observe.rs:
+crates/baselines/src/pingmesh.rs:
+crates/baselines/src/sampling.rs:
+crates/baselines/src/snmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fet_bench-705108190d830875.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/fet_bench-705108190d830875: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fet_bench-ccf3595a3c370d3a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfet_bench-ccf3595a3c370d3a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfet_bench-ccf3595a3c370d3a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

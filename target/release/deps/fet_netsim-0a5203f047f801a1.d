@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/fet_netsim-0a5203f047f801a1.d: crates/netsim/src/lib.rs crates/netsim/src/counters.rs crates/netsim/src/engine.rs crates/netsim/src/host.rs crates/netsim/src/link.rs crates/netsim/src/mmu.rs crates/netsim/src/monitor.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/switchdev.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/tracer.rs
+
+/root/repo/target/release/deps/libfet_netsim-0a5203f047f801a1.rlib: crates/netsim/src/lib.rs crates/netsim/src/counters.rs crates/netsim/src/engine.rs crates/netsim/src/host.rs crates/netsim/src/link.rs crates/netsim/src/mmu.rs crates/netsim/src/monitor.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/switchdev.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/tracer.rs
+
+/root/repo/target/release/deps/libfet_netsim-0a5203f047f801a1.rmeta: crates/netsim/src/lib.rs crates/netsim/src/counters.rs crates/netsim/src/engine.rs crates/netsim/src/host.rs crates/netsim/src/link.rs crates/netsim/src/mmu.rs crates/netsim/src/monitor.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/switchdev.rs crates/netsim/src/time.rs crates/netsim/src/topology.rs crates/netsim/src/tracer.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/counters.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/host.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/mmu.rs:
+crates/netsim/src/monitor.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/switchdev.rs:
+crates/netsim/src/time.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/tracer.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fet_packet-72d2e73385a8b2d7.d: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/cebp.rs crates/packet/src/checksum.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/event.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/notification.rs crates/packet/src/pfc.rs crates/packet/src/seqtag.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/release/deps/libfet_packet-72d2e73385a8b2d7.rlib: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/cebp.rs crates/packet/src/checksum.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/event.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/notification.rs crates/packet/src/pfc.rs crates/packet/src/seqtag.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/release/deps/libfet_packet-72d2e73385a8b2d7.rmeta: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/cebp.rs crates/packet/src/checksum.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/event.rs crates/packet/src/flow.rs crates/packet/src/ipv4.rs crates/packet/src/notification.rs crates/packet/src/pfc.rs crates/packet/src/seqtag.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/cebp.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/event.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/notification.rs:
+crates/packet/src/pfc.rs:
+crates/packet/src/seqtag.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:

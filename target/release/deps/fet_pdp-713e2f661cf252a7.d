@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fet_pdp-713e2f661cf252a7.d: crates/pdp/src/lib.rs crates/pdp/src/channel.rs crates/pdp/src/hash.rs crates/pdp/src/layout.rs crates/pdp/src/phv.rs crates/pdp/src/register.rs crates/pdp/src/resources.rs crates/pdp/src/table.rs
+
+/root/repo/target/release/deps/libfet_pdp-713e2f661cf252a7.rlib: crates/pdp/src/lib.rs crates/pdp/src/channel.rs crates/pdp/src/hash.rs crates/pdp/src/layout.rs crates/pdp/src/phv.rs crates/pdp/src/register.rs crates/pdp/src/resources.rs crates/pdp/src/table.rs
+
+/root/repo/target/release/deps/libfet_pdp-713e2f661cf252a7.rmeta: crates/pdp/src/lib.rs crates/pdp/src/channel.rs crates/pdp/src/hash.rs crates/pdp/src/layout.rs crates/pdp/src/phv.rs crates/pdp/src/register.rs crates/pdp/src/resources.rs crates/pdp/src/table.rs
+
+crates/pdp/src/lib.rs:
+crates/pdp/src/channel.rs:
+crates/pdp/src/hash.rs:
+crates/pdp/src/layout.rs:
+crates/pdp/src/phv.rs:
+crates/pdp/src/register.rs:
+crates/pdp/src/resources.rs:
+crates/pdp/src/table.rs:

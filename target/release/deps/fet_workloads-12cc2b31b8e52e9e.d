@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fet_workloads-12cc2b31b8e52e9e.d: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs
+
+/root/repo/target/release/deps/libfet_workloads-12cc2b31b8e52e9e.rlib: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs
+
+/root/repo/target/release/deps/libfet_workloads-12cc2b31b8e52e9e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/distributions.rs crates/workloads/src/generator.rs crates/workloads/src/scenarios.rs crates/workloads/src/tickets.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/distributions.rs:
+crates/workloads/src/generator.rs:
+crates/workloads/src/scenarios.rs:
+crates/workloads/src/tickets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_npa_stats-92c7155c142ebd7f.d: crates/bench/src/bin/fig01_npa_stats.rs
+
+/root/repo/target/release/deps/fig01_npa_stats-92c7155c142ebd7f: crates/bench/src/bin/fig01_npa_stats.rs
+
+crates/bench/src/bin/fig01_npa_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_npa_stats-f29edeac3836c843.d: crates/bench/src/bin/fig01_npa_stats.rs
+
+/root/repo/target/release/deps/fig01_npa_stats-f29edeac3836c843: crates/bench/src/bin/fig01_npa_stats.rs
+
+crates/bench/src/bin/fig01_npa_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_pipeline-84f5bff7292fe569.d: crates/bench/src/bin/fig02_pipeline.rs
+
+/root/repo/target/release/deps/fig02_pipeline-84f5bff7292fe569: crates/bench/src/bin/fig02_pipeline.rs
+
+crates/bench/src/bin/fig02_pipeline.rs:

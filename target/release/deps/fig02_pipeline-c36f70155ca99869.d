@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_pipeline-c36f70155ca99869.d: crates/bench/src/bin/fig02_pipeline.rs
+
+/root/repo/target/release/deps/fig02_pipeline-c36f70155ca99869: crates/bench/src/bin/fig02_pipeline.rs
+
+crates/bench/src/bin/fig02_pipeline.rs:

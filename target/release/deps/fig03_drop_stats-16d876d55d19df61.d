@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_drop_stats-16d876d55d19df61.d: crates/bench/src/bin/fig03_drop_stats.rs
+
+/root/repo/target/release/deps/fig03_drop_stats-16d876d55d19df61: crates/bench/src/bin/fig03_drop_stats.rs
+
+crates/bench/src/bin/fig03_drop_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_drop_stats-2bdeb2b298ec3f03.d: crates/bench/src/bin/fig03_drop_stats.rs
+
+/root/repo/target/release/deps/fig03_drop_stats-2bdeb2b298ec3f03: crates/bench/src/bin/fig03_drop_stats.rs
+
+crates/bench/src/bin/fig03_drop_stats.rs:

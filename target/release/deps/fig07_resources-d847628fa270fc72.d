@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_resources-d847628fa270fc72.d: crates/bench/src/bin/fig07_resources.rs
+
+/root/repo/target/release/deps/fig07_resources-d847628fa270fc72: crates/bench/src/bin/fig07_resources.rs
+
+crates/bench/src/bin/fig07_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_resources-da9daf2c30e2977f.d: crates/bench/src/bin/fig07_resources.rs
+
+/root/repo/target/release/deps/fig07_resources-da9daf2c30e2977f: crates/bench/src/bin/fig07_resources.rs
+
+crates/bench/src/bin/fig07_resources.rs:

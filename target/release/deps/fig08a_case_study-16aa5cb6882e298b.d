@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08a_case_study-16aa5cb6882e298b.d: crates/bench/src/bin/fig08a_case_study.rs
+
+/root/repo/target/release/deps/fig08a_case_study-16aa5cb6882e298b: crates/bench/src/bin/fig08a_case_study.rs
+
+crates/bench/src/bin/fig08a_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08a_case_study-85072e3164a3e60d.d: crates/bench/src/bin/fig08a_case_study.rs
+
+/root/repo/target/release/deps/fig08a_case_study-85072e3164a3e60d: crates/bench/src/bin/fig08a_case_study.rs
+
+crates/bench/src/bin/fig08a_case_study.rs:

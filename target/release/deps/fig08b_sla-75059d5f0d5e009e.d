@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08b_sla-75059d5f0d5e009e.d: crates/bench/src/bin/fig08b_sla.rs
+
+/root/repo/target/release/deps/fig08b_sla-75059d5f0d5e009e: crates/bench/src/bin/fig08b_sla.rs
+
+crates/bench/src/bin/fig08b_sla.rs:

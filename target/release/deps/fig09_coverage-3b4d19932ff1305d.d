@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_coverage-3b4d19932ff1305d.d: crates/bench/src/bin/fig09_coverage.rs
+
+/root/repo/target/release/deps/fig09_coverage-3b4d19932ff1305d: crates/bench/src/bin/fig09_coverage.rs
+
+crates/bench/src/bin/fig09_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_coverage-cd3afb225910831b.d: crates/bench/src/bin/fig09_coverage.rs
+
+/root/repo/target/release/deps/fig09_coverage-cd3afb225910831b: crates/bench/src/bin/fig09_coverage.rs
+
+crates/bench/src/bin/fig09_coverage.rs:

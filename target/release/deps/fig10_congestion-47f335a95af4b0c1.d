@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_congestion-47f335a95af4b0c1.d: crates/bench/src/bin/fig10_congestion.rs
+
+/root/repo/target/release/deps/fig10_congestion-47f335a95af4b0c1: crates/bench/src/bin/fig10_congestion.rs
+
+crates/bench/src/bin/fig10_congestion.rs:

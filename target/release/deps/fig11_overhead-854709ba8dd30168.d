@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_overhead-854709ba8dd30168.d: crates/bench/src/bin/fig11_overhead.rs
+
+/root/repo/target/release/deps/fig11_overhead-854709ba8dd30168: crates/bench/src/bin/fig11_overhead.rs
+
+crates/bench/src/bin/fig11_overhead.rs:

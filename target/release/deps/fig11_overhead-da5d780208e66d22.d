@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_overhead-da5d780208e66d22.d: crates/bench/src/bin/fig11_overhead.rs
+
+/root/repo/target/release/deps/fig11_overhead-da5d780208e66d22: crates/bench/src/bin/fig11_overhead.rs
+
+crates/bench/src/bin/fig11_overhead.rs:

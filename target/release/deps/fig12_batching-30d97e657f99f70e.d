@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_batching-30d97e657f99f70e.d: crates/bench/src/bin/fig12_batching.rs
+
+/root/repo/target/release/deps/fig12_batching-30d97e657f99f70e: crates/bench/src/bin/fig12_batching.rs
+
+crates/bench/src/bin/fig12_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_batching-fba17a73ef90e320.d: crates/bench/src/bin/fig12_batching.rs
+
+/root/repo/target/release/deps/fig12_batching-fba17a73ef90e320: crates/bench/src/bin/fig12_batching.rs
+
+crates/bench/src/bin/fig12_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_per_step-2b0373f230bdd6a4.d: crates/bench/src/bin/fig13_per_step.rs
+
+/root/repo/target/release/deps/fig13_per_step-2b0373f230bdd6a4: crates/bench/src/bin/fig13_per_step.rs
+
+crates/bench/src/bin/fig13_per_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_per_step-5c857c30596b44d1.d: crates/bench/src/bin/fig13_per_step.rs
+
+/root/repo/target/release/deps/fig13_per_step-5c857c30596b44d1: crates/bench/src/bin/fig13_per_step.rs
+
+crates/bench/src/bin/fig13_per_step.rs:

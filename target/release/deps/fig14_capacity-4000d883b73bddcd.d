@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_capacity-4000d883b73bddcd.d: crates/bench/src/bin/fig14_capacity.rs
+
+/root/repo/target/release/deps/fig14_capacity-4000d883b73bddcd: crates/bench/src/bin/fig14_capacity.rs
+
+crates/bench/src/bin/fig14_capacity.rs:

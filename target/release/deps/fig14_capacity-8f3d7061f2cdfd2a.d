@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_capacity-8f3d7061f2cdfd2a.d: crates/bench/src/bin/fig14_capacity.rs
+
+/root/repo/target/release/deps/fig14_capacity-8f3d7061f2cdfd2a: crates/bench/src/bin/fig14_capacity.rs
+
+crates/bench/src/bin/fig14_capacity.rs:

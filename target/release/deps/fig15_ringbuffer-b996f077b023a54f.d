@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_ringbuffer-b996f077b023a54f.d: crates/bench/src/bin/fig15_ringbuffer.rs
+
+/root/repo/target/release/deps/fig15_ringbuffer-b996f077b023a54f: crates/bench/src/bin/fig15_ringbuffer.rs
+
+crates/bench/src/bin/fig15_ringbuffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_ringbuffer-de4d711cbe929a9d.d: crates/bench/src/bin/fig15_ringbuffer.rs
+
+/root/repo/target/release/deps/fig15_ringbuffer-de4d711cbe929a9d: crates/bench/src/bin/fig15_ringbuffer.rs
+
+crates/bench/src/bin/fig15_ringbuffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-b35fe237e4916fed.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-b35fe237e4916fed: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

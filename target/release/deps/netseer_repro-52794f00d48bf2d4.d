@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netseer_repro-52794f00d48bf2d4.d: src/lib.rs
+
+/root/repo/target/release/deps/libnetseer_repro-52794f00d48bf2d4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnetseer_repro-52794f00d48bf2d4.rmeta: src/lib.rs
+
+src/lib.rs:

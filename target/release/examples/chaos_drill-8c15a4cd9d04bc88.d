@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_drill-8c15a4cd9d04bc88.d: examples/chaos_drill.rs
+
+/root/repo/target/release/examples/chaos_drill-8c15a4cd9d04bc88: examples/chaos_drill.rs
+
+examples/chaos_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-12479c9e4d101239.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-12479c9e4d101239: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -45,10 +45,7 @@ fn sampling_thins_with_k() {
         assert!(t > 0);
         let r = c as f64 / t as f64;
         // Within 3x of 1/k.
-        assert!(
-            r < 3.0 / k as f64 && r > 1.0 / (3.0 * k as f64),
-            "1:{k} coverage {r}"
-        );
+        assert!(r < 3.0 / k as f64 && r > 1.0 / (3.0 * k as f64), "1:{k} coverage {r}");
         ratios.push(r);
     }
     assert!(ratios[0] > ratios[1] && ratios[1] > ratios[2]);
@@ -79,10 +76,7 @@ fn everflow_blind_outside_match_set() {
     let gt = filter_gt(&out.sim.gt, |_| true);
     let (c, t) = coverage_of(&mut out.sim, MonitorKind::EverFlow, &gt, EventType::MmuDrop);
     assert!(t > 0);
-    assert!(
-        (c as f64) < 0.2 * t as f64,
-        "EverFlow MMU-drop coverage too high: {c}/{t}"
-    );
+    assert!((c as f64) < 0.2 * t as f64, "EverFlow MMU-drop coverage too high: {c}/{t}");
 }
 
 #[test]

@@ -197,10 +197,7 @@ fn cpu_eliminates_collision_false_positives_end_to_end() {
         *initials.entry((e.record.ty.code(), e.record.flow)).or_insert(0) += 1;
     }
     for (k, n) in &initials {
-        assert!(
-            *n <= 1,
-            "flow {k:?} has {n} initial reports after FP elimination"
-        );
+        assert!(*n <= 1, "flow {k:?} has {n} initial reports after FP elimination");
     }
     // And still zero false negatives.
     let gt = sim.gt.flow_events(EventType::PipelineDrop);

@@ -17,12 +17,7 @@ fn every_case_yields_the_key_event_at_the_fault_device() {
         built.sim.run_until(built.horizon_ns);
         let store = collect_events(&mut built.sim);
         let hits = store.query(&Query::any().device(built.fault_device).ty(paper.key_event));
-        assert!(
-            !hits.is_empty(),
-            "{}: no {} events at fault device",
-            paper.label,
-            paper.key_event
-        );
+        assert!(!hits.is_empty(), "{}: no {} events at fault device", paper.label, paper.key_event);
         let first = hits.iter().map(|e| e.time_ns).min().unwrap();
         let latency = first.saturating_sub(built.fault_at_ns);
         assert!(
@@ -49,7 +44,10 @@ fn acl_case_points_at_the_rule() {
     // A CPU-side registry resolves the id for the operator.
     let mut registry = netseer::acl_agg::RuleRegistry::new();
     registry.register(7_001, "deny tcp any any eq 443 (change #8841)");
-    assert_eq!(registry.describe(hits[0].record.flow.src.as_u32()), "deny tcp any any eq 443 (change #8841)");
+    assert_eq!(
+        registry.describe(hits[0].record.flow.src.as_u32()),
+        "deny tcp any any eq 443 (change #8841)"
+    );
 }
 
 #[test]
@@ -61,12 +59,8 @@ fn routing_error_case_shows_path_changes_then_drops() {
     let victim = built.victim_flows[0];
     // The victim flow shows both the symptom (TTL-expired drops from the
     // loop) and the cause trail (path-change events after the update).
-    let drops = store.query(
-        &Query::any().flow(victim).ty(fet_packet::EventType::PipelineDrop),
-    );
-    let paths = store.query(
-        &Query::any().flow(victim).ty(fet_packet::EventType::PathChange),
-    );
+    let drops = store.query(&Query::any().flow(victim).ty(fet_packet::EventType::PipelineDrop));
+    let paths = store.query(&Query::any().flow(victim).ty(fet_packet::EventType::PathChange));
     assert!(!drops.is_empty(), "loop drops missing");
     assert!(
         paths.iter().any(|e| e.time_ns >= built.fault_at_ns),

@@ -1,0 +1,261 @@
+//! Chaos drills: seeded fault injection against a full NetSeer deployment.
+//!
+//! Each scenario builds a [`FaultPlan`], deploys fleet-wide on the testbed
+//! fat-tree, drives real traffic with data-plane faults (so events are
+//! actually generated), and then checks the robustness contract:
+//!
+//! * the [`DeliveryLedger`] balances on every device — every generated
+//!   event is delivered, shed at a named choke point, or still pending;
+//!   nothing is ever lost silently;
+//! * degradation is graceful (deliveries continue, or resume after the
+//!   fault clears);
+//! * the same seed reproduces the same run bit-for-bit.
+
+use fet_netsim::host::FlowSpec;
+use fet_netsim::link::BurstDrop;
+use fet_netsim::routing::install_ecmp_routes;
+use fet_netsim::time::{MICROS, MILLIS};
+use fet_netsim::topology::{build_fat_tree, FatTree, FatTreeParams};
+use fet_netsim::Simulator;
+use fet_packet::event::EventType;
+use fet_packet::FlowKey;
+use netseer::deploy::{collect_events, deploy, monitor_of, DeployOptions};
+use netseer::faults::OverloadWindow;
+use netseer::{DeliveryLedger, FaultPlan, LossProcess, NetSeerConfig, Window};
+
+fn setup(cfg: NetSeerConfig) -> (Simulator, FatTree) {
+    let mut sim = Simulator::new();
+    let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+    install_ecmp_routes(&mut sim);
+    deploy(&mut sim, &DeployOptions { cfg, on_nics: true });
+    (sim, ft)
+}
+
+fn add_flow(sim: &mut Simulator, ft: &FatTree, src: usize, dst: usize, sport: u16, bytes: u64) {
+    let key = FlowKey::tcp(ft.host_ips[src], sport, ft.host_ips[dst], 80);
+    let h = ft.hosts[src];
+    let idx = sim.host_mut(h).add_flow(FlowSpec {
+        key,
+        total_bytes: bytes,
+        pkt_payload: 1000,
+        rate_gbps: 5.0,
+        start_ns: 0,
+        dscp: 0,
+    });
+    sim.schedule_flow(h, idx);
+}
+
+/// Cross-traffic plus lossy uplinks: a workload that reliably generates
+/// path-change and inter-switch-drop events on every pod, and that lasts
+/// several milliseconds so faults scheduled mid-run hit live traffic.
+fn drive_lossy_fabric(sim: &mut Simulator, ft: &FatTree, drop_prob: f64) {
+    for s in 0..8 {
+        add_flow(sim, ft, s, 7 - s, 2000 + s as u16, 4_000_000);
+    }
+    for pod in 0..2 {
+        let tor = ft.edges[pod][0];
+        for port in 0..2 {
+            sim.link_direction_mut(tor, port).unwrap().faults.drop_prob = drop_prob;
+        }
+    }
+}
+
+/// Sum every device's ledger after asserting each one balances on its own.
+fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
+    let mut total = DeliveryLedger::default();
+    let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
+    for id in ids {
+        let l = monitor_of(sim, id).ledger();
+        l.assert_balanced();
+        total.generated += l.generated;
+        total.delivered += l.delivered;
+        total.shed_stack += l.shed_stack;
+        total.shed_pcie += l.shed_pcie;
+        total.shed_cpu_overload += l.shed_cpu_overload;
+        total.shed_false_positive += l.shed_false_positive;
+        total.shed_transport += l.shed_transport;
+        total.pending += l.pending;
+    }
+    total
+}
+
+fn fleet_retransmissions(sim: &Simulator) -> u64 {
+    sim.switch_ids().into_iter().map(|id| monitor_of(sim, id).transport.retransmissions).sum()
+}
+
+fn fleet_notification_drops(sim: &Simulator) -> u64 {
+    let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
+    ids.into_iter().map(|id| monitor_of(sim, id).notification_copies_dropped).sum()
+}
+
+/// Scenario 1 — bursty (Gilbert–Elliott) loss on the management network.
+/// The adaptive-RTO transport retransmits through the bursts; everything
+/// still arrives and the ledger stays balanced.
+#[test]
+fn burst_loss_on_mgmt_network_is_absorbed() {
+    let faults = FaultPlan {
+        seed: 0xC0FFEE,
+        mgmt_loss: LossProcess::GilbertElliott {
+            p_enter_bad: 0.2,
+            p_exit_bad: 0.2,
+            loss_good: 0.05,
+            loss_bad: 0.95,
+        },
+        ..FaultPlan::default()
+    };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    sim.run_until(30 * MILLIS);
+
+    let ledger = fleet_ledger(&sim);
+    assert!(ledger.generated > 0, "workload must generate events");
+    assert!(ledger.delivered > 0, "bursty loss must not stop delivery");
+    assert_eq!(ledger.missing(), 0, "zero silent loss");
+    assert!(fleet_retransmissions(&sim) > 0, "GE loss must force retransmissions");
+}
+
+/// Scenario 2 — a hard partition of the management network that heals.
+/// Reports queue behind partition-aware backoff and drain promptly after
+/// the heal; no event disappears.
+#[test]
+fn mgmt_partition_heals_and_reports_resume() {
+    // From t=0: the first reports (new-flow path changes, early drops) are
+    // guaranteed to be attempted inside the partition and retried across
+    // the heal.
+    let partition = Window { start_ns: 0, end_ns: 2 * MILLIS };
+    let faults =
+        FaultPlan { seed: 0xBEEF, mgmt_partitions: vec![partition], ..FaultPlan::default() };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    sim.run_until(30 * MILLIS);
+
+    let ledger = fleet_ledger(&sim);
+    assert!(ledger.delivered > 0);
+    assert_eq!(ledger.missing(), 0, "zero silent loss across the partition");
+    // Sends attempted inside the window retried; delivery resumed after.
+    let store = collect_events(&mut sim);
+    assert!(
+        store.events().iter().any(|e| e.time_ns >= partition.end_ns),
+        "reports must resume after the partition heals"
+    );
+    assert!(fleet_retransmissions(&sim) > 0, "sends during the partition must have retried");
+}
+
+/// Scenario 3 — each of the three redundant loss-notification copies can
+/// die independently. Survival of any one copy suffices: the upstream ring
+/// still recovers every victim flow while the dropped copies are counted.
+#[test]
+fn notification_copy_loss_survived_by_redundancy() {
+    let faults = FaultPlan {
+        seed: 0x5EED,
+        notification_loss: LossProcess::Bernoulli { p: 0.35 },
+        ..FaultPlan::default()
+    };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    for s in 0..4 {
+        add_flow(&mut sim, &ft, s, 4 + s, 1000 + s as u16, 1_000_000);
+    }
+    // Burst drops on both uplinks of two ToRs: several distinct gaps, each
+    // announced by three redundant notification copies.
+    for pod in 0..2 {
+        let tor = ft.edges[pod][0];
+        for port in 0..2 {
+            sim.link_direction_mut(tor, port).unwrap().faults.burst_drop =
+                Some(BurstDrop { at_ns: 50_000, count: 4, corrupt: false });
+        }
+    }
+    sim.run_until(100 * MILLIS);
+
+    assert!(fleet_notification_drops(&sim) > 0, "the loss process must actually eat copies");
+    let gt = sim.gt.flow_events(EventType::InterSwitchDrop);
+    assert!(!gt.is_empty(), "bursts must produce inter-switch drops");
+    let store = collect_events(&mut sim);
+    let seen = store.flow_events(EventType::InterSwitchDrop);
+    for fe in &gt {
+        assert!(seen.contains(fe), "redundancy failed to cover {fe:?}");
+    }
+    assert_eq!(fleet_ledger(&sim).missing(), 0);
+}
+
+/// Scenario 4 — switch-CPU overload. The overload controller sheds batches
+/// instead of queueing unboundedly, and every shed event is counted.
+#[test]
+fn cpu_overload_sheds_and_counts() {
+    let faults = FaultPlan {
+        seed: 0xFEED,
+        cpu_overload: vec![OverloadWindow {
+            window: Window { start_ns: 0, end_ns: 100 * MILLIS },
+            factor: 5_000.0,
+        }],
+        ..FaultPlan::default()
+    };
+    let cfg = NetSeerConfig {
+        faults,
+        cpu_max_backlog_ns: 200 * MICROS,
+        // An event storm (no in-pipeline aggregation) against a crippled
+        // CPU: the overload controller must engage.
+        enable_dedup: false,
+        ..NetSeerConfig::default()
+    };
+    let (mut sim, ft) = setup(cfg);
+    drive_lossy_fabric(&mut sim, &ft, 0.05);
+    sim.run_until(30 * MILLIS);
+
+    let ledger = fleet_ledger(&sim);
+    assert!(ledger.generated > 0);
+    assert!(
+        ledger.shed_cpu_overload > 0,
+        "overload controller must shed under a 5000x slowdown: {ledger:?}"
+    );
+    assert_eq!(ledger.missing(), 0, "shed events are counted, not lost");
+}
+
+/// Scenario 5 — CEBP recirculation and PCIe stall windows. Batches park
+/// during the stalls and flow again afterwards; accounting stays exact.
+#[test]
+fn cebp_and_pcie_stalls_delay_but_never_lose() {
+    let faults = FaultPlan {
+        seed: 0xD1CE,
+        cebp_stalls: vec![Window { start_ns: MILLIS, end_ns: 3 * MILLIS }],
+        pcie_stalls: vec![Window { start_ns: 2 * MILLIS, end_ns: 5 * MILLIS }],
+        ..FaultPlan::default()
+    };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    sim.run_until(30 * MILLIS);
+
+    let ledger = fleet_ledger(&sim);
+    assert!(ledger.delivered > 0, "stalls must only delay, not stop, delivery");
+    assert_eq!(ledger.missing(), 0);
+}
+
+/// The reproducibility contract: identical seed + plan ⇒ identical run,
+/// down to the ledger, the event store, and the bytes on the wire.
+#[test]
+fn same_seed_reproduces_the_same_chaos() {
+    let run = |seed: u64| {
+        let faults = FaultPlan {
+            seed,
+            mgmt_loss: LossProcess::GilbertElliott {
+                p_enter_bad: 0.2,
+                p_exit_bad: 0.2,
+                loss_good: 0.05,
+                loss_bad: 0.95,
+            },
+            notification_loss: LossProcess::Bernoulli { p: 0.2 },
+            mgmt_partitions: vec![Window { start_ns: 2 * MILLIS, end_ns: 3 * MILLIS }],
+            ..FaultPlan::default()
+        };
+        let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+        drive_lossy_fabric(&mut sim, &ft, 0.02);
+        sim.run_until(20 * MILLIS);
+        let ledger = fleet_ledger(&sim);
+        let retx = fleet_retransmissions(&sim);
+        let notif = fleet_notification_drops(&sim);
+        let store = collect_events(&mut sim);
+        (ledger, retx, notif, store.len(), sim.mgmt.total_bytes())
+    };
+    let a = run(42);
+    assert_eq!(a, run(42), "same seed must reproduce bit-for-bit");
+    assert!(a != run(43), "different seeds should perturb the run (got identical outcomes)");
+}

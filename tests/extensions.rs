@@ -7,9 +7,7 @@ use fet_netsim::host::FlowSpec;
 use fet_netsim::link::BurstDrop;
 use fet_netsim::routing::install_ecmp_routes;
 use fet_netsim::time::{MILLIS, SECONDS};
-use fet_netsim::topology::{
-    build_chassis, build_fat_tree, FatTreeParams, TopologyBuilder,
-};
+use fet_netsim::topology::{build_chassis, build_fat_tree, FatTreeParams, TopologyBuilder};
 use fet_netsim::{Simulator, SwitchConfig};
 use fet_packet::event::EventType;
 use fet_packet::ipv4::Ipv4Addr;
@@ -24,10 +22,7 @@ use netseer::{NetSeerConfig, NetSeerMonitor, Role};
 fn partial_deployment_filters_to_the_application() {
     // Monitor only traffic to/from host 7 (10.1.1.2/32).
     let cfg = NetSeerConfig {
-        flow_filter: Some(FlowFilter {
-            prefix: Ipv4Addr::from_octets([10, 1, 1, 2]),
-            len: 32,
-        }),
+        flow_filter: Some(FlowFilter { prefix: Ipv4Addr::from_octets([10, 1, 1, 2]), len: 32 }),
         ..NetSeerConfig::default()
     };
     let mut sim = Simulator::new();
@@ -165,10 +160,7 @@ fn partial_deployment_cuts_overhead() {
         len: 24, // pod-0 ToR-0's two hosts only
     }));
     assert!(partial > 0, "partial deployment still reports its app");
-    assert!(
-        (partial as f64) < 0.6 * full as f64,
-        "partial {partial} vs full {full}"
-    );
+    assert!((partial as f64) < 0.6 * full as f64, "partial {partial} vs full {full}");
 }
 
 /// A silently failed port (link down without routing reconvergence):
@@ -217,7 +209,5 @@ fn port_failure_drops_reported() {
     assert!(hits.iter().any(|e| e.record.flow == key));
     // The summary view points straight at the device.
     let summary = store.summarize();
-    assert!(summary
-        .iter()
-        .any(|&(d, t, n)| d == tor && t == EventType::PipelineDrop && n > 0));
+    assert!(summary.iter().any(|&(d, t, n)| d == tor && t == EventType::PipelineDrop && n > 0));
 }

@@ -80,13 +80,8 @@ fn overloaded_middlebox_reports_local_events() {
     // 5 Gbps firewall fed a 20 Gbps flow: sustained overload.
     let mut w = build(5.0, 20.0);
     w.sim.run_until(20 * MILLIS);
-    let gt_overloads = w
-        .sim
-        .gt
-        .events()
-        .iter()
-        .filter(|e| e.drop_code == Some(DropCode::Overload))
-        .count();
+    let gt_overloads =
+        w.sim.gt.events().iter().filter(|e| e.drop_code == Some(DropCode::Overload)).count();
     assert!(gt_overloads > 0, "the firewall must be overloaded");
     let store = collect_events(&mut w.sim);
     let hits: Vec<_> = store
@@ -110,7 +105,7 @@ fn overloaded_middlebox_reports_local_events() {
 #[test]
 fn middlebox_adjacent_link_drops_detected() {
     let mut w = build(25.0, 5.0); // healthy middlebox
-    // The s1 -> mbox cable eats 4 frames.
+                                  // The s1 -> mbox cable eats 4 frames.
     let s1 = 0; // first device created
     w.sim.link_direction_mut(s1, 0).unwrap().faults.burst_drop =
         Some(BurstDrop { at_ns: 500_000, count: 4, corrupt: false });
@@ -142,13 +137,8 @@ fn middlebox_reports_are_reliable_and_unduplicated() {
     assert_eq!(from_mbox, total_reports);
     // Overload is sustained, so dedup counters (not per-packet spam)
     // carry the volume: far fewer reports than dropped packets.
-    let dropped_packets = w
-        .sim
-        .gt
-        .events()
-        .iter()
-        .filter(|e| e.drop_code == Some(DropCode::Overload))
-        .count();
+    let dropped_packets =
+        w.sim.gt.events().iter().filter(|e| e.drop_code == Some(DropCode::Overload)).count();
     assert!(total_reports < dropped_packets / 2, "{total_reports} vs {dropped_packets}");
 }
 
@@ -158,20 +148,12 @@ fn healthy_middlebox_generates_no_overload_events() {
     let mut w = build(25.0, 5.0);
     w.sim.run_until(20 * MILLIS);
     assert_eq!(
-        w.sim
-            .gt
-            .events()
-            .iter()
-            .filter(|e| e.drop_code == Some(DropCode::Overload))
-            .count(),
+        w.sim.gt.events().iter().filter(|e| e.drop_code == Some(DropCode::Overload)).count(),
         0
     );
     let store = collect_events(&mut w.sim);
-    assert!(store
-        .events()
-        .iter()
-        .all(|e| !matches!(
-            e.record.detail,
-            fet_packet::event::EventDetail::Drop { code: DropCode::Overload, .. }
-        )));
+    assert!(store.events().iter().all(|e| !matches!(
+        e.record.detail,
+        fet_packet::event::EventDetail::Drop { code: DropCode::Overload, .. }
+    )));
 }

@@ -86,8 +86,5 @@ fn pause_state_clears_and_traffic_completes() {
     let (sim, ft) = run_incast(lossless_params());
     // All incast bytes eventually arrive (paused, not dropped).
     let rx: u64 = sim.host(ft.hosts[0]).rx_flows.values().map(|s| s.bytes).sum();
-    assert!(
-        rx >= 5 * 2_000_000,
-        "lossless incast should deliver everything, got {rx}"
-    );
+    assert!(rx >= 5 * 2_000_000, "lossless incast should deliver everything, got {rx}");
 }

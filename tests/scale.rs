@@ -53,11 +53,7 @@ fn four_pod_fat_tree_routes_and_monitors() {
         assert!(seen.contains(fe), "missed at scale: {fe:?}");
     }
     // Traffic actually crossed pods.
-    let delivered: u64 = ft
-        .hosts
-        .iter()
-        .map(|&h| sim.host(h).counters.rx_bytes)
-        .sum();
+    let delivered: u64 = ft.hosts.iter().map(|&h| sim.host(h).counters.rx_bytes).sum();
     assert!(delivered > 10_000_000, "delivered {delivered}");
 }
 
