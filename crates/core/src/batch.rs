@@ -45,9 +45,15 @@ pub enum PushOutcome {
     /// Stack full and the incoming event did not outrank any resident:
     /// the incoming event was shed.
     ShedIncoming,
-    /// Stack full but a lower-priority resident was evicted to make room;
-    /// carries the victim's type.
-    ShedVictim(EventType),
+    /// Stack full but a lower-priority resident was evicted to make room.
+    ShedVictim {
+        /// The victim's event type.
+        ty: EventType,
+        /// The victim's position in the pending order (open CEBP first,
+        /// then stack, oldest first) — what a recovery WAL needs to mirror
+        /// the eviction.
+        pending_pos: usize,
+    },
 }
 
 /// The in-pipeline stack + circulating CEBP model.
@@ -144,7 +150,7 @@ impl CebpBatcher {
                     self.shed(vty);
                     self.stack.push(ev);
                     self.accepted += 1;
-                    return PushOutcome::ShedVictim(vty);
+                    return PushOutcome::ShedVictim { ty: vty, pending_pos: self.open.len() + i };
                 }
                 _ => {
                     self.shed(ev.ty);
@@ -210,6 +216,14 @@ impl CebpBatcher {
     /// Events currently waiting (stack + open CEBP).
     pub fn backlog(&self) -> usize {
         self.stack.len() + self.open.len()
+    }
+
+    /// The pending events in removal order: the open CEBP's cargo first
+    /// (it drains on the next delivery), then the stack, oldest first.
+    /// This is the ground truth a recovery checkpoint snapshots and that
+    /// WAL replay must reconstruct.
+    pub fn pending_events(&self) -> Vec<EventRecord> {
+        self.open.iter().chain(self.stack.iter()).copied().collect()
     }
 }
 
@@ -319,14 +333,21 @@ mod tests {
             e.detail = EventDetail::PathChange { ingress_port: 0, egress_port: 1 };
             assert_eq!(b.push(0, e), PushOutcome::Stored);
         }
-        // A congestion event outranks path-change: victim evicted.
-        assert_eq!(b.push(0, ev(100)), PushOutcome::ShedVictim(EventType::PathChange));
+        // A congestion event outranks path-change: the oldest path-change
+        // (pending position 0, nothing in the open CEBP) is evicted.
+        assert_eq!(
+            b.push(0, ev(100)),
+            PushOutcome::ShedVictim { ty: EventType::PathChange, pending_pos: 0 }
+        );
         // A drop event outranks congestion.
         let mut d = ev(101);
         d.ty = EventType::MmuDrop;
         d.detail =
             EventDetail::Drop { ingress_port: 0, egress_port: 1, code: DropCode::BufferFull };
-        assert_eq!(b.push(0, d), PushOutcome::ShedVictim(EventType::PathChange));
+        assert_eq!(
+            b.push(0, d),
+            PushOutcome::ShedVictim { ty: EventType::PathChange, pending_pos: 0 }
+        );
         // Another path-change cannot displace anyone: it is shed itself.
         let mut p = ev(102);
         p.ty = EventType::PathChange;
@@ -336,6 +357,37 @@ mod tests {
         assert_eq!(b.shed_by_type[&EventType::PathChange], 3);
         // The high-priority drop event is still resident.
         assert!(b.backlog() == 3);
+    }
+
+    #[test]
+    fn pending_order_is_open_cebp_then_stack() {
+        let mut c = cfg(10);
+        c.stack_capacity = 4;
+        let mut b = CebpBatcher::new(&c);
+        for n in 0..4 {
+            b.push(0, ev(n));
+        }
+        // One circulation moves the 4 events into the open CEBP (below
+        // batch size, so no delivery).
+        assert!(b.poll(0).is_empty());
+        assert_eq!(b.pending_events()[..4], [ev(0), ev(1), ev(2), ev(3)]);
+        // Refill the stack behind the open CEBP.
+        for n in 0..4 {
+            let mut e = ev(100 + n);
+            e.ty = EventType::PathChange;
+            e.detail = EventDetail::PathChange { ingress_port: 0, egress_port: 1 };
+            assert_eq!(b.push(0, e), PushOutcome::Stored);
+        }
+        assert_eq!(b.pending_events().len(), 8);
+        // An eviction's position is global across open ++ stack: the
+        // victim is the oldest path-change, behind the 4 open events.
+        assert_eq!(
+            b.push(0, ev(200)),
+            PushOutcome::ShedVictim { ty: EventType::PathChange, pending_pos: 4 }
+        );
+        let pending = b.pending_events();
+        assert_eq!(pending.len(), 8);
+        assert_eq!(pending[7], ev(200), "arrival appended at the back");
     }
 
     #[test]

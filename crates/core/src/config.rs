@@ -119,6 +119,10 @@ pub struct NetSeerConfig {
     /// Switch-CPU overload controller: maximum backlog before batches are
     /// shed-and-counted instead of queueing unboundedly, ns.
     pub cpu_max_backlog_ns: u64,
+    /// Crash-recovery checkpoint cadence: how often the monitor snapshots
+    /// its pending set + detector heads and truncates/fsyncs the WAL, ns.
+    /// Bounds `lost_to_crash` after a hard kill (see `netseer::recovery`).
+    pub checkpoint_interval_ns: u64,
 }
 
 impl Default for NetSeerConfig {
@@ -146,6 +150,7 @@ impl Default for NetSeerConfig {
             faults: FaultPlan::default(),
             transport_max_retries: DEFAULT_MAX_RETRIES,
             cpu_max_backlog_ns: 10 * MILLIS,
+            checkpoint_interval_ns: MILLIS,
         }
     }
 }

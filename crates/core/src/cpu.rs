@@ -130,6 +130,21 @@ impl SwitchCpu {
         }
     }
 
+    /// Carry the cumulative measurement counters from a pre-crash instance
+    /// onto this freshly constructed one. Used by the monitor's restart
+    /// path: the counters are telemetry about the whole device lifetime and
+    /// must survive restarts (the ledger depends on them), while everything
+    /// volatile — the FP-elimination window (`seen`), the DMA ring, the
+    /// CPU-backlog clock — starts empty, exactly as on real hardware.
+    pub fn carry_counters_from(&mut self, old: &SwitchCpu) {
+        self.received = old.received;
+        self.fp_eliminated = old.fp_eliminated;
+        self.pcie_rejected = old.pcie_rejected;
+        self.pcie_rejected_events = old.pcie_rejected_events;
+        self.shed_overload = old.shed_overload;
+        self.busy_ns = old.busy_ns;
+    }
+
     /// Per-event cost multiplier at `t` from the overload schedule.
     fn overload_factor(&self, t: u64) -> f64 {
         self.overload

@@ -89,6 +89,21 @@ impl PortTagger {
         self.ring.len()
     }
 
+    /// The next sequence number this port will assign — the "ring-buffer
+    /// head" a recovery checkpoint snapshots.
+    pub fn head(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Restore the numbering head from a checkpoint so the post-restart
+    /// sequence continues where the pre-crash one left off (downstream
+    /// gap detectors see a continuation, not a reset-to-zero burst). The
+    /// ring contents themselves are volatile and stay lost: a missed
+    /// lookup on old traffic is counted as a miss, never misreported.
+    pub fn restore_head(&mut self, head: u32) {
+        self.next_seq = head;
+    }
+
     /// Charge the ring to a resource ledger.
     pub fn account(&self, ledger: &mut ResourceLedger, module: &'static str) {
         self.ring.account(ledger, module);
@@ -105,6 +120,9 @@ pub struct GapDetector {
     pub gaps_detected: u64,
     /// Total missing packets across all gaps.
     pub packets_missing: u64,
+    /// Explicit re-bases after an upstream restart (see
+    /// [`GapDetector::rebase`]).
+    pub rebases: u64,
 }
 
 impl GapDetector {
@@ -133,6 +151,18 @@ impl GapDetector {
         };
         self.expected = Some(seq.wrapping_add(1));
         out
+    }
+
+    /// Forget the expected sequence without touching the cumulative
+    /// counters: the next [`observe`](GapDetector::observe) re-synchronizes
+    /// silently, exactly like the very first observation. Called when the
+    /// *upstream* tagger restarts — its post-recovery sequence may be
+    /// discontinuous (e.g. a hard kill rolled the head back), and counting
+    /// that administrative discontinuity as an inter-switch loss burst
+    /// would double-count the crash.
+    pub fn rebase(&mut self) {
+        self.expected = None;
+        self.rebases += 1;
     }
 }
 
@@ -247,6 +277,47 @@ mod tests {
         assert_eq!(t.next(flow(2)), 1);
         assert_eq!(t.next(flow(3)), 2);
         assert_eq!(t.tagged, 3);
+    }
+
+    #[test]
+    fn tagger_head_restores_across_restart() {
+        let mut t = PortTagger::new(8);
+        for n in 0..5 {
+            t.next(flow(n));
+        }
+        let head = t.head();
+        assert_eq!(head, 5);
+        // A restart builds a fresh tagger and restores the checkpointed
+        // head: numbering continues, the (volatile) ring starts empty.
+        let mut fresh = PortTagger::new(8);
+        fresh.restore_head(head);
+        assert_eq!(fresh.next(flow(9)), 5, "sequence continues, no reset to 0");
+        assert_eq!(fresh.lookup(2), None, "pre-crash ring contents are gone: counted miss");
+        assert_eq!(fresh.lookup_misses, 1);
+    }
+
+    #[test]
+    fn gap_detector_rebase_resyncs_without_counting_a_burst() {
+        let mut g = GapDetector::new();
+        for seq in 0..10 {
+            g.observe(seq);
+        }
+        assert_eq!(g.gaps_detected, 0);
+        // Upstream restarts and (hard kill) rolls its numbering back.
+        // Without a rebase this discontinuity would register as a giant
+        // burst of "missing" packets.
+        g.rebase();
+        assert_eq!(g.observe(3), None, "first post-rebase observation only syncs");
+        assert_eq!(g.observe(4), None);
+        assert_eq!(g.gaps_detected, 0);
+        assert_eq!(g.packets_missing, 0);
+        assert_eq!(g.rebases, 1);
+        // Real gaps are still caught after the re-base.
+        assert_eq!(g.observe(7), Some((5, 6)));
+        assert_eq!(g.gaps_detected, 1);
+        assert_eq!(g.packets_missing, 2);
+        // Cumulative counters survived the rebase.
+        assert_eq!(g.packets_seen, 13);
     }
 
     #[test]

@@ -117,6 +117,67 @@ impl LossGen {
     }
 }
 
+/// How a component dies.
+///
+/// The distinction is the fsync watermark: a clean stop flushes the
+/// recovery WAL before exiting, a hard kill loses whatever was appended
+/// after the last fsync (see [`crate::recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// Orderly shutdown: the WAL tail is fsynced before the process exits,
+    /// so replay restores the pre-crash pending state exactly.
+    Clean,
+    /// Power-pull / SIGKILL: the un-fsynced WAL tail is lost and the
+    /// events it covered become `lost_to_crash` — bounded by the
+    /// checkpoint/fsync cadence, never silent.
+    Hard,
+}
+
+/// One scheduled switch-CPU crash: the device's monitor dies at `at_ns`
+/// and restarts (recovering from its checkpoint + WAL) at `restart_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCrash {
+    /// The device (node id) whose switch CPU dies.
+    pub device: u32,
+    /// Kill time, ns.
+    pub at_ns: u64,
+    /// Restart time, ns (must be > `at_ns`).
+    pub restart_ns: u64,
+    /// Clean stop or hard kill.
+    pub kind: CrashKind,
+}
+
+/// One scheduled collector (backend) crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorCrash {
+    /// Kill time, ns.
+    pub at_ns: u64,
+    /// Clean stop or hard kill.
+    pub kind: CrashKind,
+}
+
+/// Generate a seeded crash schedule that kills (and restarts) every listed
+/// device exactly once, with kill times drawn uniformly from
+/// `[window.start_ns, window.end_ns)` on the [`streams::CRASH`] RNG stream.
+/// The same seed reproduces the same schedule bit-for-bit.
+pub fn seeded_device_crashes(
+    seed: u64,
+    devices: &[u32],
+    window: Window,
+    down_ns: u64,
+    kind: CrashKind,
+) -> Vec<DeviceCrash> {
+    let span = window.end_ns.saturating_sub(window.start_ns).max(1);
+    devices
+        .iter()
+        .map(|&device| {
+            let mut rng = Pcg32::new(seed ^ (u64::from(device) << 17), streams::CRASH);
+            let at_ns = window.start_ns + rng.next_u64() % span;
+            DeviceCrash { device, at_ns, restart_ns: at_ns + down_ns.max(1), kind }
+        })
+        .collect()
+}
+
 /// A CPU overload window: per-event processing cost is multiplied by
 /// `factor` while active (models the event cores being stolen by other
 /// control-plane work).
@@ -152,6 +213,10 @@ pub struct FaultPlan {
     pub pcie_stalls: Vec<Window>,
     /// Switch-CPU overload windows.
     pub cpu_overload: Vec<OverloadWindow>,
+    /// Scheduled switch-CPU crash/restart events.
+    pub device_crashes: Vec<DeviceCrash>,
+    /// Scheduled collector (backend) crashes.
+    pub collector_crashes: Vec<CollectorCrash>,
 }
 
 /// RNG stream ids, one per concern, so streams never collide.
@@ -160,6 +225,8 @@ pub mod streams {
     pub const MGMT: u64 = 0x4d47;
     /// Notification-copy loss draws (inside `NetSeerMonitor`).
     pub const NOTIFICATION: u64 = 0x4e4f;
+    /// Crash-schedule draws ([`super::seeded_device_crashes`]).
+    pub const CRASH: u64 = 0x4352;
 }
 
 impl FaultPlan {
@@ -241,6 +308,10 @@ pub struct DeliveryLedger {
     pub shed_transport: u64,
     /// Events still in flight (batcher stack + open CEBP).
     pub pending: u64,
+    /// Events lost to a hard kill: they were pending when the un-fsynced
+    /// WAL tail vanished, so replay could not resurrect them. Bounded by
+    /// the checkpoint/fsync window; 0 for clean stops.
+    pub lost_to_crash: u64,
 }
 
 impl DeliveryLedger {
@@ -253,21 +324,28 @@ impl DeliveryLedger {
             + self.shed_transport
     }
 
+    /// Everything a generated event is allowed to have become.
+    fn accounted(&self) -> u64 {
+        self.delivered + self.shed_total() + self.pending + self.lost_to_crash
+    }
+
     /// Does the exactly-once-or-counted invariant hold?
+    /// `generated == delivered + shed + pending + lost_to_crash`, across
+    /// any number of crash/restart cycles.
     pub fn balanced(&self) -> bool {
-        self.generated == self.delivered + self.shed_total() + self.pending
+        self.generated == self.accounted()
     }
 
     /// Events unaccounted for (0 on a healthy pipeline). A positive value
     /// means silent loss; negative (reported as 0 here, see `surplus`)
     /// would mean double delivery.
     pub fn missing(&self) -> u64 {
-        self.generated.saturating_sub(self.delivered + self.shed_total() + self.pending)
+        self.generated.saturating_sub(self.accounted())
     }
 
     /// Events delivered or shed beyond what was generated (double counting).
     pub fn surplus(&self) -> u64 {
-        (self.delivered + self.shed_total() + self.pending).saturating_sub(self.generated)
+        self.accounted().saturating_sub(self.generated)
     }
 
     /// Panic with a full breakdown unless the invariant holds.
@@ -381,6 +459,40 @@ mod tests {
         l.delivered += 1; // double delivery must also trip the invariant
         assert!(!l.balanced());
         assert_eq!(l.surplus(), 1);
+    }
+
+    #[test]
+    fn ledger_counts_crash_losses_separately() {
+        let l = DeliveryLedger {
+            generated: 100,
+            delivered: 90,
+            pending: 4,
+            lost_to_crash: 6,
+            ..Default::default()
+        };
+        l.assert_balanced();
+        assert_eq!(l.missing(), 0);
+        let silent = DeliveryLedger { generated: 100, delivered: 94, ..Default::default() };
+        assert_eq!(silent.missing(), 6, "without lost_to_crash the same run shows silent loss");
+    }
+
+    #[test]
+    fn seeded_crash_schedule_is_deterministic_and_in_window() {
+        let w = Window { start_ns: 1_000, end_ns: 9_000 };
+        let devices = [3u32, 7, 11];
+        let a = seeded_device_crashes(0xABCD, &devices, w, 500, CrashKind::Hard);
+        let b = seeded_device_crashes(0xABCD, &devices, w, 500, CrashKind::Hard);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert_eq!(a.len(), devices.len());
+        for c in &a {
+            assert!(w.contains(c.at_ns), "kill inside the window: {c:?}");
+            assert_eq!(c.restart_ns, c.at_ns + 500);
+            assert_eq!(c.kind, CrashKind::Hard);
+        }
+        // Devices get independent draws, not the same offset.
+        assert!(a.windows(2).any(|p| p[0].at_ns != p[1].at_ns));
+        let c = seeded_device_crashes(0xABCE, &devices, w, 500, CrashKind::Hard);
+        assert_ne!(a, c, "different seeds should perturb the schedule");
     }
 
     #[test]

@@ -76,10 +76,16 @@ pub mod detect;
 pub mod extract;
 pub mod faults;
 pub mod monitor;
+pub mod recovery;
 pub mod storage;
 pub mod transport;
 
 pub use config::NetSeerConfig;
-pub use faults::{DeliveryLedger, FaultPlan, LossProcess, Window};
+pub use faults::{
+    CollectorCrash, CrashKind, DeliveryLedger, DeviceCrash, FaultPlan, LossProcess, Window,
+};
 pub use monitor::{NetSeerMonitor, Role};
+pub use recovery::{
+    run_collector_crash_drill, schedule_device_crashes, Collector, CrashLog, CrashReport,
+};
 pub use storage::{EventStore, Query, StoredEvent};

@@ -4,13 +4,14 @@
 //! go to a local log (paper §4, "NIC").
 
 use crate::acl_agg::{AclAggregator, AclOutcome};
-use crate::batch::CebpBatcher;
+use crate::batch::{CebpBatcher, PushOutcome};
 use crate::config::NetSeerConfig;
 use crate::cpu::SwitchCpu;
 use crate::dedup::{DedupOutcome, GroupCache};
 use crate::detect::{GapDetector, PathTable, PauseTracker, PendingLookups, PortTagger};
 use crate::extract::Extractor;
-use crate::faults::{streams, DeliveryLedger, LossGen};
+use crate::faults::{streams, CrashKind, DeliveryLedger, LossGen};
+use crate::recovery::{CrashReport, DedupSummary, RecoveryLog, Snapshot};
 use crate::storage::StoredEvent;
 use crate::transport::ReliableChannel;
 use fet_netsim::counters::PortCounters;
@@ -122,6 +123,13 @@ pub struct NetSeerMonitor {
     pub transport_failed_reports: u64,
     /// Notification copies eaten by the injected loss process.
     pub notification_copies_dropped: u64,
+    // --- crash recovery ---
+    /// Write-ahead log + periodic checkpoint for the pending set, tagger
+    /// heads, and group-cache summaries (see [`crate::recovery`]).
+    pub recovery: RecoveryLog,
+    /// Monotonic delivery sequence number; `(device, epoch, seq)` is the
+    /// collector's exactly-once dedup key.
+    next_delivery_seq: u64,
 }
 
 impl std::fmt::Debug for NetSeerMonitor {
@@ -192,6 +200,8 @@ impl NetSeerMonitor {
             transport_failed_events: 0,
             transport_failed_reports: 0,
             notification_copies_dropped: 0,
+            recovery: RecoveryLog::new(cfg.checkpoint_interval_ns),
+            next_delivery_seq: 0,
             cfg,
         }
     }
@@ -210,6 +220,7 @@ impl NetSeerMonitor {
             shed_false_positive: self.cpu.fp_eliminated,
             shed_transport: self.transport_failed_events,
             pending: self.batcher.backlog() as u64,
+            lost_to_crash: self.recovery.lost_to_crash,
         }
     }
 
@@ -285,22 +296,37 @@ impl NetSeerMonitor {
     fn dispatch_record(&mut self, now_ns: u64, rec: EventRecord, out: &mut Actions) {
         self.events_generated += 1;
         match self.role {
-            Role::Switch => {
-                // Shedding (priority-aware, when the bounded stack is
-                // full) is counted inside the batcher — never silent.
-                let _ = self.batcher.push(now_ns, rec);
-            }
+            Role::Switch => self.push_pending(now_ns, rec),
             Role::Nic => {
                 // NICs log locally (paper §4): no CEBP/CPU path.
                 self.delivered.push(StoredEvent {
                     time_ns: now_ns,
                     device: self.device,
+                    epoch: self.transport.epoch,
+                    seq: self.next_delivery_seq,
                     record: rec,
                 });
+                self.next_delivery_seq += 1;
                 self.stats.final_reports += 1;
                 self.stats.final_bytes += EVENT_RECORD_LEN as u64;
                 out.report(EVENT_RECORD_LEN, "nic-events");
             }
+        }
+    }
+
+    /// Offer one record to the batcher, mirroring the mutation into the
+    /// WAL. Shedding (priority-aware, when the bounded stack is full) is
+    /// counted inside the batcher — never silent — and an eviction is made
+    /// durable immediately: the victim's shed is already counted, so a
+    /// post-crash replay must never resurrect it.
+    fn push_pending(&mut self, now_ns: u64, rec: EventRecord) {
+        match self.batcher.push(now_ns, rec) {
+            PushOutcome::Stored => self.recovery.log_enq(rec),
+            PushOutcome::ShedVictim { pending_pos, .. } => {
+                self.recovery.log_evict(pending_pos);
+                self.recovery.log_enq(rec);
+            }
+            PushOutcome::ShedIncoming => {}
         }
     }
 
@@ -312,6 +338,10 @@ impl NetSeerMonitor {
     }
 
     fn deliver_batch(&mut self, batch: crate::batch::Batch, out: &mut Actions) {
+        // The batch's events just left the pending set; the departure is
+        // fsynced before any downstream effect (delivery or a counted
+        // shed) so replay can never bring them back.
+        self.recovery.log_deq(batch.events.len());
         let wire = batch.wire_bytes();
         let survived = self.cpu.process_batch(batch.ready_ns, &batch.events, wire);
         if survived.is_empty() {
@@ -325,8 +355,11 @@ impl NetSeerMonitor {
                     self.delivered.push(StoredEvent {
                         time_ns: delivery.delivered_ns.max(s.done_ns),
                         device: self.device,
+                        epoch: self.transport.epoch,
+                        seq: self.next_delivery_seq,
                         record: s.record,
                     });
+                    self.next_delivery_seq += 1;
                 }
                 self.stats.final_reports += survived.len() as u64;
                 self.stats.final_bytes += bytes as u64;
@@ -363,6 +396,163 @@ impl NetSeerMonitor {
                 );
             }
         }
+    }
+
+    fn take_snapshot(&self) -> Snapshot {
+        let mut tagger_heads: Vec<(u8, u32)> =
+            self.taggers.iter().map(|(&p, t)| (p, t.head())).collect();
+        tagger_heads.sort_unstable();
+        let mut dedup: Vec<DedupSummary> = self
+            .dedup
+            .iter()
+            .map(|(&ty, c)| DedupSummary { ty, offered: c.offered, reports: c.reports })
+            .collect();
+        dedup.sort_unstable_by_key(|d| d.ty as u8);
+        Snapshot {
+            taken_ns: 0,
+            pending: self.batcher.pending_events(),
+            tagger_heads,
+            dedup,
+            ledger: self.ledger(),
+        }
+    }
+
+    /// Take a checkpoint now: materialize the pending set, tagger heads,
+    /// group-cache summaries, and the ledger; the WAL truncates behind it.
+    pub fn checkpoint(&mut self, now_ns: u64) {
+        let snap = self.take_snapshot();
+        self.recovery.checkpoint(now_ns, snap);
+    }
+
+    /// The switch-CPU process dies at `now_ns`. Detach the monitor from
+    /// the device until [`restart`](Self::restart) — the data plane keeps
+    /// forwarding unobserved meanwhile. A clean stop checkpoints
+    /// everything on the way down (lossless); a hard kill loses the
+    /// un-fsynced WAL tail.
+    pub fn crash(&mut self, kind: CrashKind, now_ns: u64) {
+        if kind == CrashKind::Clean {
+            self.checkpoint(now_ns);
+        }
+        self.recovery.record_kill(kind, now_ns, self.batcher.backlog() as u64);
+    }
+
+    /// Recover from the durable state: replay snapshot + WAL into a
+    /// rebuilt pipeline, reconnect the transport under a new epoch, and
+    /// account exactly what the kill destroyed.
+    ///
+    /// Counters are the measurement apparatus, so every rebuilt subsystem
+    /// carries its cumulative counters forward; only genuinely volatile
+    /// state (the CPU's FP window, dedup tables, ring contents, learned
+    /// paths, pause state, queued ring lookups) starts empty. Replayed
+    /// events re-enter the batcher without touching `events_generated` —
+    /// they were counted when first generated — and a replayed set larger
+    /// than the fresh stack re-sheds by priority, counted as usual.
+    pub fn restart(&mut self, now_ns: u64) -> CrashReport {
+        let replayed = self.recovery.replay();
+
+        // Batcher: fresh circulation state, carried counters.
+        let mut batcher = CebpBatcher::new(&self.cfg);
+        batcher.accepted = self.batcher.accepted;
+        batcher.dropped = self.batcher.dropped;
+        batcher.shed_by_type = std::mem::take(&mut self.batcher.shed_by_type);
+        batcher.delivered_batches = self.batcher.delivered_batches;
+        batcher.delivered_events = self.batcher.delivered_events;
+        self.batcher = batcher;
+
+        // CPU: fresh FP window and DMA engine, carried counters.
+        let mut cpu = SwitchCpu::new(&self.cfg);
+        cpu.carry_counters_from(&self.cpu);
+        self.cpu = cpu;
+
+        // Taggers: heads restored from the checkpoint. Ring contents are
+        // lost — lookups in the gap window count misses, never misreport.
+        let heads: HashMap<u8, u32> =
+            self.recovery.snapshot().tagger_heads.iter().copied().collect();
+        for (&port, tagger) in self.taggers.iter_mut() {
+            let mut fresh = PortTagger::new(self.cfg.ring_slots);
+            fresh.restore_head(heads.get(&port).copied().unwrap_or(0));
+            fresh.tagged = tagger.tagged;
+            fresh.lookup_hits = tagger.lookup_hits;
+            fresh.lookup_misses = tagger.lookup_misses;
+            *tagger = fresh;
+        }
+
+        // Gap detectors keep their counters but re-base: the first frame
+        // after downtime re-syncs instead of charging a loss burst.
+        for g in self.gaps.values_mut() {
+            g.rebase();
+        }
+
+        // Queued ring lookups are volatile (no event was generated from
+        // them yet, so the ledger is unaffected); telemetry carries.
+        for p in self.pending.values_mut() {
+            let mut fresh = PendingLookups::new(self.cfg.pending_lookup_cap);
+            fresh.overflowed = p.overflowed;
+            fresh.copies_received = p.copies_received;
+            fresh.duplicate_copies = p.duplicate_copies;
+            fresh.ranges_accepted = p.ranges_accepted;
+            fresh.corrupted_ranges = p.corrupted_ranges;
+            *p = fresh;
+        }
+
+        // Group caches: tables are volatile, suppression telemetry is not.
+        for cache in self.dedup.values_mut() {
+            let (offered, reports) = (cache.offered, cache.reports);
+            cache.clear();
+            cache.offered = offered;
+            cache.reports = reports;
+        }
+
+        // Learned paths and pause state rebuild from live traffic.
+        let seed = self.device.wrapping_mul(0x9e37_79b9).wrapping_add(7);
+        let (po, pr) = (self.path_table.offered, self.path_table.reported);
+        self.path_table = PathTable::new(self.cfg.path_entries, seed ^ 0xabcd);
+        self.path_table.offered = po;
+        self.path_table.reported = pr;
+        let (ps, rs) = (self.pause_tracker.pauses_seen, self.pause_tracker.resumes_seen);
+        self.pause_tracker = PauseTracker::new(64);
+        self.pause_tracker.pauses_seen = ps;
+        self.pause_tracker.resumes_seen = rs;
+
+        // Internal channels restart idle.
+        self.mmu_redirect =
+            RateLimitedChannel::new("mmu-redirect", self.cfg.capacity.mmu_redirect_gbps, 1 << 20);
+        self.internal_port =
+            RateLimitedChannel::new("internal-port", self.cfg.capacity.internal_port_gbps, 4 << 20);
+
+        // Reconnect under a new epoch: the collector rejects retransmits
+        // from the dead epoch, and the `(device, epoch, seq)` key turns
+        // redelivery into exactly-once accounting.
+        let handshake = self.transport.reconnect(now_ns);
+
+        // Re-materialize the replayed pending set (already counted in
+        // `events_generated` before the crash).
+        for rec in &replayed {
+            self.push_pending(now_ns, *rec);
+        }
+
+        let replayed_len = replayed.len() as u64;
+        let (kind, killed_ns, lost) = self.recovery.complete_restart(replayed_len);
+        // A fresh post-recovery baseline: the next hard kill can only
+        // lose what arrives after this instant.
+        self.checkpoint(now_ns);
+        CrashReport {
+            device: self.device,
+            kind,
+            killed_ns,
+            restart_ns: now_ns,
+            epoch: handshake.epoch,
+            pending_at_kill: replayed_len + lost,
+            replayed: replayed_len,
+            lost,
+        }
+    }
+
+    /// A neighboring device restarted: re-sync this ingress port's gap
+    /// detector on the next tagged frame instead of charging the
+    /// sequence discontinuity as an inter-switch loss burst.
+    pub fn rebase_ingress(&mut self, port: u8) {
+        self.gaps.entry(port).or_default().rebase();
     }
 
     /// Assemble the PDP resource picture of this deployment (Figure 7).
@@ -662,12 +852,21 @@ impl SwitchMonitor for NetSeerMonitor {
         for p in ports {
             self.drain_pending(now_ns, p, 64, out);
         }
+        // Deliver batches that completed on their own BEFORE flushing:
+        // flush() polls internally and discards the ready batches it
+        // finds, so they must go through deliver_batch first.
+        self.pump(now_ns, out);
         // Age out partial batches so light traffic still reports promptly.
         if let Some(batch) = self.batcher.flush(now_ns) {
             self.deliver_batch(batch, out);
         }
         self.cpu.expire(now_ns);
         self.pump(now_ns, out);
+        // Periodic durability: snapshot the pending set + detector heads
+        // and truncate the WAL, bounding what a hard kill can destroy.
+        if self.recovery.due(now_ns) {
+            self.checkpoint(now_ns);
+        }
     }
 
     fn timer_interval_ns(&self) -> Option<u64> {

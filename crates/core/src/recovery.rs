@@ -1,0 +1,722 @@
+//! Crash recovery for the switch-CPU model and the collector.
+//!
+//! NetSeer's delivery guarantee (§3.5–§3.6) is only as strong as its most
+//! volatile component: the CEBP batcher, group caches, and ring buffers
+//! all live in switch memory, and the paper's lossless story silently
+//! assumes neither the switch CPU nor the collector ever restarts. This
+//! module supplies the missing half of the fault model:
+//!
+//! 1. **Write-ahead log + periodic snapshot** ([`RecoveryLog`]): the
+//!    monitor mirrors every mutation of its pending set (enqueue, priority
+//!    eviction, batch departure) into a compact op log, and periodically
+//!    checkpoints the materialized state (pending events, per-port tagger
+//!    heads, group-cache summaries, the ledger). Replaying the log over
+//!    the snapshot reconstructs the pending set deterministically.
+//!
+//! 2. **Fsync discipline**: every *removal* op (a batch leaving, a victim
+//!    evicted) is fsynced before its effect is externalized, so a hard
+//!    kill can only lose trailing *enqueues*. Replay therefore never
+//!    resurrects an event that was already delivered or shed — the ledger
+//!    can lose to a crash but never double-count — and `lost_to_crash` is
+//!    provably bounded by the enqueues since the last fsync, i.e. by the
+//!    checkpoint window.
+//!
+//! 3. **Exactly-once reconciliation** ([`Collector`]): senders stamp every
+//!    delivered event with `(epoch, seq)`; the collector gates on
+//!    [`EpochReceiver`] per device, so at-least-once retransmission after
+//!    any restart (sender's or collector's) dedups to exactly-once
+//!    accounting, and pre-restart retransmits are rejected by epoch.
+//!
+//! 4. **Restart drivers** ([`schedule_device_crashes`],
+//!    [`run_collector_crash_drill`]): turn a [`FaultPlan`]'s seeded crash
+//!    schedule into scripted kill/restart actions inside the simulator.
+//!
+//! [`FaultPlan`]: crate::faults::FaultPlan
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use crate::faults::{CollectorCrash, CrashKind, DeliveryLedger, DeviceCrash};
+use crate::monitor::NetSeerMonitor;
+use crate::storage::{EventStore, StoredEvent};
+use crate::transport::{EpochReceiver, RxVerdict};
+use fet_netsim::engine::Simulator;
+use fet_packet::event::{EventRecord, EventType};
+
+/// One mirrored mutation of the monitor's pending set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// An event entered the pending set (appended at the back).
+    Enq(EventRecord),
+    /// A priority eviction removed the pending event at this position
+    /// (open CEBP first, then stack, oldest first).
+    Evict {
+        /// Position in the pending order at eviction time.
+        pending_pos: u32,
+    },
+    /// A batch departed: the `count` oldest pending events left.
+    Deq {
+        /// Events in the departing batch.
+        count: u32,
+    },
+}
+
+/// Replay a slice of WAL ops over a checkpointed base state. Pure and
+/// deterministic: the same `(base, ops)` always yields the same pending
+/// set, and replaying a durable log twice yields the same result as once
+/// (the function has no hidden state).
+pub fn replay_ops(base: &[EventRecord], ops: &[WalOp]) -> VecDeque<EventRecord> {
+    let mut q: VecDeque<EventRecord> = base.iter().copied().collect();
+    for op in ops {
+        match *op {
+            WalOp::Enq(rec) => q.push_back(rec),
+            WalOp::Evict { pending_pos } => {
+                q.remove(pending_pos as usize);
+            }
+            WalOp::Deq { count } => {
+                q.drain(..(count as usize).min(q.len()));
+            }
+        }
+    }
+    q
+}
+
+/// The in-memory model of an append-only log file with an fsync watermark:
+/// `ops[..synced]` survive a hard kill, the tail does not.
+#[derive(Debug, Clone, Default)]
+struct Wal {
+    ops: Vec<WalOp>,
+    synced: usize,
+}
+
+impl Wal {
+    fn append(&mut self, op: WalOp) {
+        self.ops.push(op);
+    }
+
+    fn fsync(&mut self) {
+        self.synced = self.ops.len();
+    }
+
+    /// A hard kill: drop the un-fsynced tail, returning how many ops died.
+    fn truncate_unsynced(&mut self) -> u64 {
+        let lost = self.ops.len() - self.synced;
+        self.ops.truncate(self.synced);
+        lost as u64
+    }
+
+    fn unsynced(&self) -> usize {
+        self.ops.len() - self.synced
+    }
+
+    fn clear(&mut self) {
+        self.ops.clear();
+        self.synced = 0;
+    }
+}
+
+/// Per-event-type group-cache summary captured in a checkpoint. The cache
+/// tables themselves are volatile (rebuilt empty after a restart); the
+/// summary preserves the cumulative suppression telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupSummary {
+    /// Event type this cache serves.
+    pub ty: EventType,
+    /// Events offered to the cache so far.
+    pub offered: u64,
+    /// Reports the cache let through.
+    pub reports: u64,
+}
+
+/// A materialized checkpoint: everything needed to rebuild the durable
+/// part of the monitor's state without the WAL.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// When it was taken, ns.
+    pub taken_ns: u64,
+    /// The pending set (open CEBP cargo first, then stack, oldest first).
+    pub pending: Vec<EventRecord>,
+    /// Per-port tagger numbering heads (the notification ring-buffer
+    /// heads): `(port, next_seq)`.
+    pub tagger_heads: Vec<(u8, u32)>,
+    /// Group-cache summaries per event type.
+    pub dedup: Vec<DedupSummary>,
+    /// The delivery ledger at checkpoint time (observability: lets an
+    /// operator bound what a subsequent hard kill can have cost).
+    pub ledger: DeliveryLedger,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct KillRecord {
+    kind: CrashKind,
+    at_ns: u64,
+    pending_at_kill: u64,
+    /// WAL ops destroyed by the kill (0 for clean stops).
+    ops_lost: u64,
+}
+
+/// Accounting summary of one completed restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// The restarted device.
+    pub device: u32,
+    /// Clean stop or hard kill.
+    pub kind: CrashKind,
+    /// When the component died, ns.
+    pub killed_ns: u64,
+    /// When it came back, ns.
+    pub restart_ns: u64,
+    /// Transport epoch after the reconnect handshake.
+    pub epoch: u32,
+    /// Pending events at the moment of death.
+    pub pending_at_kill: u64,
+    /// Pending events reconstructed by snapshot + WAL replay.
+    pub replayed: u64,
+    /// Pending events the kill destroyed (`pending_at_kill - replayed`);
+    /// 0 for clean stops, bounded by the un-fsynced enqueue tail for hard
+    /// kills.
+    pub lost: u64,
+}
+
+/// The write-ahead log + snapshot machinery for one monitor.
+///
+/// The monitor calls `log_*` as it mutates its pending set, `checkpoint`
+/// on its cadence, and `record_kill`/`replay`/`complete_restart` across a
+/// crash. Removal ops fsync eagerly (write-ahead discipline: the log entry
+/// is durable before the removal's effect — a delivery or a counted shed —
+/// is externalized); enqueues ride until the next checkpoint, which is
+/// what bounds `lost_to_crash`.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryLog {
+    wal: Wal,
+    snapshot: Snapshot,
+    interval_ns: u64,
+    last_checkpoint_ns: u64,
+    kill: Option<KillRecord>,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// WAL ops appended.
+    pub wal_appends: u64,
+    /// Explicit fsyncs (removal ops + checkpoints + clean stops).
+    pub wal_fsyncs: u64,
+    /// Completed crash/restart cycles.
+    pub restarts: u64,
+    /// Events destroyed across all hard kills (the ledger's
+    /// `lost_to_crash` term).
+    pub lost_to_crash: u64,
+}
+
+impl RecoveryLog {
+    /// Create with a checkpoint cadence.
+    pub fn new(interval_ns: u64) -> Self {
+        RecoveryLog { interval_ns: interval_ns.max(1), ..Default::default() }
+    }
+
+    /// Mirror an enqueue. Not fsynced — this is the only op class a hard
+    /// kill can destroy.
+    pub fn log_enq(&mut self, rec: EventRecord) {
+        self.wal.append(WalOp::Enq(rec));
+        self.wal_appends += 1;
+    }
+
+    /// Mirror a priority eviction. Fsynced eagerly: the victim is counted
+    /// as shed the moment it is evicted, so the log must never forget the
+    /// eviction (replay would otherwise resurrect an already-counted
+    /// event and double-count it).
+    pub fn log_evict(&mut self, pending_pos: usize) {
+        self.wal.append(WalOp::Evict { pending_pos: pending_pos as u32 });
+        self.wal_appends += 1;
+        self.fsync();
+    }
+
+    /// Mirror a batch departure. Fsynced eagerly for the same reason:
+    /// the batch's events are about to be delivered or counted shed
+    /// downstream, and replay must not bring them back.
+    pub fn log_deq(&mut self, count: usize) {
+        self.wal.append(WalOp::Deq { count: count as u32 });
+        self.wal_appends += 1;
+        self.fsync();
+    }
+
+    fn fsync(&mut self) {
+        self.wal.fsync();
+        self.wal_fsyncs += 1;
+    }
+
+    /// Is a checkpoint due at `now_ns`?
+    pub fn due(&self, now_ns: u64) -> bool {
+        now_ns.saturating_sub(self.last_checkpoint_ns) >= self.interval_ns
+    }
+
+    /// Install a fresh checkpoint: the snapshot replaces the old one, the
+    /// WAL is truncated (its effects are in the snapshot) and the log is
+    /// durable again.
+    pub fn checkpoint(&mut self, now_ns: u64, snapshot: Snapshot) {
+        self.snapshot = snapshot;
+        self.snapshot.taken_ns = now_ns;
+        self.wal.clear();
+        self.fsync();
+        self.last_checkpoint_ns = now_ns;
+        self.checkpoints += 1;
+    }
+
+    /// The current checkpoint.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// WAL ops appended since the last fsync (what a hard kill destroys).
+    pub fn unsynced_ops(&self) -> usize {
+        self.wal.unsynced()
+    }
+
+    /// The component died. A clean stop flushes the tail; a hard kill
+    /// truncates it. `pending_at_kill` is the live pending count at the
+    /// moment of death, used by [`complete_restart`](Self::complete_restart)
+    /// to attribute the difference.
+    pub fn record_kill(&mut self, kind: CrashKind, at_ns: u64, pending_at_kill: u64) {
+        let ops_lost = match kind {
+            CrashKind::Clean => {
+                self.fsync();
+                0
+            }
+            CrashKind::Hard => self.wal.truncate_unsynced(),
+        };
+        self.kill = Some(KillRecord { kind, at_ns, pending_at_kill, ops_lost });
+    }
+
+    /// Reconstruct the pending set from the durable state (snapshot + the
+    /// surviving WAL). Deterministic; callable any number of times.
+    pub fn replay(&self) -> Vec<EventRecord> {
+        replay_ops(&self.snapshot.pending, &self.wal.ops).into()
+    }
+
+    /// Close the books on a restart: compute what the kill destroyed and
+    /// fold it into `lost_to_crash`. Panics if no kill was recorded.
+    pub fn complete_restart(&mut self, replayed: u64) -> (CrashKind, u64, u64) {
+        let kill = self.kill.take().expect("complete_restart without record_kill");
+        let lost = kill.pending_at_kill.saturating_sub(replayed);
+        // The fsync discipline guarantees the bound: only enqueues can be
+        // un-fsynced, so the replay can only be missing events, and no
+        // more of them than the ops the kill destroyed.
+        debug_assert!(lost <= kill.ops_lost, "lost {lost} > destroyed ops {}", kill.ops_lost);
+        debug_assert!(
+            kill.kind == CrashKind::Hard || lost == 0,
+            "a clean stop must lose nothing, lost {lost}"
+        );
+        self.lost_to_crash += lost;
+        self.restarts += 1;
+        (kill.kind, kill.at_ns, lost)
+    }
+}
+
+/// The backend collector with crash-consistent, exactly-once ingestion.
+///
+/// Every [`StoredEvent`] arrives stamped `(device, epoch, seq)`; a
+/// per-device [`EpochReceiver`] admits each key once, rejects same-epoch
+/// duplicates, and refuses retransmits from pre-restart epochs. Because
+/// ingestion is idempotent, recovery after a collector crash is simply
+/// *re-offering*: senders keep their delivered history, and a
+/// reconciliation pass re-ingests it — accepted exactly where the
+/// reverted store is missing events, deduped everywhere else.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    store: EventStore,
+    gates: HashMap<u32, EpochReceiver>,
+    checkpoint: Option<(EventStore, HashMap<u32, EpochReceiver>)>,
+    /// Crash/restart cycles survived.
+    pub restarts: u64,
+    /// Events rolled back by hard kills (recovered later by
+    /// reconciliation; this counts the repair work, not a final loss).
+    pub reverted_by_crash: u64,
+}
+
+impl Collector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Offer a slice of deliveries. Returns how many were accepted (the
+    /// rest were duplicates or stale-epoch retransmits — counted in the
+    /// per-device gates, never silently absorbed).
+    pub fn ingest(&mut self, events: &[StoredEvent]) -> u64 {
+        let mut accepted = 0;
+        for e in events {
+            if self.gates.entry(e.device).or_default().accept(e.epoch, e.seq) == RxVerdict::Accepted
+            {
+                self.store.insert(*e);
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    /// Durably checkpoint the store and the dedup gates. A hard kill
+    /// reverts to the latest checkpoint.
+    pub fn checkpoint(&mut self) {
+        self.checkpoint = Some((self.store.clone(), self.gates.clone()));
+    }
+
+    /// Crash and restart. A clean stop checkpoints on the way down (loses
+    /// nothing); a hard kill reverts store + gates to the last checkpoint.
+    /// Returns how many stored events were rolled back.
+    pub fn crash_restart(&mut self, kind: CrashKind) -> u64 {
+        if kind == CrashKind::Clean {
+            self.checkpoint();
+        }
+        let before = self.store.len();
+        let (store, gates) = self.checkpoint.clone().unwrap_or_default();
+        self.store = store;
+        self.gates = gates;
+        let reverted = (before - self.store.len()) as u64;
+        self.reverted_by_crash += reverted;
+        self.restarts += 1;
+        reverted
+    }
+
+    /// The stored events.
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    /// Stored event count.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The sender suffix the collector still needs from `device`: its
+    /// side of the reconnect handshake. Sequences below the watermark are
+    /// covered; the sender retransmits from here.
+    pub fn needed_from(&self, device: u32, epoch: u32) -> u64 {
+        self.gates.get(&device).map_or(0, |g| g.watermark(epoch))
+    }
+
+    /// Same-epoch duplicates suppressed across all devices.
+    pub fn duplicates_rejected(&self) -> u64 {
+        self.gates.values().map(|g| g.duplicates_rejected).sum()
+    }
+
+    /// Pre-restart-epoch retransmits rejected across all devices.
+    pub fn stale_epoch_rejected(&self) -> u64 {
+        self.gates.values().map(|g| g.stale_epoch_rejected).sum()
+    }
+}
+
+/// Handle to the crash reports produced by [`schedule_device_crashes`]:
+/// the scripted actions run inside the simulator, so results surface
+/// through this shared log after `run_until`.
+#[derive(Debug, Clone, Default)]
+pub struct CrashLog {
+    reports: Rc<RefCell<Vec<CrashReport>>>,
+}
+
+impl CrashLog {
+    /// Reports of all completed restarts, in restart order.
+    pub fn reports(&self) -> Vec<CrashReport> {
+        self.reports.borrow().clone()
+    }
+
+    /// Completed restarts.
+    pub fn len(&self) -> usize {
+        self.reports.borrow().len()
+    }
+
+    /// True when no restart completed.
+    pub fn is_empty(&self) -> bool {
+        self.reports.borrow().is_empty()
+    }
+
+    /// Total events destroyed across all kills.
+    pub fn total_lost(&self) -> u64 {
+        self.reports.borrow().iter().map(|r| r.lost).sum()
+    }
+}
+
+/// Script a [`FaultPlan`](crate::faults::FaultPlan)'s device crashes into
+/// the simulator: at `at_ns` the device's monitor is detached (the switch
+/// CPU dies; the data plane keeps forwarding unobserved), and at
+/// `restart_ns` it recovers from its checkpoint + WAL, reconnects its
+/// transport under a new epoch, and is reattached. Neighboring switches
+/// re-base their gap detectors for the restarted peer's ports so the
+/// post-restart sequence discontinuity is not mistaken for a loss burst.
+///
+/// Call after [`deploy`](crate::deploy::deploy) and before `run_until`.
+pub fn schedule_device_crashes(sim: &mut Simulator, crashes: &[DeviceCrash]) -> CrashLog {
+    let log = CrashLog::default();
+    for c in crashes.iter().copied() {
+        assert!(c.restart_ns > c.at_ns, "restart must follow the kill: {c:?}");
+        let stash: Rc<RefCell<Option<Box<dyn fet_netsim::monitor::SwitchMonitor>>>> =
+            Rc::new(RefCell::new(None));
+
+        let kill_stash = Rc::clone(&stash);
+        sim.schedule_control(c.at_ns, move |s| {
+            if let Some(mut bm) = s.take_node_monitor(c.device) {
+                if let Some(ns) = bm.as_any_mut().downcast_mut::<NetSeerMonitor>() {
+                    ns.crash(c.kind, c.at_ns);
+                }
+                *kill_stash.borrow_mut() = Some(bm);
+            }
+        });
+
+        let restart_stash = Rc::clone(&stash);
+        let reports = Rc::clone(&log.reports);
+        sim.schedule_control(c.restart_ns, move |s| {
+            let Some(mut bm) = restart_stash.borrow_mut().take() else {
+                return;
+            };
+            if let Some(ns) = bm.as_any_mut().downcast_mut::<NetSeerMonitor>() {
+                reports.borrow_mut().push(ns.restart(c.restart_ns));
+            }
+            s.install_node_monitor(c.device, bm);
+            // Downstream neighbors (switches AND host NICs — edge ports
+            // are tagged when NIC deployment is on) re-sync on the
+            // restarted tagger without charging the discontinuity as
+            // inter-switch loss. A neighbor currently crashed itself is
+            // skipped: its own restart re-bases all its detectors.
+            let ports: Vec<u8> =
+                s.adjacency().get(&c.device).into_iter().flatten().map(|&(port, _)| port).collect();
+            for port in ports {
+                let Some((nb, nb_port)) = s.peer_of(c.device, port) else { continue };
+                if let Some(mut nm) = s.take_node_monitor(nb) {
+                    if let Some(ns) = nm.as_any_mut().downcast_mut::<NetSeerMonitor>() {
+                        ns.rebase_ingress(nb_port);
+                    }
+                    s.install_node_monitor(nb, nm);
+                }
+            }
+        });
+    }
+    log
+}
+
+/// Drive a collector through a crash schedule against a time-ordered
+/// delivery stream, then reconcile: events delivered before each crash are
+/// ingested, the crash fires (with a checkpoint taken at the preceding
+/// crash boundary for hard kills to revert to), and after the last crash
+/// the full history is re-offered — the idempotent gates turn the repair
+/// into exactly-once. Returns the total events reverted by hard kills
+/// (all of which reconciliation restores).
+pub fn run_collector_crash_drill(
+    collector: &mut Collector,
+    deliveries: &[StoredEvent],
+    crashes: &[CollectorCrash],
+) -> u64 {
+    let mut sorted: Vec<StoredEvent> = deliveries.to_vec();
+    sorted.sort_by_key(|e| (e.time_ns, e.device, e.epoch, e.seq));
+    let mut schedule: Vec<CollectorCrash> = crashes.to_vec();
+    schedule.sort_by_key(|c| c.at_ns);
+    let mut reverted = 0;
+    let mut cursor = 0;
+    for crash in schedule {
+        let upto = sorted[cursor..].partition_point(|e| e.time_ns < crash.at_ns) + cursor;
+        collector.ingest(&sorted[cursor..upto]);
+        cursor = upto;
+        reverted += collector.crash_restart(crash.kind);
+        // Reconnect handshake: each sender learns the collector's
+        // watermark and retransmits its uncovered suffix BEFORE new
+        // deliveries resume — the per-epoch watermark must not jump over
+        // the reverted range, or it would be rejected as duplicate
+        // forever. The gates accept exactly what the kill reverted.
+        collector.ingest(&sorted[..cursor]);
+    }
+    collector.ingest(&sorted[cursor..]);
+    // A final full re-offer demonstrates idempotence: everything dedups.
+    collector.ingest(&sorted);
+    reverted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fet_packet::event::{EventDetail, EventType};
+    use fet_packet::ipv4::Ipv4Addr;
+    use fet_packet::FlowKey;
+
+    fn rec(n: u16) -> EventRecord {
+        EventRecord {
+            ty: EventType::Congestion,
+            flow: FlowKey::tcp(
+                Ipv4Addr::from_octets([10, 0, 0, 1]),
+                n,
+                Ipv4Addr::from_octets([10, 0, 0, 2]),
+                80,
+            ),
+            detail: EventDetail::Congestion { egress_port: 0, queue: 0, latency_us: n },
+            counter: 1,
+            hash: u32::from(n),
+        }
+    }
+
+    fn stored(device: u32, epoch: u32, seq: u64) -> StoredEvent {
+        StoredEvent { time_ns: seq * 10, device, epoch, seq, record: rec(seq as u16) }
+    }
+
+    #[test]
+    fn replay_reconstructs_enq_evict_deq() {
+        let base = [rec(0), rec(1)];
+        let ops = [
+            WalOp::Enq(rec(2)),
+            WalOp::Enq(rec(3)),
+            // Evict position 1 (= rec(1)).
+            WalOp::Evict { pending_pos: 1 },
+            // A batch of 2 departs (= rec(0), rec(2)).
+            WalOp::Deq { count: 2 },
+            WalOp::Enq(rec(4)),
+        ];
+        let q = replay_ops(&base, &ops);
+        assert_eq!(Vec::from(q), vec![rec(3), rec(4)]);
+    }
+
+    #[test]
+    fn replay_is_idempotent_over_a_durable_log() {
+        let base = [rec(7)];
+        let ops = [WalOp::Enq(rec(8)), WalOp::Deq { count: 1 }, WalOp::Enq(rec(9))];
+        assert_eq!(replay_ops(&base, &ops), replay_ops(&base, &ops));
+    }
+
+    #[test]
+    fn clean_stop_loses_nothing() {
+        let mut log = RecoveryLog::new(1_000_000);
+        for n in 0..5 {
+            log.log_enq(rec(n));
+        }
+        assert_eq!(log.unsynced_ops(), 5);
+        log.record_kill(CrashKind::Clean, 500, 5);
+        let replayed = log.replay();
+        assert_eq!(replayed.len(), 5, "clean stop fsyncs the tail");
+        let (kind, at, lost) = log.complete_restart(replayed.len() as u64);
+        assert_eq!((kind, at, lost), (CrashKind::Clean, 500, 0));
+        assert_eq!(log.lost_to_crash, 0);
+        assert_eq!(log.restarts, 1);
+    }
+
+    #[test]
+    fn hard_kill_loses_only_the_unsynced_enqueue_tail() {
+        let mut log = RecoveryLog::new(1_000_000);
+        log.log_enq(rec(0));
+        log.log_enq(rec(1));
+        // Checkpoint materializes the two and truncates the WAL.
+        log.checkpoint(100, Snapshot { pending: vec![rec(0), rec(1)], ..Default::default() });
+        // A batch departs (fsynced eagerly) then three arrive un-fsynced.
+        log.log_deq(2);
+        for n in 2..5 {
+            log.log_enq(rec(n));
+        }
+        assert_eq!(log.unsynced_ops(), 3);
+        log.record_kill(CrashKind::Hard, 900, 3);
+        let replayed = log.replay();
+        // The Deq survived (fsynced), the three enqueues died.
+        assert!(replayed.is_empty());
+        let (kind, _, lost) = log.complete_restart(replayed.len() as u64);
+        assert_eq!(kind, CrashKind::Hard);
+        assert_eq!(lost, 3, "exactly the un-fsynced tail");
+        assert_eq!(log.lost_to_crash, 3);
+    }
+
+    #[test]
+    fn hard_kill_never_resurrects_removed_events() {
+        // The dangerous interleaving: deliver a batch, then die hard
+        // before any further fsync. If the Deq were not fsynced eagerly,
+        // replay would resurrect the delivered events (double count).
+        let mut log = RecoveryLog::new(1_000_000);
+        log.checkpoint(0, Snapshot { pending: vec![rec(0), rec(1), rec(2)], ..Default::default() });
+        log.log_deq(3); // delivered downstream
+        log.record_kill(CrashKind::Hard, 50, 0);
+        assert!(log.replay().is_empty(), "delivered events must stay gone");
+        let (_, _, lost) = log.complete_restart(0);
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn eviction_is_durable_before_the_shed_is_counted() {
+        let mut log = RecoveryLog::new(1_000_000);
+        log.checkpoint(0, Snapshot { pending: vec![rec(0), rec(1)], ..Default::default() });
+        // rec(0) evicted (counted shed), a replacement arrives un-fsynced.
+        log.log_evict(0);
+        log.log_enq(rec(9));
+        log.record_kill(CrashKind::Hard, 10, 2);
+        let replayed = log.replay();
+        assert_eq!(replayed, vec![rec(1)], "the evicted event must not come back");
+        let (_, _, lost) = log.complete_restart(replayed.len() as u64);
+        assert_eq!(lost, 1, "only the un-fsynced arrival died");
+    }
+
+    #[test]
+    fn checkpoint_cadence_gates_due() {
+        let mut log = RecoveryLog::new(1_000);
+        assert!(log.due(1_000));
+        log.checkpoint(1_000, Snapshot::default());
+        assert!(!log.due(1_500));
+        assert!(log.due(2_000));
+        assert_eq!(log.checkpoints, 1);
+    }
+
+    #[test]
+    fn collector_ingest_is_exactly_once() {
+        let mut c = Collector::new();
+        let history: Vec<StoredEvent> = (0..10).map(|s| stored(3, 0, s)).collect();
+        assert_eq!(c.ingest(&history), 10);
+        // At-least-once: the full history re-offered dedups entirely.
+        assert_eq!(c.ingest(&history), 0);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.duplicates_rejected(), 10);
+    }
+
+    #[test]
+    fn collector_hard_kill_reverts_then_reconciliation_repairs() {
+        let mut c = Collector::new();
+        let history: Vec<StoredEvent> = (0..20).map(|s| stored(1, 0, s)).collect();
+        c.ingest(&history[..8]);
+        c.checkpoint();
+        c.ingest(&history[8..15]);
+        let reverted = c.crash_restart(CrashKind::Hard);
+        assert_eq!(reverted, 7, "events since the checkpoint roll back");
+        assert_eq!(c.len(), 8);
+        // Reconciliation: the sender re-offers its whole delivered
+        // history; the gates accept exactly the missing suffix.
+        assert_eq!(c.ingest(&history), 12);
+        assert_eq!(c.len(), 20);
+        assert_eq!(c.restarts, 1);
+    }
+
+    #[test]
+    fn collector_clean_stop_loses_nothing() {
+        let mut c = Collector::new();
+        c.ingest(&(0..5).map(|s| stored(2, 0, s)).collect::<Vec<_>>());
+        assert_eq!(c.crash_restart(CrashKind::Clean), 0);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn collector_rejects_pre_restart_epoch_after_bump() {
+        let mut c = Collector::new();
+        c.ingest(&[stored(5, 0, 0), stored(5, 0, 1)]);
+        // The device restarted: epoch 1 deliveries arrive.
+        c.ingest(&[stored(5, 1, 2)]);
+        // A straggling epoch-0 retransmit must not enter the store.
+        assert_eq!(c.ingest(&[stored(5, 0, 1)]), 0);
+        assert_eq!(c.stale_epoch_rejected(), 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn collector_drill_is_exactly_once_across_crashes() {
+        let history: Vec<StoredEvent> = (0..50).map(|s| stored(9, 0, s)).collect();
+        let crashes = [
+            CollectorCrash { at_ns: 120, kind: CrashKind::Clean },
+            CollectorCrash { at_ns: 333, kind: CrashKind::Hard },
+        ];
+        let mut c = Collector::new();
+        let reverted = run_collector_crash_drill(&mut c, &history, &crashes);
+        assert_eq!(c.len(), 50, "every delivery stored exactly once");
+        assert!(reverted > 0, "the hard kill must actually revert work");
+        assert!(c.duplicates_rejected() >= 50, "reconciliation re-offers dedup");
+    }
+}

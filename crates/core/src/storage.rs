@@ -13,6 +13,11 @@ pub struct StoredEvent {
     pub time_ns: u64,
     /// Reporting device.
     pub device: u32,
+    /// Sender connection epoch at delivery time (bumped per device
+    /// restart). `(device, epoch, seq)` is the exactly-once dedup key.
+    pub epoch: u32,
+    /// Per-device delivery sequence number (monotonic across epochs).
+    pub seq: u64,
     /// The 24-byte record.
     pub record: EventRecord,
 }
@@ -68,8 +73,10 @@ impl Query {
     }
 }
 
-/// Indexed event store.
-#[derive(Debug, Default)]
+/// Indexed event store. `Clone` is deliberate: the collector's crash
+/// model checkpoints the store by value and reverts to the clone on a
+/// hard kill (see [`crate::recovery::Collector`]).
+#[derive(Debug, Clone, Default)]
 pub struct EventStore {
     events: Vec<StoredEvent>,
     by_flow: HashMap<FlowKey, Vec<usize>>,
@@ -178,6 +185,8 @@ mod tests {
         StoredEvent {
             time_ns: t,
             device: dev,
+            epoch: 0,
+            seq: t,
             record: EventRecord {
                 ty,
                 flow: flow(n),

@@ -16,6 +16,8 @@
 //!   [`LossProcess`] (Bernoulli or bursty Gilbert–Elliott) and hard
 //!   partition windows, both from the device's [`FaultPlan`].
 
+use std::collections::HashMap;
+
 use crate::faults::{streams, FaultPlan, LossGen, LossProcess, Window};
 
 /// Delivery record for one message.
@@ -44,6 +46,19 @@ pub struct SendFailure {
 /// that a real partition surfaces as a failure in bounded time.
 pub const DEFAULT_MAX_RETRIES: u32 = 12;
 
+/// The sender's side of the reconnect handshake: sent to the receiver on
+/// the first message after a restart so it can adopt the new epoch and
+/// tell the sender which suffix is uncovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handshake {
+    /// The sender's new epoch (bumped once per restart).
+    pub epoch: u32,
+    /// Highest sequence number the sender saw acknowledged before the
+    /// crash, if any: everything after it is the uncovered suffix the
+    /// sender must retransmit.
+    pub last_acked_seq: Option<u64>,
+}
+
 /// Stop-and-wait reliable channel with adaptive RTO and injectable faults.
 #[derive(Debug)]
 pub struct ReliableChannel {
@@ -60,6 +75,12 @@ pub struct ReliableChannel {
     next_seq: u64,
     /// The sender's next free transmission slot.
     next_send_ns: u64,
+    /// Connection epoch: bumped by [`ReliableChannel::reconnect`] on every
+    /// sender restart. Receivers reject traffic from older epochs.
+    pub epoch: u32,
+    /// Highest sequence number acknowledged by the receiver (i.e. the last
+    /// `Ok` delivery). Carried into the reconnect [`Handshake`].
+    pub last_acked_seq: Option<u64>,
     /// Bytes put on the management wire (including retransmissions).
     pub wire_bytes: u64,
     /// Total transmissions (first attempts + retransmissions).
@@ -120,6 +141,8 @@ impl ReliableChannel {
             rttvar_ns: rtt as f64 / 2.0,
             next_seq: 0,
             next_send_ns: 0,
+            epoch: 0,
+            last_acked_seq: None,
             wire_bytes: 0,
             transmissions: 0,
             retransmissions: 0,
@@ -176,6 +199,7 @@ impl ReliableChannel {
                     self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * (self.srtt_ns - sample).abs();
                     self.srtt_ns = 0.875 * self.srtt_ns + 0.125 * sample;
                 }
+                self.last_acked_seq = Some(seq);
                 return Ok(Delivery { seq, delivered_ns, attempts });
             }
             if attempts > self.max_retries {
@@ -194,6 +218,75 @@ impl ReliableChannel {
             // Exponential backoff, capped.
             rto = (rto * 2).min(self.rto_max_ns());
         }
+    }
+
+    /// Reconnect after a sender restart: bump the epoch, reset the RTT
+    /// estimator (the old path estimate is stale) and the pacing clock, and
+    /// return the [`Handshake`] the receiver needs to dedup the uncovered
+    /// suffix. Cumulative wire counters and the sequence counter survive —
+    /// they are measurement, not connection state.
+    pub fn reconnect(&mut self, now_ns: u64) -> Handshake {
+        self.epoch += 1;
+        self.srtt_ns = self.rtt_ns as f64;
+        self.rttvar_ns = self.rtt_ns as f64 / 2.0;
+        self.next_send_ns = now_ns;
+        Handshake { epoch: self.epoch, last_acked_seq: self.last_acked_seq }
+    }
+}
+
+/// Verdict of the receiver-side epoch/sequence gate for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxVerdict {
+    /// First sight of `(epoch, seq)`: deliver to the ledger.
+    Accepted,
+    /// The message's epoch predates the receiver's current epoch for this
+    /// sender — a retransmit from before a restart. It must be rejected
+    /// here, not silently delivered into the new epoch's accounting.
+    StaleEpoch,
+    /// Already seen (same epoch, seq at or below the watermark).
+    Duplicate,
+}
+
+/// Receiver-side exactly-once gate: per-sender epoch adoption plus a
+/// per-epoch sequence watermark. Senders attach `(epoch, seq)` to every
+/// message; at-least-once retransmission + this gate = exactly-once
+/// accounting.
+#[derive(Debug, Clone, Default)]
+pub struct EpochReceiver {
+    /// Current (highest ever seen) sender epoch.
+    pub epoch: u32,
+    /// Per-epoch next-expected sequence number: `seq < next[epoch]` has
+    /// already been accepted.
+    next: HashMap<u32, u64>,
+    /// Messages accepted.
+    pub accepted: u64,
+    /// Retransmits rejected for carrying a pre-restart epoch.
+    pub stale_epoch_rejected: u64,
+    /// Same-epoch duplicates suppressed.
+    pub duplicates_rejected: u64,
+}
+
+impl EpochReceiver {
+    /// Judge one `(epoch, seq)` pair, updating the gate's state.
+    pub fn accept(&mut self, epoch: u32, seq: u64) -> RxVerdict {
+        if epoch < self.epoch {
+            self.stale_epoch_rejected += 1;
+            return RxVerdict::StaleEpoch;
+        }
+        self.epoch = epoch;
+        let next = self.next.entry(epoch).or_insert(0);
+        if seq < *next {
+            self.duplicates_rejected += 1;
+            return RxVerdict::Duplicate;
+        }
+        *next = seq + 1;
+        self.accepted += 1;
+        RxVerdict::Accepted
+    }
+
+    /// The watermark for `epoch`: sequences below it have been accepted.
+    pub fn watermark(&self, epoch: u32) -> u64 {
+        self.next.get(&epoch).copied().unwrap_or(0)
     }
 }
 
@@ -342,6 +435,63 @@ mod tests {
         // Clean deliveries shrink variance: RTO converges toward RTT.
         assert!(ch.rto_ns() <= before);
         assert!(ch.rto_ns() >= 1_000);
+    }
+
+    #[test]
+    fn reconnect_bumps_epoch_and_carries_last_ack() {
+        let mut ch = ReliableChannel::new(0.0, 1_000, 0, 1);
+        assert_eq!(ch.epoch, 0);
+        for _ in 0..3 {
+            ch.send(0, 10).expect("delivered");
+        }
+        let tx_before = ch.transmissions;
+        let hs = ch.reconnect(5_000);
+        assert_eq!(hs, Handshake { epoch: 1, last_acked_seq: Some(2) });
+        assert_eq!(ch.epoch, 1);
+        // Counters and the sequence space survive the restart.
+        assert_eq!(ch.transmissions, tx_before);
+        assert_eq!(ch.send(5_000, 10).expect("delivered").seq, 3);
+        // A second restart keeps bumping.
+        assert_eq!(ch.reconnect(9_000).epoch, 2);
+    }
+
+    #[test]
+    fn reconnect_with_nothing_acked_has_empty_handshake() {
+        let mut ch = ReliableChannel::new(1.0, 1_000, 0, 1);
+        assert!(ch.send(0, 10).is_err(), "total loss: nothing ever acked");
+        assert_eq!(ch.reconnect(0).last_acked_seq, None);
+    }
+
+    #[test]
+    fn receiver_rejects_stale_epoch_retransmits() {
+        let mut rx = EpochReceiver::default();
+        for seq in 0..5 {
+            assert_eq!(rx.accept(0, seq), RxVerdict::Accepted);
+        }
+        // Sender restarts; receiver adopts epoch 1.
+        assert_eq!(rx.accept(1, 5), RxVerdict::Accepted);
+        // A late retransmit from before the restart must be rejected by
+        // epoch — not delivered into the new epoch's ledger.
+        assert_eq!(rx.accept(0, 3), RxVerdict::StaleEpoch);
+        assert_eq!(rx.accept(0, 99), RxVerdict::StaleEpoch);
+        assert_eq!(rx.stale_epoch_rejected, 2);
+        assert_eq!(rx.accepted, 6);
+    }
+
+    #[test]
+    fn receiver_dedups_within_an_epoch() {
+        let mut rx = EpochReceiver::default();
+        assert_eq!(rx.accept(2, 0), RxVerdict::Accepted);
+        assert_eq!(rx.accept(2, 1), RxVerdict::Accepted);
+        assert_eq!(rx.accept(2, 1), RxVerdict::Duplicate);
+        assert_eq!(rx.accept(2, 0), RxVerdict::Duplicate);
+        assert_eq!(rx.duplicates_rejected, 2);
+        assert_eq!(rx.watermark(2), 2);
+        // Re-offering the full history (reconciliation) is idempotent.
+        for seq in 0..2 {
+            assert_eq!(rx.accept(2, seq), RxVerdict::Duplicate);
+        }
+        assert_eq!(rx.accepted, 2);
     }
 
     #[test]

@@ -159,6 +159,62 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Crash-recovery invariant: WAL replay is deterministic and
+    /// idempotent for arbitrary op streams and checkpoint placements, a
+    /// clean stop loses nothing, and a hard kill loses at most the
+    /// un-fsynced tail — `replayed + lost == pending` always.
+    #[test]
+    fn recovery_replay_is_idempotent_and_bounded(
+        raw in proptest::collection::vec((0u8..4, 0u32..8), 1..200),
+        hard in any::<bool>(),
+    ) {
+        use netseer::recovery::{RecoveryLog, Snapshot};
+        use netseer::CrashKind;
+
+        let mut log = RecoveryLog::new(1_000);
+        let mut pending = 0usize; // ground truth the log must reconstruct
+        let mut now = 0u64;
+        let mut n = 0u32;
+        for &(op, param) in &raw {
+            now += 100;
+            match op {
+                0 => {
+                    log.log_enq(netseer_test_event(n));
+                    n += 1;
+                    pending += 1;
+                }
+                1 if pending > 0 => {
+                    log.log_evict(param as usize % pending);
+                    pending -= 1;
+                }
+                2 if pending > 0 => {
+                    let k = (param as usize % pending) + 1;
+                    log.log_deq(k);
+                    pending -= k;
+                }
+                3 => {
+                    let snap = Snapshot { pending: log.replay(), ..Default::default() };
+                    log.checkpoint(now, snap);
+                }
+                _ => {}
+            }
+        }
+        let unsynced = log.unsynced_ops();
+        let kind = if hard { CrashKind::Hard } else { CrashKind::Clean };
+        log.record_kill(kind, now, pending as u64);
+        let first = log.replay();
+        let again = log.replay();
+        prop_assert_eq!(&first, &again, "replay must be idempotent");
+        let (_, _, lost) = log.complete_restart(first.len() as u64);
+        prop_assert!(lost as usize <= unsynced, "lost {} > unsynced {}", lost, unsynced);
+        if !hard {
+            prop_assert_eq!(lost, 0, "a clean stop must be lossless");
+        }
+        prop_assert_eq!(first.len() as u64 + lost, pending as u64);
+    }
+}
+
 fn netseer_test_event(n: u32) -> fet_packet::event::EventRecord {
     fet_packet::event::EventRecord {
         ty: fet_packet::event::EventType::Congestion,
@@ -193,6 +249,8 @@ proptest! {
         let mk = |t: u64, dev: u32, fl: u32, ty_code: u8| StoredEvent {
             time_ns: t,
             device: dev,
+            epoch: 0,
+            seq: t,
             record: EventRecord {
                 ty: EventType::from_code(ty_code).unwrap(),
                 flow: flow(fl),

@@ -3,7 +3,7 @@
 
 use crate::host::Host;
 use crate::link::{Link, LinkDirection, LinkOutcome};
-use crate::monitor::MgmtReport;
+use crate::monitor::{MgmtReport, SwitchMonitor};
 use crate::switchdev::{ArrivalEffects, SwitchDevice};
 use crate::time::tx_time_ns;
 use crate::tracer::{GroundTruth, GtEvent};
@@ -229,6 +229,27 @@ impl Simulator {
         match &mut self.nodes[id as usize] {
             Node::Host(h) => h,
             Node::Switch(_) => panic!("node {id} is a switch"),
+        }
+    }
+
+    /// Detach the monitor of any node (switch or host) — the crash half of
+    /// a device restart. The data plane keeps forwarding; the node's
+    /// monitor timer keeps firing and finding nothing, so a later
+    /// [`install_node_monitor`](Simulator::install_node_monitor) resumes
+    /// ticks without re-arming.
+    pub fn take_node_monitor(&mut self, id: NodeId) -> Option<Box<dyn SwitchMonitor>> {
+        match &mut self.nodes[id as usize] {
+            Node::Switch(s) => s.take_monitor(),
+            Node::Host(h) => h.monitor.take(),
+        }
+    }
+
+    /// Reattach a monitor to any node — the restart half of a device
+    /// restart.
+    pub fn install_node_monitor(&mut self, id: NodeId, m: Box<dyn SwitchMonitor>) {
+        match &mut self.nodes[id as usize] {
+            Node::Switch(s) => s.set_monitor(m),
+            Node::Host(h) => h.monitor = Some(m),
         }
     }
 

@@ -175,6 +175,17 @@ impl SwitchDevice {
         self.monitor = Some(m);
     }
 
+    /// Detach the telemetry monitor (a switch-CPU crash). Frames keep
+    /// forwarding while the monitor is away — the data plane does not stop
+    /// when the CPU dies — but nothing is observed, tagged, or reported
+    /// until a monitor is reattached via
+    /// [`set_monitor`](SwitchDevice::set_monitor). The periodic monitor
+    /// timer keeps firing (and finding no monitor), so reattachment needs
+    /// no re-arming.
+    pub fn take_monitor(&mut self) -> Option<Box<dyn SwitchMonitor>> {
+        self.monitor.take()
+    }
+
     fn qidx(&self, port: u8, queue: u8) -> usize {
         usize::from(port) * usize::from(QUEUES) + usize::from(queue)
     }
@@ -246,6 +257,18 @@ impl SwitchDevice {
                 return fx;
             }
             meta.frame_len = frame.len();
+        } else {
+            // Hop-local sequence tags are parsed out by the ASIC data plane;
+            // that happens whether or not a switch CPU (monitor) is attached.
+            // A crashed/detached monitor must therefore never leak a tag to
+            // the next hop — only the *observation* stops during downtime.
+            use fet_packet::ethernet::{EtherType, EthernetFrame};
+            if EthernetFrame::new_unchecked(&frame).ethertype() == EtherType::NetSeerSeq {
+                if let Ok((_seq, inner)) = fet_packet::builder::strip_seqtag(&frame) {
+                    frame = inner;
+                    meta.frame_len = frame.len();
+                }
+            }
         }
 
         match classify(&frame) {

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/netseer-1973523f5df6f7fb.d: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs
+/root/repo/target/debug/deps/netseer-1973523f5df6f7fb.d: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs
 
-/root/repo/target/debug/deps/libnetseer-1973523f5df6f7fb.rlib: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs
+/root/repo/target/debug/deps/libnetseer-1973523f5df6f7fb.rlib: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs
 
-/root/repo/target/debug/deps/libnetseer-1973523f5df6f7fb.rmeta: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs
+/root/repo/target/debug/deps/libnetseer-1973523f5df6f7fb.rmeta: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs
 
 crates/core/src/lib.rs:
 crates/core/src/acl_agg.rs:
@@ -19,5 +19,6 @@ crates/core/src/detect/pause.rs:
 crates/core/src/extract.rs:
 crates/core/src/faults.rs:
 crates/core/src/monitor.rs:
+crates/core/src/recovery.rs:
 crates/core/src/storage.rs:
 crates/core/src/transport.rs:

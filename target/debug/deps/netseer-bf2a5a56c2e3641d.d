@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/netseer-bf2a5a56c2e3641d.d: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs Cargo.toml
+/root/repo/target/debug/deps/netseer-bf2a5a56c2e3641d.d: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnetseer-bf2a5a56c2e3641d.rmeta: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs Cargo.toml
+/root/repo/target/debug/deps/libnetseer-bf2a5a56c2e3641d.rmeta: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/acl_agg.rs:
@@ -17,9 +17,10 @@ crates/core/src/detect/pause.rs:
 crates/core/src/extract.rs:
 crates/core/src/faults.rs:
 crates/core/src/monitor.rs:
+crates/core/src/recovery.rs:
 crates/core/src/storage.rs:
 crates/core/src/transport.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/netseer-d289f8b13d04035a.d: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs
+/root/repo/target/debug/deps/netseer-d289f8b13d04035a.d: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs
 
-/root/repo/target/debug/deps/netseer-d289f8b13d04035a: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs
+/root/repo/target/debug/deps/netseer-d289f8b13d04035a: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs
 
 crates/core/src/lib.rs:
 crates/core/src/acl_agg.rs:
@@ -17,5 +17,6 @@ crates/core/src/detect/pause.rs:
 crates/core/src/extract.rs:
 crates/core/src/faults.rs:
 crates/core/src/monitor.rs:
+crates/core/src/recovery.rs:
 crates/core/src/storage.rs:
 crates/core/src/transport.rs:

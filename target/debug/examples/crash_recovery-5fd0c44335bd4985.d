@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-5fd0c44335bd4985.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-5fd0c44335bd4985: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

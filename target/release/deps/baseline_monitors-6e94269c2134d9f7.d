@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_monitors-6e94269c2134d9f7.d: tests/baseline_monitors.rs
+
+/root/repo/target/release/deps/baseline_monitors-6e94269c2134d9f7: tests/baseline_monitors.rs
+
+tests/baseline_monitors.rs:

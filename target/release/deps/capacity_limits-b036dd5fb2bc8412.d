@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capacity_limits-b036dd5fb2bc8412.d: tests/capacity_limits.rs
+
+/root/repo/target/release/deps/capacity_limits-b036dd5fb2bc8412: tests/capacity_limits.rs
+
+tests/capacity_limits.rs:

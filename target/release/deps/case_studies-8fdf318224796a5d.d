@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_studies-8fdf318224796a5d.d: tests/case_studies.rs
+
+/root/repo/target/release/deps/case_studies-8fdf318224796a5d: tests/case_studies.rs
+
+tests/case_studies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-281936f6d9a7b23d.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-281936f6d9a7b23d: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-573911aab508c5e2.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-573911aab508c5e2: tests/extensions.rs
+
+tests/extensions.rs:

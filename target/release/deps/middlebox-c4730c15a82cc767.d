@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/middlebox-c4730c15a82cc767.d: tests/middlebox.rs
+
+/root/repo/target/release/deps/middlebox-c4730c15a82cc767: tests/middlebox.rs
+
+tests/middlebox.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/netseer-b496a4c77b7b94ec.d: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs
+/root/repo/target/release/deps/netseer-b496a4c77b7b94ec.d: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs
 
-/root/repo/target/release/deps/libnetseer-b496a4c77b7b94ec.rlib: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs
+/root/repo/target/release/deps/libnetseer-b496a4c77b7b94ec.rlib: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs
 
-/root/repo/target/release/deps/libnetseer-b496a4c77b7b94ec.rmeta: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/storage.rs crates/core/src/transport.rs
+/root/repo/target/release/deps/libnetseer-b496a4c77b7b94ec.rmeta: crates/core/src/lib.rs crates/core/src/acl_agg.rs crates/core/src/batch.rs crates/core/src/capacity.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dedup.rs crates/core/src/deploy.rs crates/core/src/detect/mod.rs crates/core/src/detect/interswitch.rs crates/core/src/detect/path_change.rs crates/core/src/detect/pause.rs crates/core/src/extract.rs crates/core/src/faults.rs crates/core/src/monitor.rs crates/core/src/recovery.rs crates/core/src/storage.rs crates/core/src/transport.rs
 
 crates/core/src/lib.rs:
 crates/core/src/acl_agg.rs:
@@ -19,5 +19,6 @@ crates/core/src/detect/pause.rs:
 crates/core/src/extract.rs:
 crates/core/src/faults.rs:
 crates/core/src/monitor.rs:
+crates/core/src/recovery.rs:
 crates/core/src/storage.rs:
 crates/core/src/transport.rs:

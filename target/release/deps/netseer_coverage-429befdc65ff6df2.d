@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/netseer_coverage-429befdc65ff6df2.d: tests/netseer_coverage.rs
+
+/root/repo/target/release/deps/netseer_coverage-429befdc65ff6df2: tests/netseer_coverage.rs
+
+tests/netseer_coverage.rs:

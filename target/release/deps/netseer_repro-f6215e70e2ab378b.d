@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/netseer_repro-f6215e70e2ab378b.d: src/lib.rs
+
+/root/repo/target/release/deps/netseer_repro-f6215e70e2ab378b: src/lib.rs
+
+src/lib.rs:

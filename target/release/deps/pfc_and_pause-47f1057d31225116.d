@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pfc_and_pause-47f1057d31225116.d: tests/pfc_and_pause.rs
+
+/root/repo/target/release/deps/pfc_and_pause-47f1057d31225116: tests/pfc_and_pause.rs
+
+tests/pfc_and_pause.rs:

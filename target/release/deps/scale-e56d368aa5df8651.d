@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale-e56d368aa5df8651.d: tests/scale.rs
+
+/root/repo/target/release/deps/scale-e56d368aa5df8651: tests/scale.rs
+
+tests/scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_recovery-38976e991fda44f0.d: examples/crash_recovery.rs
+
+/root/repo/target/release/examples/crash_recovery-38976e991fda44f0: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

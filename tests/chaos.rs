@@ -20,8 +20,21 @@ use fet_netsim::Simulator;
 use fet_packet::event::EventType;
 use fet_packet::FlowKey;
 use netseer::deploy::{collect_events, deploy, monitor_of, DeployOptions};
-use netseer::faults::OverloadWindow;
-use netseer::{DeliveryLedger, FaultPlan, LossProcess, NetSeerConfig, Window};
+use netseer::faults::{seeded_device_crashes, OverloadWindow};
+use netseer::{
+    schedule_device_crashes, Collector, CrashKind, DeliveryLedger, FaultPlan, LossProcess,
+    NetSeerConfig, Window,
+};
+
+/// Seed diversification for the CI matrix: when `CHAOS_SEED` is set, every
+/// scenario's base seed is mixed with it so each matrix leg sweeps a
+/// genuinely different (but still fully deterministic) run.
+fn seed(base: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => base ^ s.trim().parse::<u64>().unwrap_or(0).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        Err(_) => base,
+    }
+}
 
 fn setup(cfg: NetSeerConfig) -> (Simulator, FatTree) {
     let mut sim = Simulator::new();
@@ -75,6 +88,7 @@ fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
         total.shed_false_positive += l.shed_false_positive;
         total.shed_transport += l.shed_transport;
         total.pending += l.pending;
+        total.lost_to_crash += l.lost_to_crash;
     }
     total
 }
@@ -94,7 +108,7 @@ fn fleet_notification_drops(sim: &Simulator) -> u64 {
 #[test]
 fn burst_loss_on_mgmt_network_is_absorbed() {
     let faults = FaultPlan {
-        seed: 0xC0FFEE,
+        seed: seed(0xC0FFEE),
         mgmt_loss: LossProcess::GilbertElliott {
             p_enter_bad: 0.2,
             p_exit_bad: 0.2,
@@ -124,7 +138,7 @@ fn mgmt_partition_heals_and_reports_resume() {
     // the heal.
     let partition = Window { start_ns: 0, end_ns: 2 * MILLIS };
     let faults =
-        FaultPlan { seed: 0xBEEF, mgmt_partitions: vec![partition], ..FaultPlan::default() };
+        FaultPlan { seed: seed(0xBEEF), mgmt_partitions: vec![partition], ..FaultPlan::default() };
     let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
     drive_lossy_fabric(&mut sim, &ft, 0.02);
     sim.run_until(30 * MILLIS);
@@ -147,7 +161,7 @@ fn mgmt_partition_heals_and_reports_resume() {
 #[test]
 fn notification_copy_loss_survived_by_redundancy() {
     let faults = FaultPlan {
-        seed: 0x5EED,
+        seed: seed(0x5EED),
         notification_loss: LossProcess::Bernoulli { p: 0.35 },
         ..FaultPlan::default()
     };
@@ -182,7 +196,7 @@ fn notification_copy_loss_survived_by_redundancy() {
 #[test]
 fn cpu_overload_sheds_and_counts() {
     let faults = FaultPlan {
-        seed: 0xFEED,
+        seed: seed(0xFEED),
         cpu_overload: vec![OverloadWindow {
             window: Window { start_ns: 0, end_ns: 100 * MILLIS },
             factor: 5_000.0,
@@ -215,7 +229,7 @@ fn cpu_overload_sheds_and_counts() {
 #[test]
 fn cebp_and_pcie_stalls_delay_but_never_lose() {
     let faults = FaultPlan {
-        seed: 0xD1CE,
+        seed: seed(0xD1CE),
         cebp_stalls: vec![Window { start_ns: MILLIS, end_ns: 3 * MILLIS }],
         pcie_stalls: vec![Window { start_ns: 2 * MILLIS, end_ns: 5 * MILLIS }],
         ..FaultPlan::default()
@@ -258,4 +272,155 @@ fn same_seed_reproduces_the_same_chaos() {
     let a = run(42);
     assert_eq!(a, run(42), "same seed must reproduce bit-for-bit");
     assert!(a != run(43), "different seeds should perturb the run (got identical outcomes)");
+}
+
+/// Seeded crash schedule used by the crash-recovery scenarios: every
+/// switch CPU dies once inside [2 ms, 10 ms) and restarts 500 µs later.
+fn crash_schedule(s: u64, sim: &Simulator, kind: CrashKind) -> Vec<netseer::DeviceCrash> {
+    seeded_device_crashes(
+        s,
+        &sim.switch_ids(),
+        Window { start_ns: 2 * MILLIS, end_ns: 10 * MILLIS },
+        500 * MICROS,
+        kind,
+    )
+}
+
+/// Scenario 6 — every switch CPU stops cleanly once, mid-run. A clean
+/// stop checkpoints on the way down, so recovery is literally lossless:
+/// `lost_to_crash == 0` fleet-wide and the ledger still balances.
+#[test]
+fn clean_restart_of_every_switch_cpu_is_lossless() {
+    let faults = FaultPlan { seed: seed(0xCAFE), ..FaultPlan::default() };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    let crashes = crash_schedule(seed(0xCAFE), &sim, CrashKind::Clean);
+    let n_switches = crashes.len();
+    let log = schedule_device_crashes(&mut sim, &crashes);
+    sim.run_until(30 * MILLIS);
+
+    assert_eq!(log.len(), n_switches, "every switch CPU must restart exactly once");
+    assert_eq!(log.total_lost(), 0, "clean stops are lossless");
+    assert!(log.reports().iter().all(|r| r.epoch >= 1), "restart must bump the epoch");
+    let ledger = fleet_ledger(&sim);
+    assert!(ledger.generated > 0 && ledger.delivered > 0);
+    assert_eq!(ledger.lost_to_crash, 0);
+    assert_eq!(ledger.missing(), 0, "zero silent loss across fleet-wide restarts");
+}
+
+/// Scenario 7 — every switch CPU is hard-killed once (the un-fsynced WAL
+/// tail dies with it). The ledger extends rather than breaks:
+/// `generated == delivered + shed + pending + lost_to_crash`, with the
+/// loss provably bounded by the un-checkpointed window on each device.
+#[test]
+fn hard_kill_of_every_switch_cpu_bounds_the_loss() {
+    let faults = FaultPlan { seed: seed(0xDEAD), ..FaultPlan::default() };
+    // A short checkpoint cadence keeps the exposure window tight.
+    let cfg = NetSeerConfig { faults, checkpoint_interval_ns: MILLIS, ..NetSeerConfig::default() };
+    let (mut sim, ft) = setup(cfg);
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    let crashes = crash_schedule(seed(0xDEAD), &sim, CrashKind::Hard);
+    let n_switches = crashes.len();
+    let log = schedule_device_crashes(&mut sim, &crashes);
+    sim.run_until(30 * MILLIS);
+
+    assert_eq!(log.len(), n_switches, "every switch CPU must restart exactly once");
+    let ledger = fleet_ledger(&sim);
+    assert!(ledger.generated > 0 && ledger.delivered > 0);
+    assert_eq!(
+        ledger.lost_to_crash,
+        log.total_lost(),
+        "the fleet ledger's crash loss must equal the per-restart accounting"
+    );
+    // The bound: each kill destroys at most what arrived since that
+    // device's last checkpoint — never the whole pending set, and every
+    // report says so explicitly.
+    for r in log.reports() {
+        assert!(r.lost <= r.pending_at_kill, "{r:?}");
+        assert_eq!(r.replayed + r.lost, r.pending_at_kill, "{r:?}");
+    }
+    assert_eq!(ledger.missing(), 0, "hard kills must be accounted, not silent");
+}
+
+/// Scenario 8 — restart discontinuities are not loss. With crashes but NO
+/// link faults, any inter-switch gap would be a false positive from the
+/// post-restart sequence discontinuity; the neighbor re-base must keep the
+/// count at zero while the counters themselves survive the restarts.
+#[test]
+fn restart_discontinuity_is_not_counted_as_loss() {
+    let faults = FaultPlan { seed: seed(0xAB1E), ..FaultPlan::default() };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    // Clean fabric: no drops at all.
+    drive_lossy_fabric(&mut sim, &ft, 0.0);
+    let crashes = crash_schedule(seed(0xAB1E), &sim, CrashKind::Hard);
+    let log = schedule_device_crashes(&mut sim, &crashes);
+    sim.run_until(30 * MILLIS);
+
+    assert!(!log.is_empty());
+    let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
+    let gaps: u64 = ids.iter().map(|&id| monitor_of(&sim, id).gaps_detected()).sum();
+    assert_eq!(gaps, 0, "restart discontinuities must not be charged as loss bursts");
+    assert_eq!(fleet_ledger(&sim).missing(), 0);
+}
+
+/// Scenario 9 — one hard collector kill mid-run. Senders keep their
+/// delivered history; after the collector reverts to its checkpoint, the
+/// reconnect handshake retransmits the uncovered suffix and the
+/// `(device, epoch, seq)` gates dedup the rest: exactly-once end to end,
+/// even with every switch CPU also restarting during the run.
+#[test]
+fn collector_hard_kill_reconciles_to_exactly_once() {
+    let faults = FaultPlan { seed: seed(0xFA11), ..FaultPlan::default() };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    let crashes = crash_schedule(seed(0xFA11), &sim, CrashKind::Hard);
+    let _log = schedule_device_crashes(&mut sim, &crashes);
+    sim.run_until(30 * MILLIS);
+
+    // Every sender's delivered history, fleet-wide.
+    let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
+    let deliveries: Vec<netseer::StoredEvent> =
+        ids.iter().flat_map(|&id| monitor_of(&sim, id).delivered.iter().copied()).collect();
+    assert!(!deliveries.is_empty());
+
+    // Place the checkpoint at the median delivery and the kill after the
+    // last one, so the revert window is guaranteed non-empty whatever the
+    // seed does to the delivery timeline.
+    let mut times: Vec<u64> = deliveries.iter().map(|e| e.time_ns).collect();
+    times.sort_unstable();
+    let t_mid = times[times.len() / 2];
+    let t_crash = *times.last().unwrap() + 1;
+
+    let crash = netseer::CollectorCrash { at_ns: t_crash, kind: CrashKind::Hard };
+    let mut collector = Collector::new();
+    // Give the hard kill a checkpoint to revert to (mid-run durability).
+    let mid: Vec<netseer::StoredEvent> =
+        deliveries.iter().filter(|e| e.time_ns < t_mid).copied().collect();
+    collector.ingest(&mid);
+    collector.checkpoint();
+    let reverted = netseer::run_collector_crash_drill(&mut collector, &deliveries, &[crash]);
+
+    assert!(reverted > 0, "the hard kill must actually revert ingested work");
+    assert_eq!(collector.len(), deliveries.len(), "exactly-once after reconciliation");
+    assert!(collector.duplicates_rejected() > 0, "reconciliation must have deduped");
+}
+
+/// The reproducibility contract extended to crash-recovery: the same seed
+/// reproduces the same crash schedule, the same per-restart loss, and the
+/// same final counters — twice.
+#[test]
+fn same_seed_reproduces_the_same_crashes() {
+    let run = |base: u64| {
+        let faults = FaultPlan { seed: base, ..FaultPlan::default() };
+        let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+        drive_lossy_fabric(&mut sim, &ft, 0.02);
+        let crashes = crash_schedule(base, &sim, CrashKind::Hard);
+        let log = schedule_device_crashes(&mut sim, &crashes);
+        sim.run_until(30 * MILLIS);
+        let store = collect_events(&mut sim);
+        (fleet_ledger(&sim), log.reports(), store.len())
+    };
+    let a = run(seed(7));
+    assert_eq!(a, run(seed(7)), "same seed must reproduce crashes bit-for-bit");
+    assert!(a != run(seed(8)), "different seeds should move the crash windows");
 }
