@@ -1,0 +1,181 @@
+//! One analytics shard: a windowed aggregator plus a Space-Saving sketch,
+//! with a per-shard [`AnalyticsLedger`] that accounts for every ingested
+//! event so nothing disappears silently — the analytics-side extension of
+//! the transport's `generated == delivered + shed + pending +
+//! lost_to_crash` discipline.
+
+use crate::topk::SpaceSaving;
+use crate::window::{AggKey, WindowAggregator};
+use netseer::StoredEvent;
+
+/// Disposition accounting for one shard (or, summed, the whole engine).
+///
+/// Identity: `ingested == aggregated + sketch_absorbed + shed_analytics`.
+///
+/// Every event gets exactly one disposition:
+/// * `aggregated` — the window aggregator accepted it (the common case);
+/// * `sketch_absorbed` — the aggregator's key table was full but the event
+///   is a loss/congestion report, so the top-k sketch (which never
+///   rejects) still captured its flow;
+/// * `shed_analytics` — neither structure could hold it; counted, not lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyticsLedger {
+    /// Events handed to the shard.
+    pub ingested: u64,
+    /// Accepted by the window aggregator.
+    pub aggregated: u64,
+    /// Refused by the aggregator, absorbed by the top-k sketch.
+    pub sketch_absorbed: u64,
+    /// Refused by both; accounted as analytics shed.
+    pub shed_analytics: u64,
+}
+
+impl AnalyticsLedger {
+    /// True when the identity holds.
+    pub fn balanced(&self) -> bool {
+        self.ingested == self.aggregated + self.sketch_absorbed + self.shed_analytics
+    }
+
+    /// Events unaccounted for (0 when balanced).
+    pub fn missing(&self) -> i64 {
+        self.ingested as i64 - (self.aggregated + self.sketch_absorbed + self.shed_analytics) as i64
+    }
+
+    /// Panic with a full breakdown unless balanced.
+    pub fn assert_balanced(&self) {
+        assert!(
+            self.balanced(),
+            "analytics ledger unbalanced: ingested {} != aggregated {} + sketch_absorbed {} \
+             + shed_analytics {} (missing {})",
+            self.ingested,
+            self.aggregated,
+            self.sketch_absorbed,
+            self.shed_analytics,
+            self.missing()
+        );
+    }
+
+    /// Sum another ledger into this one.
+    pub fn absorb(&mut self, other: &AnalyticsLedger) {
+        self.ingested += other.ingested;
+        self.aggregated += other.aggregated;
+        self.sketch_absorbed += other.sketch_absorbed;
+        self.shed_analytics += other.shed_analytics;
+    }
+}
+
+/// One flow-hash shard: windows + sketch + ledger.
+#[derive(Debug, Clone)]
+pub struct ShardWorker {
+    /// Tumbling/sliding aggregates for this shard's flows.
+    pub windows: WindowAggregator,
+    /// Heaviest loss/congestion flows in this shard.
+    pub topk: SpaceSaving,
+    /// Disposition accounting.
+    pub ledger: AnalyticsLedger,
+}
+
+impl ShardWorker {
+    /// A shard with the given window geometry and sketch capacity.
+    pub fn new(window_ns: u64, sliding_buckets: usize, max_agg_keys: usize, topk_k: usize) -> Self {
+        ShardWorker {
+            windows: WindowAggregator::new(window_ns, sliding_buckets, max_agg_keys),
+            topk: SpaceSaving::new(topk_k),
+            ledger: AnalyticsLedger::default(),
+        }
+    }
+
+    /// Absorb one delivered event, assigning it exactly one disposition.
+    pub fn absorb(&mut self, e: &StoredEvent) {
+        self.ledger.ingested += 1;
+        let weight = u64::from(e.record.counter.max(1));
+        let interesting = e.record.ty.is_drop() || e.record.ty == fet_packet::EventType::Congestion;
+        // Victim flows feed the sketch regardless of the aggregator's
+        // verdict — the sketch ranks flows, the windows count keys, and
+        // the two answer different questions.
+        if interesting {
+            self.topk.offer(e.record.flow, weight);
+        }
+        if self.windows.offer(e.time_ns, AggKey::of(e), weight) {
+            self.ledger.aggregated += 1;
+        } else if interesting {
+            self.ledger.sketch_absorbed += 1;
+        } else {
+            self.ledger.shed_analytics += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fet_packet::event::{DropCode, EventDetail, EventRecord, EventType};
+    use fet_packet::ipv4::Ipv4Addr;
+    use fet_packet::FlowKey;
+
+    fn ev(device: u32, ty: EventType, time_ns: u64) -> StoredEvent {
+        let detail = if ty.is_drop() {
+            EventDetail::Drop { ingress_port: 1, egress_port: 2, code: DropCode::TableMiss }
+        } else {
+            EventDetail::Congestion { egress_port: 2, queue: 0, latency_us: 100 }
+        };
+        StoredEvent {
+            time_ns,
+            device,
+            epoch: 0,
+            seq: 0,
+            record: EventRecord {
+                ty,
+                flow: FlowKey::tcp(
+                    Ipv4Addr::from_u32(0x0a00_0000 | device),
+                    1,
+                    Ipv4Addr::from_octets([10, 9, 9, 9]),
+                    80,
+                ),
+                detail,
+                counter: 2,
+                hash: device,
+            },
+        }
+    }
+
+    #[test]
+    fn every_event_gets_exactly_one_disposition() {
+        // max_agg_keys = 2: devices 1 and 2 aggregate, the rest overflow.
+        let mut s = ShardWorker::new(100, 4, 2, 8);
+        for device in 1..=6u32 {
+            // Half drops (sketch-absorbable), half PathChange (sheddable).
+            let ty = if device % 2 == 0 { EventType::PathChange } else { EventType::MmuDrop };
+            s.absorb(&ev(device, ty, 10));
+        }
+        s.ledger.assert_balanced();
+        assert_eq!(s.ledger.ingested, 6);
+        assert_eq!(s.ledger.aggregated, 2, "first two keys accepted");
+        assert_eq!(s.ledger.sketch_absorbed, 2, "overflowing drops hit the sketch");
+        assert_eq!(s.ledger.shed_analytics, 2, "overflowing path-changes shed");
+    }
+
+    #[test]
+    fn drop_weight_reaches_the_sketch_even_when_aggregated() {
+        let mut s = ShardWorker::new(100, 4, 64, 8);
+        let e = ev(1, EventType::InterSwitchDrop, 5);
+        s.absorb(&e);
+        assert_eq!(s.ledger.aggregated, 1);
+        assert_eq!(s.topk.estimate(&e.record.flow), Some((2, 0)), "counter weight 2");
+    }
+
+    #[test]
+    fn ledger_absorb_sums_shards() {
+        let mut a = AnalyticsLedger {
+            ingested: 3,
+            aggregated: 2,
+            sketch_absorbed: 1,
+            ..Default::default()
+        };
+        let b =
+            AnalyticsLedger { ingested: 2, aggregated: 1, shed_analytics: 1, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.ingested, 5);
+        a.assert_balanced();
+    }
+}

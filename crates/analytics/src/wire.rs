@@ -1,0 +1,22 @@
+//! Glue between the simulator fleet and the analytics engine: build the
+//! link map from the simulator's wiring truth and harvest downstream
+//! gap-detector scrapes from the deployed monitors.
+
+use crate::correlate::{GapReport, LinkMap};
+use fet_netsim::engine::Simulator;
+use netseer::deploy::gap_reports;
+
+/// The fleet's link map, from the simulator's port wiring.
+pub fn link_map_from_sim(sim: &Simulator) -> LinkMap {
+    LinkMap::from_endpoints(sim.link_endpoints())
+}
+
+/// Scrape every deployed monitor's per-port gap counts as correlator
+/// input. Counts are cumulative; feed each scrape to a fresh engine (or
+/// diff externally) rather than re-ingesting the same scrape twice.
+pub fn harvest_gap_reports(sim: &Simulator) -> Vec<GapReport> {
+    gap_reports(sim)
+        .into_iter()
+        .map(|(device, port, gaps)| GapReport { device, port, gaps })
+        .collect()
+}

@@ -1,0 +1,149 @@
+//! Figure 16 — streaming analytics engine: ingest throughput vs shard
+//! count on a synthetic skewed event stream, plus top-k accuracy (recall
+//! of the true heaviest flows and the Space-Saving error-bound audit).
+//!
+//! Acceptance bar: >= 1M events/s ingest on 4 shards.
+
+use fet_analytics::{AnalyticsConfig, AnalyticsEngine, LinkMap};
+use fet_netsim::rng::Pcg32;
+use fet_packet::event::{DropCode, EventDetail, EventRecord, EventType};
+use fet_packet::ipv4::Ipv4Addr;
+use fet_packet::FlowKey;
+use netseer::StoredEvent;
+use std::collections::HashMap;
+use std::time::Instant;
+
+const EVENTS: usize = 2_000_000;
+const FLOWS: u32 = 50_000;
+const HEAVY_FLOWS: u32 = 24;
+
+fn flow(n: u32) -> FlowKey {
+    FlowKey::tcp(
+        Ipv4Addr::from_u32(0x0a00_0000 | (n & 0x00FF_FFFF)),
+        (n % 50_000) as u16,
+        Ipv4Addr::from_octets([10, 250, 0, 1]),
+        443,
+    )
+}
+
+/// A skewed stream: ~30% of loss events hit one of `HEAVY_FLOWS` heavy
+/// hitters, the rest spread over `FLOWS` light flows; 70% drops (with a
+/// seeded drop code), 20% congestion, 10% path changes.
+fn synth_stream(seed: u64) -> Vec<StoredEvent> {
+    let mut rng = Pcg32::new(seed, 0xF16);
+    let mut out = Vec::with_capacity(EVENTS);
+    for i in 0..EVENTS {
+        let heavy = rng.chance(0.3);
+        let f =
+            if heavy { rng.next_below(HEAVY_FLOWS) } else { HEAVY_FLOWS + rng.next_below(FLOWS) };
+        let roll = rng.next_below(10);
+        let (ty, detail) = if roll < 7 {
+            let code = if rng.chance(0.5) { DropCode::TableMiss } else { DropCode::LinkLoss };
+            (
+                EventType::PipelineDrop,
+                EventDetail::Drop {
+                    ingress_port: (rng.next_below(8)) as u8,
+                    egress_port: (rng.next_below(8)) as u8,
+                    code,
+                },
+            )
+        } else if roll < 9 {
+            (
+                EventType::Congestion,
+                EventDetail::Congestion {
+                    egress_port: (rng.next_below(8)) as u8,
+                    queue: 0,
+                    latency_us: 50 + (rng.next_below(500)) as u16,
+                },
+            )
+        } else {
+            (
+                EventType::PathChange,
+                EventDetail::PathChange {
+                    ingress_port: (rng.next_below(8)) as u8,
+                    egress_port: (rng.next_below(8)) as u8,
+                },
+            )
+        };
+        let device = rng.next_below(32);
+        out.push(StoredEvent {
+            time_ns: (i as u64) * 200, // 5M events/s of simulated time
+            device,
+            epoch: 0,
+            seq: i as u64,
+            record: EventRecord {
+                ty,
+                flow: flow(f),
+                detail,
+                counter: 1 + (rng.next_below(4)) as u16,
+                hash: rng.next_u32(),
+            },
+        });
+    }
+    out
+}
+
+fn main() {
+    let stream = synth_stream(0xF16_5EED);
+    println!(
+        "fig16: streaming analytics — {} events, {} distinct flows, {} heavy",
+        EVENTS,
+        FLOWS + HEAVY_FLOWS,
+        HEAVY_FLOWS
+    );
+
+    // (a) ingest throughput vs shard count.
+    println!("\n(a) ingest throughput (events/s) vs shards");
+    println!("{:>8} {:>14} {:>12}", "shards", "events/s", "elapsed_ms");
+    let mut meps_4 = 0.0;
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = AnalyticsConfig { shards, ..AnalyticsConfig::default() };
+        let mut engine = AnalyticsEngine::new(cfg, LinkMap::default());
+        let t0 = Instant::now();
+        engine.ingest_slice(&stream);
+        let dt = t0.elapsed();
+        let eps = EVENTS as f64 / dt.as_secs_f64();
+        if shards == 4 {
+            meps_4 = eps;
+        }
+        println!("{:>8} {:>14.0} {:>12.1}", shards, eps, dt.as_secs_f64() * 1e3);
+        engine.ledger().assert_balanced();
+        assert_eq!(engine.ledger().ingested, EVENTS as u64);
+    }
+
+    // (b) top-k accuracy on 4 shards: recall of the true top-8 and the
+    // per-entry error-bound audit against exact per-flow weights.
+    let cfg = AnalyticsConfig { shards: 4, ..AnalyticsConfig::default() };
+    let mut engine = AnalyticsEngine::new(cfg, LinkMap::default());
+    engine.ingest_slice(&stream);
+
+    let mut exact: HashMap<FlowKey, u64> = HashMap::new();
+    for e in &stream {
+        if e.record.ty.is_drop() || e.record.ty == EventType::Congestion {
+            *exact.entry(e.record.flow).or_default() += u64::from(e.record.counter.max(1));
+        }
+    }
+    let mut truth: Vec<(FlowKey, u64)> = exact.iter().map(|(&f, &w)| (f, w)).collect();
+    truth.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let reported = engine.top_flows(32);
+    let top8: Vec<FlowKey> = truth.iter().take(8).map(|&(f, _)| f).collect();
+    let hit = top8.iter().filter(|f| reported.iter().any(|e| e.flow == **f)).count();
+    let recall = hit as f64 / top8.len() as f64;
+
+    println!("\n(b) top-k accuracy (k=32 per shard, 4 shards)");
+    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "rank", "estimate", "lower_bnd", "true", "ok");
+    let mut bounds_ok = true;
+    for (i, e) in reported.iter().take(8).enumerate() {
+        let t = exact.get(&e.flow).copied().unwrap_or(0);
+        let ok = e.guaranteed() <= t && t <= e.count;
+        bounds_ok &= ok;
+        println!("{:>6} {:>12} {:>12} {:>12} {:>8}", i + 1, e.count, e.guaranteed(), t, ok);
+    }
+    println!("recall of true top-8 in reported top-32: {recall:.2}");
+
+    assert!(bounds_ok, "Space-Saving error bounds must hold on every reported entry");
+    assert!(recall >= 0.95, "top-8 recall {recall} below the 0.95 bar");
+    assert!(meps_4 >= 1_000_000.0, "4-shard ingest {meps_4:.0} events/s below the 1M events/s bar");
+    println!("\nfig16 acceptance: 4-shard ingest {meps_4:.0} events/s (>= 1M), recall {recall:.2} (>= 0.95)");
+}

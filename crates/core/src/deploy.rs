@@ -79,6 +79,49 @@ pub fn collect_events(sim: &mut Simulator) -> EventStore {
     store
 }
 
+/// Every monitor's delivered history, read-only (no monitor mutation, so
+/// callable mid-run): the at-least-once replay source the analytics layer
+/// reconciles from after a collector crash.
+pub fn delivered_history(sim: &Simulator) -> Vec<crate::storage::StoredEvent> {
+    let mut out = Vec::new();
+    for node in &sim.nodes {
+        let mon = match node {
+            Node::Switch(s) => s.monitor.as_ref(),
+            Node::Host(h) => h.monitor.as_ref(),
+        };
+        if let Some(m) = mon {
+            if let Some(ns) = m.as_any().downcast_ref::<NetSeerMonitor>() {
+                out.extend(ns.delivered.iter().copied());
+            }
+        }
+    }
+    out
+}
+
+/// Scrape every monitor's per-port gap-detector counts:
+/// `(device, ingress port, gaps)`, sorted. The downstream half of the
+/// analytics correlator's link-loss join.
+pub fn gap_reports(sim: &Simulator) -> Vec<(u32, u8, u64)> {
+    let mut out = Vec::new();
+    for node in &sim.nodes {
+        let mon = match node {
+            Node::Switch(s) => s.monitor.as_ref(),
+            Node::Host(h) => h.monitor.as_ref(),
+        };
+        if let Some(m) = mon {
+            if let Some(ns) = m.as_any().downcast_ref::<NetSeerMonitor>() {
+                for (port, gaps) in ns.gap_counts() {
+                    if gaps > 0 {
+                        out.push((ns.device(), port, gaps));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 /// Borrow the NetSeer monitor on a switch (panics if absent/not NetSeer).
 pub fn monitor_of(sim: &Simulator, id: NodeId) -> &NetSeerMonitor {
     let m = match &sim.nodes[id as usize] {

@@ -234,9 +234,24 @@ impl NetSeerMonitor {
         self.taggers.get(&port).map(|t| (t.tagged, t.lookup_hits, t.lookup_misses))
     }
 
+    /// The device id this monitor reports as.
+    pub fn device(&self) -> u32 {
+        self.device
+    }
+
     /// Total sequence gaps detected across ports.
     pub fn gaps_detected(&self) -> u64 {
         self.gaps.values().map(|g| g.gaps_detected).sum()
+    }
+
+    /// Per-ingress-port sequence-gap counts, sorted by port — the
+    /// control-plane scrape the analytics correlator joins against
+    /// upstream loss reports.
+    pub fn gap_counts(&self) -> Vec<(u8, u64)> {
+        let mut v: Vec<(u8, u64)> =
+            self.gaps.iter().map(|(&port, g)| (port, g.gaps_detected)).collect();
+        v.sort_unstable();
+        v
     }
 
     /// Redirect an ingress-side event packet through the internal port;

@@ -324,12 +324,24 @@ impl RecoveryLog {
 pub struct Collector {
     store: EventStore,
     gates: HashMap<u32, EpochReceiver>,
-    checkpoint: Option<(EventStore, HashMap<u32, EpochReceiver>)>,
+    checkpoint: Option<CollectorCheckpoint>,
+    subscribers: HashMap<u32, usize>,
+    next_subscriber: u32,
     /// Crash/restart cycles survived.
     pub restarts: u64,
     /// Events rolled back by hard kills (recovered later by
     /// reconciliation; this counts the repair work, not a final loss).
     pub reverted_by_crash: u64,
+}
+
+/// The durable part of a collector: what a hard kill reverts to. Cursors
+/// ride along so a subscriber's position rewinds together with the store
+/// it indexes into.
+#[derive(Debug, Clone, Default)]
+struct CollectorCheckpoint {
+    store: EventStore,
+    gates: HashMap<u32, EpochReceiver>,
+    cursors: HashMap<u32, usize>,
 }
 
 impl Collector {
@@ -353,27 +365,76 @@ impl Collector {
         accepted
     }
 
-    /// Durably checkpoint the store and the dedup gates. A hard kill
-    /// reverts to the latest checkpoint.
+    /// Durably checkpoint the store, the dedup gates, and the subscriber
+    /// cursors. A hard kill reverts to the latest checkpoint.
     pub fn checkpoint(&mut self) {
-        self.checkpoint = Some((self.store.clone(), self.gates.clone()));
+        self.checkpoint = Some(CollectorCheckpoint {
+            store: self.store.clone(),
+            gates: self.gates.clone(),
+            cursors: self.subscribers.clone(),
+        });
     }
 
     /// Crash and restart. A clean stop checkpoints on the way down (loses
-    /// nothing); a hard kill reverts store + gates to the last checkpoint.
-    /// Returns how many stored events were rolled back.
+    /// nothing); a hard kill reverts store, gates, and subscriber cursors
+    /// to the last checkpoint. Returns how many stored events were rolled
+    /// back.
     pub fn crash_restart(&mut self, kind: CrashKind) -> u64 {
         if kind == CrashKind::Clean {
             self.checkpoint();
         }
         let before = self.store.len();
-        let (store, gates) = self.checkpoint.clone().unwrap_or_default();
-        self.store = store;
-        self.gates = gates;
+        let cp = self.checkpoint.clone().unwrap_or_default();
+        self.store = cp.store;
+        self.gates = cp.gates;
+        // Subscribers registered after the checkpoint keep their id but
+        // rewind to the surviving prefix (the checkpoint store is always a
+        // prefix of the pre-kill store: ingestion is insert-only).
+        for (id, cursor) in self.subscribers.iter_mut() {
+            *cursor = cp.cursors.get(id).copied().unwrap_or(*cursor).min(self.store.len());
+        }
         let reverted = (before - self.store.len()) as u64;
         self.reverted_by_crash += reverted;
         self.restarts += 1;
         reverted
+    }
+
+    /// Register a delivery subscriber starting at the beginning of the
+    /// store. Returns the subscription id for [`drain_ordered`].
+    ///
+    /// [`drain_ordered`]: Self::drain_ordered
+    pub fn subscribe(&mut self) -> u32 {
+        let id = self.next_subscriber;
+        self.next_subscriber += 1;
+        self.subscribers.insert(id, 0);
+        id
+    }
+
+    /// Drain every event stored since this subscriber last drained, in
+    /// acceptance order (per-device epoch/seq-monotonic — the gates admit
+    /// each `(device, epoch, seq)` exactly once, so the drained stream is
+    /// duplicate-free by construction). Advances the cursor.
+    pub fn drain_ordered(&mut self, id: u32) -> Vec<StoredEvent> {
+        let Some(cursor) = self.subscribers.get_mut(&id) else {
+            return Vec::new();
+        };
+        let from = (*cursor).min(self.store.len());
+        *cursor = self.store.len();
+        self.store.events()[from..].to_vec()
+    }
+
+    /// Move a subscriber's cursor (clamped to the store length). Rewinding
+    /// replays events on the next drain — used by consumers that revert
+    /// their own state and need the reverted suffix again.
+    pub fn set_cursor(&mut self, id: u32, pos: usize) {
+        if let Some(cursor) = self.subscribers.get_mut(&id) {
+            *cursor = pos.min(self.store.len());
+        }
+    }
+
+    /// A subscriber's current cursor, if registered.
+    pub fn cursor(&self, id: u32) -> Option<usize> {
+        self.subscribers.get(&id).copied()
     }
 
     /// The stored events.
@@ -718,5 +779,58 @@ mod tests {
         assert_eq!(c.len(), 50, "every delivery stored exactly once");
         assert!(reverted > 0, "the hard kill must actually revert work");
         assert!(c.duplicates_rejected() >= 50, "reconciliation re-offers dedup");
+    }
+
+    #[test]
+    fn subscriber_drains_each_event_exactly_once() {
+        let mut c = Collector::new();
+        let id = c.subscribe();
+        c.ingest(&(0..4).map(|s| stored(1, 0, s)).collect::<Vec<_>>());
+        assert_eq!(c.drain_ordered(id).len(), 4);
+        assert!(c.drain_ordered(id).is_empty(), "second drain sees nothing new");
+        c.ingest(&(4..7).map(|s| stored(1, 0, s)).collect::<Vec<_>>());
+        let tail = c.drain_ordered(id);
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5, 6]);
+        // Duplicate re-offers never reach subscribers: the gates eat them.
+        c.ingest(&(0..7).map(|s| stored(1, 0, s)).collect::<Vec<_>>());
+        assert!(c.drain_ordered(id).is_empty());
+    }
+
+    #[test]
+    fn late_subscriber_sees_the_full_history() {
+        let mut c = Collector::new();
+        c.ingest(&(0..5).map(|s| stored(2, 0, s)).collect::<Vec<_>>());
+        let id = c.subscribe();
+        assert_eq!(c.drain_ordered(id).len(), 5, "subscription starts at the beginning");
+    }
+
+    #[test]
+    fn hard_kill_rewinds_cursors_with_the_store() {
+        let mut c = Collector::new();
+        let id = c.subscribe();
+        c.ingest(&(0..8).map(|s| stored(1, 0, s)).collect::<Vec<_>>());
+        assert_eq!(c.drain_ordered(id).len(), 8);
+        c.checkpoint();
+        c.ingest(&(8..12).map(|s| stored(1, 0, s)).collect::<Vec<_>>());
+        assert_eq!(c.drain_ordered(id).len(), 4);
+        assert_eq!(c.crash_restart(CrashKind::Hard), 4);
+        assert_eq!(c.cursor(id), Some(8), "cursor reverts with the store");
+        // Reconciliation restores the suffix; the subscriber re-drains
+        // exactly the reverted events, nothing twice.
+        c.ingest(&(0..12).map(|s| stored(1, 0, s)).collect::<Vec<_>>());
+        let redrained = c.drain_ordered(id);
+        assert_eq!(redrained.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn set_cursor_clamps_and_replays() {
+        let mut c = Collector::new();
+        let id = c.subscribe();
+        c.ingest(&(0..3).map(|s| stored(1, 0, s)).collect::<Vec<_>>());
+        c.drain_ordered(id);
+        c.set_cursor(id, 1);
+        assert_eq!(c.drain_ordered(id).len(), 2, "rewind replays the suffix");
+        c.set_cursor(id, 99);
+        assert_eq!(c.cursor(id), Some(3), "clamped to the store length");
     }
 }

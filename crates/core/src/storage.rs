@@ -4,7 +4,7 @@
 
 use fet_packet::event::{EventRecord, EventType};
 use fet_packet::FlowKey;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One event at rest in the backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +81,10 @@ pub struct EventStore {
     events: Vec<StoredEvent>,
     by_flow: HashMap<FlowKey, Vec<usize>>,
     by_device: HashMap<u32, Vec<usize>>,
+    /// Secondary index by ingress timestamp: window queries walk
+    /// `range(from..to)` instead of scanning every event, so a pure
+    /// `Query::window` costs O(log n + k) rather than O(n).
+    by_time: BTreeMap<u64, Vec<usize>>,
 }
 
 impl EventStore {
@@ -94,6 +98,7 @@ impl EventStore {
         let i = self.events.len();
         self.by_flow.entry(e.record.flow).or_default().push(i);
         self.by_device.entry(e.device).or_default().push(i);
+        self.by_time.entry(e.time_ns).or_default().push(i);
         self.events.push(e);
     }
 
@@ -104,22 +109,43 @@ impl EventStore {
         }
     }
 
-    /// Run a query. Uses the flow or device index when available.
+    /// Run a query. Uses the narrowest applicable index: flow, then
+    /// device, then the timestamp B-tree for window queries; only an
+    /// unconstrained (or type-only) query still scans.
+    ///
+    /// The time index yields candidates out of insertion order, so window
+    /// results are re-sorted by position to keep every index path
+    /// returning the same order as a scan.
     pub fn query(&self, q: &Query) -> Vec<&StoredEvent> {
-        let candidates: Box<dyn Iterator<Item = &StoredEvent>> = if let Some(f) = q.flow {
-            match self.by_flow.get(&f) {
-                Some(idx) => Box::new(idx.iter().map(move |&i| &self.events[i])),
-                None => Box::new(std::iter::empty()),
+        if let Some(f) = q.flow {
+            let idx = self.by_flow.get(&f).map(Vec::as_slice).unwrap_or_default();
+            return self.filter_positions(idx.iter().copied(), q, false);
+        }
+        if let Some(d) = q.device {
+            let idx = self.by_device.get(&d).map(Vec::as_slice).unwrap_or_default();
+            return self.filter_positions(idx.iter().copied(), q, false);
+        }
+        if let Some((from, to)) = q.window {
+            if from >= to {
+                return Vec::new();
             }
-        } else if let Some(d) = q.device {
-            match self.by_device.get(&d) {
-                Some(idx) => Box::new(idx.iter().map(move |&i| &self.events[i])),
-                None => Box::new(std::iter::empty()),
-            }
-        } else {
-            Box::new(self.events.iter())
-        };
-        candidates.filter(|e| q.matches(e)).collect()
+            let hits = self.by_time.range(from..to).flat_map(|(_, v)| v.iter().copied());
+            return self.filter_positions(hits, q, true);
+        }
+        self.events.iter().filter(|e| q.matches(e)).collect()
+    }
+
+    fn filter_positions(
+        &self,
+        positions: impl Iterator<Item = usize>,
+        q: &Query,
+        resort: bool,
+    ) -> Vec<&StoredEvent> {
+        let mut hit: Vec<usize> = positions.filter(|&i| q.matches(&self.events[i])).collect();
+        if resort {
+            hit.sort_unstable();
+        }
+        hit.into_iter().map(|i| &self.events[i]).collect()
     }
 
     /// Total stored events.
@@ -227,6 +253,39 @@ mod tests {
         let s = store();
         let r = s.query(&Query::any().window(15, 35));
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn window_index_matches_full_scan() {
+        // A store with duplicate timestamps, out-of-order inserts, and
+        // mixed devices/types, queried over exhaustive window bounds: the
+        // B-tree path must agree with a brute-force scan on every one.
+        let mut s = EventStore::new();
+        for (t, dev, n) in
+            [(30, 1, 1), (10, 2, 2), (30, 2, 1), (50, 1, 3), (20, 1, 2), (10, 1, 1), (40, 2, 3)]
+        {
+            s.insert(ev(t, dev, EventType::Congestion, n));
+        }
+        for from in 0..60u64 {
+            for to in from..=60u64 {
+                for q in [
+                    Query::any().window(from, to),
+                    Query::any().window(from, to).ty(EventType::Congestion),
+                ] {
+                    let indexed = s.query(&q);
+                    let scanned: Vec<&StoredEvent> = s
+                        .events()
+                        .iter()
+                        .filter(|e| e.time_ns >= from && e.time_ns < to)
+                        .filter(|e| q.ty.is_none_or(|t| e.record.ty == t))
+                        .collect();
+                    assert_eq!(indexed, scanned, "window [{from}, {to}) diverged");
+                }
+            }
+        }
+        // Degenerate windows are empty, not panicking.
+        assert!(s.query(&Query::any().window(20, 20)).is_empty());
+        assert!(s.query(&Query::any().window(30, 10)).is_empty());
     }
 
     #[test]

@@ -613,6 +613,18 @@ impl Simulator {
         adj
     }
 
+    /// Every directed attachment: `(node, port, peer, peer_port)`, sorted.
+    /// The wiring truth used to build the analytics layer's link map.
+    pub fn link_endpoints(&self) -> Vec<(NodeId, u8, NodeId, u8)> {
+        let mut v: Vec<(NodeId, u8, NodeId, u8)> = self
+            .port_map
+            .iter()
+            .map(|(&(node, port), peer)| (node, port, peer.node, peer.port))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Total data bytes transmitted by all hosts (the "original traffic"
     /// denominator of the paper's overhead figures).
     pub fn host_tx_bytes(&self) -> u64 {

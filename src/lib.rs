@@ -8,9 +8,11 @@
 //! * [`fet_pdp`] — programmable-data-plane pipeline emulator
 //! * [`fet_netsim`] — discrete-event network simulator
 //! * [`netseer`] — the flow-event-telemetry system itself
+//! * [`fet_analytics`] — streaming analytics and root-cause localization
 //! * [`fet_baselines`] — SNMP / sampling / Pingmesh / EverFlow / NetSight
 //! * [`fet_workloads`] — traffic distributions and fault scenarios
 
+pub use fet_analytics;
 pub use fet_baselines;
 pub use fet_netsim;
 pub use fet_packet;

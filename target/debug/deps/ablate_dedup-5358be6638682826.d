@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_dedup-5358be6638682826.d: crates/bench/src/bin/ablate_dedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_dedup-5358be6638682826.rmeta: crates/bench/src/bin/ablate_dedup.rs Cargo.toml
+
+crates/bench/src/bin/ablate_dedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_dedup-77cd92e1e2baa144.d: crates/bench/src/bin/ablate_dedup.rs
+
+/root/repo/target/debug/deps/ablate_dedup-77cd92e1e2baa144: crates/bench/src/bin/ablate_dedup.rs
+
+crates/bench/src/bin/ablate_dedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_latency-9735a6d38a90ea28.d: crates/bench/src/bin/ablate_latency.rs
+
+/root/repo/target/debug/deps/ablate_latency-9735a6d38a90ea28: crates/bench/src/bin/ablate_latency.rs
+
+crates/bench/src/bin/ablate_latency.rs:

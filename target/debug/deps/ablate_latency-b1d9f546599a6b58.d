@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_latency-b1d9f546599a6b58.d: crates/bench/src/bin/ablate_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_latency-b1d9f546599a6b58.rmeta: crates/bench/src/bin/ablate_latency.rs Cargo.toml
+
+crates/bench/src/bin/ablate_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_notify-8ecaf389e1cf3678.d: crates/bench/src/bin/ablate_notify.rs
+
+/root/repo/target/debug/deps/ablate_notify-8ecaf389e1cf3678: crates/bench/src/bin/ablate_notify.rs
+
+crates/bench/src/bin/ablate_notify.rs:

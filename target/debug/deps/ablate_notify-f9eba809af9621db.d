@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_notify-f9eba809af9621db.d: crates/bench/src/bin/ablate_notify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_notify-f9eba809af9621db.rmeta: crates/bench/src/bin/ablate_notify.rs Cargo.toml
+
+crates/bench/src/bin/ablate_notify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

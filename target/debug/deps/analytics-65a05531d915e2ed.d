@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analytics-65a05531d915e2ed.d: tests/analytics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalytics-65a05531d915e2ed.rmeta: tests/analytics.rs Cargo.toml
+
+tests/analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analytics-dd07d59b92119054.d: tests/analytics.rs
+
+/root/repo/target/debug/deps/analytics-dd07d59b92119054: tests/analytics.rs
+
+tests/analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analytics-f380bc94c2b626f2.d: tests/analytics.rs
+
+/root/repo/target/debug/deps/analytics-f380bc94c2b626f2: tests/analytics.rs
+
+tests/analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_monitors-307774f8e2c0b77b.d: tests/baseline_monitors.rs
+
+/root/repo/target/debug/deps/baseline_monitors-307774f8e2c0b77b: tests/baseline_monitors.rs
+
+tests/baseline_monitors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_monitors-8c8cfcda751f2b30.d: tests/baseline_monitors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_monitors-8c8cfcda751f2b30.rmeta: tests/baseline_monitors.rs Cargo.toml
+
+tests/baseline_monitors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity_limits-493f9b3f20fbb179.d: tests/capacity_limits.rs
+
+/root/repo/target/debug/deps/capacity_limits-493f9b3f20fbb179: tests/capacity_limits.rs
+
+tests/capacity_limits.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capacity_limits-7ea8a137073d69c1.d: tests/capacity_limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapacity_limits-7ea8a137073d69c1.rmeta: tests/capacity_limits.rs Cargo.toml
+
+tests/capacity_limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

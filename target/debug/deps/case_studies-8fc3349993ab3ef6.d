@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_studies-8fc3349993ab3ef6.d: tests/case_studies.rs
+
+/root/repo/target/debug/deps/case_studies-8fc3349993ab3ef6: tests/case_studies.rs
+
+tests/case_studies.rs:

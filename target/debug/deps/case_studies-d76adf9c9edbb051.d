@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/case_studies-d76adf9c9edbb051.d: tests/case_studies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcase_studies-d76adf9c9edbb051.rmeta: tests/case_studies.rs Cargo.toml
+
+tests/case_studies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-f0d507f6e6d1a19d.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-f0d507f6e6d1a19d: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-f96e7183cfe9e8f4.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-f96e7183cfe9e8f4: tests/chaos.rs
+
+tests/chaos.rs:

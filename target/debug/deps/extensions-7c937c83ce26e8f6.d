@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-7c937c83ce26e8f6.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-7c937c83ce26e8f6: tests/extensions.rs
+
+tests/extensions.rs:

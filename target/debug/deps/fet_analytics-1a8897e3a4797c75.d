@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fet_analytics-1a8897e3a4797c75.d: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs
+
+/root/repo/target/debug/deps/fet_analytics-1a8897e3a4797c75: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/correlate.rs:
+crates/analytics/src/engine.rs:
+crates/analytics/src/shard.rs:
+crates/analytics/src/sla.rs:
+crates/analytics/src/topk.rs:
+crates/analytics/src/window.rs:
+crates/analytics/src/wire.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fet_analytics-81c68856d8b684fe.d: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfet_analytics-81c68856d8b684fe.rmeta: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs Cargo.toml
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/correlate.rs:
+crates/analytics/src/engine.rs:
+crates/analytics/src/shard.rs:
+crates/analytics/src/sla.rs:
+crates/analytics/src/topk.rs:
+crates/analytics/src/window.rs:
+crates/analytics/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

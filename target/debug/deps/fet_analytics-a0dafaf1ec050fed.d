@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fet_analytics-a0dafaf1ec050fed.d: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs
+
+/root/repo/target/debug/deps/libfet_analytics-a0dafaf1ec050fed.rlib: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs
+
+/root/repo/target/debug/deps/libfet_analytics-a0dafaf1ec050fed.rmeta: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/correlate.rs:
+crates/analytics/src/engine.rs:
+crates/analytics/src/shard.rs:
+crates/analytics/src/sla.rs:
+crates/analytics/src/topk.rs:
+crates/analytics/src/window.rs:
+crates/analytics/src/wire.rs:

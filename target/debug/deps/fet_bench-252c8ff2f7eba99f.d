@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fet_bench-252c8ff2f7eba99f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfet_bench-252c8ff2f7eba99f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

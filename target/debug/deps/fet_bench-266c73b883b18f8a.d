@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fet_bench-266c73b883b18f8a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfet_bench-266c73b883b18f8a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfet_bench-266c73b883b18f8a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

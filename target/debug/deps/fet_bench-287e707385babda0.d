@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fet_bench-287e707385babda0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fet_bench-287e707385babda0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_npa_stats-725ef45c85092ba1.d: crates/bench/src/bin/fig01_npa_stats.rs
+
+/root/repo/target/debug/deps/fig01_npa_stats-725ef45c85092ba1: crates/bench/src/bin/fig01_npa_stats.rs
+
+crates/bench/src/bin/fig01_npa_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_npa_stats-d7f234d1db09c732.d: crates/bench/src/bin/fig01_npa_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_npa_stats-d7f234d1db09c732.rmeta: crates/bench/src/bin/fig01_npa_stats.rs Cargo.toml
+
+crates/bench/src/bin/fig01_npa_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

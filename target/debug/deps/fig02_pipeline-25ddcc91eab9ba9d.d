@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_pipeline-25ddcc91eab9ba9d.d: crates/bench/src/bin/fig02_pipeline.rs
+
+/root/repo/target/debug/deps/fig02_pipeline-25ddcc91eab9ba9d: crates/bench/src/bin/fig02_pipeline.rs
+
+crates/bench/src/bin/fig02_pipeline.rs:

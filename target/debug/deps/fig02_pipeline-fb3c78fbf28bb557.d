@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_pipeline-fb3c78fbf28bb557.d: crates/bench/src/bin/fig02_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_pipeline-fb3c78fbf28bb557.rmeta: crates/bench/src/bin/fig02_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/fig02_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_drop_stats-383e18265c3534a8.d: crates/bench/src/bin/fig03_drop_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_drop_stats-383e18265c3534a8.rmeta: crates/bench/src/bin/fig03_drop_stats.rs Cargo.toml
+
+crates/bench/src/bin/fig03_drop_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

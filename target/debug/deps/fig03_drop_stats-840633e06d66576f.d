@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_drop_stats-840633e06d66576f.d: crates/bench/src/bin/fig03_drop_stats.rs
+
+/root/repo/target/debug/deps/fig03_drop_stats-840633e06d66576f: crates/bench/src/bin/fig03_drop_stats.rs
+
+crates/bench/src/bin/fig03_drop_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_resources-2850303cbb132e79.d: crates/bench/src/bin/fig07_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_resources-2850303cbb132e79.rmeta: crates/bench/src/bin/fig07_resources.rs Cargo.toml
+
+crates/bench/src/bin/fig07_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

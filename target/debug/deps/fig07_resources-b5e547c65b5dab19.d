@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_resources-b5e547c65b5dab19.d: crates/bench/src/bin/fig07_resources.rs
+
+/root/repo/target/debug/deps/fig07_resources-b5e547c65b5dab19: crates/bench/src/bin/fig07_resources.rs
+
+crates/bench/src/bin/fig07_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08a_case_study-97973e520bc07bf0.d: crates/bench/src/bin/fig08a_case_study.rs
+
+/root/repo/target/debug/deps/fig08a_case_study-97973e520bc07bf0: crates/bench/src/bin/fig08a_case_study.rs
+
+crates/bench/src/bin/fig08a_case_study.rs:

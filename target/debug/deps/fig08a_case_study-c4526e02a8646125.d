@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08a_case_study-c4526e02a8646125.d: crates/bench/src/bin/fig08a_case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08a_case_study-c4526e02a8646125.rmeta: crates/bench/src/bin/fig08a_case_study.rs Cargo.toml
+
+crates/bench/src/bin/fig08a_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08b_sla-20d375e01dac1f44.d: crates/bench/src/bin/fig08b_sla.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08b_sla-20d375e01dac1f44.rmeta: crates/bench/src/bin/fig08b_sla.rs Cargo.toml
+
+crates/bench/src/bin/fig08b_sla.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

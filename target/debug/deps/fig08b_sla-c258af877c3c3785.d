@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08b_sla-c258af877c3c3785.d: crates/bench/src/bin/fig08b_sla.rs
+
+/root/repo/target/debug/deps/fig08b_sla-c258af877c3c3785: crates/bench/src/bin/fig08b_sla.rs
+
+crates/bench/src/bin/fig08b_sla.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_coverage-518416cf9164ed08.d: crates/bench/src/bin/fig09_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_coverage-518416cf9164ed08.rmeta: crates/bench/src/bin/fig09_coverage.rs Cargo.toml
+
+crates/bench/src/bin/fig09_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_coverage-92300c23ea8e2289.d: crates/bench/src/bin/fig09_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_coverage-92300c23ea8e2289.rmeta: crates/bench/src/bin/fig09_coverage.rs Cargo.toml
+
+crates/bench/src/bin/fig09_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

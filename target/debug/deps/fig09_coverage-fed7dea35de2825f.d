@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_coverage-fed7dea35de2825f.d: crates/bench/src/bin/fig09_coverage.rs
+
+/root/repo/target/debug/deps/fig09_coverage-fed7dea35de2825f: crates/bench/src/bin/fig09_coverage.rs
+
+crates/bench/src/bin/fig09_coverage.rs:

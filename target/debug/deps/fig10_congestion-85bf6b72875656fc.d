@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_congestion-85bf6b72875656fc.d: crates/bench/src/bin/fig10_congestion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_congestion-85bf6b72875656fc.rmeta: crates/bench/src/bin/fig10_congestion.rs Cargo.toml
+
+crates/bench/src/bin/fig10_congestion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

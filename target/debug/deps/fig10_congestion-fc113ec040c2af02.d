@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_congestion-fc113ec040c2af02.d: crates/bench/src/bin/fig10_congestion.rs
+
+/root/repo/target/debug/deps/fig10_congestion-fc113ec040c2af02: crates/bench/src/bin/fig10_congestion.rs
+
+crates/bench/src/bin/fig10_congestion.rs:

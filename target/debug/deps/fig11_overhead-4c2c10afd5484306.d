@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_overhead-4c2c10afd5484306.d: crates/bench/src/bin/fig11_overhead.rs
+
+/root/repo/target/debug/deps/fig11_overhead-4c2c10afd5484306: crates/bench/src/bin/fig11_overhead.rs
+
+crates/bench/src/bin/fig11_overhead.rs:

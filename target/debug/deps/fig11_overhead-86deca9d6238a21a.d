@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_overhead-86deca9d6238a21a.d: crates/bench/src/bin/fig11_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_overhead-86deca9d6238a21a.rmeta: crates/bench/src/bin/fig11_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig11_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

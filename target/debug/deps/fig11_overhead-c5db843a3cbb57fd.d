@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_overhead-c5db843a3cbb57fd.d: crates/bench/src/bin/fig11_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_overhead-c5db843a3cbb57fd.rmeta: crates/bench/src/bin/fig11_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig11_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_batching-599cace925860eae.d: crates/bench/src/bin/fig12_batching.rs
+
+/root/repo/target/debug/deps/fig12_batching-599cace925860eae: crates/bench/src/bin/fig12_batching.rs
+
+crates/bench/src/bin/fig12_batching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_batching-bfd4ea78c768f50a.d: crates/bench/src/bin/fig12_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_batching-bfd4ea78c768f50a.rmeta: crates/bench/src/bin/fig12_batching.rs Cargo.toml
+
+crates/bench/src/bin/fig12_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

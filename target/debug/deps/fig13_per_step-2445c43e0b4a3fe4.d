@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_per_step-2445c43e0b4a3fe4.d: crates/bench/src/bin/fig13_per_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_per_step-2445c43e0b4a3fe4.rmeta: crates/bench/src/bin/fig13_per_step.rs Cargo.toml
+
+crates/bench/src/bin/fig13_per_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

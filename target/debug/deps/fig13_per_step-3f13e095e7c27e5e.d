@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_per_step-3f13e095e7c27e5e.d: crates/bench/src/bin/fig13_per_step.rs
+
+/root/repo/target/debug/deps/fig13_per_step-3f13e095e7c27e5e: crates/bench/src/bin/fig13_per_step.rs
+
+crates/bench/src/bin/fig13_per_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_capacity-868d57406c3dd00e.d: crates/bench/src/bin/fig14_capacity.rs
+
+/root/repo/target/debug/deps/fig14_capacity-868d57406c3dd00e: crates/bench/src/bin/fig14_capacity.rs
+
+crates/bench/src/bin/fig14_capacity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_capacity-be2d2e505e5751cf.d: crates/bench/src/bin/fig14_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_capacity-be2d2e505e5751cf.rmeta: crates/bench/src/bin/fig14_capacity.rs Cargo.toml
+
+crates/bench/src/bin/fig14_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_ringbuffer-276d2b6755a39d69.d: crates/bench/src/bin/fig15_ringbuffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_ringbuffer-276d2b6755a39d69.rmeta: crates/bench/src/bin/fig15_ringbuffer.rs Cargo.toml
+
+crates/bench/src/bin/fig15_ringbuffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

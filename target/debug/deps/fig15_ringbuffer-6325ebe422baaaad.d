@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_ringbuffer-6325ebe422baaaad.d: crates/bench/src/bin/fig15_ringbuffer.rs
+
+/root/repo/target/debug/deps/fig15_ringbuffer-6325ebe422baaaad: crates/bench/src/bin/fig15_ringbuffer.rs
+
+crates/bench/src/bin/fig15_ringbuffer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_analytics-1a9874ec0db42caf.d: crates/bench/src/bin/fig16_analytics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_analytics-1a9874ec0db42caf.rmeta: crates/bench/src/bin/fig16_analytics.rs Cargo.toml
+
+crates/bench/src/bin/fig16_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

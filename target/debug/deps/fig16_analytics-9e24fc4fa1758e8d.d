@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_analytics-9e24fc4fa1758e8d.d: crates/bench/src/bin/fig16_analytics.rs
+
+/root/repo/target/debug/deps/fig16_analytics-9e24fc4fa1758e8d: crates/bench/src/bin/fig16_analytics.rs
+
+crates/bench/src/bin/fig16_analytics.rs:

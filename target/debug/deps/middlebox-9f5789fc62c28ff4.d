@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/middlebox-9f5789fc62c28ff4.d: tests/middlebox.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmiddlebox-9f5789fc62c28ff4.rmeta: tests/middlebox.rs Cargo.toml
+
+tests/middlebox.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

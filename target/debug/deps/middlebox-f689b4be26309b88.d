@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/middlebox-f689b4be26309b88.d: tests/middlebox.rs
+
+/root/repo/target/debug/deps/middlebox-f689b4be26309b88: tests/middlebox.rs
+
+tests/middlebox.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netseer_coverage-471f0c0619b5a585.d: tests/netseer_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetseer_coverage-471f0c0619b5a585.rmeta: tests/netseer_coverage.rs Cargo.toml
+
+tests/netseer_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

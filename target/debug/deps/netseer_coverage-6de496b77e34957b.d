@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netseer_coverage-6de496b77e34957b.d: tests/netseer_coverage.rs
+
+/root/repo/target/debug/deps/netseer_coverage-6de496b77e34957b: tests/netseer_coverage.rs
+
+tests/netseer_coverage.rs:

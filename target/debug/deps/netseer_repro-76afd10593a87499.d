@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netseer_repro-76afd10593a87499.d: src/lib.rs
+
+/root/repo/target/debug/deps/netseer_repro-76afd10593a87499: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/netseer_repro-8fca2c87657f4ba6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnetseer_repro-8fca2c87657f4ba6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnetseer_repro-8fca2c87657f4ba6.rmeta: src/lib.rs
+
+src/lib.rs:

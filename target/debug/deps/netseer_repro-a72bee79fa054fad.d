@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netseer_repro-a72bee79fa054fad.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetseer_repro-a72bee79fa054fad.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pfc_and_pause-2e5066572f47fab2.d: tests/pfc_and_pause.rs
+
+/root/repo/target/debug/deps/pfc_and_pause-2e5066572f47fab2: tests/pfc_and_pause.rs
+
+tests/pfc_and_pause.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfc_and_pause-7d7f1f3087c6169e.d: tests/pfc_and_pause.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfc_and_pause-7d7f1f3087c6169e.rmeta: tests/pfc_and_pause.rs Cargo.toml
+
+tests/pfc_and_pause.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_analytics-2ca16d1d5f0f195d.d: crates/analytics/tests/prop_analytics.rs
+
+/root/repo/target/debug/deps/prop_analytics-2ca16d1d5f0f195d: crates/analytics/tests/prop_analytics.rs
+
+crates/analytics/tests/prop_analytics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_analytics-5276872ab98e8844.d: crates/analytics/tests/prop_analytics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_analytics-5276872ab98e8844.rmeta: crates/analytics/tests/prop_analytics.rs Cargo.toml
+
+crates/analytics/tests/prop_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-69fde60b5656ea16.d: tests/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-69fde60b5656ea16.rmeta: tests/scale.rs Cargo.toml
+
+tests/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

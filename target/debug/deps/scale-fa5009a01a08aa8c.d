@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-fa5009a01a08aa8c.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-fa5009a01a08aa8c: tests/scale.rs
+
+tests/scale.rs:

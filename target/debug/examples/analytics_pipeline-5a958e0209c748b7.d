@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analytics_pipeline-5a958e0209c748b7.d: examples/analytics_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalytics_pipeline-5a958e0209c748b7.rmeta: examples/analytics_pipeline.rs Cargo.toml
+
+examples/analytics_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

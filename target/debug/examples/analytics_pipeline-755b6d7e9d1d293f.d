@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytics_pipeline-755b6d7e9d1d293f.d: examples/analytics_pipeline.rs
+
+/root/repo/target/debug/examples/analytics_pipeline-755b6d7e9d1d293f: examples/analytics_pipeline.rs
+
+examples/analytics_pipeline.rs:

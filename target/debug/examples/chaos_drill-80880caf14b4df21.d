@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_drill-80880caf14b4df21.d: examples/chaos_drill.rs
+
+/root/repo/target/debug/examples/chaos_drill-80880caf14b4df21: examples/chaos_drill.rs
+
+examples/chaos_drill.rs:

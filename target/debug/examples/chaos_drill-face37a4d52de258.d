@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_drill-face37a4d52de258.d: examples/chaos_drill.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_drill-face37a4d52de258.rmeta: examples/chaos_drill.rs Cargo.toml
+
+examples/chaos_drill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-65482ed272e777e3.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-65482ed272e777e3: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/firewall_bump-5c1e82cf45989b03.d: examples/firewall_bump.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfirewall_bump-5c1e82cf45989b03.rmeta: examples/firewall_bump.rs Cargo.toml
+
+examples/firewall_bump.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

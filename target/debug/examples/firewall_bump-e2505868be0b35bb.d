@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firewall_bump-e2505868be0b35bb.d: examples/firewall_bump.rs
+
+/root/repo/target/debug/examples/firewall_bump-e2505868be0b35bb: examples/firewall_bump.rs
+
+examples/firewall_bump.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incast_congestion-82168407f7abf1e1.d: examples/incast_congestion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincast_congestion-82168407f7abf1e1.rmeta: examples/incast_congestion.rs Cargo.toml
+
+examples/incast_congestion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

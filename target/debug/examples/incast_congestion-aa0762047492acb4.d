@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incast_congestion-aa0762047492acb4.d: examples/incast_congestion.rs
+
+/root/repo/target/debug/examples/incast_congestion-aa0762047492acb4: examples/incast_congestion.rs
+
+examples/incast_congestion.rs:

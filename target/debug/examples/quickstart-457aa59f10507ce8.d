@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-457aa59f10507ce8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-457aa59f10507ce8: examples/quickstart.rs
+
+examples/quickstart.rs:

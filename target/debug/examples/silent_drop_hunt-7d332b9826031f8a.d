@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/silent_drop_hunt-7d332b9826031f8a.d: examples/silent_drop_hunt.rs
+
+/root/repo/target/debug/examples/silent_drop_hunt-7d332b9826031f8a: examples/silent_drop_hunt.rs
+
+examples/silent_drop_hunt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/silent_drop_hunt-c3e605c016ff79e5.d: examples/silent_drop_hunt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsilent_drop_hunt-c3e605c016ff79e5.rmeta: examples/silent_drop_hunt.rs Cargo.toml
+
+examples/silent_drop_hunt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

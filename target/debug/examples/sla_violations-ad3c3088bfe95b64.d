@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sla_violations-ad3c3088bfe95b64.d: examples/sla_violations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsla_violations-ad3c3088bfe95b64.rmeta: examples/sla_violations.rs Cargo.toml
+
+examples/sla_violations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

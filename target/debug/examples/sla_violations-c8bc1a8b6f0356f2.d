@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sla_violations-c8bc1a8b6f0356f2.d: examples/sla_violations.rs
+
+/root/repo/target/debug/examples/sla_violations-c8bc1a8b6f0356f2: examples/sla_violations.rs
+
+examples/sla_violations.rs:

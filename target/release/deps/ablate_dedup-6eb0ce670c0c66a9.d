@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_dedup-6eb0ce670c0c66a9.d: crates/bench/src/bin/ablate_dedup.rs
+
+/root/repo/target/release/deps/ablate_dedup-6eb0ce670c0c66a9: crates/bench/src/bin/ablate_dedup.rs
+
+crates/bench/src/bin/ablate_dedup.rs:

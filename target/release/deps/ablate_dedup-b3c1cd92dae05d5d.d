@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_dedup-b3c1cd92dae05d5d.d: crates/bench/src/bin/ablate_dedup.rs
+
+/root/repo/target/release/deps/ablate_dedup-b3c1cd92dae05d5d: crates/bench/src/bin/ablate_dedup.rs
+
+crates/bench/src/bin/ablate_dedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_latency-204bea9ad883cfbc.d: crates/bench/src/bin/ablate_latency.rs
+
+/root/repo/target/release/deps/ablate_latency-204bea9ad883cfbc: crates/bench/src/bin/ablate_latency.rs
+
+crates/bench/src/bin/ablate_latency.rs:

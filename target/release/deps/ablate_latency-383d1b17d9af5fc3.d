@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_latency-383d1b17d9af5fc3.d: crates/bench/src/bin/ablate_latency.rs
+
+/root/repo/target/release/deps/ablate_latency-383d1b17d9af5fc3: crates/bench/src/bin/ablate_latency.rs
+
+crates/bench/src/bin/ablate_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_notify-339a17292e2399b2.d: crates/bench/src/bin/ablate_notify.rs
+
+/root/repo/target/release/deps/ablate_notify-339a17292e2399b2: crates/bench/src/bin/ablate_notify.rs
+
+crates/bench/src/bin/ablate_notify.rs:

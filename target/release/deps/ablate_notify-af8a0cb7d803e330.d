@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_notify-af8a0cb7d803e330.d: crates/bench/src/bin/ablate_notify.rs
+
+/root/repo/target/release/deps/ablate_notify-af8a0cb7d803e330: crates/bench/src/bin/ablate_notify.rs
+
+crates/bench/src/bin/ablate_notify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fet_analytics-604e028291b610bd.d: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs
+
+/root/repo/target/release/deps/libfet_analytics-604e028291b610bd.rlib: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs
+
+/root/repo/target/release/deps/libfet_analytics-604e028291b610bd.rmeta: crates/analytics/src/lib.rs crates/analytics/src/correlate.rs crates/analytics/src/engine.rs crates/analytics/src/shard.rs crates/analytics/src/sla.rs crates/analytics/src/topk.rs crates/analytics/src/window.rs crates/analytics/src/wire.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/correlate.rs:
+crates/analytics/src/engine.rs:
+crates/analytics/src/shard.rs:
+crates/analytics/src/sla.rs:
+crates/analytics/src/topk.rs:
+crates/analytics/src/window.rs:
+crates/analytics/src/wire.rs:

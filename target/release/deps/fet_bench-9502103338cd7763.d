@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fet_bench-9502103338cd7763.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/fet_bench-9502103338cd7763: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fet_bench-e224c286b1d63f5b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfet_bench-e224c286b1d63f5b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfet_bench-e224c286b1d63f5b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

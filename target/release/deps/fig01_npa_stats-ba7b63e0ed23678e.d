@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_npa_stats-ba7b63e0ed23678e.d: crates/bench/src/bin/fig01_npa_stats.rs
+
+/root/repo/target/release/deps/fig01_npa_stats-ba7b63e0ed23678e: crates/bench/src/bin/fig01_npa_stats.rs
+
+crates/bench/src/bin/fig01_npa_stats.rs:

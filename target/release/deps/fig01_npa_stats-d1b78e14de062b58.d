@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_npa_stats-d1b78e14de062b58.d: crates/bench/src/bin/fig01_npa_stats.rs
+
+/root/repo/target/release/deps/fig01_npa_stats-d1b78e14de062b58: crates/bench/src/bin/fig01_npa_stats.rs
+
+crates/bench/src/bin/fig01_npa_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_pipeline-2926c555c0b01db2.d: crates/bench/src/bin/fig02_pipeline.rs
+
+/root/repo/target/release/deps/fig02_pipeline-2926c555c0b01db2: crates/bench/src/bin/fig02_pipeline.rs
+
+crates/bench/src/bin/fig02_pipeline.rs:

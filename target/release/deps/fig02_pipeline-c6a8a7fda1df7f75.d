@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_pipeline-c6a8a7fda1df7f75.d: crates/bench/src/bin/fig02_pipeline.rs
+
+/root/repo/target/release/deps/fig02_pipeline-c6a8a7fda1df7f75: crates/bench/src/bin/fig02_pipeline.rs
+
+crates/bench/src/bin/fig02_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_drop_stats-9aacee3ae2921d0f.d: crates/bench/src/bin/fig03_drop_stats.rs
+
+/root/repo/target/release/deps/fig03_drop_stats-9aacee3ae2921d0f: crates/bench/src/bin/fig03_drop_stats.rs
+
+crates/bench/src/bin/fig03_drop_stats.rs:

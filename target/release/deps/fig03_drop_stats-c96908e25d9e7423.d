@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_drop_stats-c96908e25d9e7423.d: crates/bench/src/bin/fig03_drop_stats.rs
+
+/root/repo/target/release/deps/fig03_drop_stats-c96908e25d9e7423: crates/bench/src/bin/fig03_drop_stats.rs
+
+crates/bench/src/bin/fig03_drop_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_resources-81633263db663b39.d: crates/bench/src/bin/fig07_resources.rs
+
+/root/repo/target/release/deps/fig07_resources-81633263db663b39: crates/bench/src/bin/fig07_resources.rs
+
+crates/bench/src/bin/fig07_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_resources-bb18be7ec98fe30a.d: crates/bench/src/bin/fig07_resources.rs
+
+/root/repo/target/release/deps/fig07_resources-bb18be7ec98fe30a: crates/bench/src/bin/fig07_resources.rs
+
+crates/bench/src/bin/fig07_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08a_case_study-5fdaff7481f3dcf2.d: crates/bench/src/bin/fig08a_case_study.rs
+
+/root/repo/target/release/deps/fig08a_case_study-5fdaff7481f3dcf2: crates/bench/src/bin/fig08a_case_study.rs
+
+crates/bench/src/bin/fig08a_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08a_case_study-eae155bf9d0543d3.d: crates/bench/src/bin/fig08a_case_study.rs
+
+/root/repo/target/release/deps/fig08a_case_study-eae155bf9d0543d3: crates/bench/src/bin/fig08a_case_study.rs
+
+crates/bench/src/bin/fig08a_case_study.rs:

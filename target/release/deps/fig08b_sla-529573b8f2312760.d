@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08b_sla-529573b8f2312760.d: crates/bench/src/bin/fig08b_sla.rs
+
+/root/repo/target/release/deps/fig08b_sla-529573b8f2312760: crates/bench/src/bin/fig08b_sla.rs
+
+crates/bench/src/bin/fig08b_sla.rs:

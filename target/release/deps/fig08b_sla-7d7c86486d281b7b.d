@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08b_sla-7d7c86486d281b7b.d: crates/bench/src/bin/fig08b_sla.rs
+
+/root/repo/target/release/deps/fig08b_sla-7d7c86486d281b7b: crates/bench/src/bin/fig08b_sla.rs
+
+crates/bench/src/bin/fig08b_sla.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_coverage-40b090fe6b9a6ae0.d: crates/bench/src/bin/fig09_coverage.rs
+
+/root/repo/target/release/deps/fig09_coverage-40b090fe6b9a6ae0: crates/bench/src/bin/fig09_coverage.rs
+
+crates/bench/src/bin/fig09_coverage.rs:

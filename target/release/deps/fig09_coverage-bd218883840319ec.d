@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_coverage-bd218883840319ec.d: crates/bench/src/bin/fig09_coverage.rs
+
+/root/repo/target/release/deps/fig09_coverage-bd218883840319ec: crates/bench/src/bin/fig09_coverage.rs
+
+crates/bench/src/bin/fig09_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_congestion-0f10d54fdd938cc2.d: crates/bench/src/bin/fig10_congestion.rs
+
+/root/repo/target/release/deps/fig10_congestion-0f10d54fdd938cc2: crates/bench/src/bin/fig10_congestion.rs
+
+crates/bench/src/bin/fig10_congestion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_congestion-88b839f5608f711e.d: crates/bench/src/bin/fig10_congestion.rs
+
+/root/repo/target/release/deps/fig10_congestion-88b839f5608f711e: crates/bench/src/bin/fig10_congestion.rs
+
+crates/bench/src/bin/fig10_congestion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_overhead-58111317c8fb0f50.d: crates/bench/src/bin/fig11_overhead.rs
+
+/root/repo/target/release/deps/fig11_overhead-58111317c8fb0f50: crates/bench/src/bin/fig11_overhead.rs
+
+crates/bench/src/bin/fig11_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_overhead-dfc1fd1e80b1bec4.d: crates/bench/src/bin/fig11_overhead.rs
+
+/root/repo/target/release/deps/fig11_overhead-dfc1fd1e80b1bec4: crates/bench/src/bin/fig11_overhead.rs
+
+crates/bench/src/bin/fig11_overhead.rs:

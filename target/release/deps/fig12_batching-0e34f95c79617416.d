@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_batching-0e34f95c79617416.d: crates/bench/src/bin/fig12_batching.rs
+
+/root/repo/target/release/deps/fig12_batching-0e34f95c79617416: crates/bench/src/bin/fig12_batching.rs
+
+crates/bench/src/bin/fig12_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_batching-ba90b09307a42df6.d: crates/bench/src/bin/fig12_batching.rs
+
+/root/repo/target/release/deps/fig12_batching-ba90b09307a42df6: crates/bench/src/bin/fig12_batching.rs
+
+crates/bench/src/bin/fig12_batching.rs:

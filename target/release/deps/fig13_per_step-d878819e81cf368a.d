@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_per_step-d878819e81cf368a.d: crates/bench/src/bin/fig13_per_step.rs
+
+/root/repo/target/release/deps/fig13_per_step-d878819e81cf368a: crates/bench/src/bin/fig13_per_step.rs
+
+crates/bench/src/bin/fig13_per_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_per_step-dc46cda69e053465.d: crates/bench/src/bin/fig13_per_step.rs
+
+/root/repo/target/release/deps/fig13_per_step-dc46cda69e053465: crates/bench/src/bin/fig13_per_step.rs
+
+crates/bench/src/bin/fig13_per_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_capacity-1109f96565eaeb73.d: crates/bench/src/bin/fig14_capacity.rs
+
+/root/repo/target/release/deps/fig14_capacity-1109f96565eaeb73: crates/bench/src/bin/fig14_capacity.rs
+
+crates/bench/src/bin/fig14_capacity.rs:

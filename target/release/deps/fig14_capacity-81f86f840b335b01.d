@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_capacity-81f86f840b335b01.d: crates/bench/src/bin/fig14_capacity.rs
+
+/root/repo/target/release/deps/fig14_capacity-81f86f840b335b01: crates/bench/src/bin/fig14_capacity.rs
+
+crates/bench/src/bin/fig14_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_ringbuffer-13e03c9c1a045152.d: crates/bench/src/bin/fig15_ringbuffer.rs
+
+/root/repo/target/release/deps/fig15_ringbuffer-13e03c9c1a045152: crates/bench/src/bin/fig15_ringbuffer.rs
+
+crates/bench/src/bin/fig15_ringbuffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_ringbuffer-ac048acfd12aaa82.d: crates/bench/src/bin/fig15_ringbuffer.rs
+
+/root/repo/target/release/deps/fig15_ringbuffer-ac048acfd12aaa82: crates/bench/src/bin/fig15_ringbuffer.rs
+
+crates/bench/src/bin/fig15_ringbuffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_analytics-3655c60818a0a1a1.d: crates/bench/src/bin/fig16_analytics.rs
+
+/root/repo/target/release/deps/fig16_analytics-3655c60818a0a1a1: crates/bench/src/bin/fig16_analytics.rs
+
+crates/bench/src/bin/fig16_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_analytics-89b7c262595ea640.d: crates/bench/src/bin/fig16_analytics.rs
+
+/root/repo/target/release/deps/fig16_analytics-89b7c262595ea640: crates/bench/src/bin/fig16_analytics.rs
+
+crates/bench/src/bin/fig16_analytics.rs:

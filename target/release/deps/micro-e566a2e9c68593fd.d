@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-e566a2e9c68593fd.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-e566a2e9c68593fd: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

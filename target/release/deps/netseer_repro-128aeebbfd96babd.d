@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/netseer_repro-128aeebbfd96babd.d: src/lib.rs
+
+/root/repo/target/release/deps/libnetseer_repro-128aeebbfd96babd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnetseer_repro-128aeebbfd96babd.rmeta: src/lib.rs
+
+src/lib.rs:

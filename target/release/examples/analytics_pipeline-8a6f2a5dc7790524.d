@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/analytics_pipeline-8a6f2a5dc7790524.d: examples/analytics_pipeline.rs
+
+/root/repo/target/release/examples/analytics_pipeline-8a6f2a5dc7790524: examples/analytics_pipeline.rs
+
+examples/analytics_pipeline.rs:

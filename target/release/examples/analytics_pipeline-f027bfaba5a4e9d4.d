@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/analytics_pipeline-f027bfaba5a4e9d4.d: examples/analytics_pipeline.rs
+
+/root/repo/target/release/examples/analytics_pipeline-f027bfaba5a4e9d4: examples/analytics_pipeline.rs
+
+examples/analytics_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_drill-fe13933ac7e660b2.d: examples/chaos_drill.rs
+
+/root/repo/target/release/examples/chaos_drill-fe13933ac7e660b2: examples/chaos_drill.rs
+
+examples/chaos_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_recovery-0df6054bd3b14d81.d: examples/crash_recovery.rs
+
+/root/repo/target/release/examples/crash_recovery-0df6054bd3b14d81: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

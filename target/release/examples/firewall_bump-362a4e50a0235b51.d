@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/firewall_bump-362a4e50a0235b51.d: examples/firewall_bump.rs
+
+/root/repo/target/release/examples/firewall_bump-362a4e50a0235b51: examples/firewall_bump.rs
+
+examples/firewall_bump.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incast_congestion-b715ce932d609a0b.d: examples/incast_congestion.rs
+
+/root/repo/target/release/examples/incast_congestion-b715ce932d609a0b: examples/incast_congestion.rs
+
+examples/incast_congestion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/silent_drop_hunt-87e39a2ff3ecae45.d: examples/silent_drop_hunt.rs
+
+/root/repo/target/release/examples/silent_drop_hunt-87e39a2ff3ecae45: examples/silent_drop_hunt.rs
+
+examples/silent_drop_hunt.rs:

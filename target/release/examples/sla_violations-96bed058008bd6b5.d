@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sla_violations-96bed058008bd6b5.d: examples/sla_violations.rs
+
+/root/repo/target/release/examples/sla_violations-96bed058008bd6b5: examples/sla_violations.rs
+
+examples/sla_violations.rs:

@@ -19,7 +19,7 @@ use fet_netsim::topology::{build_fat_tree, FatTree, FatTreeParams};
 use fet_netsim::Simulator;
 use fet_packet::event::EventType;
 use fet_packet::FlowKey;
-use netseer::deploy::{collect_events, deploy, monitor_of, DeployOptions};
+use netseer::deploy::{collect_events, delivered_history, deploy, monitor_of, DeployOptions};
 use netseer::faults::{seeded_device_crashes, OverloadWindow};
 use netseer::{
     schedule_device_crashes, Collector, CrashKind, DeliveryLedger, FaultPlan, LossProcess,
@@ -147,9 +147,15 @@ fn mgmt_partition_heals_and_reports_resume() {
     assert!(ledger.delivered > 0);
     assert_eq!(ledger.missing(), 0, "zero silent loss across the partition");
     // Sends attempted inside the window retried; delivery resumed after.
-    let store = collect_events(&mut sim);
+    // Consumed through the collector's subscription API: ingest the fleet
+    // history, then drain the ordered stream like any other subscriber.
+    let mut collector = Collector::new();
+    let sub = collector.subscribe();
+    collector.ingest(&delivered_history(&sim));
+    let drained = collector.drain_ordered(sub);
+    assert_eq!(drained.len(), collector.len(), "one drain sees the full store");
     assert!(
-        store.events().iter().any(|e| e.time_ns >= partition.end_ns),
+        drained.iter().any(|e| e.time_ns >= partition.end_ns),
         "reports must resume after the partition heals"
     );
     assert!(fleet_retransmissions(&sim) > 0, "sends during the partition must have retried");
@@ -378,9 +384,7 @@ fn collector_hard_kill_reconciles_to_exactly_once() {
     sim.run_until(30 * MILLIS);
 
     // Every sender's delivered history, fleet-wide.
-    let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
-    let deliveries: Vec<netseer::StoredEvent> =
-        ids.iter().flat_map(|&id| monitor_of(&sim, id).delivered.iter().copied()).collect();
+    let deliveries: Vec<netseer::StoredEvent> = delivered_history(&sim);
     assert!(!deliveries.is_empty());
 
     // Place the checkpoint at the median delivery and the kill after the
@@ -402,6 +406,70 @@ fn collector_hard_kill_reconciles_to_exactly_once() {
 
     assert!(reverted > 0, "the hard kill must actually revert ingested work");
     assert_eq!(collector.len(), deliveries.len(), "exactly-once after reconciliation");
+    assert!(collector.duplicates_rejected() > 0, "reconciliation must have deduped");
+}
+
+/// Scenario 10 — the analytics engine rides through a hard collector
+/// kill. The engine checkpoints *with* the collector (store, gates, and
+/// subscription cursor together), so the coordinated revert rewinds both
+/// sides to the same instant; sender reconciliation then replays exactly
+/// the reverted suffix. The extended analytics ledger identity
+/// `ingested == aggregated + sketch_absorbed + shed_analytics` must hold
+/// before the kill, after the revert, and after reconciliation — and the
+/// engine's final state must equal a crash-free reference run's.
+#[test]
+fn analytics_engine_survives_collector_hard_kill() {
+    use fet_analytics::{link_map_from_sim, AnalyticsConfig, AnalyticsEngine};
+
+    let faults = FaultPlan { seed: seed(0xA11A), ..FaultPlan::default() };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    sim.run_until(30 * MILLIS);
+
+    let deliveries = delivered_history(&sim);
+    assert!(!deliveries.is_empty());
+    let links = link_map_from_sim(&sim);
+
+    // Crash-free reference: one collector, one engine, whole history.
+    let mut ref_collector = Collector::new();
+    let mut reference = AnalyticsEngine::new(AnalyticsConfig::default(), links.clone());
+    reference.attach(&mut ref_collector);
+    ref_collector.ingest(&deliveries);
+    reference.poll(&mut ref_collector);
+
+    // Crashed run: ingest half, coordinated checkpoint, ingest the rest,
+    // hard kill, then sender reconciliation re-offers everything.
+    let mut collector = Collector::new();
+    let mut engine = AnalyticsEngine::new(AnalyticsConfig::default(), links);
+    engine.attach(&mut collector);
+    let half = deliveries.len() / 2;
+    collector.ingest(&deliveries[..half]);
+    engine.poll(&mut collector);
+    engine.ledger().assert_balanced();
+    engine.checkpoint(&mut collector);
+    collector.ingest(&deliveries[half..]);
+    engine.poll(&mut collector);
+    engine.ledger().assert_balanced();
+    let processed_before = engine.processed;
+
+    let rolled_back = engine.crash_restart(CrashKind::Hard, &mut collector);
+    assert!(rolled_back > 0, "the kill must revert analytics work");
+    engine.ledger().assert_balanced();
+    assert_eq!(engine.ledger().ingested, engine.processed);
+
+    collector.ingest(&deliveries); // at-least-once reconciliation
+    engine.poll(&mut collector);
+
+    assert_eq!(engine.processed, processed_before, "exactly-once across the kill");
+    let ledger = engine.ledger();
+    ledger.assert_balanced();
+    assert_eq!(ledger, reference.ledger(), "crashed run must converge to the reference");
+    assert_eq!(
+        engine.top_flows(32),
+        reference.top_flows(32),
+        "top-k must be unaffected by the crash"
+    );
+    assert_eq!(engine.totals(), reference.totals(), "window totals must converge");
     assert!(collector.duplicates_rejected() > 0, "reconciliation must have deduped");
 }
 
