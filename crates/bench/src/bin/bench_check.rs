@@ -1,0 +1,99 @@
+//! CI bench-smoke gate: compare freshly produced `BENCH_<name>.json`
+//! reports against a committed baseline and fail on a throughput
+//! regression beyond the tolerance.
+//!
+//! ```text
+//! bench_check <baseline_dir> [current_dir]   (current_dir defaults to .)
+//! ```
+//!
+//! Only throughput-style metrics (keys containing `_per_s` or starting
+//! with `sim_meps`) gate the run, and only in the slow direction — new
+//! hardware being faster is never an error. Tolerance defaults to 20%
+//! and can be overridden with `BENCH_TOLERANCE` (e.g. `0.3`).
+
+use fet_bench::BenchReport;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn is_throughput(key: &str) -> bool {
+    key.contains("_per_s")
+        || key == "events_per_s"
+        || key == "pkts_per_s"
+        || key.starts_with("sim_meps")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(baseline_dir) = args.get(1) else {
+        eprintln!("usage: bench_check <baseline_dir> [current_dir]");
+        return ExitCode::FAILURE;
+    };
+    let current_dir = args.get(2).map(String::as_str).unwrap_or(".");
+    let tolerance: f64 =
+        std::env::var("BENCH_TOLERANCE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.20);
+
+    let mut baselines: Vec<std::path::PathBuf> = std::fs::read_dir(baseline_dir)
+        .expect("read baseline dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    baselines.sort();
+    if baselines.is_empty() {
+        eprintln!("bench_check: no BENCH_*.json baselines in {baseline_dir}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0u32;
+    let mut compared = 0u32;
+    for base_path in &baselines {
+        let Some(base) = BenchReport::read(base_path) else {
+            eprintln!("bench_check: unparseable baseline {}", base_path.display());
+            failures += 1;
+            continue;
+        };
+        let cur_path = Path::new(current_dir).join(base_path.file_name().unwrap());
+        let Some(cur) = BenchReport::read(&cur_path) else {
+            eprintln!("bench_check: missing current report {}", cur_path.display());
+            failures += 1;
+            continue;
+        };
+        for (key, want) in base.metrics.iter().filter(|(k, _)| is_throughput(k)) {
+            let Some(got) = cur.get(key) else {
+                eprintln!("bench_check: {}: metric {key} missing from current run", base.name);
+                failures += 1;
+                continue;
+            };
+            compared += 1;
+            let floor = want * (1.0 - tolerance);
+            let delta = 100.0 * (got - want) / want.max(f64::MIN_POSITIVE);
+            if got < floor {
+                eprintln!(
+                    "bench_check: REGRESSION {}::{key}: {got:.0} vs baseline {want:.0} ({delta:+.1}%, tolerance -{:.0}%)",
+                    base.name,
+                    tolerance * 100.0
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "bench_check: ok {}::{key}: {got:.0} vs baseline {want:.0} ({delta:+.1}%)",
+                    base.name
+                );
+            }
+        }
+    }
+
+    println!(
+        "bench_check: {compared} throughput metrics compared across {} reports, {failures} failure(s)",
+        baselines.len()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

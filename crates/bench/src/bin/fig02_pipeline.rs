@@ -3,10 +3,75 @@
 //! 0.5% after dedup → 0.01% delivered". This harness runs a fault-heavy
 //! workload and prints the measured fraction surviving each stage.
 
-use fet_bench::{run_experiment, InjectSpec, MonitorKind};
+use fet_bench::counting_alloc::{allocations, CountingAlloc};
+use fet_bench::{run_experiment, BenchReport, InjectSpec, MonitorKind};
+use fet_netsim::monitor::{Actions, EgressCtx, IngressCtx, SwitchMonitor};
 use fet_netsim::time::MILLIS;
+use fet_packet::builder::build_data_packet;
+use fet_packet::ipv4::Ipv4Addr;
+use fet_packet::FlowKey;
+use fet_pdp::PacketMeta;
 use fet_workloads::distributions::DCTCP;
 use netseer::deploy::monitor_of;
+use netseer::{NetSeerConfig, NetSeerMonitor, Role};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Drive the steady-state per-packet path directly — upstream egress
+/// (tag + ring record) into downstream ingress (strip + gap check) — and
+/// measure wall-clock throughput and heap allocations per packet after
+/// warm-up. The zero-allocation contract of `DESIGN.md` §11 is asserted
+/// here, so a regression fails the bench job, not just a code review.
+fn hot_path_bench() -> (f64, f64) {
+    let cfg = NetSeerConfig::default();
+    let mut upstream = NetSeerMonitor::new(1, Role::Switch, cfg.clone());
+    let mut downstream = NetSeerMonitor::new(2, Role::Switch, cfg);
+    let flow = FlowKey::tcp(
+        Ipv4Addr::from_octets([10, 0, 0, 1]),
+        7_000,
+        Ipv4Addr::from_octets([10, 0, 0, 2]),
+        80,
+    );
+    let mut frame = build_data_packet(&flow, 1000, 0, 0, 64);
+    // Room for the 6-byte sequence tag: after the first insertion the
+    // buffer's capacity absorbs the growth forever.
+    frame.reserve(8);
+    let mut out = Actions::new();
+    let mut run = |n: u64, t0: u64, frame: &mut Vec<u8>| {
+        for i in 0..n {
+            let now = t0 + i * 1_000;
+            let mut meta = PacketMeta::arriving(0, now, frame.len());
+            meta.flow = Some(flow);
+            meta.egress_ts_ns = now; // zero queuing delay: no event
+            let ectx = EgressCtx {
+                now_ns: now,
+                node: 1,
+                port: 0,
+                queue: 0,
+                peer_tagged: true,
+                meta: &meta,
+            };
+            upstream.on_egress(&ectx, frame, &mut out);
+            let ictx = IngressCtx { now_ns: now, node: 2, port: 0, peer_tagged: true };
+            downstream.on_ingress(&ictx, frame, &mut out);
+            out.emit.clear();
+            out.reports.clear();
+        }
+    };
+    // Warm-up: first-touch allocations (port tables, ring buffers, the
+    // one-time frame growth for the tag) are expected and excluded.
+    run(10_000, 0, &mut frame);
+    let before = allocations();
+    let start = Instant::now();
+    const PKTS: u64 = 1_000_000;
+    run(PKTS, 10_000_000_000, &mut frame);
+    let secs = start.elapsed().as_secs_f64();
+    let allocs = allocations() - before;
+    let per_pkt = allocs as f64 / PKTS as f64;
+    (PKTS as f64 / secs, per_pkt)
+}
 
 fn main() {
     let inject = InjectSpec::default();
@@ -59,4 +124,20 @@ fn main() {
     println!(
         "\n  (paper annotation: 100% -> ~10% -> ~0.5% -> ~0.01%; FP eliminated: {fp_eliminated})"
     );
+
+    let (pkts_per_s, allocs_per_pkt) = hot_path_bench();
+    println!("\n=== Monitor hot path (tag -> strip cycle, steady state) ===");
+    println!("  throughput        {pkts_per_s:>14.0} pkts/s");
+    println!("  heap allocations  {allocs_per_pkt:>14.4} per packet");
+    assert_eq!(allocs_per_pkt, 0.0, "steady-state packet path must not allocate");
+
+    let sim_secs = (15 * MILLIS) as f64 * 1e-9;
+    let mut report = BenchReport::new("fig02_pipeline");
+    report
+        .metric("pkts_per_s", pkts_per_s)
+        .metric("allocs_per_pkt", allocs_per_pkt)
+        .metric("events_per_s", final_reports as f64 / sim_secs)
+        .metric("raw_packets", pkts as f64)
+        .metric("final_reports", final_reports as f64);
+    report.write().expect("write BENCH_fig02_pipeline.json");
 }

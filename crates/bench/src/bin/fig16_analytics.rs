@@ -96,6 +96,7 @@ fn main() {
     println!("\n(a) ingest throughput (events/s) vs shards");
     println!("{:>8} {:>14} {:>12}", "shards", "events/s", "elapsed_ms");
     let mut meps_4 = 0.0;
+    let mut report = fet_bench::BenchReport::new("fig16_analytics");
     for shards in [1usize, 2, 4, 8] {
         let cfg = AnalyticsConfig { shards, ..AnalyticsConfig::default() };
         let mut engine = AnalyticsEngine::new(cfg, LinkMap::default());
@@ -106,10 +107,12 @@ fn main() {
         if shards == 4 {
             meps_4 = eps;
         }
+        report.metric(&format!("events_per_s_shards{shards}"), eps);
         println!("{:>8} {:>14.0} {:>12.1}", shards, eps, dt.as_secs_f64() * 1e3);
         engine.ledger().assert_balanced();
         assert_eq!(engine.ledger().ingested, EVENTS as u64);
     }
+    report.metric("events_per_s", meps_4);
 
     // (b) top-k accuracy on 4 shards: recall of the true top-8 and the
     // per-entry error-bound audit against exact per-flow weights.
@@ -146,4 +149,6 @@ fn main() {
     assert!(recall >= 0.95, "top-8 recall {recall} below the 0.95 bar");
     assert!(meps_4 >= 1_000_000.0, "4-shard ingest {meps_4:.0} events/s below the 1M events/s bar");
     println!("\nfig16 acceptance: 4-shard ingest {meps_4:.0} events/s (>= 1M), recall {recall:.2} (>= 0.95)");
+    report.metric("top8_recall", recall);
+    report.write().expect("write BENCH_fig16_analytics.json");
 }

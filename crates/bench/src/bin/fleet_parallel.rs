@@ -1,0 +1,180 @@
+//! Fleet-simulation throughput: serial vs the deterministic parallel
+//! executor at 1/2/4/8 shards, on a fleet large enough that sharding has
+//! real work to spread (4 pods, 64 hosts, every device running NetSeer).
+//!
+//! Two things are measured and committed to `BENCH_fleet_parallel.json`:
+//!
+//! * **correctness** — every parallel run's observable fingerprint
+//!   (delivered events, ledgers, ground truth, management bytes) must be
+//!   bit-identical to the serial run, or the bench aborts;
+//! * **throughput** — simulated packets per wall-second per shard count;
+//!   `speedup_4x` (4 shards vs serial) is the acceptance headline.
+
+use fet_netsim::host::FlowSpec;
+use fet_netsim::routing::install_ecmp_routes;
+use fet_netsim::time::{MICROS, MILLIS};
+use fet_netsim::topology::{build_fat_tree, FatTree, FatTreeParams};
+use fet_netsim::Simulator;
+use fet_packet::FlowKey;
+use netseer::deploy::{delivered_history, deploy, monitor_of, DeployOptions};
+use netseer::{DeliveryLedger, NetSeerConfig, StoredEvent};
+use std::time::Instant;
+
+const HORIZON: u64 = 6 * MILLIS;
+
+/// A fleet big enough to parallelize: 4 pods (36 switches, 64 hosts) with
+/// long-haul links (5 µs propagation), giving the conservative executor a
+/// wide cross-shard lookahead window per epoch.
+fn params() -> FatTreeParams {
+    FatTreeParams {
+        pods: 4,
+        cores: 4,
+        hosts_per_edge: 8,
+        prop_ns: 5 * MICROS,
+        ..FatTreeParams::default()
+    }
+}
+
+fn build() -> (Simulator, FatTree) {
+    let mut sim = Simulator::new();
+    let ft = build_fat_tree(&mut sim, &params());
+    install_ecmp_routes(&mut sim);
+    deploy(&mut sim, &DeployOptions { cfg: NetSeerConfig::default(), on_nics: true });
+    // All-to-all-ish load: every host sends to its mirror host in the
+    // opposite pod, plus lossy uplinks so events flow fleet-wide.
+    let n = ft.hosts.len();
+    for s in 0..n {
+        let d = n - 1 - s;
+        if s == d {
+            continue;
+        }
+        let key = FlowKey::tcp(ft.host_ips[s], 2_000 + s as u16, ft.host_ips[d], 80);
+        let h = ft.hosts[s];
+        let idx = sim.host_mut(h).add_flow(FlowSpec {
+            key,
+            total_bytes: 2_000_000,
+            pkt_payload: 1000,
+            rate_gbps: 5.0,
+            start_ns: 0,
+            dscp: 0,
+        });
+        sim.schedule_flow(h, idx);
+    }
+    for pod in 0..4 {
+        let tor = ft.edges[pod][0];
+        for port in 0..2 {
+            sim.link_direction_mut(tor, port).unwrap().faults.drop_prob = 0.002;
+        }
+    }
+    (sim, ft)
+}
+
+struct Outcome {
+    delivered: Vec<StoredEvent>,
+    ledger: DeliveryLedger,
+    gt_len: usize,
+    mgmt_bytes: u64,
+    pkts: u64,
+    secs: f64,
+}
+
+fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
+    let mut total = DeliveryLedger::default();
+    let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
+    for id in ids {
+        let l = monitor_of(sim, id).ledger();
+        l.assert_balanced();
+        total.generated += l.generated;
+        total.delivered += l.delivered;
+        total.shed_stack += l.shed_stack;
+        total.shed_pcie += l.shed_pcie;
+        total.shed_cpu_overload += l.shed_cpu_overload;
+        total.shed_false_positive += l.shed_false_positive;
+        total.shed_transport += l.shed_transport;
+        total.pending += l.pending;
+        total.lost_to_crash += l.lost_to_crash;
+    }
+    total
+}
+
+fn run(shards: usize) -> Outcome {
+    let (mut sim, _ft) = build();
+    let start = Instant::now();
+    if shards == 0 {
+        sim.run_until(HORIZON);
+    } else {
+        sim.run_until_parallel(HORIZON, shards);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let pkts: u64 =
+        sim.switch_ids().into_iter().map(|id| monitor_of(&sim, id).stats.packets_seen).sum();
+    Outcome {
+        delivered: delivered_history(&sim),
+        ledger: fleet_ledger(&sim),
+        gt_len: sim.gt.events().len(),
+        mgmt_bytes: sim.mgmt.total_bytes(),
+        pkts,
+        secs,
+    }
+}
+
+fn main() {
+    println!("=== Fleet simulation: serial vs deterministic parallel execution ===");
+    println!("  ({} switches+hosts, 6 ms horizon)", {
+        let (sim, _) = build();
+        sim.switch_ids().len() + sim.host_ids().len()
+    });
+
+    let serial = run(0);
+    println!(
+        "\n  {:>8} {:>12} {:>14} {:>10} {:>10}",
+        "mode", "wall_s", "sim pkts/s", "delivered", "identical"
+    );
+    println!(
+        "  {:>8} {:>12.3} {:>14.0} {:>10} {:>10}",
+        "serial",
+        serial.secs,
+        serial.pkts as f64 / serial.secs,
+        serial.delivered.len(),
+        "-"
+    );
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut report = fet_bench::BenchReport::new("fleet_parallel");
+    report
+        .metric("cores", cores as f64)
+        .metric("pkts_per_s_serial", serial.pkts as f64 / serial.secs)
+        .metric("events_per_s", serial.delivered.len() as f64 / serial.secs)
+        .metric("fleet_pkts", serial.pkts as f64);
+
+    let mut speedup_4x = 0.0;
+    for shards in [1usize, 2, 4, 8] {
+        let par = run(shards);
+        let identical = par.delivered == serial.delivered
+            && par.ledger == serial.ledger
+            && par.gt_len == serial.gt_len
+            && par.mgmt_bytes == serial.mgmt_bytes
+            && par.pkts == serial.pkts;
+        println!(
+            "  {:>8} {:>12.3} {:>14.0} {:>10} {:>10}",
+            format!("{shards}-shard"),
+            par.secs,
+            par.pkts as f64 / par.secs,
+            par.delivered.len(),
+            identical
+        );
+        assert!(identical, "parallel run at {shards} shards diverged from serial");
+        let speedup = serial.secs / par.secs;
+        report.metric(&format!("pkts_per_s_shards{shards}"), par.pkts as f64 / par.secs);
+        report.metric(&format!("speedup_{shards}x"), speedup);
+        if shards == 4 {
+            speedup_4x = speedup;
+        }
+    }
+    report.metric("pkts_per_s", serial.pkts as f64 / serial.secs);
+
+    println!("\n  speedup at 4 shards: {speedup_4x:.2}x on {cores} core(s)");
+    println!("  (wall speedup is bounded by the core count; the determinism");
+    println!("   contract above is verified at every shard count regardless)");
+    report.write().expect("write BENCH_fleet_parallel.json");
+}

@@ -6,6 +6,11 @@
 //! coverage / overhead per monitor with identical semantics across
 //! monitors.
 
+pub mod benchjson;
+pub mod counting_alloc;
+
+pub use benchjson::BenchReport;
+
 use fet_baselines::{
     coverage, EverFlowMonitor, NetSightMonitor, ObservationLog, SamplingMonitor, SnmpMonitor,
 };

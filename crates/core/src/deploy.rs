@@ -69,6 +69,7 @@ pub fn collect_events(sim: &mut Simulator) -> EventStore {
         let mon = match &mut sim.nodes[id as usize] {
             Node::Switch(s) => s.monitor.as_mut(),
             Node::Host(h) => h.monitor.as_mut(),
+            Node::Vacant => None,
         };
         if let Some(m) = mon {
             if let Some(ns) = m.as_any_mut().downcast_mut::<NetSeerMonitor>() {
@@ -88,6 +89,7 @@ pub fn delivered_history(sim: &Simulator) -> Vec<crate::storage::StoredEvent> {
         let mon = match node {
             Node::Switch(s) => s.monitor.as_ref(),
             Node::Host(h) => h.monitor.as_ref(),
+            Node::Vacant => None,
         };
         if let Some(m) = mon {
             if let Some(ns) = m.as_any().downcast_ref::<NetSeerMonitor>() {
@@ -107,6 +109,7 @@ pub fn gap_reports(sim: &Simulator) -> Vec<(u32, u8, u64)> {
         let mon = match node {
             Node::Switch(s) => s.monitor.as_ref(),
             Node::Host(h) => h.monitor.as_ref(),
+            Node::Vacant => None,
         };
         if let Some(m) = mon {
             if let Some(ns) = m.as_any().downcast_ref::<NetSeerMonitor>() {
@@ -127,6 +130,7 @@ pub fn monitor_of(sim: &Simulator, id: NodeId) -> &NetSeerMonitor {
     let m = match &sim.nodes[id as usize] {
         Node::Switch(s) => s.monitor.as_ref(),
         Node::Host(h) => h.monitor.as_ref(),
+        Node::Vacant => None,
     };
     m.expect("monitor attached").as_any().downcast_ref::<NetSeerMonitor>().expect("NetSeer monitor")
 }

@@ -78,6 +78,7 @@ pub mod faults;
 pub mod monitor;
 pub mod recovery;
 pub mod storage;
+pub mod tables;
 pub mod transport;
 
 pub use config::NetSeerConfig;

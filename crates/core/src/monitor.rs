@@ -13,12 +13,13 @@ use crate::extract::Extractor;
 use crate::faults::{streams, CrashKind, DeliveryLedger, LossGen};
 use crate::recovery::{CrashReport, DedupSummary, RecoveryLog, Snapshot};
 use crate::storage::StoredEvent;
+use crate::tables::{DedupTable, PortTable};
 use crate::transport::ReliableChannel;
 use fet_netsim::counters::PortCounters;
 use fet_netsim::monitor::{Actions, EgressCtx, HookVerdict, IngressCtx, RoutedCtx, SwitchMonitor};
 use fet_packet::builder::{
-    build_notification_frames_with, classify, extract_flow, insert_seqtag, parse_notification,
-    strip_seqtag, FrameKind,
+    build_notification_frames_with, classify, extract_flow, insert_seqtag_in_place,
+    parse_notification, strip_seqtag_in_place, FrameKind,
 };
 use fet_packet::ethernet::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN};
 use fet_packet::event::{DropCode, EventDetail, EventRecord, EventType, EVENT_RECORD_LEN};
@@ -78,16 +79,17 @@ pub struct NetSeerMonitor {
     pub role: Role,
     device: u32,
     // --- detection state (§3.3) ---
-    taggers: HashMap<u8, PortTagger>,
-    gaps: HashMap<u8, GapDetector>,
-    pending: HashMap<u8, PendingLookups>,
+    // Flat 256-slot tables indexed by the u8 port (no per-packet hashing).
+    taggers: PortTable<PortTagger>,
+    gaps: PortTable<GapDetector>,
+    pending: PortTable<PendingLookups>,
     /// PFC queue status (pause detection).
     pub pause_tracker: PauseTracker,
     /// Learned flow paths (path-change detection).
     pub path_table: PathTable,
     // --- aggregation (§3.4) ---
-    /// One group cache per event type.
-    pub dedup: HashMap<EventType, GroupCache>,
+    /// One group cache per event type, indexed by discriminant.
+    pub dedup: DedupTable,
     /// ACL-rule-granularity drop aggregation.
     pub acl: AclAggregator,
     /// 24-byte record builder.
@@ -130,6 +132,8 @@ pub struct NetSeerMonitor {
     /// Monotonic delivery sequence number; `(device, epoch, seq)` is the
     /// collector's exactly-once dedup key.
     next_delivery_seq: u64,
+    /// Reused scratch for the records produced by one `raise` call.
+    records_scratch: Vec<(FlowKey, u16)>,
 }
 
 impl std::fmt::Debug for NetSeerMonitor {
@@ -149,19 +153,20 @@ impl NetSeerMonitor {
         let mk = |name: &'static str, salt: u32| {
             GroupCache::new(name, cfg.dedup_entries, cfg.dedup_c, seed ^ salt)
         };
-        let mut dedup = HashMap::new();
-        dedup.insert(EventType::Congestion, mk("dedup-congestion", 1));
-        dedup.insert(EventType::PipelineDrop, mk("dedup-pipedrop", 2));
-        dedup.insert(EventType::MmuDrop, mk("dedup-mmudrop", 3));
-        dedup.insert(EventType::InterSwitchDrop, mk("dedup-iswdrop", 4));
-        dedup.insert(EventType::PathChange, mk("dedup-path", 5));
-        dedup.insert(EventType::Pause, mk("dedup-pause", 6));
+        let dedup = DedupTable::build(|ty| match ty {
+            EventType::Congestion => mk("dedup-congestion", 1),
+            EventType::PipelineDrop => mk("dedup-pipedrop", 2),
+            EventType::MmuDrop => mk("dedup-mmudrop", 3),
+            EventType::InterSwitchDrop => mk("dedup-iswdrop", 4),
+            EventType::PathChange => mk("dedup-path", 5),
+            EventType::Pause => mk("dedup-pause", 6),
+        });
         NetSeerMonitor {
             role,
             device,
-            taggers: HashMap::new(),
-            gaps: HashMap::new(),
-            pending: HashMap::new(),
+            taggers: PortTable::new(),
+            gaps: PortTable::new(),
+            pending: PortTable::new(),
             pause_tracker: PauseTracker::new(64),
             path_table: PathTable::new(cfg.path_entries, seed ^ 0xabcd),
             dedup,
@@ -202,6 +207,7 @@ impl NetSeerMonitor {
             notification_copies_dropped: 0,
             recovery: RecoveryLog::new(cfg.checkpoint_interval_ns),
             next_delivery_seq: 0,
+            records_scratch: Vec::with_capacity(4),
             cfg,
         }
     }
@@ -226,12 +232,12 @@ impl NetSeerMonitor {
 
     fn tagger(&mut self, port: u8) -> &mut PortTagger {
         let slots = self.cfg.ring_slots;
-        self.taggers.entry(port).or_insert_with(|| PortTagger::new(slots))
+        self.taggers.get_or_insert_with(port, || PortTagger::new(slots))
     }
 
     /// Ring-buffer tagger stats for a port (diagnostics).
     pub fn tagger_stats(&self, port: u8) -> Option<(u64, u64, u64)> {
-        self.taggers.get(&port).map(|t| (t.tagged, t.lookup_hits, t.lookup_misses))
+        self.taggers.get(port).map(|t| (t.tagged, t.lookup_hits, t.lookup_misses))
     }
 
     /// The device id this monitor reports as.
@@ -248,10 +254,8 @@ impl NetSeerMonitor {
     /// control-plane scrape the analytics correlator joins against
     /// upstream loss reports.
     pub fn gap_counts(&self) -> Vec<(u8, u64)> {
-        let mut v: Vec<(u8, u64)> =
-            self.gaps.iter().map(|(&port, g)| (port, g.gaps_detected)).collect();
-        v.sort_unstable();
-        v
+        // PortTable iteration is already in ascending port order.
+        self.gaps.iter().map(|(port, g)| (port, g.gaps_detected)).collect()
     }
 
     /// Redirect an ingress-side event packet through the internal port;
@@ -282,9 +286,11 @@ impl NetSeerMonitor {
         }
         self.stats.event_packets += 1;
         self.stats.event_packet_bytes += original_len as u64;
-        let mut records: Vec<(FlowKey, u16)> = Vec::with_capacity(2);
+        // Reused scratch: no per-event allocation in steady state.
+        let mut records = std::mem::take(&mut self.records_scratch);
+        records.clear();
         if self.cfg.enable_dedup {
-            let cache = self.dedup.get_mut(&ty).expect("cache per type");
+            let cache = self.dedup.get_mut(ty);
             match cache.offer(flow) {
                 DedupOutcome::Suppressed { .. } => {}
                 DedupOutcome::NewFlow => records.push((flow, 1)),
@@ -299,11 +305,12 @@ impl NetSeerMonitor {
         } else {
             records.push((flow, 1));
         }
-        for (f, counter) in records {
-            let hash = self.dedup.get(&ty).expect("cache").flow_hash(&f);
+        for (f, counter) in records.drain(..) {
+            let hash = self.dedup.get(ty).flow_hash(&f);
             let rec = self.extractor.extract(ty, f, detail, counter, hash, original_len);
             self.dispatch_record(now_ns, rec, out);
         }
+        self.records_scratch = records;
         self.pump(now_ns, out);
     }
 
@@ -392,7 +399,7 @@ impl NetSeerMonitor {
     /// Drain up to `n` pending ring lookups for a port, raising drop events.
     fn drain_pending(&mut self, now_ns: u64, port: u8, n: usize, out: &mut Actions) {
         for _ in 0..n {
-            let Some(seq) = self.pending.get_mut(&port).and_then(|p| p.pop()) else {
+            let Some(seq) = self.pending.get_mut(port).and_then(|p| p.pop()) else {
                 return;
             };
             let hit = self.tagger(port).lookup(seq);
@@ -414,15 +421,16 @@ impl NetSeerMonitor {
     }
 
     fn take_snapshot(&self) -> Snapshot {
-        let mut tagger_heads: Vec<(u8, u32)> =
-            self.taggers.iter().map(|(&p, t)| (p, t.head())).collect();
-        tagger_heads.sort_unstable();
-        let mut dedup: Vec<DedupSummary> = self
+        // PortTable iterates ports ascending and DedupTable iterates types
+        // in wire-code order, so both lists come out pre-sorted exactly as
+        // the HashMap-era snapshot sorted them: serialization is stable.
+        let tagger_heads: Vec<(u8, u32)> =
+            self.taggers.iter().map(|(p, t)| (p, t.head())).collect();
+        let dedup: Vec<DedupSummary> = self
             .dedup
             .iter()
-            .map(|(&ty, c)| DedupSummary { ty, offered: c.offered, reports: c.reports })
+            .map(|(ty, c)| DedupSummary { ty, offered: c.offered, reports: c.reports })
             .collect();
-        dedup.sort_unstable_by_key(|d| d.ty as u8);
         Snapshot {
             taken_ns: 0,
             pending: self.batcher.pending_events(),
@@ -483,7 +491,7 @@ impl NetSeerMonitor {
         // lost — lookups in the gap window count misses, never misreport.
         let heads: HashMap<u8, u32> =
             self.recovery.snapshot().tagger_heads.iter().copied().collect();
-        for (&port, tagger) in self.taggers.iter_mut() {
+        for (port, tagger) in self.taggers.iter_mut() {
             let mut fresh = PortTagger::new(self.cfg.ring_slots);
             fresh.restore_head(heads.get(&port).copied().unwrap_or(0));
             fresh.tagged = tagger.tagged;
@@ -567,7 +575,7 @@ impl NetSeerMonitor {
     /// detector on the next tagged frame instead of charging the
     /// sequence discontinuity as an inter-switch loss burst.
     pub fn rebase_ingress(&mut self, port: u8) {
-        self.gaps.entry(port).or_default().rebase();
+        self.gaps.get_or_insert_with(port, GapDetector::default).rebase();
     }
 
     /// Assemble the PDP resource picture of this deployment (Figure 7).
@@ -642,9 +650,9 @@ impl SwitchMonitor for NetSeerMonitor {
         if self.cfg.enable_interswitch {
             let eth = EthernetFrame::new_unchecked(frame.as_slice());
             if eth.ethertype() == EtherType::NetSeerSeq {
-                if let Ok((seq, restored)) = strip_seqtag(frame) {
-                    *frame = restored;
-                    let gap = self.gaps.entry(ctx.port).or_default().observe(seq);
+                if let Ok(seq) = strip_seqtag_in_place(frame) {
+                    let gap =
+                        self.gaps.get_or_insert_with(ctx.port, GapDetector::default).observe(seq);
                     if let Some((lo, hi)) = gap {
                         let copies = self.cfg.notification_copies;
                         for nf in build_notification_frames_with(lo, hi, ctx.port, copies) {
@@ -668,8 +676,7 @@ impl SwitchMonitor for NetSeerMonitor {
                 if let Ok((lo, hi, _copy, _port)) = parse_notification(frame) {
                     let cap = self.cfg.pending_lookup_cap;
                     self.pending
-                        .entry(ctx.port)
-                        .or_insert_with(|| PendingLookups::new(cap))
+                        .get_or_insert_with(ctx.port, || PendingLookups::new(cap))
                         .push_range(lo, hi);
                 }
                 self.pump(ctx.now_ns, out);
@@ -848,9 +855,9 @@ impl SwitchMonitor for NetSeerMonitor {
             if kind != FrameKind::Pfc && !already_tagged {
                 let flow = extract_flow(frame).unwrap_or(acl_rule_flow(0));
                 let seq = self.tagger(ctx.port).next(flow);
-                if let Ok(tagged) = insert_seqtag(frame, seq) {
-                    *frame = tagged;
-                }
+                // In place: the buffer's spare capacity absorbs the 6-byte
+                // tag after the first hop, so steady state never allocates.
+                let _ = insert_seqtag_in_place(frame, seq);
             }
             self.drain_pending(ctx.now_ns, ctx.port, 1, out);
         }
@@ -863,9 +870,10 @@ impl SwitchMonitor for NetSeerMonitor {
 
     fn on_timer(&mut self, now_ns: u64, _counters: &[PortCounters], out: &mut Actions) {
         // CPU-assisted backstop: drain pending lookups even on quiet ports.
-        let ports: Vec<u8> = self.pending.keys().copied().collect();
-        for p in ports {
-            self.drain_pending(now_ns, p, 64, out);
+        for p in 0..=255u8 {
+            if self.pending.get(p).is_some() {
+                self.drain_pending(now_ns, p, 64, out);
+            }
         }
         // Deliver batches that completed on their own BEFORE flushing:
         // flush() polls internally and discards the ready batches it

@@ -33,9 +33,8 @@
 //!
 //! [`FaultPlan`]: crate::faults::FaultPlan
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::faults::{CollectorCrash, CrashKind, DeliveryLedger, DeviceCrash};
 use crate::monitor::NetSeerMonitor;
@@ -475,28 +474,28 @@ impl Collector {
 /// through this shared log after `run_until`.
 #[derive(Debug, Clone, Default)]
 pub struct CrashLog {
-    reports: Rc<RefCell<Vec<CrashReport>>>,
+    reports: Arc<Mutex<Vec<CrashReport>>>,
 }
 
 impl CrashLog {
     /// Reports of all completed restarts, in restart order.
     pub fn reports(&self) -> Vec<CrashReport> {
-        self.reports.borrow().clone()
+        self.reports.lock().unwrap().clone()
     }
 
     /// Completed restarts.
     pub fn len(&self) -> usize {
-        self.reports.borrow().len()
+        self.reports.lock().unwrap().len()
     }
 
     /// True when no restart completed.
     pub fn is_empty(&self) -> bool {
-        self.reports.borrow().is_empty()
+        self.reports.lock().unwrap().is_empty()
     }
 
     /// Total events destroyed across all kills.
     pub fn total_lost(&self) -> u64 {
-        self.reports.borrow().iter().map(|r| r.lost).sum()
+        self.reports.lock().unwrap().iter().map(|r| r.lost).sum()
     }
 }
 
@@ -513,27 +512,27 @@ pub fn schedule_device_crashes(sim: &mut Simulator, crashes: &[DeviceCrash]) -> 
     let log = CrashLog::default();
     for c in crashes.iter().copied() {
         assert!(c.restart_ns > c.at_ns, "restart must follow the kill: {c:?}");
-        let stash: Rc<RefCell<Option<Box<dyn fet_netsim::monitor::SwitchMonitor>>>> =
-            Rc::new(RefCell::new(None));
+        let stash: Arc<Mutex<Option<Box<dyn fet_netsim::monitor::SwitchMonitor>>>> =
+            Arc::new(Mutex::new(None));
 
-        let kill_stash = Rc::clone(&stash);
+        let kill_stash = Arc::clone(&stash);
         sim.schedule_control(c.at_ns, move |s| {
             if let Some(mut bm) = s.take_node_monitor(c.device) {
                 if let Some(ns) = bm.as_any_mut().downcast_mut::<NetSeerMonitor>() {
                     ns.crash(c.kind, c.at_ns);
                 }
-                *kill_stash.borrow_mut() = Some(bm);
+                *kill_stash.lock().unwrap() = Some(bm);
             }
         });
 
-        let restart_stash = Rc::clone(&stash);
-        let reports = Rc::clone(&log.reports);
+        let restart_stash = Arc::clone(&stash);
+        let reports = Arc::clone(&log.reports);
         sim.schedule_control(c.restart_ns, move |s| {
-            let Some(mut bm) = restart_stash.borrow_mut().take() else {
+            let Some(mut bm) = restart_stash.lock().unwrap().take() else {
                 return;
             };
             if let Some(ns) = bm.as_any_mut().downcast_mut::<NetSeerMonitor>() {
-                reports.borrow_mut().push(ns.restart(c.restart_ns));
+                reports.lock().unwrap().push(ns.restart(c.restart_ns));
             }
             s.install_node_monitor(c.device, bm);
             // Downstream neighbors (switches AND host NICs — edge ports

@@ -1,0 +1,188 @@
+//! Flat, cache-friendly replacements for the per-packet `HashMap`s in the
+//! monitor hot path.
+//!
+//! A hardware pipeline indexes register arrays by port number and by event
+//! type — it never hashes. Mirroring that, [`PortTable`] is a 256-slot
+//! array keyed directly by the `u8` port and [`DedupTable`] is a 6-slot
+//! array keyed by the [`EventType`] discriminant. Both turn the per-packet
+//! map lookups (hash + probe + possible allocation) into a bounds-free
+//! index, which is what lets the steady-state packet path run without
+//! touching the allocator.
+
+use crate::dedup::GroupCache;
+use fet_packet::event::{EventType, ALL_EVENT_TYPES};
+
+/// Sparse per-port state addressed directly by the `u8` port number.
+///
+/// Drop-in replacement for `HashMap<u8, T>` on the hot path: `get` /
+/// `get_mut` are a single indexed load, and iteration is in ascending
+/// port order (so scrapes that used to sort after collecting from a map
+/// are naturally sorted).
+#[derive(Debug)]
+pub struct PortTable<T> {
+    slots: Box<[Option<T>; 256]>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+impl<T> Default for PortTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PortTable<T> {
+    /// An empty table (one heap allocation for the slot array, ever).
+    pub fn new() -> Self {
+        PortTable { slots: Box::new(std::array::from_fn(|_| None)), len: 0 }
+    }
+
+    /// State for `port`, if present.
+    #[inline]
+    pub fn get(&self, port: u8) -> Option<&T> {
+        self.slots[usize::from(port)].as_ref()
+    }
+
+    /// Mutable state for `port`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, port: u8) -> Option<&mut T> {
+        self.slots[usize::from(port)].as_mut()
+    }
+
+    /// State for `port`, created with `make` on first touch.
+    #[inline]
+    pub fn get_or_insert_with(&mut self, port: u8, make: impl FnOnce() -> T) -> &mut T {
+        let slot = &mut self.slots[usize::from(port)];
+        if slot.is_none() {
+            *slot = Some(make());
+            self.len += 1;
+        }
+        slot.as_mut().expect("just filled")
+    }
+
+    /// Occupied ports, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, &T)> {
+        self.slots.iter().enumerate().filter_map(|(p, s)| s.as_ref().map(|t| (p as u8, t)))
+    }
+
+    /// Occupied ports with mutable state, ascending.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u8, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(p, s)| s.as_mut().map(|t| (p as u8, t)))
+    }
+
+    /// Occupied slots, ascending port order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Occupied slots, mutable, ascending port order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().filter_map(|s| s.as_mut())
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no port has state.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The six per-event-type group caches as a flat array indexed by the
+/// [`EventType`] discriminant (replaces `HashMap<EventType, GroupCache>`).
+#[derive(Debug)]
+pub struct DedupTable {
+    caches: [GroupCache; 6],
+}
+
+#[inline]
+fn idx(ty: EventType) -> usize {
+    ty as usize
+}
+
+impl DedupTable {
+    /// Build the table, constructing each type's cache with `make`.
+    pub fn build(mut make: impl FnMut(EventType) -> GroupCache) -> Self {
+        DedupTable { caches: ALL_EVENT_TYPES.map(&mut make) }
+    }
+
+    /// The cache for an event type (always present).
+    #[inline]
+    pub fn get(&self, ty: EventType) -> &GroupCache {
+        &self.caches[idx(ty)]
+    }
+
+    /// The mutable cache for an event type (always present).
+    #[inline]
+    pub fn get_mut(&mut self, ty: EventType) -> &mut GroupCache {
+        &mut self.caches[idx(ty)]
+    }
+
+    /// `(type, cache)` pairs in discriminant (wire-code) order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventType, &GroupCache)> {
+        ALL_EVENT_TYPES.iter().map(move |&ty| (ty, &self.caches[idx(ty)]))
+    }
+
+    /// All caches in discriminant order.
+    pub fn values(&self) -> impl Iterator<Item = &GroupCache> {
+        self.caches.iter()
+    }
+
+    /// All caches, mutable, in discriminant order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut GroupCache> {
+        self.caches.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_table_basic() {
+        let mut t: PortTable<u32> = PortTable::new();
+        assert!(t.is_empty());
+        assert!(t.get(7).is_none());
+        *t.get_or_insert_with(7, || 1) += 10;
+        *t.get_or_insert_with(3, || 2) += 20;
+        *t.get_or_insert_with(7, || 999) += 100; // existing slot kept
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(7), Some(&111));
+        assert_eq!(t.get_mut(3).copied(), Some(22));
+        assert_eq!(t.get(0), None);
+        let pairs: Vec<(u8, u32)> = t.iter().map(|(p, &v)| (p, v)).collect();
+        assert_eq!(pairs, vec![(3, 22), (7, 111)], "ascending port order");
+        assert_eq!(t.values().count(), 2);
+        for v in t.values_mut() {
+            *v = 0;
+        }
+        assert_eq!(t.get(3), Some(&0));
+    }
+
+    #[test]
+    fn port_table_edges() {
+        let mut t: PortTable<&'static str> = PortTable::new();
+        t.get_or_insert_with(0, || "zero");
+        t.get_or_insert_with(255, || "max");
+        assert_eq!(t.get(0), Some(&"zero"));
+        assert_eq!(t.get(255), Some(&"max"));
+        assert_eq!(t.iter().map(|(p, _)| p).collect::<Vec<_>>(), vec![0, 255]);
+    }
+
+    #[test]
+    fn dedup_table_indexes_every_type() {
+        let mut t = DedupTable::build(|ty| GroupCache::new("t", 8, 128, ty as u32));
+        for ty in ALL_EVENT_TYPES {
+            t.get_mut(ty).offered += 1;
+        }
+        for ty in ALL_EVENT_TYPES {
+            assert_eq!(t.get(ty).offered, 1, "{ty:?}");
+        }
+        assert_eq!(t.values().count(), 6);
+        let order: Vec<EventType> = t.iter().map(|(ty, _)| ty).collect();
+        assert_eq!(order.as_slice(), &ALL_EVENT_TYPES, "wire-code order");
+    }
+}

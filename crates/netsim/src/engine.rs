@@ -26,19 +26,23 @@ pub enum Node {
     Switch(SwitchDevice),
     /// A host.
     Host(Host),
+    /// A slot whose device is temporarily owned by another shard of a
+    /// parallel run (see [`Simulator::run_until_parallel`]). Never visible
+    /// to user code outside a parallel segment.
+    Vacant,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Peer {
-    node: NodeId,
-    port: u8,
-    link: usize,
+pub(crate) struct Peer {
+    pub(crate) node: NodeId,
+    pub(crate) port: u8,
+    pub(crate) link: usize,
     /// True when traveling this hop uses the link's a→b direction.
-    a_to_b: bool,
+    pub(crate) a_to_b: bool,
 }
 
 /// Scheduled simulator events.
-enum SimEvent {
+pub(crate) enum SimEvent {
     Arrive { node: NodeId, port: u8, frame: Vec<u8>, fcs_error: bool },
     Dequeue { node: NodeId, port: u8 },
     RetryPort { node: NodeId, port: u8 },
@@ -48,15 +52,48 @@ enum SimEvent {
     Control { idx: usize },
 }
 
-struct QEntry {
-    time: u64,
-    seq: u64,
-    ev: SimEvent,
+impl SimEvent {
+    /// The node that will handle this event, `None` for controls (which
+    /// act on the whole simulator).
+    pub(crate) fn target(&self) -> Option<NodeId> {
+        match *self {
+            SimEvent::Arrive { node, .. }
+            | SimEvent::Dequeue { node, .. }
+            | SimEvent::RetryPort { node, .. }
+            | SimEvent::MonitorTimer { node, .. } => Some(node),
+            SimEvent::HostFlowEmit { host, .. } | SimEvent::HostProbeRound { host, .. } => {
+                Some(host)
+            }
+            SimEvent::Control { .. } => None,
+        }
+    }
+}
+
+/// The canonical event key `(time, lane, seq)`.
+///
+/// `lane` is the scheduling origin: device id + 1 for events pushed while
+/// handling that device's events, 0 for external pushes (pre-run setup and
+/// controls). `seq` counts pushes per lane. Because a device's pushes are
+/// totally ordered by its own execution, the key is identical whether the
+/// fleet runs serially or sharded — it is the total order both modes share.
+pub(crate) type EventKey = (u64, u32, u64);
+
+pub(crate) struct QEntry {
+    pub(crate) time: u64,
+    pub(crate) lane: u32,
+    pub(crate) seq: u64,
+    pub(crate) ev: SimEvent,
+}
+
+impl QEntry {
+    pub(crate) fn key(&self) -> EventKey {
+        (self.time, self.lane, self.seq)
+    }
 }
 
 impl PartialEq for QEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl Eq for QEntry {}
@@ -67,8 +104,17 @@ impl PartialOrd for QEntry {
 }
 impl Ord for QEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        self.key().cmp(&other.key())
     }
+}
+
+/// Worker-side context of a parallel run: which devices this shard owns and
+/// the per-destination outboxes for cross-shard events (only frame arrivals
+/// ever cross shards; see `parallel.rs` for the proof sketch).
+pub(crate) struct ShardCtx {
+    pub(crate) shards: u32,
+    pub(crate) shard: u32,
+    pub(crate) outbox: Vec<Vec<QEntry>>,
 }
 
 /// Management-plane (monitoring traffic) accounting.
@@ -88,6 +134,19 @@ impl MgmtAccounting {
         *self.per_node.entry(node).or_insert(0) += r.bytes as u64;
     }
 
+    /// Fold another accounting into this one (shard merge; all counters are
+    /// commutative sums, so merge order does not matter).
+    pub(crate) fn merge(&mut self, other: &MgmtAccounting) {
+        for (kind, (m, b)) in &other.per_kind {
+            let e = self.per_kind.entry(kind).or_insert((0, 0));
+            e.0 += m;
+            e.1 += b;
+        }
+        for (node, b) in &other.per_node {
+            *self.per_node.entry(*node).or_insert(0) += b;
+        }
+    }
+
     /// Total management bytes across all kinds.
     pub fn total_bytes(&self) -> u64 {
         self.per_kind.values().map(|(_, b)| *b).sum()
@@ -104,24 +163,30 @@ impl MgmtAccounting {
     }
 }
 
-type ControlFn = Box<dyn FnOnce(&mut Simulator)>;
+type ControlFn = Box<dyn FnOnce(&mut Simulator) + Send>;
 
 /// The simulator: devices, links, event queue, ground truth, accounting.
 pub struct Simulator {
-    now: u64,
-    queue: BinaryHeap<Reverse<QEntry>>,
-    seq: u64,
+    pub(crate) now: u64,
+    pub(crate) queue: BinaryHeap<Reverse<QEntry>>,
+    /// Per-lane push counters (lane 0 = external, lane d+1 = device d).
+    pub(crate) lane_seqs: Vec<u64>,
     /// All devices.
     pub nodes: Vec<Node>,
-    links: Vec<Link>,
-    port_map: HashMap<(NodeId, u8), Peer>,
+    pub(crate) links: Vec<Link>,
+    pub(crate) port_map: HashMap<(NodeId, u8), Peer>,
     /// Ground-truth oracle.
     pub gt: GroundTruth,
     /// Monitoring traffic accounting.
     pub mgmt: MgmtAccounting,
-    controls: Vec<Option<ControlFn>>,
-    events_processed: u64,
-    timers_armed: bool,
+    pub(crate) controls: Vec<Option<ControlFn>>,
+    pub(crate) events_processed: u64,
+    pub(crate) timers_armed: bool,
+    /// `(host id, ip)` in id order — lets the probe path look up targets
+    /// without touching other nodes (they may live on another shard).
+    pub(crate) host_ip_cache: Vec<(NodeId, fet_packet::ipv4::Ipv4Addr)>,
+    /// Present only on the worker simulators of a parallel segment.
+    pub(crate) shard: Option<ShardCtx>,
 }
 
 impl Default for Simulator {
@@ -136,7 +201,7 @@ impl Simulator {
         Simulator {
             now: 0,
             queue: BinaryHeap::new(),
-            seq: 0,
+            lane_seqs: vec![0],
             nodes: Vec::new(),
             links: Vec::new(),
             port_map: HashMap::new(),
@@ -145,6 +210,8 @@ impl Simulator {
             controls: Vec::new(),
             events_processed: 0,
             timers_armed: false,
+            host_ip_cache: Vec::new(),
+            shard: None,
         }
     }
 
@@ -163,6 +230,7 @@ impl Simulator {
         let id = self.nodes.len() as NodeId;
         debug_assert_eq!(sw.id, id, "switch id must match its slot");
         self.nodes.push(Node::Switch(sw));
+        self.lane_seqs.push(0);
         id
     }
 
@@ -170,7 +238,9 @@ impl Simulator {
     pub fn add_host(&mut self, h: Host) -> NodeId {
         let id = self.nodes.len() as NodeId;
         debug_assert_eq!(h.id, id, "host id must match its slot");
+        self.host_ip_cache.push((id, h.config.ip));
         self.nodes.push(Node::Host(h));
+        self.lane_seqs.push(0);
         id
     }
 
@@ -204,7 +274,7 @@ impl Simulator {
     pub fn switch(&self, id: NodeId) -> &SwitchDevice {
         match &self.nodes[id as usize] {
             Node::Switch(s) => s,
-            Node::Host(_) => panic!("node {id} is a host"),
+            _ => panic!("node {id} is not a resident switch"),
         }
     }
 
@@ -212,7 +282,7 @@ impl Simulator {
     pub fn switch_mut(&mut self, id: NodeId) -> &mut SwitchDevice {
         match &mut self.nodes[id as usize] {
             Node::Switch(s) => s,
-            Node::Host(_) => panic!("node {id} is a host"),
+            _ => panic!("node {id} is not a resident switch"),
         }
     }
 
@@ -220,7 +290,7 @@ impl Simulator {
     pub fn host(&self, id: NodeId) -> &Host {
         match &self.nodes[id as usize] {
             Node::Host(h) => h,
-            Node::Switch(_) => panic!("node {id} is a switch"),
+            _ => panic!("node {id} is not a resident host"),
         }
     }
 
@@ -228,7 +298,7 @@ impl Simulator {
     pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
         match &mut self.nodes[id as usize] {
             Node::Host(h) => h,
-            Node::Switch(_) => panic!("node {id} is a switch"),
+            _ => panic!("node {id} is not a resident host"),
         }
     }
 
@@ -241,6 +311,7 @@ impl Simulator {
         match &mut self.nodes[id as usize] {
             Node::Switch(s) => s.take_monitor(),
             Node::Host(h) => h.monitor.take(),
+            Node::Vacant => None,
         }
     }
 
@@ -250,6 +321,7 @@ impl Simulator {
         match &mut self.nodes[id as usize] {
             Node::Switch(s) => s.set_monitor(m),
             Node::Host(h) => h.monitor = Some(m),
+            Node::Vacant => panic!("node {id} is not resident"),
         }
     }
 
@@ -273,14 +345,43 @@ impl Simulator {
             .collect()
     }
 
+    /// Push an event with the canonical `(time, lane, seq)` key. `lane` is
+    /// the scheduling origin (0 = external, device id + 1 otherwise). On a
+    /// parallel shard, events for non-resident nodes are diverted to the
+    /// outbox instead of the local queue; the keys are assigned either way,
+    /// so the global total order is shard-independent.
+    pub(crate) fn push_keyed(&mut self, lane: u32, time: u64, ev: SimEvent) {
+        let seq = self.lane_seqs[lane as usize];
+        self.lane_seqs[lane as usize] = seq + 1;
+        let entry = QEntry { time, lane, seq, ev };
+        if let Some(ctx) = self.shard.as_mut() {
+            if let Some(target) = entry.ev.target() {
+                let dest = target % ctx.shards;
+                if dest != ctx.shard {
+                    ctx.outbox[dest as usize].push(entry);
+                    return;
+                }
+            }
+        }
+        self.queue.push(Reverse(entry));
+    }
+
+    /// Push from a device's own execution (lane = device id + 1).
+    fn push_node(&mut self, origin: NodeId, time: u64, ev: SimEvent) {
+        self.push_keyed(origin + 1, time, ev);
+    }
+
+    /// Push from outside any device's execution (setup and controls).
     fn push(&mut self, time: u64, ev: SimEvent) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QEntry { time, seq, ev }));
+        self.push_keyed(0, time, ev);
     }
 
     /// Schedule a scripted control action (fault injection, route change).
-    pub fn schedule_control(&mut self, at_ns: u64, f: impl FnOnce(&mut Simulator) + 'static) {
+    pub fn schedule_control(
+        &mut self,
+        at_ns: u64,
+        f: impl FnOnce(&mut Simulator) + Send + 'static,
+    ) {
         let idx = self.controls.len();
         self.controls.push(Some(Box::new(f)));
         self.push(at_ns, SimEvent::Control { idx });
@@ -290,7 +391,7 @@ impl Simulator {
     pub fn schedule_flow(&mut self, host: NodeId, flow_idx: usize) {
         let start = match &self.nodes[host as usize] {
             Node::Host(h) => h.flows[flow_idx].0.start_ns,
-            Node::Switch(_) => panic!("flows start at hosts"),
+            _ => panic!("flows start at hosts"),
         };
         self.push(start, SimEvent::HostFlowEmit { host, flow: flow_idx });
     }
@@ -321,6 +422,7 @@ impl Simulator {
                 let iv = match n {
                     Node::Switch(s) => s.monitor.as_ref()?.timer_interval_ns()?,
                     Node::Host(h) => h.monitor.as_ref()?.timer_interval_ns()?,
+                    Node::Vacant => return None,
                 };
                 Some((i as NodeId, iv))
             })
@@ -345,7 +447,16 @@ impl Simulator {
         self.now = self.now.max(until_ns.min(self.now + 1));
     }
 
-    fn dispatch(&mut self, ev: SimEvent) {
+    /// Run like [`run_until`](Self::run_until), but with the fleet sharded
+    /// across `shards` worker threads (devices assigned round-robin by id).
+    /// The result — device state, delivered events, ground truth, ledgers,
+    /// management accounting, RNG streams — is bit-identical to the serial
+    /// run at any shard count; see `DESIGN.md` §11 for the argument.
+    pub fn run_until_parallel(&mut self, until_ns: u64, shards: usize) {
+        crate::parallel::run(self, until_ns, shards);
+    }
+
+    pub(crate) fn dispatch(&mut self, ev: SimEvent) {
         match ev {
             SimEvent::Arrive { node, port, frame, fcs_error } => {
                 self.handle_arrive(node, port, frame, fcs_error)
@@ -383,6 +494,7 @@ impl Simulator {
                     self.kick_port(node, 0);
                 }
             }
+            Node::Vacant => panic!("arrival routed to a vacant node {node}"),
         }
     }
 
@@ -414,9 +526,9 @@ impl Simulator {
                 }
                 if sw.has_transmittable(now, port) {
                     sw.port_busy[p] = true;
-                    self.push(now, SimEvent::Dequeue { node, port });
+                    self.push_node(node, now, SimEvent::Dequeue { node, port });
                 } else if let Some(t) = sw.earliest_pause_expiry(now, port) {
-                    self.push(t, SimEvent::RetryPort { node, port });
+                    self.push_node(node, t, SimEvent::RetryPort { node, port });
                 }
             }
             Node::Host(h) => {
@@ -425,12 +537,13 @@ impl Simulator {
                 }
                 if h.has_transmittable(now) {
                     h.port_busy = true;
-                    self.push(now, SimEvent::Dequeue { node, port: 0 });
+                    self.push_node(node, now, SimEvent::Dequeue { node, port: 0 });
                 } else if h.paused_until > now && h.txq_depth_bytes() > 0 {
                     let t = h.paused_until;
-                    self.push(t, SimEvent::RetryPort { node, port: 0 });
+                    self.push_node(node, t, SimEvent::RetryPort { node, port: 0 });
                 }
             }
+            Node::Vacant => panic!("kick routed to a vacant node {node}"),
         }
     }
 
@@ -461,17 +574,18 @@ impl Simulator {
                     Out::Idle(retry)
                 }
             },
+            Node::Vacant => panic!("dequeue routed to a vacant node {node}"),
         };
         // Phase 2: act on it with full access to the engine.
         match out {
             Out::Frame(frame, fx) => {
                 let tx_done = self.transmit(node, port, frame);
                 self.apply_switch_effects(node, fx);
-                self.push(tx_done, SimEvent::Dequeue { node, port });
+                self.push_node(node, tx_done, SimEvent::Dequeue { node, port });
             }
             Out::Idle(retry) => {
                 if let Some(t) = retry {
-                    self.push(t, SimEvent::RetryPort { node, port });
+                    self.push_node(node, t, SimEvent::RetryPort { node, port });
                 }
             }
         }
@@ -494,7 +608,8 @@ impl Simulator {
         let outcome = dir.judge(now);
         match outcome {
             LinkOutcome::Delivered => {
-                self.push(
+                self.push_node(
+                    node,
                     now + tx + prop,
                     SimEvent::Arrive { node: peer.node, port: peer.port, frame, fcs_error: false },
                 );
@@ -518,7 +633,8 @@ impl Simulator {
                     drop_code: Some(DropCode::LinkLoss),
                     acl_rule: None,
                 });
-                self.push(
+                self.push_node(
+                    node,
                     now + tx + prop,
                     SimEvent::Arrive { node: peer.node, port: peer.port, frame, fcs_error: true },
                 );
@@ -535,18 +651,17 @@ impl Simulator {
         };
         self.kick_port(host, 0);
         if let Some(gap) = gap {
-            self.push(now + gap, SimEvent::HostFlowEmit { host, flow });
+            self.push_node(host, now + gap, SimEvent::HostFlowEmit { host, flow });
         }
     }
 
     fn handle_probe_round(&mut self, host: NodeId, interval_ns: u64, timeout_ns: u64) {
         let now = self.now;
-        let targets: Vec<_> = self
-            .host_ids()
-            .into_iter()
-            .filter(|&h| h != host)
-            .map(|h| self.host(h).config.ip)
-            .collect();
+        // Targets come from the ip cache, not the node table: on a parallel
+        // shard the other hosts are not resident. The cache is in id order,
+        // exactly matching the old host_ids() iteration.
+        let targets: Vec<_> =
+            self.host_ip_cache.iter().filter(|&&(h, _)| h != host).map(|&(_, ip)| ip).collect();
         {
             let h = self.host_mut(host);
             h.expire_probes(now, timeout_ns);
@@ -555,7 +670,11 @@ impl Simulator {
             }
         }
         self.kick_port(host, 0);
-        self.push(now + interval_ns, SimEvent::HostProbeRound { host, interval_ns, timeout_ns });
+        self.push_node(
+            host,
+            now + interval_ns,
+            SimEvent::HostProbeRound { host, interval_ns, timeout_ns },
+        );
     }
 
     fn handle_monitor_timer(&mut self, node: NodeId, interval_ns: u64) {
@@ -589,8 +708,9 @@ impl Simulator {
                     }
                 }
             }
+            Node::Vacant => panic!("monitor timer routed to a vacant node {node}"),
         }
-        self.push(now + interval_ns, SimEvent::MonitorTimer { node, interval_ns });
+        self.push_node(node, now + interval_ns, SimEvent::MonitorTimer { node, interval_ns });
     }
 
     /// Find the host owning an IP address.
@@ -632,7 +752,7 @@ impl Simulator {
             .iter()
             .filter_map(|n| match n {
                 Node::Host(h) => Some(h.counters.tx_bytes),
-                Node::Switch(_) => None,
+                _ => None,
             })
             .sum()
     }
@@ -643,7 +763,7 @@ impl Simulator {
             .iter()
             .filter_map(|n| match n {
                 Node::Switch(s) => Some(s.counters.iter().map(|c| c.tx_bytes).sum::<u64>()),
-                Node::Host(_) => None,
+                _ => None,
             })
             .sum()
     }

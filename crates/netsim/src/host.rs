@@ -7,9 +7,10 @@
 
 use crate::counters::PortCounters;
 use crate::monitor::{Actions, EgressCtx, HookVerdict, IngressCtx, MgmtReport, SwitchMonitor};
-use fet_packet::builder::{build_data_packet, classify, extract_flow, FrameKind};
+use fet_packet::builder::{build_data_packet_in, classify, extract_flow, FrameKind};
 use fet_packet::ipv4::Ipv4Addr;
 use fet_packet::tcp::flags;
+use fet_packet::FrameArena;
 use fet_packet::{FlowKey, IpProtocol};
 use fet_pdp::PacketMeta;
 use std::collections::{HashMap, VecDeque};
@@ -130,6 +131,9 @@ pub struct Host {
     pub paused_until: u64,
     /// Frames dropped because the TX queue overflowed.
     pub txq_drops: u64,
+    /// Recycled frame buffers: emissions draw from here, consumed
+    /// arrivals retire into it — steady-state sources never allocate.
+    arena: FrameArena,
 }
 
 impl std::fmt::Debug for Host {
@@ -160,6 +164,7 @@ impl Host {
             port_busy: false,
             paused_until: 0,
             txq_drops: 0,
+            arena: FrameArena::new(),
         }
     }
 
@@ -194,7 +199,8 @@ impl Host {
             }
             _ => 0,
         };
-        let frame = build_data_packet(&spec.key, payload, tcp_flags, spec.dscp, 64);
+        let frame =
+            build_data_packet_in(&mut self.arena, &spec.key, payload, tcp_flags, spec.dscp, 64);
         prog.sent_bytes += payload as u64;
         prog.pkts_sent += 1;
         if is_last {
@@ -310,6 +316,9 @@ impl Host {
             }
             _ => {}
         }
+        // The frame terminates here (hosts never forward); retire its
+        // buffer so the next emission reuses it instead of allocating.
+        self.arena.put(frame);
         fx
     }
 
@@ -317,7 +326,7 @@ impl Host {
         // Probe responder: echo UDP packets aimed at the echo port.
         if flow.proto == IpProtocol::Udp && flow.dport == PROBE_ECHO_PORT {
             let reply_key = flow.reversed();
-            let reply = build_data_packet(&reply_key, 8, 0, 46 << 2 >> 2, 64);
+            let reply = build_data_packet_in(&mut self.arena, &reply_key, 8, 0, 46 << 2 >> 2, 64);
             fx.kick |= self.enqueue_tx(reply);
             return;
         }
@@ -356,7 +365,7 @@ impl Host {
         let id = self.next_probe_id;
         self.next_probe_id = self.next_probe_id.wrapping_add(1).max(20_000);
         let key = FlowKey::udp(self.config.ip, id, target, PROBE_ECHO_PORT);
-        let frame = build_data_packet(&key, 8, 0, 0, 64);
+        let frame = build_data_packet_in(&mut self.arena, &key, 8, 0, 0, 64);
         self.outstanding_probes.insert(id, (now_ns, target));
         self.enqueue_tx(frame)
     }
@@ -377,6 +386,7 @@ impl Host {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fet_packet::builder::build_data_packet;
 
     fn host() -> Host {
         Host::new(

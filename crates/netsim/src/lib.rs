@@ -24,6 +24,7 @@ pub mod host;
 pub mod link;
 pub mod mmu;
 pub mod monitor;
+mod parallel;
 pub mod rng;
 pub mod routing;
 pub mod switchdev;

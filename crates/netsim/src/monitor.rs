@@ -138,7 +138,7 @@ impl Actions {
 
 /// The telemetry interface implemented by NetSeer and all baselines.
 #[allow(unused_variables)]
-pub trait SwitchMonitor: Any {
+pub trait SwitchMonitor: Any + Send {
     /// Frame arrived (after MAC, before parse). May rewrite or consume.
     fn on_ingress(
         &mut self,

@@ -1,0 +1,399 @@
+//! Deterministic parallel fleet execution.
+//!
+//! [`run`] executes a simulation segment with the device fleet sharded
+//! across worker threads, producing results **bit-identical** to the
+//! serial [`Simulator::run_until`] at any shard count. The scheme is
+//! conservative parallel discrete-event simulation with epoch barriers:
+//!
+//! * **Canonical keys.** Every event carries the key `(time, lane, seq)`
+//!   where `lane` identifies the scheduling origin (device id + 1, or 0
+//!   for external pushes) and `seq` counts that lane's pushes. A device's
+//!   pushes are totally ordered by its own execution, and a device's
+//!   execution order is the key order of its events — so serial and
+//!   sharded runs assign identical keys, and the key order *is* the one
+//!   total order both modes realize (see DESIGN.md §11 for the induction).
+//!
+//! * **Sharding.** Devices are assigned round-robin (`id % shards`); each
+//!   worker is a real [`Simulator`] owning its devices (other slots are
+//!   [`Node::Vacant`]) plus clones of the link table. Only the directions
+//!   leaving a worker's own ports are ever exercised there, so per-link
+//!   fault/RNG state never races and is copied back at reassembly.
+//!
+//! * **Epochs.** The only cross-device event is a frame arrival, which is
+//!   scheduled at least `Δ = 1 + min cross-shard prop_ns` after its
+//!   sender's current time (serialization takes ≥ 1 ns). Each epoch the
+//!   master computes the global minimum pending key `tmin` and lets every
+//!   worker process all events with key `< min(segment bound,
+//!   (tmin.time + Δ, 0, 0))`; any message generated during the epoch
+//!   provably lands at or beyond that bound, so no worker ever receives
+//!   an event "in the past". Cross-shard frames travel through
+//!   per-destination outboxes and are merged into the receiver's heap
+//!   at the next barrier.
+//!
+//! * **Segments.** Scripted controls mutate global state, so they
+//!   delimit segments: the fleet quiesces up to the control's key, the
+//!   master reassembles and runs the control serially, then the next
+//!   segment begins.
+//!
+//! Ground truth is the one side effect whose *order* matters to callers;
+//! workers tag each recorded event with `(key of the causing event,
+//! index within its handling)` and the master merges all shards' traces
+//! by that tag — exactly the serial recording order.
+
+use crate::engine::{EventKey, MgmtAccounting, Node, QEntry, ShardCtx, Simulator};
+use crate::tracer::{GroundTruth, GtEvent};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+
+/// Master → worker command.
+enum Cmd {
+    /// Deliver `msgs` into the worker's heap, then process every event
+    /// with key strictly below `bound`.
+    Epoch { bound: EventKey, msgs: Vec<QEntry> },
+    /// Segment over; return the worker state via the join handle.
+    Finish,
+}
+
+/// Worker → master epoch report.
+struct Reply {
+    shard: usize,
+    /// Cross-shard events generated this epoch, per destination shard.
+    outbox: Vec<Vec<QEntry>>,
+    /// Key of the worker's next pending local event, if any.
+    next: Option<EventKey>,
+}
+
+/// Run `sim` until `until_ns` with the fleet sharded over `shards`
+/// worker threads. Bit-identical to `sim.run_until(until_ns)`.
+pub(crate) fn run(sim: &mut Simulator, until_ns: u64, shards: usize) {
+    if shards <= 1 {
+        sim.run_until(until_ns);
+        return;
+    }
+    sim.arm_monitor_timers();
+    // Serial processes events with time <= until_ns, i.e. key < overall.
+    let overall: EventKey = (until_ns.saturating_add(1), 0, 0);
+    loop {
+        // Partition the pending queue: device events ship to their target's
+        // shard; controls stay with the master and delimit the segment.
+        let shards_u = shards as u32;
+        let mut init: Vec<Vec<QEntry>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut controls: BinaryHeap<Reverse<QEntry>> = BinaryHeap::new();
+        for Reverse(e) in sim.queue.drain() {
+            match e.ev.target() {
+                Some(t) => init[(t % shards_u) as usize].push(e),
+                None => controls.push(Reverse(e)),
+            }
+        }
+        let seg_bound = match controls.peek() {
+            Some(Reverse(c)) => c.key().min(overall),
+            None => overall,
+        };
+        run_segment(sim, seg_bound, shards, init);
+        let due = matches!(controls.peek(), Some(Reverse(c)) if c.key() < overall);
+        if !due {
+            // Put unexpired controls back for a later run_until* call.
+            for c in controls {
+                sim.queue.push(c);
+            }
+            break;
+        }
+        let Reverse(entry) = controls.pop().expect("checked above");
+        for c in controls {
+            sim.queue.push(c);
+        }
+        sim.now = entry.time;
+        sim.events_processed += 1;
+        sim.dispatch(entry.ev);
+    }
+    sim.now = sim.now.max(until_ns.min(sim.now + 1));
+}
+
+/// Run one control-free segment up to `seg_bound` across `shards` workers,
+/// starting from the pre-partitioned event lists `init`.
+fn run_segment(
+    sim: &mut Simulator,
+    seg_bound: EventKey,
+    shards: usize,
+    mut init: Vec<Vec<QEntry>>,
+) {
+    let shards_u = shards as u32;
+    let n = sim.nodes.len();
+
+    // Lookahead: cross-shard frames arrive >= 1 (serialization) + prop_ns
+    // after their sender's clock. None when no link crosses shards — then
+    // the whole segment is one epoch.
+    let mut min_prop: Option<u64> = None;
+    for (&(node, _), peer) in &sim.port_map {
+        if node % shards_u != peer.node % shards_u {
+            let p = sim.links[peer.link].prop_ns;
+            min_prop = Some(min_prop.map_or(p, |d| d.min(p)));
+        }
+    }
+    let delta = min_prop.map(|p| p + 1);
+
+    let mut next_keys: Vec<Option<EventKey>> =
+        init.iter().map(|v| v.iter().map(|e| e.key()).min()).collect();
+
+    // Build the worker simulators: move owned devices out (leaving Vacant
+    // slots), clone shared read-mostly tables.
+    let mut workers: Vec<Simulator> = Vec::with_capacity(shards);
+    for (s, q) in init.iter_mut().enumerate() {
+        let nodes: Vec<Node> = (0..n)
+            .map(|id| {
+                if id as u32 % shards_u == s as u32 {
+                    std::mem::replace(&mut sim.nodes[id], Node::Vacant)
+                } else {
+                    Node::Vacant
+                }
+            })
+            .collect();
+        workers.push(Simulator {
+            now: sim.now,
+            queue: q.drain(..).map(Reverse).collect(),
+            lane_seqs: sim.lane_seqs.clone(),
+            nodes,
+            links: sim.links.clone(),
+            port_map: sim.port_map.clone(),
+            gt: GroundTruth::new(),
+            mgmt: MgmtAccounting::default(),
+            controls: Vec::new(),
+            events_processed: 0,
+            timers_armed: true,
+            host_ip_cache: sim.host_ip_cache.clone(),
+            shard: Some(ShardCtx {
+                shards: shards_u,
+                shard: s as u32,
+                outbox: (0..shards).map(|_| Vec::new()).collect(),
+            }),
+        });
+    }
+
+    let mut results: Vec<(Simulator, Vec<(EventKey, u32)>)> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        let mut cmd_txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (s, w) in workers.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+            let rtx = reply_tx.clone();
+            cmd_txs.push(cmd_tx);
+            handles.push(scope.spawn(move || worker_loop(w, s, cmd_rx, rtx)));
+        }
+        drop(reply_tx);
+
+        let mut inbox: Vec<Vec<QEntry>> = (0..shards).map(|_| Vec::new()).collect();
+        loop {
+            let tmin = next_keys
+                .iter()
+                .flatten()
+                .copied()
+                .chain(inbox.iter().flatten().map(|e| e.key()))
+                .min();
+            let Some(t) = tmin else { break };
+            if t >= seg_bound {
+                break;
+            }
+            let bound = match delta {
+                None => seg_bound,
+                Some(d) => seg_bound.min((t.0.saturating_add(d), 0, 0)),
+            };
+            for (s, tx) in cmd_txs.iter().enumerate() {
+                tx.send(Cmd::Epoch { bound, msgs: std::mem::take(&mut inbox[s]) })
+                    .expect("worker alive");
+            }
+            for _ in 0..shards {
+                let r = reply_rx.recv().expect("worker reply");
+                next_keys[r.shard] = r.next;
+                for (d, v) in r.outbox.into_iter().enumerate() {
+                    inbox[d].extend(v);
+                }
+            }
+        }
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Finish);
+        }
+        for h in handles {
+            results.push(h.join().expect("worker thread panicked"));
+        }
+        // Messages routed but never delivered (key >= seg_bound): back to
+        // the master queue for the next segment.
+        for v in inbox {
+            for e in v {
+                sim.queue.push(Reverse(e));
+            }
+        }
+    });
+
+    // Reassemble the master from the workers.
+    let mut gt_merge: Vec<(EventKey, u32, GtEvent)> = Vec::new();
+    for (s, (mut w, tags)) in results.into_iter().enumerate() {
+        for (id, slot) in w.nodes.iter_mut().enumerate() {
+            if id as u32 % shards_u == s as u32 {
+                sim.nodes[id] = std::mem::replace(slot, Node::Vacant);
+                sim.lane_seqs[id + 1] = w.lane_seqs[id + 1];
+            }
+        }
+        // Link directions leaving this shard's ports are authoritative here.
+        for (&(node, _), peer) in &sim.port_map {
+            if node % shards_u == s as u32 {
+                let src = &w.links[peer.link];
+                let dst = &mut sim.links[peer.link];
+                if peer.a_to_b {
+                    dst.ab = src.ab.clone();
+                } else {
+                    dst.ba = src.ba.clone();
+                }
+            }
+        }
+        sim.mgmt.merge(&w.mgmt);
+        sim.events_processed += w.events_processed;
+        sim.now = sim.now.max(w.now);
+        for Reverse(e) in std::mem::take(&mut w.queue).drain() {
+            sim.queue.push(Reverse(e));
+        }
+        let events = w.gt.drain();
+        debug_assert_eq!(events.len(), tags.len(), "every gt event must be tagged");
+        for ((key, sub), ev) in tags.into_iter().zip(events) {
+            gt_merge.push((key, sub, ev));
+        }
+    }
+    gt_merge.sort_by_key(|e| (e.0, e.1));
+    for (_, _, ev) in gt_merge {
+        sim.gt.record(ev);
+    }
+}
+
+/// Worker thread body: obey epoch commands until told to finish, then
+/// return the simulator plus the `(causing key, index)` tag of every
+/// ground-truth event recorded, in recording order.
+fn worker_loop(
+    mut w: Simulator,
+    shard: usize,
+    rx: mpsc::Receiver<Cmd>,
+    tx: mpsc::Sender<Reply>,
+) -> (Simulator, Vec<(EventKey, u32)>) {
+    let mut tags: Vec<(EventKey, u32)> = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Epoch { bound, msgs } => {
+                for m in msgs {
+                    w.queue.push(Reverse(m));
+                }
+                while w.queue.peek().is_some_and(|r| r.0.key() < bound) {
+                    let Reverse(entry) = w.queue.pop().expect("peeked");
+                    w.now = entry.time;
+                    w.events_processed += 1;
+                    let key = entry.key();
+                    let before = w.gt.events().len();
+                    w.dispatch(entry.ev);
+                    for i in 0..(w.gt.events().len() - before) {
+                        tags.push((key, i as u32));
+                    }
+                }
+                let ctx = w.shard.as_mut().expect("worker has shard ctx");
+                let fresh = (0..ctx.outbox.len()).map(|_| Vec::new()).collect();
+                let outbox = std::mem::replace(&mut ctx.outbox, fresh);
+                let next = w.queue.peek().map(|r| r.0.key());
+                if tx.send(Reply { shard, outbox, next }).is_err() {
+                    break;
+                }
+            }
+            Cmd::Finish => break,
+        }
+    }
+    (w, tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::host::FlowSpec;
+    use crate::routing::install_ecmp_routes;
+    use crate::time::MILLIS;
+    use crate::topology::{build_fat_tree, FatTree, FatTreeParams};
+    use crate::Simulator;
+    use fet_packet::FlowKey;
+
+    fn setup() -> (Simulator, FatTree) {
+        let mut sim = Simulator::new();
+        let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+        install_ecmp_routes(&mut sim);
+        (sim, ft)
+    }
+
+    fn add_flow(sim: &mut Simulator, ft: &FatTree, src: usize, dst: usize, sport: u16) {
+        let key = FlowKey::tcp(ft.host_ips[src], sport, ft.host_ips[dst], 80);
+        let h = ft.hosts[src];
+        let idx = sim.host_mut(h).add_flow(FlowSpec {
+            key,
+            total_bytes: 400_000,
+            pkt_payload: 1000,
+            rate_gbps: 20.0,
+            start_ns: 0,
+            dscp: 0,
+        });
+        sim.schedule_flow(h, idx);
+    }
+
+    /// A lossy multi-flow world with a scripted control mid-run.
+    fn world() -> (Simulator, FatTree) {
+        let (mut sim, ft) = setup();
+        for src in 1..8 {
+            add_flow(&mut sim, &ft, src, 0, 3000 + src as u16);
+        }
+        add_flow(&mut sim, &ft, 0, 7, 4000);
+        let tor = ft.edges[0][0];
+        sim.link_direction_mut(tor, 0).unwrap().faults.drop_prob = 0.002;
+        sim.schedule_control(3 * MILLIS, move |s| {
+            s.link_direction_mut(tor, 1).unwrap().faults.drop_prob = 0.01;
+        });
+        (sim, ft)
+    }
+
+    fn fingerprint(
+        sim: &Simulator,
+        ft: &FatTree,
+    ) -> (u64, usize, Vec<crate::GtEvent>, u64, u64, u64) {
+        let rx: u64 = ft
+            .hosts
+            .iter()
+            .map(|&h| sim.host(h).rx_flows.values().map(|f| f.pkts).sum::<u64>())
+            .sum();
+        (
+            sim.events_processed(),
+            sim.gt.events().len(),
+            sim.gt.events().to_vec(),
+            sim.host_tx_bytes(),
+            sim.mgmt.total_bytes(),
+            rx,
+        )
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_every_shard_count() {
+        let (mut serial, ft) = world();
+        serial.run_until(8 * MILLIS);
+        let want = fingerprint(&serial, &ft);
+        for shards in [2usize, 3, 4, 8] {
+            let (mut par, ft2) = world();
+            par.run_until_parallel(8 * MILLIS, shards);
+            let got = fingerprint(&par, &ft2);
+            assert_eq!(got, want, "shards={shards} diverged from serial");
+            assert_eq!(par.now(), serial.now(), "clock diverged at shards={shards}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_can_be_resumed_and_mixed_with_serial() {
+        let (mut a, fta) = world();
+        a.run_until(8 * MILLIS);
+
+        let (mut b, ftb) = world();
+        b.run_until_parallel(3 * MILLIS, 4);
+        b.run_until(5 * MILLIS);
+        b.run_until_parallel(8 * MILLIS, 2);
+
+        assert_eq!(fingerprint(&a, &fta), fingerprint(&b, &ftb));
+    }
+}

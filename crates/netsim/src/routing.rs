@@ -77,7 +77,7 @@ pub fn routes_complete(sim: &Simulator) -> bool {
     sim.switch_ids().iter().all(|&s| {
         let sw = match &sim.nodes[s as usize] {
             Node::Switch(sw) => sw,
-            Node::Host(_) => unreachable!(),
+            _ => unreachable!(),
         };
         host_ips.iter().all(|&ip| sw.routes.lookup(ip).is_some())
     })

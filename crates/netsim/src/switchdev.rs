@@ -263,11 +263,10 @@ impl SwitchDevice {
             // A crashed/detached monitor must therefore never leak a tag to
             // the next hop — only the *observation* stops during downtime.
             use fet_packet::ethernet::{EtherType, EthernetFrame};
-            if EthernetFrame::new_unchecked(&frame).ethertype() == EtherType::NetSeerSeq {
-                if let Ok((_seq, inner)) = fet_packet::builder::strip_seqtag(&frame) {
-                    frame = inner;
-                    meta.frame_len = frame.len();
-                }
+            if EthernetFrame::new_unchecked(&frame).ethertype() == EtherType::NetSeerSeq
+                && fet_packet::builder::strip_seqtag_in_place(&mut frame).is_ok()
+            {
+                meta.frame_len = frame.len();
             }
         }
 

@@ -83,6 +83,11 @@ impl GroundTruth {
     pub fn clear(&mut self) {
         self.events.clear();
     }
+
+    /// Take all recorded events, leaving the oracle empty (shard merge).
+    pub(crate) fn drain(&mut self) -> Vec<GtEvent> {
+        std::mem::take(&mut self.events)
+    }
 }
 
 #[cfg(test)]

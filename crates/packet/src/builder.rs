@@ -27,14 +27,51 @@ pub fn build_data_packet(
     dscp: u8,
     ttl: u8,
 ) -> Vec<u8> {
+    let mut buf = vec![0u8; data_packet_len(flow, payload_len)];
+    fill_data_packet(&mut buf, flow, payload_len, tcp_flags, dscp, ttl);
+    buf
+}
+
+/// Like [`build_data_packet`] but drawing the (zeroed) buffer from a
+/// [`crate::FrameArena`] — the zero-allocation form for steady-state
+/// traffic sources.
+pub fn build_data_packet_in(
+    arena: &mut crate::FrameArena,
+    flow: &FlowKey,
+    payload_len: usize,
+    tcp_flags: u8,
+    dscp: u8,
+    ttl: u8,
+) -> Vec<u8> {
+    let mut buf = arena.get(data_packet_len(flow, payload_len));
+    fill_data_packet(&mut buf, flow, payload_len, tcp_flags, dscp, ttl);
+    buf
+}
+
+/// On-wire length of the frame [`build_data_packet`] would produce.
+pub fn data_packet_len(flow: &FlowKey, payload_len: usize) -> usize {
+    let l4_len = match flow.proto {
+        IpProtocol::Tcp => TCP_HEADER_LEN,
+        IpProtocol::Udp => UDP_HEADER_LEN,
+        _ => 0,
+    };
+    (ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + l4_len + payload_len).max(MIN_FRAME_LEN)
+}
+
+fn fill_data_packet(
+    buf: &mut [u8],
+    flow: &FlowKey,
+    payload_len: usize,
+    tcp_flags: u8,
+    dscp: u8,
+    ttl: u8,
+) {
     let l4_len = match flow.proto {
         IpProtocol::Tcp => TCP_HEADER_LEN,
         IpProtocol::Udp => UDP_HEADER_LEN,
         _ => 0,
     };
     let ip_total = IPV4_HEADER_LEN + l4_len + payload_len;
-    let frame_len = (ETHERNET_HEADER_LEN + ip_total).max(MIN_FRAME_LEN);
-    let mut buf = vec![0u8; frame_len];
 
     let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
     eth.set_dst(MacAddr::BROADCAST);
@@ -68,7 +105,6 @@ pub fn build_data_packet(
         }
         _ => {}
     }
-    buf
 }
 
 /// Build a PFC frame pausing (`quanta > 0`) or resuming (`quanta == 0`) the
@@ -167,6 +203,47 @@ pub fn strip_seqtag(frame: &[u8]) -> Result<(u32, Vec<u8>)> {
     let mut eth = EthernetFrame::new_unchecked(&mut out[..]);
     eth.set_ethertype(inner);
     Ok((seq, out))
+}
+
+/// Insert a NetSeer sequence tag **in place**: the frame grows by
+/// [`SEQTAG_LEN`] bytes but keeps its buffer (and, once warm, its
+/// capacity) — the zero-allocation form of [`insert_seqtag`] used on the
+/// per-packet hot path.
+pub fn insert_seqtag_in_place(frame: &mut Vec<u8>, seq: u32) -> Result<()> {
+    let eth = EthernetFrame::new_checked(&frame[..])?;
+    if eth.ethertype() == EtherType::NetSeerSeq {
+        return Err(ParseError::Malformed { what: "seqtag.double-insert" });
+    }
+    let inner = eth.ethertype();
+    let old_len = frame.len();
+    frame.resize(old_len + SEQTAG_LEN, 0);
+    frame.copy_within(ETHERNET_HEADER_LEN..old_len, ETHERNET_HEADER_LEN + SEQTAG_LEN);
+    let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+    eth.set_ethertype(EtherType::NetSeerSeq);
+    let mut tag = SeqTag::new_checked(&mut frame[ETHERNET_HEADER_LEN..]).expect("sized");
+    tag.set_seq(seq);
+    tag.set_inner_ethertype(inner);
+    Ok(())
+}
+
+/// Strip a NetSeer sequence tag **in place**, returning the sequence
+/// number. The frame shrinks by [`SEQTAG_LEN`] bytes but keeps its buffer
+/// — the zero-allocation form of [`strip_seqtag`] used on the per-packet
+/// hot path.
+pub fn strip_seqtag_in_place(frame: &mut Vec<u8>) -> Result<u32> {
+    let eth = EthernetFrame::new_checked(&frame[..])?;
+    if eth.ethertype() != EtherType::NetSeerSeq {
+        return Err(ParseError::Malformed { what: "seqtag.missing" });
+    }
+    let tag = SeqTag::new_checked(eth.payload())?;
+    let seq = tag.seq();
+    let inner = tag.inner_ethertype();
+    let len = frame.len();
+    frame.copy_within(ETHERNET_HEADER_LEN + SEQTAG_LEN..len, ETHERNET_HEADER_LEN);
+    frame.truncate(len - SEQTAG_LEN);
+    let mut eth = EthernetFrame::new_unchecked(&mut frame[..]);
+    eth.set_ethertype(inner);
+    Ok(seq)
 }
 
 /// Peek the sequence number of a tagged frame without re-framing.
@@ -315,6 +392,19 @@ mod tests {
         let (seq, restored) = strip_seqtag(&tagged).unwrap();
         assert_eq!(seq, 12345);
         assert_eq!(restored, pkt);
+    }
+
+    #[test]
+    fn in_place_seqtag_matches_allocating_form() {
+        let pkt = build_data_packet(&flow(), 50, 0, 0, 64);
+        let mut buf = pkt.clone();
+        insert_seqtag_in_place(&mut buf, 12345).unwrap();
+        assert_eq!(buf, insert_seqtag(&pkt, 12345).unwrap());
+        assert!(insert_seqtag_in_place(&mut buf.clone(), 1).is_err());
+        let seq = strip_seqtag_in_place(&mut buf).unwrap();
+        assert_eq!(seq, 12345);
+        assert_eq!(buf, pkt);
+        assert!(strip_seqtag_in_place(&mut buf).is_err());
     }
 
     #[test]

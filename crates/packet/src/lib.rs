@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod builder;
 pub mod cebp;
 pub mod checksum;
@@ -33,6 +34,7 @@ pub mod seqtag;
 pub mod tcp;
 pub mod udp;
 
+pub use arena::FrameArena;
 pub use error::{ParseError, Result};
 pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 pub use event::{DropCode, EventDetail, EventRecord, EventType, EVENT_RECORD_LEN};

@@ -1,0 +1,385 @@
+//! The parallel-execution determinism contract: for every chaos scenario
+//! in `tests/chaos.rs`, running the fleet under `run_until_parallel` at
+//! any shard count must be **bit-identical** to the serial run — same
+//! delivered-event stream, same ledgers, same ground truth, same crash
+//! reports, same analytics state.
+//!
+//! This is the whole point of the canonical-event-key design (see
+//! `DESIGN.md` §11): sharding is an execution strategy, never an
+//! observable. The scenarios reuse the chaos fault plans (including the
+//! `CHAOS_SEED` CI matrix mixing), so each matrix leg verifies the
+//! contract over a genuinely different run.
+
+use fet_analytics::{link_map_from_sim, AnalyticsConfig, AnalyticsEngine};
+use fet_netsim::host::FlowSpec;
+use fet_netsim::link::BurstDrop;
+use fet_netsim::routing::install_ecmp_routes;
+use fet_netsim::time::{MICROS, MILLIS};
+use fet_netsim::topology::{build_fat_tree, FatTree, FatTreeParams};
+use fet_netsim::tracer::GtEvent;
+use fet_netsim::Simulator;
+use fet_packet::FlowKey;
+use netseer::deploy::{delivered_history, deploy, monitor_of, DeployOptions};
+use netseer::faults::{seeded_device_crashes, OverloadWindow};
+use netseer::{
+    schedule_device_crashes, CrashKind, CrashReport, DeliveryLedger, FaultPlan, LossProcess,
+    NetSeerConfig, StoredEvent, Window,
+};
+
+/// Same CI-matrix seed mixing as `tests/chaos.rs`.
+fn seed(base: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => base ^ s.trim().parse::<u64>().unwrap_or(0).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        Err(_) => base,
+    }
+}
+
+/// Shard counts required by the determinism contract. `1` exercises the
+/// serial-delegation path; the rest are genuinely parallel.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Horizon long enough for every fault window (crash schedules end at
+/// 10 ms) while keeping 10 scenarios x 5 runs affordable in CI.
+const HORIZON: u64 = 12 * MILLIS;
+
+/// Everything observable about a finished run. Two runs are "the same
+/// run" iff their fingerprints are equal.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    delivered: Vec<StoredEvent>,
+    ledger: DeliveryLedger,
+    gt: Vec<GtEvent>,
+    mgmt_bytes: u64,
+    retransmissions: u64,
+    notification_drops: u64,
+    crash_reports: Vec<CrashReport>,
+    host_rx_pkts: u64,
+    analytics: AnalyticsState,
+}
+
+#[derive(Debug, PartialEq)]
+struct AnalyticsState {
+    processed: u64,
+    top_flows: Vec<fet_analytics::TopKEntry>,
+    totals: Vec<(fet_analytics::AggKey, fet_analytics::WindowStats)>,
+}
+
+fn setup(cfg: NetSeerConfig) -> (Simulator, FatTree) {
+    let mut sim = Simulator::new();
+    let ft = build_fat_tree(&mut sim, &FatTreeParams::default());
+    install_ecmp_routes(&mut sim);
+    deploy(&mut sim, &DeployOptions { cfg, on_nics: true });
+    (sim, ft)
+}
+
+fn add_flow(sim: &mut Simulator, ft: &FatTree, src: usize, dst: usize, sport: u16, bytes: u64) {
+    let key = FlowKey::tcp(ft.host_ips[src], sport, ft.host_ips[dst], 80);
+    let h = ft.hosts[src];
+    let idx = sim.host_mut(h).add_flow(FlowSpec {
+        key,
+        total_bytes: bytes,
+        pkt_payload: 1000,
+        rate_gbps: 5.0,
+        start_ns: 0,
+        dscp: 0,
+    });
+    sim.schedule_flow(h, idx);
+}
+
+fn drive_lossy_fabric(sim: &mut Simulator, ft: &FatTree, drop_prob: f64) {
+    for s in 0..8 {
+        add_flow(sim, ft, s, 7 - s, 2000 + s as u16, 4_000_000);
+    }
+    for pod in 0..2 {
+        let tor = ft.edges[pod][0];
+        for port in 0..2 {
+            sim.link_direction_mut(tor, port).unwrap().faults.drop_prob = drop_prob;
+        }
+    }
+}
+
+fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
+    let mut total = DeliveryLedger::default();
+    let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
+    for id in ids {
+        let l = monitor_of(sim, id).ledger();
+        l.assert_balanced();
+        total.generated += l.generated;
+        total.delivered += l.delivered;
+        total.shed_stack += l.shed_stack;
+        total.shed_pcie += l.shed_pcie;
+        total.shed_cpu_overload += l.shed_cpu_overload;
+        total.shed_false_positive += l.shed_false_positive;
+        total.shed_transport += l.shed_transport;
+        total.pending += l.pending;
+        total.lost_to_crash += l.lost_to_crash;
+    }
+    total
+}
+
+/// Run one scenario to `HORIZON` and capture every observable.
+///
+/// `crash_base` schedules the chaos crash drill (every switch CPU dies
+/// once in [2 ms, 10 ms) and restarts 500 µs later) before running.
+fn run_scenario(
+    cfg: NetSeerConfig,
+    crash_base: Option<(u64, CrashKind)>,
+    drive: impl FnOnce(&mut Simulator, &FatTree),
+    shards: usize,
+) -> Fingerprint {
+    let (mut sim, ft) = setup(cfg);
+    drive(&mut sim, &ft);
+    let log = crash_base.map(|(base, kind)| {
+        let crashes = seeded_device_crashes(
+            base,
+            &sim.switch_ids(),
+            Window { start_ns: 2 * MILLIS, end_ns: 10 * MILLIS },
+            500 * MICROS,
+            kind,
+        );
+        schedule_device_crashes(&mut sim, &crashes)
+    });
+    if shards == 0 {
+        sim.run_until(HORIZON);
+    } else {
+        sim.run_until_parallel(HORIZON, shards);
+    }
+
+    let delivered = delivered_history(&sim);
+    // Feed the delivered stream through the full analytics engine: if the
+    // parallel run reordered or perturbed anything, aggregation state
+    // (top-k, window totals, processed count) diverges.
+    let mut collector = netseer::Collector::new();
+    let mut engine = AnalyticsEngine::new(AnalyticsConfig::default(), link_map_from_sim(&sim));
+    engine.attach(&mut collector);
+    collector.ingest(&delivered);
+    engine.poll(&mut collector);
+    engine.ledger().assert_balanced();
+
+    let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
+    Fingerprint {
+        ledger: fleet_ledger(&sim),
+        gt: sim.gt.events().to_vec(),
+        mgmt_bytes: sim.mgmt.total_bytes(),
+        retransmissions: sim
+            .switch_ids()
+            .into_iter()
+            .map(|id| monitor_of(&sim, id).transport.retransmissions)
+            .sum(),
+        notification_drops: ids
+            .iter()
+            .map(|&id| monitor_of(&sim, id).notification_copies_dropped)
+            .sum(),
+        crash_reports: log.map(|l| l.reports()).unwrap_or_default(),
+        host_rx_pkts: sim
+            .host_ids()
+            .into_iter()
+            .map(|h| sim.host(h).rx_flows.values().map(|r| r.pkts).sum::<u64>())
+            .sum(),
+        analytics: AnalyticsState {
+            processed: engine.processed,
+            top_flows: engine.top_flows(32),
+            totals: engine.totals(),
+        },
+        delivered,
+    }
+}
+
+/// Assert bit-identical serial/parallel runs for one scenario at every
+/// shard count in [`SHARD_COUNTS`].
+fn assert_deterministic(
+    name: &str,
+    cfg: impl Fn() -> NetSeerConfig,
+    crash_base: Option<(u64, CrashKind)>,
+    drive: impl Fn(&mut Simulator, &FatTree) + Copy,
+) {
+    let serial = run_scenario(cfg(), crash_base, drive, 0);
+    assert!(serial.ledger.generated > 0, "{name}: scenario must generate events");
+    for shards in SHARD_COUNTS {
+        let parallel = run_scenario(cfg(), crash_base, drive, shards);
+        assert_eq!(
+            parallel, serial,
+            "{name}: parallel run at {shards} shards diverged from serial"
+        );
+    }
+}
+
+/// Scenario 1 — bursty (Gilbert–Elliott) loss on the management network.
+#[test]
+fn det_01_burst_loss_on_mgmt_network() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0xC0FFEE),
+            mgmt_loss: LossProcess::GilbertElliott {
+                p_enter_bad: 0.2,
+                p_exit_bad: 0.2,
+                loss_good: 0.05,
+                loss_bad: 0.95,
+            },
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("burst-loss", cfg, None, |sim, ft| drive_lossy_fabric(sim, ft, 0.02));
+}
+
+/// Scenario 2 — a hard partition of the management network that heals.
+#[test]
+fn det_02_mgmt_partition() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0xBEEF),
+            mgmt_partitions: vec![Window { start_ns: 0, end_ns: 2 * MILLIS }],
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("mgmt-partition", cfg, None, |sim, ft| drive_lossy_fabric(sim, ft, 0.02));
+}
+
+/// Scenario 3 — independent loss of redundant notification copies, with
+/// burst drops on uplinks feeding the inter-switch detector.
+#[test]
+fn det_03_notification_copy_loss() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0x5EED),
+            notification_loss: LossProcess::Bernoulli { p: 0.35 },
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("notification-loss", cfg, None, |sim, ft| {
+        for s in 0..4 {
+            add_flow(sim, ft, s, 4 + s, 1000 + s as u16, 1_000_000);
+        }
+        for pod in 0..2 {
+            let tor = ft.edges[pod][0];
+            for port in 0..2 {
+                sim.link_direction_mut(tor, port).unwrap().faults.burst_drop =
+                    Some(BurstDrop { at_ns: 50_000, count: 4, corrupt: false });
+            }
+        }
+    });
+}
+
+/// Scenario 4 — switch-CPU overload with shedding.
+#[test]
+fn det_04_cpu_overload() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0xFEED),
+            cpu_overload: vec![OverloadWindow {
+                window: Window { start_ns: 0, end_ns: 100 * MILLIS },
+                factor: 5_000.0,
+            }],
+            ..FaultPlan::default()
+        },
+        cpu_max_backlog_ns: 200 * MICROS,
+        enable_dedup: false,
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("cpu-overload", cfg, None, |sim, ft| drive_lossy_fabric(sim, ft, 0.05));
+}
+
+/// Scenario 5 — CEBP recirculation and PCIe stall windows.
+#[test]
+fn det_05_cebp_and_pcie_stalls() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0xD1CE),
+            cebp_stalls: vec![Window { start_ns: MILLIS, end_ns: 3 * MILLIS }],
+            pcie_stalls: vec![Window { start_ns: 2 * MILLIS, end_ns: 5 * MILLIS }],
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("stalls", cfg, None, |sim, ft| drive_lossy_fabric(sim, ft, 0.02));
+}
+
+/// Scenario 6 — combined chaos: GE loss + notification loss + partition
+/// (the `same_seed_reproduces_the_same_chaos` plan).
+#[test]
+fn det_06_combined_chaos() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(42),
+            mgmt_loss: LossProcess::GilbertElliott {
+                p_enter_bad: 0.2,
+                p_exit_bad: 0.2,
+                loss_good: 0.05,
+                loss_bad: 0.95,
+            },
+            notification_loss: LossProcess::Bernoulli { p: 0.2 },
+            mgmt_partitions: vec![Window { start_ns: 2 * MILLIS, end_ns: 3 * MILLIS }],
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("combined", cfg, None, |sim, ft| drive_lossy_fabric(sim, ft, 0.02));
+}
+
+/// Scenario 7 — every switch CPU stops cleanly once, mid-run.
+#[test]
+fn det_07_clean_restarts() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan { seed: seed(0xCAFE), ..FaultPlan::default() },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic(
+        "clean-restart",
+        cfg,
+        Some((seed(0xCAFE), CrashKind::Clean)),
+        |sim, ft| drive_lossy_fabric(sim, ft, 0.02),
+    );
+}
+
+/// Scenario 8 — every switch CPU is hard-killed once (WAL tail lost).
+#[test]
+fn det_08_hard_kills() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan { seed: seed(0xDEAD), ..FaultPlan::default() },
+        checkpoint_interval_ns: MILLIS,
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("hard-kill", cfg, Some((seed(0xDEAD), CrashKind::Hard)), |sim, ft| {
+        drive_lossy_fabric(sim, ft, 0.02)
+    });
+}
+
+/// Scenario 9 — restart discontinuities on a clean fabric (gap detectors
+/// must re-base identically in serial and parallel runs).
+#[test]
+fn det_09_restart_discontinuity() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan { seed: seed(0xAB1E), ..FaultPlan::default() },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("rebase", cfg, Some((seed(0xAB1E), CrashKind::Hard)), |sim, ft| {
+        drive_lossy_fabric(sim, ft, 0.0)
+    });
+}
+
+/// Scenario 10 — hard switch-CPU kills under the collector-reconciliation
+/// plan, with mid-run control-plane mutation (drop-prob bump at 3 ms):
+/// controls are a serial synchronization point the parallel executor must
+/// place identically.
+#[test]
+fn det_10_crashes_with_midrun_control() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan { seed: seed(0xFA11), ..FaultPlan::default() },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic(
+        "midrun-control",
+        cfg,
+        Some((seed(0xFA11), CrashKind::Hard)),
+        |sim, ft| {
+            drive_lossy_fabric(sim, ft, 0.02);
+            let tor = ft.edges[1][0];
+            sim.schedule_control(3 * MILLIS, move |s| {
+                s.link_direction_mut(tor, 0).unwrap().faults.drop_prob = 0.05;
+            });
+        },
+    );
+}
