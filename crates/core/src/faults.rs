@@ -9,12 +9,15 @@
 //!    mode the reporting pipeline crosses: burst (Gilbert–Elliott) loss and
 //!    partitions on the management network, loss of the redundant
 //!    inter-switch loss notifications, CEBP recirculation and PCIe stalls,
-//!    and switch-CPU overload windows. The same plan + seed reproduces the
-//!    same run bit-for-bit.
+//!    switch-CPU overload windows, and — the integrity fault domain —
+//!    seeded byte corruption of CEBP reports, notification copies, and
+//!    torn WAL tail-writes on hard crashes. The same plan + seed
+//!    reproduces the same run bit-for-bit.
 //!
 //! 2. [`DeliveryLedger`] — the pipeline-wide accounting invariant:
-//!    `generated == delivered + shed + pending`, where every shed event is
-//!    attributed to a named choke point. Any imbalance is a silent-loss bug.
+//!    `generated == delivered + shed + pending + lost_to_crash +
+//!    corrupted`, where every shed event is attributed to a named choke
+//!    point. Any imbalance is a silent-loss bug.
 //!
 //! The plan is pure data ([`Clone`], [`Default`]); per-concern runtime
 //! state (Gilbert–Elliott channel state, RNG streams) lives in
@@ -22,6 +25,8 @@
 //! subsystems draw from independent, reproducible streams.
 
 use fet_netsim::rng::Pcg32;
+
+pub use fet_netsim::corrupt::{CorruptionGen, CorruptionSpec, CorruptionTally};
 
 /// A half-open time window `[start_ns, end_ns)` during which a scheduled
 /// fault is active.
@@ -217,6 +222,22 @@ pub struct FaultPlan {
     pub device_crashes: Vec<DeviceCrash>,
     /// Scheduled collector (backend) crashes.
     pub collector_crashes: Vec<CollectorCrash>,
+    /// Byte damage applied to each CEBP report frame on its way to the
+    /// collector (drawn on [`streams::CEBP_CORRUPT`]). The CRC-32C trailer
+    /// detects it; the transport treats the failure as an implicit NACK and
+    /// retransmits, so only a retry-budget exhaustion turns into the
+    /// ledger's terminal `corrupted` count.
+    pub cebp_corruption: CorruptionSpec,
+    /// Byte damage applied to each emitted loss-notification copy (drawn
+    /// on [`streams::NOTIF_CORRUPT`]). Damaged copies fail the notification
+    /// CRC at the upstream monitor and are counted, not parsed.
+    pub notification_corruption: CorruptionSpec,
+    /// Torn tail-write damage applied to the un-fsynced WAL region on a
+    /// hard crash (drawn on [`streams::WAL_CORRUPT`]). Replay stops at the
+    /// first record whose per-record CRC fails instead of deserializing
+    /// garbage. Inactive spec = the whole un-fsynced tail is lost (the
+    /// pre-integrity model).
+    pub torn_wal: CorruptionSpec,
 }
 
 /// RNG stream ids, one per concern, so streams never collide.
@@ -227,6 +248,12 @@ pub mod streams {
     pub const NOTIFICATION: u64 = 0x4e4f;
     /// Crash-schedule draws ([`super::seeded_device_crashes`]).
     pub const CRASH: u64 = 0x4352;
+    /// CEBP report-frame byte damage (inside `NetSeerMonitor`).
+    pub const CEBP_CORRUPT: u64 = 0x4345;
+    /// Notification-copy byte damage (inside `NetSeerMonitor`).
+    pub const NOTIF_CORRUPT: u64 = 0x434e;
+    /// Torn-WAL tail damage on hard crash (inside `RecoveryLog`).
+    pub const WAL_CORRUPT: u64 = 0x4357;
 }
 
 impl FaultPlan {
@@ -287,9 +314,11 @@ pub fn event_priority(ty: fet_packet::event::EventType) -> u8 {
 
 /// The end-to-end accounting snapshot for one monitor's reporting pipeline.
 ///
-/// Invariant: `generated == delivered + shed_total() + pending`. The
-/// pipeline may legitimately hold events in flight (`pending`) or shed them
-/// at a counted choke point — but it must never lose one silently.
+/// Invariant: `generated == delivered + shed_total() + pending +
+/// lost_to_crash + corrupted`. The pipeline may legitimately hold events in
+/// flight (`pending`), shed them at a counted choke point, lose a bounded
+/// tail to a hard crash, or lose a batch to unrecoverable wire corruption —
+/// but it must never lose one silently.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeliveryLedger {
     /// Event records handed to the reporting path (post-dedup).
@@ -312,6 +341,11 @@ pub struct DeliveryLedger {
     /// WAL tail vanished, so replay could not resurrect them. Bounded by
     /// the checkpoint/fsync window; 0 for clean stops.
     pub lost_to_crash: u64,
+    /// Events whose report batch failed its CRC-32C trailer on every
+    /// transmission attempt (implicit-NACK retransmits included) — the
+    /// poison copies are quarantined at the collector, never silently
+    /// dropped, and the terminal count lands here.
+    pub corrupted: u64,
 }
 
 impl DeliveryLedger {
@@ -326,12 +360,12 @@ impl DeliveryLedger {
 
     /// Everything a generated event is allowed to have become.
     fn accounted(&self) -> u64 {
-        self.delivered + self.shed_total() + self.pending + self.lost_to_crash
+        self.delivered + self.shed_total() + self.pending + self.lost_to_crash + self.corrupted
     }
 
     /// Does the exactly-once-or-counted invariant hold?
-    /// `generated == delivered + shed + pending + lost_to_crash`, across
-    /// any number of crash/restart cycles.
+    /// `generated == delivered + shed + pending + lost_to_crash +
+    /// corrupted`, across any number of crash/restart cycles.
     pub fn balanced(&self) -> bool {
         self.generated == self.accounted()
     }
@@ -459,6 +493,36 @@ mod tests {
         l.delivered += 1; // double delivery must also trip the invariant
         assert!(!l.balanced());
         assert_eq!(l.surplus(), 1);
+    }
+
+    #[test]
+    fn ledger_counts_corruption_separately() {
+        let l = DeliveryLedger {
+            generated: 100,
+            delivered: 90,
+            pending: 3,
+            lost_to_crash: 4,
+            corrupted: 3,
+            ..Default::default()
+        };
+        l.assert_balanced();
+        assert_eq!(l.missing(), 0);
+        let silent = DeliveryLedger {
+            generated: 100,
+            delivered: 90,
+            pending: 3,
+            lost_to_crash: 4,
+            ..Default::default()
+        };
+        assert_eq!(silent.missing(), 3, "uncounted corruption must show as silent loss");
+    }
+
+    #[test]
+    fn corruption_plan_defaults_inactive() {
+        let p = FaultPlan::none();
+        assert!(!p.cebp_corruption.is_active());
+        assert!(!p.notification_corruption.is_active());
+        assert!(!p.torn_wal.is_active());
     }
 
     #[test]

@@ -80,13 +80,17 @@ pub mod recovery;
 pub mod storage;
 pub mod tables;
 pub mod transport;
+pub mod watchdog;
 
 pub use config::NetSeerConfig;
 pub use faults::{
-    CollectorCrash, CrashKind, DeliveryLedger, DeviceCrash, FaultPlan, LossProcess, Window,
+    CollectorCrash, CorruptionGen, CorruptionSpec, CrashKind, DeliveryLedger, DeviceCrash,
+    FaultPlan, LossProcess, Window,
 };
 pub use monitor::{NetSeerMonitor, Role};
 pub use recovery::{
     run_collector_crash_drill, schedule_device_crashes, Collector, CrashLog, CrashReport,
+    PoisonFrame,
 };
 pub use storage::{EventStore, Query, StoredEvent};
+pub use watchdog::{schedule_watchdog, schedule_wedge, Incident, WatchdogConfig, WatchdogLog};

@@ -10,16 +10,16 @@ use crate::cpu::SwitchCpu;
 use crate::dedup::{DedupOutcome, GroupCache};
 use crate::detect::{GapDetector, PathTable, PauseTracker, PendingLookups, PortTagger};
 use crate::extract::Extractor;
-use crate::faults::{streams, CrashKind, DeliveryLedger, LossGen};
-use crate::recovery::{CrashReport, DedupSummary, RecoveryLog, Snapshot};
+use crate::faults::{streams, CorruptionGen, CrashKind, DeliveryLedger, LossGen};
+use crate::recovery::{CrashReport, DedupSummary, PoisonFrame, RecoveryLog, Snapshot};
 use crate::storage::StoredEvent;
 use crate::tables::{DedupTable, PortTable};
 use crate::transport::ReliableChannel;
 use fet_netsim::counters::PortCounters;
 use fet_netsim::monitor::{Actions, EgressCtx, HookVerdict, IngressCtx, RoutedCtx, SwitchMonitor};
 use fet_packet::builder::{
-    build_notification_frames_with, classify, extract_flow, insert_seqtag_in_place,
-    parse_notification, strip_seqtag_in_place, FrameKind,
+    build_cebp_frame, build_notification_frames_with, classify, extract_flow,
+    insert_seqtag_in_place, parse_cebp_frame, parse_notification, strip_seqtag_in_place, FrameKind,
 };
 use fet_packet::ethernet::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN};
 use fet_packet::event::{DropCode, EventDetail, EventRecord, EventType, EVENT_RECORD_LEN};
@@ -117,6 +117,10 @@ pub struct NetSeerMonitor {
     // --- fault injection + delivery accounting ---
     /// Loss process applied to each arriving loss-notification copy.
     notif_loss: LossGen,
+    /// Byte damage applied to each outgoing CEBP report attempt.
+    cebp_corrupt: CorruptionGen,
+    /// Byte damage applied to each outgoing loss-notification copy.
+    notif_corrupt: CorruptionGen,
     /// Event records handed to the reporting path (ledger numerator).
     pub events_generated: u64,
     /// Events shed because the transport exhausted its retry budget.
@@ -125,6 +129,20 @@ pub struct NetSeerMonitor {
     pub transport_failed_reports: u64,
     /// Notification copies eaten by the injected loss process.
     pub notification_copies_dropped: u64,
+    /// CEBP report attempts whose CRC trailer failed at the collector.
+    /// Each failure is an implicit NACK: the sender retransmits.
+    pub cebp_crc_failures: u64,
+    /// Batches abandoned after every CRC retransmit failed; their events
+    /// are the ledger's `corrupted` term.
+    pub corrupted_batches: u64,
+    /// Events in abandoned corrupted batches (terminal, counted — the
+    /// poison frames are quarantined, never parsed into the store).
+    pub corrupted_events: u64,
+    /// Arriving loss-notification copies rejected by their CRC trailer.
+    pub notifications_crc_rejected: u64,
+    /// Poison CEBP frames held for collector-side quarantine, bounded by
+    /// [`MAX_POISON_HELD`].
+    poison: Vec<PoisonFrame>,
     // --- crash recovery ---
     /// Write-ahead log + periodic checkpoint for the pending set, tagger
     /// heads, and group-cache summaries (see [`crate::recovery`]).
@@ -134,7 +152,19 @@ pub struct NetSeerMonitor {
     next_delivery_seq: u64,
     /// Reused scratch for the records produced by one `raise` call.
     records_scratch: Vec<(FlowKey, u16)>,
+    /// Liveness heartbeat: advances on every timer tick while the control
+    /// loop is healthy; the watchdog declares the monitor suspect when it
+    /// stops (see [`crate::watchdog`]).
+    pub heartbeat: u64,
+    /// Fault injection: a wedged control loop. Timer ticks and pumping do
+    /// nothing (the heartbeat freezes, batches pile up and shed, no
+    /// checkpoints are taken) until a restart clears it.
+    wedged: bool,
 }
+
+/// Poison CEBP frames a monitor holds for quarantine before the collector
+/// picks them up.
+pub const MAX_POISON_HELD: usize = 16;
 
 impl std::fmt::Debug for NetSeerMonitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -201,13 +231,38 @@ impl NetSeerMonitor {
                 cfg.faults.seed ^ u64::from(seed),
                 streams::NOTIFICATION,
             ),
+            cebp_corrupt: CorruptionGen::new(
+                cfg.faults.cebp_corruption,
+                cfg.faults.seed ^ u64::from(seed),
+                streams::CEBP_CORRUPT,
+            ),
+            notif_corrupt: CorruptionGen::new(
+                cfg.faults.notification_corruption,
+                cfg.faults.seed ^ u64::from(seed),
+                streams::NOTIF_CORRUPT,
+            ),
             events_generated: 0,
             transport_failed_events: 0,
             transport_failed_reports: 0,
             notification_copies_dropped: 0,
-            recovery: RecoveryLog::new(cfg.checkpoint_interval_ns),
+            cebp_crc_failures: 0,
+            corrupted_batches: 0,
+            corrupted_events: 0,
+            notifications_crc_rejected: 0,
+            poison: Vec::new(),
+            recovery: {
+                let mut recovery = RecoveryLog::new(cfg.checkpoint_interval_ns);
+                recovery.set_torn_wal(CorruptionGen::new(
+                    cfg.faults.torn_wal,
+                    cfg.faults.seed ^ u64::from(seed),
+                    streams::WAL_CORRUPT,
+                ));
+                recovery
+            },
             next_delivery_seq: 0,
             records_scratch: Vec::with_capacity(4),
+            heartbeat: 0,
+            wedged: false,
             cfg,
         }
     }
@@ -227,7 +282,29 @@ impl NetSeerMonitor {
             shed_transport: self.transport_failed_events,
             pending: self.batcher.backlog() as u64,
             lost_to_crash: self.recovery.lost_to_crash,
+            corrupted: self.corrupted_events,
         }
+    }
+
+    /// Wedge the control loop (fault injection): the heartbeat freezes and
+    /// timer ticks / pumping become no-ops until [`restart`](Self::restart).
+    pub fn wedge(&mut self) {
+        self.wedged = true;
+    }
+
+    /// Is the control loop wedged?
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Poison CEBP frames held for quarantine (bounded, oldest first).
+    pub fn poison_frames(&self) -> &[PoisonFrame] {
+        &self.poison
+    }
+
+    /// Hand the held poison frames to the collector, emptying the hold.
+    pub fn take_poison(&mut self) -> Vec<PoisonFrame> {
+        std::mem::take(&mut self.poison)
     }
 
     fn tagger(&mut self, port: u8) -> &mut PortTagger {
@@ -354,6 +431,9 @@ impl NetSeerMonitor {
 
     /// Advance batcher → CPU → transport, delivering finished events.
     fn pump(&mut self, now_ns: u64, out: &mut Actions) {
+        if self.wedged {
+            return;
+        }
         for batch in self.batcher.poll(now_ns) {
             self.deliver_batch(batch, out);
         }
@@ -371,29 +451,66 @@ impl NetSeerMonitor {
         }
         let last_done = survived.last().expect("nonempty").done_ns;
         let bytes = survived.len() * EVENT_RECORD_LEN + REPORT_HEADER_BYTES;
-        match self.transport.send(last_done, bytes) {
-            Ok(delivery) => {
-                for s in &survived {
-                    self.delivered.push(StoredEvent {
-                        time_ns: delivery.delivered_ns.max(s.done_ns),
-                        device: self.device,
-                        epoch: self.transport.epoch,
-                        seq: self.next_delivery_seq,
-                        record: s.record,
-                    });
-                    self.next_delivery_seq += 1;
+        let records: Vec<EventRecord> = survived.iter().map(|s| s.record).collect();
+        // Each transport attempt carries a real CEBP wire frame whose CRC32C
+        // trailer the collector verifies. A CRC failure is an implicit NACK
+        // (no ACK carries the reject): the sender retransmits, bounded by
+        // the transport retry budget. With no corruption configured the
+        // first attempt always verifies, so this loop runs exactly once.
+        let mut send_at = last_done;
+        for _attempt in 0..=self.cfg.transport_max_retries {
+            match self.transport.send(send_at, bytes) {
+                Ok(delivery) => {
+                    let mut frame = build_cebp_frame(survived.len() as u16, &records)
+                        .expect("report-sized CEBP always fits");
+                    self.cebp_corrupt.corrupt(&mut frame);
+                    match parse_cebp_frame(&frame) {
+                        Ok(_) => {
+                            for s in &survived {
+                                self.delivered.push(StoredEvent {
+                                    time_ns: delivery.delivered_ns.max(s.done_ns),
+                                    device: self.device,
+                                    epoch: self.transport.epoch,
+                                    seq: self.next_delivery_seq,
+                                    record: s.record,
+                                });
+                                self.next_delivery_seq += 1;
+                            }
+                            self.stats.final_reports += survived.len() as u64;
+                            self.stats.final_bytes += bytes as u64;
+                            out.report(bytes, "netseer-events");
+                            return;
+                        }
+                        Err(e) => {
+                            // Poison: quarantine the damaged frame verbatim
+                            // for CPU-side inspection, never parse it into
+                            // the store, and retransmit.
+                            self.cebp_crc_failures += 1;
+                            if self.poison.len() < MAX_POISON_HELD {
+                                self.poison.push(PoisonFrame {
+                                    device: self.device,
+                                    quarantined_ns: delivery.delivered_ns,
+                                    frame,
+                                    reason: e.to_string(),
+                                });
+                            }
+                            send_at = delivery.delivered_ns;
+                        }
+                    }
                 }
-                self.stats.final_reports += survived.len() as u64;
-                self.stats.final_bytes += bytes as u64;
-                out.report(bytes, "netseer-events");
-            }
-            Err(_failure) => {
-                // Retry budget exhausted (e.g. a partition outlasting the
-                // backoff schedule): shed-and-count, never silent.
-                self.transport_failed_events += survived.len() as u64;
-                self.transport_failed_reports += 1;
+                Err(_failure) => {
+                    // Retry budget exhausted (e.g. a partition outlasting
+                    // the backoff schedule): shed-and-count, never silent.
+                    self.transport_failed_events += survived.len() as u64;
+                    self.transport_failed_reports += 1;
+                    return;
+                }
             }
         }
+        // Every attempt was damaged beyond its CRC: terminal corruption,
+        // counted in the ledger's `corrupted` term.
+        self.corrupted_batches += 1;
+        self.corrupted_events += survived.len() as u64;
     }
 
     /// Drain up to `n` pending ring lookups for a port, raising drop events.
@@ -471,6 +588,8 @@ impl NetSeerMonitor {
     /// they were counted when first generated — and a replayed set larger
     /// than the fresh stack re-sheds by priority, counted as usual.
     pub fn restart(&mut self, now_ns: u64) -> CrashReport {
+        // A restart always un-wedges: the fresh process has a live loop.
+        self.wedged = false;
         let replayed = self.recovery.replay();
 
         // Batcher: fresh circulation state, carried counters.
@@ -655,7 +774,10 @@ impl SwitchMonitor for NetSeerMonitor {
                         self.gaps.get_or_insert_with(ctx.port, GapDetector::default).observe(seq);
                     if let Some((lo, hi)) = gap {
                         let copies = self.cfg.notification_copies;
-                        for nf in build_notification_frames_with(lo, hi, ctx.port, copies) {
+                        for mut nf in build_notification_frames_with(lo, hi, ctx.port, copies) {
+                            // Injected byte damage per copy: the receiver's
+                            // CRC trailer catches what survives the FCS.
+                            self.notif_corrupt.corrupt(&mut nf);
                             out.emit(ctx.port, nf, true);
                         }
                     }
@@ -673,11 +795,20 @@ impl SwitchMonitor for NetSeerMonitor {
                     return HookVerdict::Consume;
                 }
                 // Fig. 5 step 5: queue ring lookups for the missing range.
-                if let Ok((lo, hi, _copy, _port)) = parse_notification(frame) {
-                    let cap = self.cfg.pending_lookup_cap;
-                    self.pending
-                        .get_or_insert_with(ctx.port, || PendingLookups::new(cap))
-                        .push_range(lo, hi);
+                // `parse_notification` verifies the CRC32C trailer first, so
+                // a corrupted range can never queue bogus ring lookups.
+                match parse_notification(frame) {
+                    Ok((lo, hi, _copy, _port)) => {
+                        let cap = self.cfg.pending_lookup_cap;
+                        self.pending
+                            .get_or_insert_with(ctx.port, || PendingLookups::new(cap))
+                            .push_range(lo, hi);
+                    }
+                    Err(_) => {
+                        // Counted, never parsed: redundant copies mean any
+                        // intact sibling still recovers the range.
+                        self.notifications_crc_rejected += 1;
+                    }
                 }
                 self.pump(ctx.now_ns, out);
                 return HookVerdict::Consume;
@@ -869,6 +1000,13 @@ impl SwitchMonitor for NetSeerMonitor {
     }
 
     fn on_timer(&mut self, now_ns: u64, _counters: &[PortCounters], out: &mut Actions) {
+        // A wedged control loop does nothing: the heartbeat freezes (the
+        // watchdog's suspicion signal), batches pile up and shed by
+        // priority, and no checkpoints are taken.
+        if self.wedged {
+            return;
+        }
+        self.heartbeat += 1;
         // CPU-assisted backstop: drain pending lookups even on quiet ports.
         for p in 0..=255u8 {
             if self.pending.get(p).is_some() {
@@ -1198,6 +1336,108 @@ mod tests {
         let f = build_data_packet(&flow(1), 100, 0, 0, 64);
         m.on_routed(&rctx, &f, &mut out);
         assert!(m.delivered.is_empty());
+    }
+
+    #[test]
+    fn cebp_corruption_retransmits_then_delivers() {
+        use crate::faults::CorruptionSpec;
+        let mut cfg = NetSeerConfig::default();
+        // Mild damage: most attempts fail on a 46-byte report frame, but
+        // the implicit-NACK retransmit loop almost always gets one through.
+        cfg.faults.cebp_corruption = CorruptionSpec::bit_flips(0.02);
+        let mut m = NetSeerMonitor::new(3, Role::Switch, cfg);
+        let mut out = Actions::new();
+        for n in 0..30u16 {
+            let mut meta = fet_pdp::PacketMeta::arriving(0, 0, 100);
+            meta.flow = Some(flow(n));
+            meta.egress_ts_ns = 100 * fet_netsim::MICROS;
+            let mut f = build_data_packet(&flow(n), 100, 0, 0, 64);
+            let ectx = EgressCtx {
+                now_ns: meta.egress_ts_ns,
+                node: 3,
+                port: 1,
+                queue: 0,
+                peer_tagged: false,
+                meta: &meta,
+            };
+            m.on_egress(&ectx, &mut f, &mut out);
+            m.on_timer((u64::from(n) + 1) * 10_000_000, &[], &mut out);
+        }
+        assert_eq!(m.events_generated, 30);
+        assert!(m.cebp_crc_failures > 0, "some attempts must fail CRC");
+        assert!(m.stats.final_reports > 0, "retransmits must get batches through");
+        assert!(!m.poison_frames().is_empty(), "failed attempts are quarantined");
+        assert!(m.ledger().balanced(), "{:?}", m.ledger());
+    }
+
+    #[test]
+    fn hopeless_cebp_corruption_is_terminal_and_counted() {
+        use crate::faults::CorruptionSpec;
+        let mut cfg = NetSeerConfig::default();
+        // Half the bytes damaged per attempt: no attempt ever verifies.
+        cfg.faults.cebp_corruption = CorruptionSpec::bit_flips(0.5);
+        let mut m = NetSeerMonitor::new(3, Role::Switch, cfg);
+        let mut out = Actions::new();
+        let mut meta = fet_pdp::PacketMeta::arriving(0, 0, 100);
+        meta.flow = Some(flow(1));
+        meta.egress_ts_ns = 100 * fet_netsim::MICROS;
+        let mut f = build_data_packet(&flow(1), 100, 0, 0, 64);
+        let ectx = EgressCtx {
+            now_ns: meta.egress_ts_ns,
+            node: 3,
+            port: 1,
+            queue: 0,
+            peer_tagged: false,
+            meta: &meta,
+        };
+        m.on_egress(&ectx, &mut f, &mut out);
+        m.on_timer(10_000_000_000, &[], &mut out);
+        assert_eq!(m.stats.final_reports, 0);
+        assert_eq!((m.corrupted_batches, m.corrupted_events), (1, 1));
+        assert_eq!(m.ledger().corrupted, 1);
+        assert!(m.ledger().balanced(), "{:?}", m.ledger());
+        assert!(!m.poison_frames().is_empty());
+        let poison = m.take_poison();
+        assert!(!poison.is_empty() && m.poison_frames().is_empty());
+        assert!(poison.iter().all(|p| p.device == 3 && !p.reason.is_empty()));
+    }
+
+    #[test]
+    fn corrupted_notification_copy_is_rejected_not_parsed() {
+        let mut m = mon();
+        let mut out = Actions::new();
+        let frames = build_notification_frames_with(5, 9, 2, 3);
+        for (i, mut f) in frames.into_iter().enumerate() {
+            if i == 0 {
+                // Damage one copy's payload: its CRC trailer condemns it.
+                f[ETHERNET_HEADER_LEN + 2] ^= 0x10;
+            }
+            let v = m.on_ingress(&ictx(2, 20), &mut f, &mut out);
+            assert_eq!(v, HookVerdict::Consume);
+        }
+        assert_eq!(m.notifications_crc_rejected, 1);
+        // The intact siblings still recovered the range.
+        assert!(m.pending.get(2).is_some());
+    }
+
+    #[test]
+    fn wedged_monitor_freezes_heartbeat_until_restart() {
+        let mut m = mon();
+        let mut out = Actions::new();
+        m.on_timer(1_000_000, &[], &mut out);
+        m.on_timer(2_000_000, &[], &mut out);
+        assert_eq!(m.heartbeat, 2);
+        m.wedge();
+        assert!(m.is_wedged());
+        m.on_timer(3_000_000, &[], &mut out);
+        assert_eq!(m.heartbeat, 2, "a wedged loop makes no progress");
+        m.crash(CrashKind::Hard, 4_000_000);
+        let report = m.restart(5_000_000);
+        assert!(!m.is_wedged(), "restart un-wedges");
+        assert_eq!(report.kind, CrashKind::Hard);
+        m.on_timer(6_000_000, &[], &mut out);
+        assert_eq!(m.heartbeat, 3);
+        assert!(m.ledger().balanced());
     }
 
     #[test]

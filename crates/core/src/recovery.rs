@@ -36,12 +36,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use crate::faults::{CollectorCrash, CrashKind, DeliveryLedger, DeviceCrash};
+use crate::faults::{CollectorCrash, CorruptionGen, CrashKind, DeliveryLedger, DeviceCrash};
 use crate::monitor::NetSeerMonitor;
 use crate::storage::{EventStore, StoredEvent};
 use crate::transport::{EpochReceiver, RxVerdict};
 use fet_netsim::engine::Simulator;
-use fet_packet::event::{EventRecord, EventType};
+use fet_packet::checksum::crc32c;
+use fet_packet::event::{EventRecord, EventType, EVENT_RECORD_LEN};
 
 /// One mirrored mutation of the monitor's pending set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +60,97 @@ pub enum WalOp {
         /// Events in the departing batch.
         count: u32,
     },
+}
+
+const WAL_TAG_ENQ: u8 = 1;
+const WAL_TAG_EVICT: u8 = 2;
+const WAL_TAG_DEQ: u8 = 3;
+
+/// Per-record CRC trailer length in the serialized WAL.
+pub const WAL_RECORD_CRC_LEN: usize = 4;
+
+impl WalOp {
+    /// Serialize one op as `[tag][payload][crc32c over tag+payload]` —
+    /// the on-disk record format whose per-record CRC lets replay stop
+    /// cleanly at the first record a torn write damaged.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        match *self {
+            WalOp::Enq(rec) => {
+                out.push(WAL_TAG_ENQ);
+                let mut b = [0u8; EVENT_RECORD_LEN];
+                rec.write_to(&mut b);
+                out.extend_from_slice(&b);
+            }
+            WalOp::Evict { pending_pos } => {
+                out.push(WAL_TAG_EVICT);
+                out.extend_from_slice(&pending_pos.to_be_bytes());
+            }
+            WalOp::Deq { count } => {
+                out.push(WAL_TAG_DEQ);
+                out.extend_from_slice(&count.to_be_bytes());
+            }
+        }
+        let crc = crc32c(&out[start..]);
+        out.extend_from_slice(&crc.to_be_bytes());
+    }
+
+    /// Decode one record from the head of `buf`. Returns the op and the
+    /// bytes consumed, or `None` on a truncated tail, an unknown tag, a
+    /// CRC mismatch, or a semantically invalid payload — all the ways a
+    /// torn write manifests. Never panics on arbitrary bytes.
+    pub fn decode_from(buf: &[u8]) -> Option<(WalOp, usize)> {
+        let tag = *buf.first()?;
+        let body_len = match tag {
+            WAL_TAG_ENQ => 1 + EVENT_RECORD_LEN,
+            WAL_TAG_EVICT | WAL_TAG_DEQ => 1 + 4,
+            _ => return None,
+        };
+        let total = body_len + WAL_RECORD_CRC_LEN;
+        if buf.len() < total {
+            return None;
+        }
+        let want = u32::from_be_bytes([
+            buf[body_len],
+            buf[body_len + 1],
+            buf[body_len + 2],
+            buf[body_len + 3],
+        ]);
+        if crc32c(&buf[..body_len]) != want {
+            return None;
+        }
+        let op = match tag {
+            WAL_TAG_ENQ => WalOp::Enq(EventRecord::parse(&buf[1..body_len]).ok()?),
+            WAL_TAG_EVICT => {
+                WalOp::Evict { pending_pos: u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) }
+            }
+            _ => WalOp::Deq { count: u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) },
+        };
+        Some((op, total))
+    }
+}
+
+/// Serialize a slice of ops into the on-disk record stream.
+pub fn encode_wal(ops: &[WalOp]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for op in ops {
+        op.encode_into(&mut out);
+    }
+    out
+}
+
+/// Decode the longest valid record prefix of a (possibly torn) WAL byte
+/// stream. Replay stops cleanly at the first bad record: everything before
+/// it is recovered, everything at and after it is counted as lost — never
+/// deserialized as garbage.
+pub fn decode_wal_prefix(bytes: &[u8]) -> Vec<WalOp> {
+    let mut ops = Vec::new();
+    let mut off = 0;
+    while let Some((op, used)) = WalOp::decode_from(&bytes[off..]) {
+        ops.push(op);
+        off += used;
+    }
+    ops
 }
 
 /// Replay a slice of WAL ops over a checkpointed base state. Pure and
@@ -193,6 +285,10 @@ pub struct RecoveryLog {
     interval_ns: u64,
     last_checkpoint_ns: u64,
     kill: Option<KillRecord>,
+    /// When armed, hard kills tear the un-fsynced tail instead of cleanly
+    /// truncating it: the tail is serialized, damaged, and decoded back,
+    /// keeping only the record prefix whose per-record CRCs still verify.
+    torn_wal: Option<CorruptionGen>,
     /// Checkpoints taken.
     pub checkpoints: u64,
     /// WAL ops appended.
@@ -204,6 +300,9 @@ pub struct RecoveryLog {
     /// Events destroyed across all hard kills (the ledger's
     /// `lost_to_crash` term).
     pub lost_to_crash: u64,
+    /// WAL records rejected during torn-tail recovery (CRC mismatch,
+    /// truncated tail, or cut off behind the first bad record).
+    pub wal_records_rejected: u64,
 }
 
 impl RecoveryLog {
@@ -280,9 +379,37 @@ impl RecoveryLog {
                 self.fsync();
                 0
             }
-            CrashKind::Hard => self.wal.truncate_unsynced(),
+            CrashKind::Hard => match &mut self.torn_wal {
+                Some(gen) if gen.spec.is_active() => {
+                    // Torn-write model: the tail was mid-flush when power
+                    // died, so part of it made it to disk — damaged. Replay
+                    // keeps the prefix that still passes per-record CRCs and
+                    // loses everything at and after the first bad record.
+                    let unsynced = self.wal.ops.split_off(self.wal.synced);
+                    let mut bytes = encode_wal(&unsynced);
+                    gen.corrupt(&mut bytes);
+                    let survivors = decode_wal_prefix(&bytes);
+                    // Byte duplication can re-align into spurious extra
+                    // records; never recover more ops than were written.
+                    let survived = survivors.len().min(unsynced.len());
+                    let lost = (unsynced.len() - survived) as u64;
+                    self.wal_records_rejected += lost;
+                    self.wal.ops.extend(survivors.into_iter().take(survived));
+                    // What decoded off disk is durable by definition.
+                    self.wal.fsync();
+                    lost
+                }
+                _ => self.wal.truncate_unsynced(),
+            },
         };
         self.kill = Some(KillRecord { kind, at_ns, pending_at_kill, ops_lost });
+    }
+
+    /// Arm the torn-write failure model for hard kills. With no generator
+    /// (or an inactive spec) hard kills cleanly truncate the un-fsynced
+    /// tail, as before.
+    pub fn set_torn_wal(&mut self, gen: CorruptionGen) {
+        self.torn_wal = Some(gen);
     }
 
     /// Reconstruct the pending set from the durable state (snapshot + the
@@ -326,11 +453,30 @@ pub struct Collector {
     checkpoint: Option<CollectorCheckpoint>,
     subscribers: HashMap<u32, usize>,
     next_subscriber: u32,
+    quarantine: Vec<PoisonFrame>,
     /// Crash/restart cycles survived.
     pub restarts: u64,
     /// Events rolled back by hard kills (recovered later by
     /// reconciliation; this counts the repair work, not a final loss).
     pub reverted_by_crash: u64,
+    /// Poison frames offered to quarantine, including any dropped after
+    /// the retention bound was reached.
+    pub poison_seen: u64,
+}
+
+/// A telemetry frame that failed its CRC trailer, quarantined verbatim for
+/// CPU-side inspection instead of being parsed (it never reaches the event
+/// store — corrupted batches are counted in the ledger's `corrupted` term).
+#[derive(Debug, Clone)]
+pub struct PoisonFrame {
+    /// The monitor whose telemetry stream produced the frame.
+    pub device: u32,
+    /// Sim time the frame was quarantined, ns.
+    pub quarantined_ns: u64,
+    /// The damaged wire bytes, verbatim.
+    pub frame: Vec<u8>,
+    /// The parse failure that condemned it.
+    pub reason: String,
 }
 
 /// The durable part of a collector: what a hard kill reverts to. Cursors
@@ -396,6 +542,27 @@ impl Collector {
         self.reverted_by_crash += reverted;
         self.restarts += 1;
         reverted
+    }
+
+    /// Quarantined poison frames retained at most this many deep; the
+    /// overflow is still counted in `poison_seen`.
+    pub const MAX_QUARANTINE: usize = 64;
+
+    /// Quarantine a poison frame for inspection. Returns `true` when the
+    /// frame was retained, `false` when only counted (bound reached).
+    pub fn quarantine_poison(&mut self, frame: PoisonFrame) -> bool {
+        self.poison_seen += 1;
+        if self.quarantine.len() < Self::MAX_QUARANTINE {
+            self.quarantine.push(frame);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The quarantined poison frames, oldest first.
+    pub fn quarantine(&self) -> &[PoisonFrame] {
+        &self.quarantine
     }
 
     /// Register a delivery subscriber starting at the beginning of the
@@ -831,5 +998,94 @@ mod tests {
         assert_eq!(c.drain_ordered(id).len(), 2, "rewind replays the suffix");
         c.set_cursor(id, 99);
         assert_eq!(c.cursor(id), Some(3), "clamped to the store length");
+    }
+
+    #[test]
+    fn wal_records_roundtrip_through_bytes() {
+        let ops =
+            vec![WalOp::Enq(rec(7)), WalOp::Evict { pending_pos: 3 }, WalOp::Deq { count: 12 }];
+        let bytes = encode_wal(&ops);
+        assert_eq!(decode_wal_prefix(&bytes), ops);
+        // A truncated tail is tolerated: full records decode, the stub is
+        // dropped without error.
+        assert_eq!(decode_wal_prefix(&bytes[..bytes.len() - 1]), ops[..2].to_vec());
+    }
+
+    #[test]
+    fn wal_decode_stops_at_first_bad_record() {
+        let ops: Vec<WalOp> = (0..4).map(|n| WalOp::Enq(rec(n))).collect();
+        let mut bytes = encode_wal(&ops);
+        let rec_len = bytes.len() / 4;
+        // Damage the second record: everything at and after it is lost,
+        // even though records three and four are intact on disk.
+        bytes[rec_len + 5] ^= 0x40;
+        assert_eq!(decode_wal_prefix(&bytes), ops[..1].to_vec());
+        // Garbage decodes to nothing rather than panicking.
+        assert!(decode_wal_prefix(&[0xff; 200]).is_empty());
+        assert!(decode_wal_prefix(&[]).is_empty());
+    }
+
+    #[test]
+    fn torn_hard_kill_keeps_the_surviving_record_prefix() {
+        use crate::faults::{streams, CorruptionGen, CorruptionSpec};
+        let mut log = RecoveryLog::new(1_000_000);
+        log.checkpoint(0, Snapshot::default());
+        // Flip enough bits that some of the 32-record tail is damaged, but
+        // at ~1e-3/byte almost never all of it.
+        log.set_torn_wal(CorruptionGen::new(
+            CorruptionSpec::bit_flips(1e-3),
+            42,
+            streams::WAL_CORRUPT,
+        ));
+        for n in 0..32 {
+            log.log_enq(rec(n));
+        }
+        log.record_kill(CrashKind::Hard, 900, 32);
+        let replayed = log.replay();
+        assert!(!replayed.is_empty(), "torn write should save a prefix");
+        assert!(replayed.len() < 32, "seed 42 at 1e-3 damages the tail");
+        assert_eq!(replayed, (0..replayed.len()).map(|n| rec(n as u16)).collect::<Vec<_>>());
+        let (_, _, lost) = log.complete_restart(replayed.len() as u64);
+        assert_eq!(lost as usize + replayed.len(), 32);
+        assert_eq!(log.wal_records_rejected, lost);
+    }
+
+    #[test]
+    fn inactive_torn_spec_behaves_like_clean_truncation() {
+        let run = |armed: bool| {
+            use crate::faults::{streams, CorruptionGen, CorruptionSpec};
+            let mut log = RecoveryLog::new(1_000_000);
+            if armed {
+                log.set_torn_wal(CorruptionGen::new(
+                    CorruptionSpec::none(),
+                    7,
+                    streams::WAL_CORRUPT,
+                ));
+            }
+            log.checkpoint(0, Snapshot { pending: vec![rec(0)], ..Default::default() });
+            log.log_deq(1);
+            log.log_enq(rec(1));
+            log.record_kill(CrashKind::Hard, 10, 1);
+            log.replay()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn collector_quarantines_poison_frames_bounded() {
+        let mut c = Collector::new();
+        for n in 0..(Collector::MAX_QUARANTINE as u64 + 10) {
+            let kept = c.quarantine_poison(PoisonFrame {
+                device: 3,
+                quarantined_ns: n,
+                frame: vec![0xde, 0xad],
+                reason: "cebp.crc32c".into(),
+            });
+            assert_eq!(kept, (n as usize) < Collector::MAX_QUARANTINE);
+        }
+        assert_eq!(c.quarantine().len(), Collector::MAX_QUARANTINE);
+        assert_eq!(c.poison_seen, Collector::MAX_QUARANTINE as u64 + 10);
+        assert_eq!(c.quarantine()[0].quarantined_ns, 0, "oldest kept");
+        assert!(c.is_empty(), "poison never reaches the store");
     }
 }

@@ -633,10 +633,20 @@ impl Simulator {
                     drop_code: Some(DropCode::LinkLoss),
                     acl_rule: None,
                 });
+                // With the residual-corruption model enabled the bytes are
+                // actually damaged and the frame is delivered as if the FCS
+                // missed it; otherwise classic FCS-kill semantics apply.
+                let mut frame = frame;
+                let escaped_fcs = dir.mutate_corrupted(&mut frame);
                 self.push_node(
                     node,
                     now + tx + prop,
-                    SimEvent::Arrive { node: peer.node, port: peer.port, frame, fcs_error: true },
+                    SimEvent::Arrive {
+                        node: peer.node,
+                        port: peer.port,
+                        frame,
+                        fcs_error: !escaped_fcs,
+                    },
                 );
             }
         }

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod corrupt;
 pub mod counters;
 pub mod engine;
 pub mod host;
@@ -32,6 +33,7 @@ pub mod time;
 pub mod topology;
 pub mod tracer;
 
+pub use corrupt::{CorruptionGen, CorruptionSpec, CorruptionTally};
 pub use engine::{NodeId, Simulator};
 pub use host::{FlowSpec, Host, HostConfig};
 pub use link::{FaultSpec, Link};

@@ -10,6 +10,7 @@
 //! * scripted **burst drops** ("drop the next N frames after time T") used
 //!   to probe the ring-buffer capacity limits (paper Fig. 15).
 
+use crate::corrupt::{corrupt_buffer, CorruptionSpec};
 use crate::rng::Pcg32;
 
 /// What the link did to a frame in flight.
@@ -32,6 +33,13 @@ pub struct FaultSpec {
     pub corrupt_prob: f64,
     /// Scripted burst: after `at_ns`, silently drop the next `count` frames.
     pub burst_drop: Option<BurstDrop>,
+    /// When set, a corrupted frame's bytes are actually damaged and the
+    /// frame is **delivered** as if the damage escaped the FCS — the
+    /// residual-corruption model that forces downstream parsers (and the
+    /// telemetry CRC trailers) to face real garbage. When `None` (the
+    /// default), corruption keeps its classic behaviour: the frame arrives
+    /// with an FCS error and dies at the downstream MAC.
+    pub corrupt_bytes: Option<CorruptionSpec>,
 }
 
 /// A scripted consecutive-drop burst.
@@ -51,12 +59,19 @@ pub struct LinkDirection {
     /// Fault configuration.
     pub faults: FaultSpec,
     rng: Pcg32,
+    /// Dedicated RNG for byte damage so enabling `corrupt_bytes` never
+    /// perturbs the drop/corrupt draws of `judge`.
+    corrupt_rng: Pcg32,
     burst_remaining: u32,
     burst_armed: bool,
     /// Frames offered to this direction.
     pub frames_offered: u64,
     /// Frames lost or corrupted by this direction.
     pub frames_faulted: u64,
+    /// Frames whose bytes were actually mutated (corrupt_bytes mode).
+    pub frames_mutated: u64,
+    /// Total bits flipped into delivered frames (corrupt_bytes mode).
+    pub bits_flipped: u64,
 }
 
 impl LinkDirection {
@@ -64,11 +79,30 @@ impl LinkDirection {
         LinkDirection {
             faults: FaultSpec::default(),
             rng: Pcg32::new(seed, stream),
+            corrupt_rng: Pcg32::new(seed, stream ^ 0x4350),
             burst_remaining: 0,
             burst_armed: false,
             frames_offered: 0,
             frames_faulted: 0,
+            frames_mutated: 0,
+            bits_flipped: 0,
         }
+    }
+
+    /// Apply byte damage to a frame judged `Corrupted` when the
+    /// residual-corruption model is enabled. Returns `true` when the frame
+    /// should be delivered (bytes mutated, FCS missed it) and `false` when
+    /// classic FCS-kill semantics apply.
+    pub fn mutate_corrupted(&mut self, frame: &mut Vec<u8>) -> bool {
+        let Some(spec) = self.faults.corrupt_bytes else {
+            return false;
+        };
+        let tally = corrupt_buffer(&spec, &mut self.corrupt_rng, frame);
+        if tally.touched() {
+            self.frames_mutated += 1;
+        }
+        self.bits_flipped += u64::from(tally.bits_flipped);
+        true
     }
 
     /// Decide the fate of a frame entering this direction at `now_ns`.
@@ -173,6 +207,47 @@ mod tests {
         assert_eq!(d.judge(0), LinkOutcome::Corrupted);
         assert_eq!(d.judge(1), LinkOutcome::Corrupted);
         assert_eq!(d.judge(2), LinkOutcome::Delivered);
+    }
+
+    #[test]
+    fn corrupt_bytes_mutates_and_escapes_fcs() {
+        let mut d = LinkDirection::new(6, 6);
+        d.faults.corrupt_prob = 1.0;
+        d.faults.corrupt_bytes = Some(CorruptionSpec::bit_flips(0.05));
+        assert_eq!(d.judge(0), LinkOutcome::Corrupted);
+        let orig = vec![0u8; 256];
+        let mut frame = orig.clone();
+        // Residual model: delivered (true), bytes damaged.
+        assert!(d.mutate_corrupted(&mut frame));
+        assert_ne!(frame, orig, "0.05 * 256 bytes should flip something");
+        assert!(d.frames_mutated > 0 && d.bits_flipped > 0);
+        // Without the spec, classic FCS-kill semantics.
+        let mut d2 = LinkDirection::new(6, 6);
+        let mut frame2 = orig.clone();
+        assert!(!d2.mutate_corrupted(&mut frame2));
+        assert_eq!(frame2, orig);
+    }
+
+    #[test]
+    fn corrupt_bytes_does_not_perturb_judge_draws() {
+        let run = |with_bytes: bool| {
+            let mut d = LinkDirection::new(7, 7);
+            d.faults.drop_prob = 0.1;
+            d.faults.corrupt_prob = 0.1;
+            if with_bytes {
+                d.faults.corrupt_bytes = Some(CorruptionSpec::bit_flips(0.5));
+            }
+            (0..1000)
+                .map(|t| {
+                    let o = d.judge(t);
+                    if o == LinkOutcome::Corrupted {
+                        d.mutate_corrupted(&mut vec![0u8; 64]);
+                    }
+                    o
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

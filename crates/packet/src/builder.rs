@@ -5,6 +5,7 @@
 //! extract flow information without callers touching raw offsets.
 
 use crate::cebp;
+use crate::checksum::crc32c;
 use crate::error::{ParseError, Result};
 use crate::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 use crate::event::EventRecord;
@@ -15,7 +16,7 @@ use crate::pfc::{PfcFrame, PFC_PAYLOAD_LEN};
 use crate::seqtag::{SeqTag, SEQTAG_LEN};
 use crate::tcp::{TcpSegment, TCP_HEADER_LEN};
 use crate::udp::{UdpDatagram, UDP_HEADER_LEN};
-use crate::MIN_FRAME_LEN;
+use crate::{CRC_TRAILER_LEN, MIN_FRAME_LEN};
 
 /// Build a complete Ethernet+IPv4+TCP/UDP frame for `flow` with `payload_len`
 /// bytes of application payload (zero-filled). `tcp_flags` applies to TCP
@@ -137,33 +138,63 @@ pub fn build_notification_frames_with(
     (0..copies.max(1))
         .map(|copy| {
             let payload = build_notification(lo, hi, copy, observer_port);
-            let mut buf = vec![0u8; (ETHERNET_HEADER_LEN + NOTIFICATION_LEN).max(MIN_FRAME_LEN)];
+            let wire = ETHERNET_HEADER_LEN + NOTIFICATION_LEN + CRC_TRAILER_LEN;
+            let mut buf = vec![0u8; wire.max(MIN_FRAME_LEN)];
             let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
             eth.set_dst(MacAddr::BROADCAST);
             eth.set_src(MacAddr::BROADCAST);
             eth.set_ethertype(EtherType::NetSeerNotify);
             buf[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + NOTIFICATION_LEN]
                 .copy_from_slice(&payload);
+            let crc = crc32c(&payload);
+            buf[ETHERNET_HEADER_LEN + NOTIFICATION_LEN..wire].copy_from_slice(&crc.to_be_bytes());
             buf
         })
         .collect()
 }
 
-/// Build a CEBP frame carrying the given events.
+/// Build a CEBP frame carrying the given events, closed by a CRC-32C
+/// trailer over the CEBP header + records.
 pub fn build_cebp_frame(capacity: u16, events: &[EventRecord]) -> Result<Vec<u8>> {
     let payload = cebp::buffer_len_for(capacity);
-    let mut buf = vec![0u8; ETHERNET_HEADER_LEN + payload];
+    let mut buf = vec![0u8; ETHERNET_HEADER_LEN + payload + CRC_TRAILER_LEN];
     let mut eth = EthernetFrame::new_unchecked(&mut buf[..]);
     eth.set_dst(MacAddr::BROADCAST);
     eth.set_src(MacAddr::BROADCAST);
     eth.set_ethertype(EtherType::NetSeerCebp);
-    let mut p =
-        cebp::CebpPacket::new_checked(&mut buf[ETHERNET_HEADER_LEN..]).expect("sized buffer");
+    let mut p = cebp::CebpPacket::new_checked(&mut buf[ETHERNET_HEADER_LEN..][..payload])
+        .expect("sized buffer");
     p.init(capacity);
     for ev in events {
         p.push_event(ev)?;
     }
+    let crc = crc32c(&buf[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + payload]);
+    buf[ETHERNET_HEADER_LEN + payload..].copy_from_slice(&crc.to_be_bytes());
     Ok(buf)
+}
+
+/// Parse and integrity-check a CEBP report frame: EtherType, CRC-32C
+/// trailer, then the batched event records. Returns `BadChecksum` on any
+/// trailer mismatch — callers treat that as a poison report to quarantine.
+pub fn parse_cebp_frame(frame: &[u8]) -> Result<Vec<EventRecord>> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    if eth.ethertype() != EtherType::NetSeerCebp {
+        return Err(ParseError::Malformed { what: "cebp.ethertype" });
+    }
+    let payload = eth.payload();
+    if payload.len() < cebp::CEBP_HEADER_LEN + CRC_TRAILER_LEN {
+        return Err(ParseError::Truncated {
+            what: "cebp.trailer",
+            need: cebp::CEBP_HEADER_LEN + CRC_TRAILER_LEN,
+            have: payload.len(),
+        });
+    }
+    let (body, trailer) = payload.split_at(payload.len() - CRC_TRAILER_LEN);
+    let want = u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    if crc32c(body) != want {
+        return Err(ParseError::BadChecksum { what: "cebp.crc32c" });
+    }
+    cebp::CebpPacket::new_checked(body)?.events()
 }
 
 /// Insert a NetSeer sequence tag into a frame (paper Figure 5 step 1),
@@ -334,6 +365,22 @@ pub fn parse_notification(frame: &[u8]) -> Result<(u32, u32, u8, u8)> {
         }
         _ => return Err(ParseError::Malformed { what: "notification.ethertype" }),
     };
+    if payload.len() < NOTIFICATION_LEN + CRC_TRAILER_LEN {
+        return Err(ParseError::Truncated {
+            what: "notification.trailer",
+            need: NOTIFICATION_LEN + CRC_TRAILER_LEN,
+            have: payload.len(),
+        });
+    }
+    let want = u32::from_be_bytes([
+        payload[NOTIFICATION_LEN],
+        payload[NOTIFICATION_LEN + 1],
+        payload[NOTIFICATION_LEN + 2],
+        payload[NOTIFICATION_LEN + 3],
+    ]);
+    if crc32c(&payload[..NOTIFICATION_LEN]) != want {
+        return Err(ParseError::BadChecksum { what: "notification.crc32c" });
+    }
     let n = LossNotification::new_checked(payload)?;
     Ok((n.seq_lo(), n.seq_hi(), n.copy_index(), n.observer_port()))
 }
@@ -463,6 +510,43 @@ mod tests {
         let p = cebp::CebpPacket::new_checked(&frame[ETHERNET_HEADER_LEN..]).unwrap();
         assert_eq!(p.count(), 1);
         assert_eq!(p.events().unwrap()[0], ev);
+        assert_eq!(parse_cebp_frame(&frame).unwrap(), vec![ev]);
+    }
+
+    #[test]
+    fn cebp_crc_rejects_any_single_bit_flip() {
+        let ev = EventRecord {
+            ty: crate::event::EventType::Pause,
+            flow: flow(),
+            detail: crate::event::EventDetail::Pause { egress_port: 1, queue: 2 },
+            counter: 1,
+            hash: 42,
+        };
+        let frame = build_cebp_frame(10, &[ev]).unwrap();
+        // Flip one bit in every CRC-covered byte position in turn.
+        for i in ETHERNET_HEADER_LEN..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                matches!(parse_cebp_frame(&bad), Err(ParseError::BadChecksum { .. })),
+                "flip at byte {i} was not caught"
+            );
+        }
+        // Truncation is caught too (as truncation or checksum failure).
+        assert!(parse_cebp_frame(&frame[..frame.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn notification_crc_rejects_payload_corruption() {
+        let frames = build_notification_frames(10, 20, 5);
+        for i in ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + NOTIFICATION_LEN + 4 {
+            let mut bad = frames[0].clone();
+            bad[i] ^= 0x01;
+            assert!(
+                matches!(parse_notification(&bad), Err(ParseError::BadChecksum { .. })),
+                "flip at byte {i} was not caught"
+            );
+        }
     }
 
     #[test]

@@ -199,7 +199,9 @@ mod tests {
 
     #[test]
     fn recommended_batch_fits_jumbo_free_mtu() {
-        // 50 events * 24B + 4B header + 14B eth = 1218 bytes < 1518.
-        assert!(buffer_len_for(RECOMMENDED_BATCH) + 14 <= crate::MAX_FRAME_LEN);
+        // 50 events * 24B + 4B header + 14B eth + 4B CRC trailer = 1222 < 1518.
+        assert!(
+            buffer_len_for(RECOMMENDED_BATCH) + 14 + crate::CRC_TRAILER_LEN <= crate::MAX_FRAME_LEN
+        );
     }
 }

@@ -77,6 +77,24 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
+/// CRC-32C (Castagnoli) over a buffer, as used by the NetSeer telemetry
+/// framing trailers (CEBP reports, loss notifications, WAL records).
+///
+/// Implemented bitwise with the reflected polynomial 0x82F63B78 — the same
+/// polynomial iSCSI and modern NICs/switch ASICs compute in hardware, which
+/// is why the telemetry plane standardises on it rather than the FCS CRC-32.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0x82f6_3b78 & mask);
+        }
+    }
+    !crc
+}
+
 /// CRC-16/CCITT used as the second independent PDP hash unit.
 pub fn crc16(data: &[u8]) -> u16 {
     let mut crc: u16 = 0xffff;
@@ -134,6 +152,28 @@ mod tests {
         let orig = crc32(&buf);
         buf[3] ^= 0x04;
         assert_ne!(orig, crc32(&buf));
+    }
+
+    #[test]
+    fn crc32c_known_vector() {
+        // CRC-32C (Castagnoli) of the canonical check string.
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+    }
+
+    #[test]
+    fn crc32c_differs_from_ieee() {
+        assert_ne!(crc32c(b"123456789"), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn crc32c_detects_bit_flips_and_truncation() {
+        let mut buf = b"cebp trailer coverage".to_vec();
+        let orig = crc32c(&buf);
+        buf[7] ^= 0x80;
+        assert_ne!(orig, crc32c(&buf));
+        buf[7] ^= 0x80;
+        buf.pop();
+        assert_ne!(orig, crc32c(&buf));
     }
 
     #[test]

@@ -47,3 +47,9 @@ pub const MIN_FRAME_LEN: usize = 64;
 
 /// Maximum standard (non-jumbo) Ethernet frame length.
 pub const MAX_FRAME_LEN: usize = 1518;
+
+/// Length of the CRC-32C integrity trailer appended to NetSeer telemetry
+/// framing (CEBP reports and loss notifications). The FCS protects the hop;
+/// this trailer protects the telemetry payload end-to-end, surviving
+/// store-and-forward rewrites that recompute the FCS over corrupted bytes.
+pub const CRC_TRAILER_LEN: usize = 4;

@@ -1,11 +1,13 @@
 //! Chaos drill: run NetSeer through a compound failure — bursty loss on
 //! the management network, a hard partition that heals, lost loss-
-//! notification copies, and a switch-CPU overload window — all from one
-//! seeded [`FaultPlan`], and audit the delivery ledger afterwards.
+//! notification copies, a switch-CPU overload window, and byte corruption
+//! on the reporting path — all from one seeded [`FaultPlan`], and audit
+//! the delivery ledger afterwards.
 //!
 //! The contract under test: every generated event is delivered, shed at a
-//! named choke point, or still pending. Nothing disappears silently, and
-//! the same seed reproduces the same run bit-for-bit.
+//! named choke point, still pending, or counted as corrupted-beyond-
+//! retransmit. Nothing disappears silently, and the same seed reproduces
+//! the same run bit-for-bit.
 //!
 //! Run with: `cargo run --release --example chaos_drill`
 
@@ -17,7 +19,9 @@ use netseer_repro::fet_netsim::Simulator;
 use netseer_repro::fet_packet::FlowKey;
 use netseer_repro::netseer::deploy::{deploy, monitor_of, DeployOptions};
 use netseer_repro::netseer::faults::OverloadWindow;
-use netseer_repro::netseer::{DeliveryLedger, FaultPlan, LossProcess, NetSeerConfig, Window};
+use netseer_repro::netseer::{
+    CorruptionSpec, DeliveryLedger, FaultPlan, LossProcess, NetSeerConfig, Window,
+};
 
 fn run(seed: u64) -> DeliveryLedger {
     let faults = FaultPlan {
@@ -39,6 +43,10 @@ fn run(seed: u64) -> DeliveryLedger {
             window: Window { start_ns: 3 * MILLIS, end_ns: 8 * MILLIS },
             factor: 5_000.0,
         }],
+        // Every CEBP report and loss notification takes byte damage at
+        // 1e-3/byte; CRC trailers catch it and the transport retries.
+        cebp_corruption: CorruptionSpec::bit_flips(1e-3),
+        notification_corruption: CorruptionSpec::bit_flips(1e-3),
         ..FaultPlan::default()
     };
     let cfg = NetSeerConfig {
@@ -81,6 +89,8 @@ fn run(seed: u64) -> DeliveryLedger {
     let mut total = DeliveryLedger::default();
     let mut retransmissions = 0u64;
     let mut notif_dropped = 0u64;
+    let mut crc_failures = 0u64;
+    let mut notif_rejected = 0u64;
     let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
     for id in ids {
         let m = monitor_of(&sim, id);
@@ -94,8 +104,11 @@ fn run(seed: u64) -> DeliveryLedger {
         total.shed_false_positive += l.shed_false_positive;
         total.shed_transport += l.shed_transport;
         total.pending += l.pending;
+        total.corrupted += l.corrupted;
         retransmissions += m.transport.retransmissions;
         notif_dropped += m.notification_copies_dropped;
+        crc_failures += m.cebp_crc_failures;
+        notif_rejected += m.notifications_crc_rejected;
     }
     println!("seed {seed:#x}:");
     println!("  events generated        {}", total.generated);
@@ -106,12 +119,19 @@ fn run(seed: u64) -> DeliveryLedger {
     println!("  shed (false positive)   {}", total.shed_false_positive);
     println!("  shed (transport)        {}", total.shed_transport);
     println!("  pending in pipeline     {}", total.pending);
+    println!("  corrupted past retries  {}", total.corrupted);
     println!("  transport retransmits   {retransmissions}");
     println!("  notification copies eaten {notif_dropped}");
+    println!("  CEBP CRC failures (implicit NACKs) {crc_failures}");
+    println!("  notification copies CRC-rejected   {notif_rejected}");
     println!(
-        "  => balance: {} generated == {} accounted (silently lost: {})",
+        "  => identity: {} generated == {} delivered + {} shed + {} pending \
+         + {} corrupted (silently lost: {})",
         total.generated,
-        total.delivered + total.shed_total() + total.pending,
+        total.delivered,
+        total.shed_total(),
+        total.pending,
+        total.corrupted,
         total.missing()
     );
     total

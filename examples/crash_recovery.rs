@@ -4,10 +4,11 @@
 //! What this exercises:
 //!
 //! * each switch CPU checkpoints its monitor state and WAL-logs the pending
-//!   event queue; a hard kill loses at most the un-fsynced WAL tail, and
-//!   the loss is *accounted* (`lost_to_crash`), never silent;
+//!   event queue; a hard kill *tears* the un-fsynced WAL tail (bit flips +
+//!   truncation mid-flush), per-record CRCs keep the longest valid record
+//!   prefix, and the loss is *accounted* (`lost_to_crash`), never silent;
 //! * the extended ledger identity holds fleet-wide across the restarts:
-//!   `generated == delivered + shed + pending + lost_to_crash`;
+//!   `generated == delivered + shed + pending + lost_to_crash + corrupted`;
 //! * the collector reverts to its last checkpoint on a hard kill; the
 //!   reconnect handshake retransmits the uncovered suffix and the
 //!   `(device, epoch, seq)` gates dedup the rest — exactly-once end to end;
@@ -25,8 +26,8 @@ use netseer_repro::fet_packet::FlowKey;
 use netseer_repro::netseer::deploy::{deploy, monitor_of, DeployOptions};
 use netseer_repro::netseer::faults::seeded_device_crashes;
 use netseer_repro::netseer::{
-    run_collector_crash_drill, schedule_device_crashes, Collector, CollectorCrash, CrashKind,
-    CrashReport, DeliveryLedger, FaultPlan, NetSeerConfig, StoredEvent, Window,
+    run_collector_crash_drill, schedule_device_crashes, Collector, CollectorCrash, CorruptionSpec,
+    CrashKind, CrashReport, DeliveryLedger, FaultPlan, NetSeerConfig, StoredEvent, Window,
 };
 
 struct Outcome {
@@ -36,10 +37,17 @@ struct Outcome {
     stored: usize,
     delivered_history: usize,
     duplicates_rejected: u64,
+    wal_rejected: u64,
 }
 
 fn run(seed: u64) -> Outcome {
-    let faults = FaultPlan { seed, ..FaultPlan::default() };
+    let faults = FaultPlan {
+        seed,
+        // A hard kill lands mid-flush: the un-fsynced WAL tail takes bit
+        // flips and truncation, and replay keeps the CRC-valid prefix.
+        torn_wal: CorruptionSpec { flip_per_byte: 0.05, truncate_prob: 0.5, duplicate_prob: 0.0 },
+        ..FaultPlan::default()
+    };
     let cfg = NetSeerConfig {
         faults,
         // A tight checkpoint cadence keeps the hard-kill exposure window
@@ -90,9 +98,11 @@ fn run(seed: u64) -> Outcome {
     // Fleet ledger: every device must balance on its own, crash loss
     // included, before the totals mean anything.
     let mut ledger = DeliveryLedger::default();
+    let mut wal_rejected = 0u64;
     let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
     for &id in &ids {
-        let l = monitor_of(&sim, id).ledger();
+        let m = monitor_of(&sim, id);
+        let l = m.ledger();
         l.assert_balanced();
         ledger.generated += l.generated;
         ledger.delivered += l.delivered;
@@ -103,6 +113,8 @@ fn run(seed: u64) -> Outcome {
         ledger.shed_transport += l.shed_transport;
         ledger.pending += l.pending;
         ledger.lost_to_crash += l.lost_to_crash;
+        ledger.corrupted += l.corrupted;
+        wal_rejected += m.recovery.wal_records_rejected;
     }
 
     // Collector drill: checkpoint at the median delivery, hard-kill after
@@ -131,6 +143,7 @@ fn run(seed: u64) -> Outcome {
         stored: collector.len(),
         delivered_history: deliveries.len(),
         duplicates_rejected: collector.duplicates_rejected(),
+        wal_rejected,
     }
 }
 
@@ -138,12 +151,14 @@ fn main() {
     let seed = 0x5EED_CAFE;
     let a = run(seed);
 
-    println!("seed {seed:#x}: {} switch-CPU hard kills", a.reports.len());
+    println!("seed {seed:#x}: {} switch-CPU hard kills (torn WAL tails)", a.reports.len());
     println!("  events generated        {}", a.ledger.generated);
     println!("  delivered to backend    {}", a.ledger.delivered);
     println!("  shed at choke points    {}", a.ledger.shed_total());
     println!("  pending in pipeline     {}", a.ledger.pending);
     println!("  lost to hard kills      {}", a.ledger.lost_to_crash);
+    println!("  corrupted past retries  {}", a.ledger.corrupted);
+    println!("  WAL records torn away   {}", a.wal_rejected);
     for r in &a.reports {
         println!(
             "  device {:>2}: killed {:>8} ns, replayed {:>3}, lost {:>3}, epoch {}",
@@ -154,6 +169,17 @@ fn main() {
         "  collector: {} reverted by the hard kill, {} duplicates rejected, \
          {} of {} events stored",
         a.reverted, a.duplicates_rejected, a.stored, a.delivered_history
+    );
+    println!(
+        "  => identity: {} generated == {} delivered + {} shed + {} pending \
+         + {} lost-to-crash + {} corrupted (silently lost: {})",
+        a.ledger.generated,
+        a.ledger.delivered,
+        a.ledger.shed_total(),
+        a.ledger.pending,
+        a.ledger.lost_to_crash,
+        a.ledger.corrupted,
+        a.ledger.missing()
     );
 
     // The recovery contract, asserted.

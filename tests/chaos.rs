@@ -22,8 +22,8 @@ use fet_packet::FlowKey;
 use netseer::deploy::{collect_events, delivered_history, deploy, monitor_of, DeployOptions};
 use netseer::faults::{seeded_device_crashes, OverloadWindow};
 use netseer::{
-    schedule_device_crashes, Collector, CrashKind, DeliveryLedger, FaultPlan, LossProcess,
-    NetSeerConfig, Window,
+    schedule_device_crashes, schedule_watchdog, schedule_wedge, Collector, CorruptionSpec,
+    CrashKind, DeliveryLedger, FaultPlan, LossProcess, NetSeerConfig, WatchdogConfig, Window,
 };
 
 /// Seed diversification for the CI matrix: when `CHAOS_SEED` is set, every
@@ -89,6 +89,7 @@ fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
         total.shed_transport += l.shed_transport;
         total.pending += l.pending;
         total.lost_to_crash += l.lost_to_crash;
+        total.corrupted += l.corrupted;
     }
     total
 }
@@ -471,6 +472,166 @@ fn analytics_engine_survives_collector_hard_kill() {
     );
     assert_eq!(engine.totals(), reference.totals(), "window totals must converge");
     assert!(collector.duplicates_rejected() > 0, "reconciliation must have deduped");
+}
+
+/// Scenario 11 — a bit-flip storm: one pod's uplinks deliver damaged
+/// frames *past* the FCS (the residual-corruption model) while every
+/// monitor's CEBP reports and loss notifications take byte damage at
+/// 1e-3/byte. Nothing may panic; CRC trailers catch what the FCS missed;
+/// the implicit-NACK retransmit loop keeps delivery flowing; and the
+/// extended ledger identity (with the `corrupted` term) balances.
+#[test]
+fn bit_flip_storm_is_detected_and_accounted() {
+    let faults = FaultPlan {
+        seed: seed(0xB17F),
+        cebp_corruption: CorruptionSpec::bit_flips(1e-3),
+        notification_corruption: CorruptionSpec::bit_flips(1e-3),
+        ..FaultPlan::default()
+    };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    // The storm: both uplinks of pod 0's first ToR corrupt 5% of frames,
+    // and the damage escapes the FCS, so downstream parsers face garbage.
+    let tor = ft.edges[0][0];
+    for port in 0..2 {
+        let dir = sim.link_direction_mut(tor, port).unwrap();
+        dir.faults.corrupt_prob = 0.05;
+        dir.faults.corrupt_bytes = Some(CorruptionSpec::bit_flips(1e-3));
+    }
+    sim.run_until(30 * MILLIS);
+
+    let mutated: u64 = (0..2).map(|p| sim.link_direction_mut(tor, p).unwrap().frames_mutated).sum();
+    assert!(mutated > 0, "the storm must actually damage delivered frames");
+    let crc_failures: u64 =
+        sim.switch_ids().into_iter().map(|id| monitor_of(&sim, id).cebp_crc_failures).sum();
+    assert!(crc_failures > 0, "CEBP CRC trailers must catch damage (implicit NACKs)");
+    let ledger = fleet_ledger(&sim);
+    assert!(ledger.generated > 0 && ledger.delivered > 0, "delivery must survive the storm");
+    assert_eq!(ledger.missing(), 0, "corruption must be counted, never silent: {ledger:?}");
+}
+
+/// Scenario 12 — torn WAL writes: every switch CPU is hard-killed once
+/// while its un-fsynced WAL tail is damaged mid-flush (bit flips +
+/// truncation). Replay keeps each log's longest CRC-valid record prefix,
+/// the loss accounting stays exact, and the collector + analytics side
+/// converges to a crash-free reference over the same delivered history.
+#[test]
+fn torn_wal_restart_converges_to_reference() {
+    use fet_analytics::{link_map_from_sim, AnalyticsConfig, AnalyticsEngine};
+
+    let faults = FaultPlan {
+        seed: seed(0x7047),
+        torn_wal: CorruptionSpec { flip_per_byte: 0.25, truncate_prob: 0.5, duplicate_prob: 0.0 },
+        ..FaultPlan::default()
+    };
+    let cfg = NetSeerConfig { faults, checkpoint_interval_ns: MILLIS, ..NetSeerConfig::default() };
+    let (mut sim, ft) = setup(cfg);
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    let crashes = crash_schedule(seed(0x7047), &sim, CrashKind::Hard);
+    let n_switches = crashes.len();
+    let log = schedule_device_crashes(&mut sim, &crashes);
+    sim.run_until(30 * MILLIS);
+
+    assert_eq!(log.len(), n_switches, "every switch CPU must restart exactly once");
+    let ledger = fleet_ledger(&sim);
+    assert!(ledger.generated > 0 && ledger.delivered > 0);
+    assert_eq!(ledger.lost_to_crash, log.total_lost());
+    assert_eq!(ledger.missing(), 0, "torn tails must be counted, never silent");
+    for r in log.reports() {
+        assert_eq!(r.replayed + r.lost, r.pending_at_kill, "{r:?}");
+    }
+
+    // The analytics side must not care that the fleet's WALs tore: over
+    // the same delivered history, a collector+engine that hard-crashes
+    // mid-ingest and reconciles converges bit-for-bit to a crash-free one.
+    let deliveries = delivered_history(&sim);
+    assert!(!deliveries.is_empty());
+    let links = link_map_from_sim(&sim);
+    let mut ref_collector = Collector::new();
+    let mut reference = AnalyticsEngine::new(AnalyticsConfig::default(), links.clone());
+    reference.attach(&mut ref_collector);
+    ref_collector.ingest(&deliveries);
+    reference.poll(&mut ref_collector);
+
+    let mut collector = Collector::new();
+    let mut engine = AnalyticsEngine::new(AnalyticsConfig::default(), links);
+    engine.attach(&mut collector);
+    let half = deliveries.len() / 2;
+    collector.ingest(&deliveries[..half]);
+    engine.poll(&mut collector);
+    engine.checkpoint(&mut collector);
+    collector.ingest(&deliveries[half..]);
+    engine.poll(&mut collector);
+    engine.crash_restart(CrashKind::Hard, &mut collector);
+    collector.ingest(&deliveries);
+    engine.poll(&mut collector);
+    assert_eq!(engine.ledger(), reference.ledger(), "must converge to the crash-free reference");
+    assert_eq!(engine.totals(), reference.totals());
+}
+
+/// Scenario 13 — a wedged switch CPU: the control loop hangs (heartbeat
+/// frozen, batches shedding, no checkpoints) without dying. The watchdog
+/// declares it suspect after two silent checks, hard-kills it, and
+/// restarts it through the normal recovery path; healthy monitors are
+/// never touched, the ledger balances, and the collector converges to a
+/// crash-free reference over the delivered history.
+#[test]
+fn watchdog_restarts_wedged_monitor() {
+    let faults = FaultPlan { seed: seed(0xD06), ..FaultPlan::default() };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    let switches = sim.switch_ids();
+    // Two victims wedge mid-run, off the watchdog's check cadence.
+    let victims = [switches[0], switches[switches.len() / 2]];
+    for (i, &v) in victims.iter().enumerate() {
+        schedule_wedge(&mut sim, v, 3 * MILLIS + 100 * MICROS * (i as u64 + 1));
+    }
+    let wd_cfg = WatchdogConfig {
+        check_interval_ns: 500 * MICROS,
+        missed_beats: 2,
+        restart_delay_ns: 200 * MICROS,
+    };
+    let log = schedule_watchdog(&mut sim, &switches, wd_cfg, 30 * MILLIS);
+    sim.run_until(30 * MILLIS);
+
+    let incidents = log.incidents();
+    assert_eq!(incidents.len(), 2, "exactly the wedged monitors are suspect: {incidents:?}");
+    let mut suspects: Vec<u32> = incidents.iter().map(|i| i.device).collect();
+    suspects.sort_unstable();
+    let mut expect = victims.to_vec();
+    expect.sort_unstable();
+    assert_eq!(suspects, expect, "no healthy monitor may be declared suspect");
+    let restarts = log.restarts();
+    assert_eq!(restarts.len(), 2, "every suspect must be restarted");
+    assert!(restarts.iter().all(|r| r.kind == CrashKind::Hard && r.epoch >= 1));
+    for &v in &victims {
+        let m = monitor_of(&sim, v);
+        assert!(!m.is_wedged(), "the restart must un-wedge");
+        assert!(m.heartbeat > 0);
+    }
+    let ledger = fleet_ledger(&sim);
+    assert!(ledger.generated > 0 && ledger.delivered > 0);
+    assert_eq!(ledger.missing(), 0, "supervision must keep accounting exact: {ledger:?}");
+
+    // Convergence: the collector over this run's delivered history, with a
+    // mid-stream hard kill + reconciliation, equals a crash-free one.
+    let deliveries = delivered_history(&sim);
+    assert!(!deliveries.is_empty());
+    let mut reference = Collector::new();
+    reference.ingest(&deliveries);
+    let mut collector = Collector::new();
+    let half = deliveries.len() / 2;
+    collector.ingest(&deliveries[..half]);
+    collector.checkpoint();
+    collector.ingest(&deliveries[half..]);
+    collector.crash_restart(CrashKind::Hard);
+    collector.ingest(&deliveries);
+    assert_eq!(collector.len(), reference.len(), "exactly-once after the wedge incident");
+    assert_eq!(
+        collector.store().events(),
+        reference.store().events(),
+        "the store must converge bit-for-bit to the crash-free reference"
+    );
 }
 
 /// The reproducibility contract extended to crash-recovery: the same seed

@@ -22,8 +22,9 @@ use fet_packet::FlowKey;
 use netseer::deploy::{delivered_history, deploy, monitor_of, DeployOptions};
 use netseer::faults::{seeded_device_crashes, OverloadWindow};
 use netseer::{
-    schedule_device_crashes, CrashKind, CrashReport, DeliveryLedger, FaultPlan, LossProcess,
-    NetSeerConfig, StoredEvent, Window,
+    schedule_device_crashes, schedule_watchdog, schedule_wedge, CorruptionSpec, CrashKind,
+    CrashReport, DeliveryLedger, FaultPlan, LossProcess, NetSeerConfig, StoredEvent,
+    WatchdogConfig, Window,
 };
 
 /// Same CI-matrix seed mixing as `tests/chaos.rs`.
@@ -54,6 +55,10 @@ struct Fingerprint {
     notification_drops: u64,
     crash_reports: Vec<CrashReport>,
     host_rx_pkts: u64,
+    /// Data-integrity observables: CEBP CRC failures (implicit NACKs) and
+    /// WAL records rejected by torn-tail replay, fleet-wide.
+    crc_failures: u64,
+    wal_rejected: u64,
     analytics: AnalyticsState,
 }
 
@@ -113,6 +118,7 @@ fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
         total.shed_transport += l.shed_transport;
         total.pending += l.pending;
         total.lost_to_crash += l.lost_to_crash;
+        total.corrupted += l.corrupted;
     }
     total
 }
@@ -171,6 +177,11 @@ fn run_scenario(
             .map(|&id| monitor_of(&sim, id).notification_copies_dropped)
             .sum(),
         crash_reports: log.map(|l| l.reports()).unwrap_or_default(),
+        crc_failures: ids.iter().map(|&id| monitor_of(&sim, id).cebp_crc_failures).sum(),
+        wal_rejected: ids
+            .iter()
+            .map(|&id| monitor_of(&sim, id).recovery.wal_records_rejected)
+            .sum(),
         host_rx_pkts: sim
             .host_ids()
             .into_iter()
@@ -382,4 +393,76 @@ fn det_10_crashes_with_midrun_control() {
             });
         },
     );
+}
+
+/// Scenario 11 — the bit-flip corruption storm: residual link corruption
+/// plus CEBP/notification byte damage. Corruption draws ride per-object
+/// RNG streams, so retransmit cascades and quarantine decisions must land
+/// identically at every shard count (the `crc_failures` fingerprint field
+/// pins this directly).
+#[test]
+fn det_11_corruption_storm() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0xB17F),
+            cebp_corruption: CorruptionSpec::bit_flips(1e-3),
+            notification_corruption: CorruptionSpec::bit_flips(1e-3),
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("corruption-storm", cfg, None, |sim, ft| {
+        drive_lossy_fabric(sim, ft, 0.02);
+        let tor = ft.edges[0][0];
+        for port in 0..2 {
+            let dir = sim.link_direction_mut(tor, port).unwrap();
+            dir.faults.corrupt_prob = 0.05;
+            dir.faults.corrupt_bytes = Some(CorruptionSpec::bit_flips(1e-3));
+        }
+    });
+}
+
+/// Scenario 12 — torn WAL tails under hard kills: the surviving record
+/// prefix (and therefore per-restart loss, replay, and the `corrupted`
+/// ledger term) must be bit-identical across shard counts.
+#[test]
+fn det_12_torn_wal_hard_kills() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0x7047),
+            torn_wal: CorruptionSpec {
+                flip_per_byte: 0.25,
+                truncate_prob: 0.5,
+                duplicate_prob: 0.0,
+            },
+            ..FaultPlan::default()
+        },
+        checkpoint_interval_ns: MILLIS,
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("torn-wal", cfg, Some((seed(0x7047), CrashKind::Hard)), |sim, ft| {
+        drive_lossy_fabric(sim, ft, 0.02)
+    });
+}
+
+/// Scenario 13 — watchdog supervision of wedged monitors: checks are
+/// controls and the restart is a dynamically-scheduled control, both of
+/// which the parallel executor must place identically.
+#[test]
+fn det_13_watchdog_restarts() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan { seed: seed(0xD06), ..FaultPlan::default() },
+        ..NetSeerConfig::default()
+    };
+    assert_deterministic("watchdog", cfg, None, |sim, ft| {
+        drive_lossy_fabric(sim, ft, 0.02);
+        let switches = sim.switch_ids();
+        let victims = [switches[0], switches[switches.len() / 2]];
+        for (i, &v) in victims.iter().enumerate() {
+            schedule_wedge(sim, v, 3 * MILLIS + 100 * MICROS * (i as u64 + 1));
+        }
+        // The log is observable through the fingerprint (epochs, ledgers,
+        // delivered history all shift if supervision diverges).
+        let _ = schedule_watchdog(sim, &switches, WatchdogConfig::default(), HORIZON);
+    });
 }
