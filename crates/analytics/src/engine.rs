@@ -149,13 +149,24 @@ impl AnalyticsEngine {
     /// sees a duplicate — except after a coordinated hard-kill revert,
     /// where the rewound cursor replays exactly the suffix the engine's
     /// own state revert forgot.
+    ///
+    /// Draining is what relieves collector memory pressure, so each poll
+    /// alternates drain with [`Collector::pump_spill`] until neither
+    /// makes progress: spilled events are applied as the in-memory
+    /// backlog shrinks below the watermark, without ever overshooting it.
     pub fn poll(&mut self, collector: &mut Collector) -> u64 {
         let id = self.subscription.expect("attach before poll");
-        let drained = collector.drain_ordered(id);
-        for e in &drained {
-            self.process(e);
+        let mut total = 0u64;
+        loop {
+            let drained = collector.drain_ordered(id);
+            for e in &drained {
+                self.process(e);
+            }
+            total += drained.len() as u64;
+            if collector.pump_spill() == 0 && drained.is_empty() {
+                return total;
+            }
         }
-        drained.len() as u64
     }
 
     /// Absorb one delivered event.

@@ -92,7 +92,9 @@ fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
         total.shed_false_positive += l.shed_false_positive;
         total.shed_transport += l.shed_transport;
         total.pending += l.pending;
+        total.buffered += l.buffered;
         total.lost_to_crash += l.lost_to_crash;
+        total.corrupted += l.corrupted;
     }
     total
 }

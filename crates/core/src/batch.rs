@@ -70,6 +70,15 @@ pub struct CebpBatcher {
     open: Vec<EventRecord>,
     /// When the circulating CEBP next visits the stack.
     next_visit_ns: u64,
+    /// Backpressure: only every `flush_stride`-th [`flush`](Self::flush)
+    /// call forces a partial batch out; the rest are skipped (counted).
+    /// Stride 1 (the default) flushes every call — the pre-backpressure
+    /// behavior, bit for bit.
+    flush_stride: u32,
+    /// Flush calls offered (skipped ones included).
+    pub flush_calls: u64,
+    /// Flush calls skipped by the widening stride.
+    pub flushes_skipped: u64,
     /// Events pushed successfully.
     pub accepted: u64,
     /// Events shed because the stack was full (capacity limit). Shedding
@@ -97,6 +106,9 @@ impl CebpBatcher {
             stalls: cfg.faults.cebp_stalls.clone(),
             open: Vec::new(),
             next_visit_ns: 0,
+            flush_stride: 1,
+            flush_calls: 0,
+            flushes_skipped: 0,
             accepted: 0,
             dropped: 0,
             shed_by_type: HashMap::new(),
@@ -193,9 +205,30 @@ impl CebpBatcher {
         out
     }
 
+    /// Set the flush-widening stride (collector backpressure): only every
+    /// `stride`-th flush call forces a partial batch out. Clamped to ≥ 1;
+    /// natural full batches via [`poll`](Self::poll) are unaffected.
+    pub fn set_flush_stride(&mut self, stride: u32) {
+        self.flush_stride = stride.max(1);
+    }
+
+    /// The current flush-widening stride.
+    pub fn flush_stride(&self) -> u32 {
+        self.flush_stride
+    }
+
     /// Force a partial batch out (the control-plane timer prevents events
-    /// from aging in a half-full CEBP when traffic is light).
+    /// from aging in a half-full CEBP when traffic is light). Under
+    /// backpressure ([`set_flush_stride`](Self::set_flush_stride) > 1)
+    /// skipped calls return `None` without touching circulation: events
+    /// keep accumulating toward fuller batches instead of being forced
+    /// out every tick.
     pub fn flush(&mut self, now_ns: u64) -> Option<Batch> {
+        self.flush_calls += 1;
+        if !self.flush_calls.is_multiple_of(u64::from(self.flush_stride)) {
+            self.flushes_skipped += 1;
+            return None;
+        }
         let _ = self.poll(now_ns);
         if self.open.is_empty() && self.stack.is_empty() {
             return None;
@@ -304,6 +337,30 @@ mod tests {
         assert!(batch.ready_ns >= 10_000);
         assert_eq!(b.backlog(), 0);
         assert!(b.flush(20_000).is_none());
+    }
+
+    #[test]
+    fn flush_stride_widens_batch_intervals() {
+        let mut b = CebpBatcher::new(&cfg(50));
+        b.set_flush_stride(4);
+        let mut flushed = 0;
+        for tick in 1..=8u64 {
+            b.push(tick * 1_000, ev(tick as u16));
+            if b.flush(tick * 1_000).is_some() {
+                flushed += 1;
+            }
+        }
+        // Only ticks 4 and 8 flush; skipped ticks leave events batching.
+        assert_eq!(flushed, 2);
+        assert_eq!(b.flush_calls, 8);
+        assert_eq!(b.flushes_skipped, 6);
+        // Stride 1 restores flush-every-call.
+        b.set_flush_stride(1);
+        b.push(9_000, ev(9));
+        assert!(b.flush(9_000).is_some());
+        // Stride 0 is clamped, never a division by zero.
+        b.set_flush_stride(0);
+        assert_eq!(b.flush_stride(), 1);
     }
 
     #[test]

@@ -123,6 +123,48 @@ pub struct NetSeerConfig {
     /// its pending set + detector heads and truncates/fsyncs the WAL, ns.
     /// Bounds `lost_to_crash` after a hard kill (see `netseer::recovery`).
     pub checkpoint_interval_ns: u64,
+    /// Poison CEBP frames a monitor holds for collector-side quarantine
+    /// before overflow frames are counted-but-dropped.
+    pub max_poison_held: usize,
+    /// Ceiling on the collector-driven batch-flush widening stride: under
+    /// backpressure the monitor forces partial batches out only every
+    /// `2^level` timer ticks, and this caps the stride so a runaway
+    /// backlog signal can never silence the reporting path entirely.
+    pub backpressure_max_widen: u32,
+}
+
+/// Configuration of the backend [`Collector`](crate::Collector): memory
+/// watermark, spill budget, and quarantine retention. The defaults
+/// reproduce the pre-spill collector exactly (unbounded memory admission,
+/// spill never engaged).
+#[derive(Debug, Clone, Copy)]
+pub struct CollectorConfig {
+    /// Quarantined poison frames retained at most this deep; overflow is
+    /// still counted in `poison_seen`.
+    pub max_quarantine: usize,
+    /// Byte budget of the disk spill buffer. Events are shed (counted,
+    /// refused) only once the spill is full — shedding is the last resort
+    /// behind bounded disk.
+    pub max_spill_bytes: u64,
+    /// Spill segment rotation threshold, bytes. Closing a segment fsyncs
+    /// it; smaller segments mean earlier durability and finer-grained
+    /// deletion-after-ack at the cost of more rotations.
+    pub spill_segment_bytes: u64,
+    /// Undrained in-memory backlog (stored events not yet drained by the
+    /// slowest subscriber) beyond which new deliveries go to the spill
+    /// instead of the store. `usize::MAX` disables spilling entirely.
+    pub memory_watermark: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            max_quarantine: 64,
+            max_spill_bytes: 64 << 20,
+            spill_segment_bytes: 1 << 20,
+            memory_watermark: usize::MAX,
+        }
+    }
 }
 
 impl Default for NetSeerConfig {
@@ -151,6 +193,8 @@ impl Default for NetSeerConfig {
             transport_max_retries: DEFAULT_MAX_RETRIES,
             cpu_max_backlog_ns: 10 * MILLIS,
             checkpoint_interval_ns: MILLIS,
+            max_poison_held: 16,
+            backpressure_max_widen: 8,
         }
     }
 }
@@ -206,6 +250,17 @@ mod tests {
         assert_eq!(c.capacity.mmu_redirect_gbps, 40.0);
         assert_eq!(c.capacity.pcie_2core_gbps, 18.0);
         assert!(c.hash_offload);
+    }
+
+    #[test]
+    fn collector_defaults_reproduce_pre_spill_behavior() {
+        let c = CollectorConfig::default();
+        // The old hard-coded caps are now the defaults.
+        assert_eq!(c.max_quarantine, 64);
+        assert_eq!(NetSeerConfig::default().max_poison_held, 16);
+        // Spilling is off by default: the watermark is never reached.
+        assert_eq!(c.memory_watermark, usize::MAX);
+        assert!(c.max_spill_bytes > 0 && c.spill_segment_bytes > 0);
     }
 
     #[test]

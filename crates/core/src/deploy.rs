@@ -135,6 +135,22 @@ pub fn monitor_of(sim: &Simulator, id: NodeId) -> &NetSeerMonitor {
     m.expect("monitor attached").as_any().downcast_ref::<NetSeerMonitor>().expect("NetSeer monitor")
 }
 
+/// Mutably borrow the NetSeer monitor on a node (panics if absent/not
+/// NetSeer). Control-plane pokes that reach a live monitor from outside
+/// the packet path go through here — e.g. relaying the collector's
+/// backpressure level, which a real deployment piggybacks on ACKs.
+pub fn monitor_of_mut(sim: &mut Simulator, id: NodeId) -> &mut NetSeerMonitor {
+    let m = match &mut sim.nodes[id as usize] {
+        Node::Switch(s) => s.monitor.as_mut(),
+        Node::Host(h) => h.monitor.as_mut(),
+        Node::Vacant => None,
+    };
+    m.expect("monitor attached")
+        .as_any_mut()
+        .downcast_mut::<NetSeerMonitor>()
+        .expect("NetSeer monitor")
+}
+
 /// Aggregate per-step stats across all switch monitors (for Figure 13).
 pub fn aggregate_stats(sim: &Simulator) -> crate::monitor::StepStats {
     let mut agg = crate::monitor::StepStats::default();

@@ -254,6 +254,9 @@ pub mod streams {
     pub const NOTIF_CORRUPT: u64 = 0x434e;
     /// Torn-WAL tail damage on hard crash (inside `RecoveryLog`).
     pub const WAL_CORRUPT: u64 = 0x4357;
+    /// Torn spill-segment tail damage on a collector hard kill (inside
+    /// `SpillStore`).
+    pub const SPILL_CORRUPT: u64 = 0x4350;
 }
 
 impl FaultPlan {
@@ -314,11 +317,12 @@ pub fn event_priority(ty: fet_packet::event::EventType) -> u8 {
 
 /// The end-to-end accounting snapshot for one monitor's reporting pipeline.
 ///
-/// Invariant: `generated == delivered + shed_total() + pending +
+/// Invariant: `generated == delivered + shed_total() + pending + buffered +
 /// lost_to_crash + corrupted`. The pipeline may legitimately hold events in
-/// flight (`pending`), shed them at a counted choke point, lose a bounded
-/// tail to a hard crash, or lose a batch to unrecoverable wire corruption —
-/// but it must never lose one silently.
+/// flight (`pending`), park them in the collector's durable spill buffer
+/// (`buffered`), shed them at a counted choke point, lose a bounded tail to
+/// a hard crash, or lose a batch to unrecoverable wire corruption — but it
+/// must never lose one silently.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeliveryLedger {
     /// Event records handed to the reporting path (post-dedup).
@@ -337,6 +341,12 @@ pub struct DeliveryLedger {
     pub shed_transport: u64,
     /// Events still in flight (batcher stack + open CEBP).
     pub pending: u64,
+    /// Events parked in the collector's durable spill buffer: delivered to
+    /// the backend host but not yet applied to the queryable store (the
+    /// collector was past its memory watermark and wrote them to disk
+    /// instead of shedding). They drain to `delivered` as the backlog
+    /// clears; see `netseer::spill`.
+    pub buffered: u64,
     /// Events lost to a hard kill: they were pending when the un-fsynced
     /// WAL tail vanished, so replay could not resurrect them. Bounded by
     /// the checkpoint/fsync window; 0 for clean stops.
@@ -360,12 +370,17 @@ impl DeliveryLedger {
 
     /// Everything a generated event is allowed to have become.
     fn accounted(&self) -> u64 {
-        self.delivered + self.shed_total() + self.pending + self.lost_to_crash + self.corrupted
+        self.delivered
+            + self.shed_total()
+            + self.pending
+            + self.buffered
+            + self.lost_to_crash
+            + self.corrupted
     }
 
     /// Does the exactly-once-or-counted invariant hold?
-    /// `generated == delivered + shed + pending + lost_to_crash +
-    /// corrupted`, across any number of crash/restart cycles.
+    /// `generated == delivered + shed + pending + buffered + lost_to_crash
+    /// + corrupted`, across any number of crash/restart cycles.
     pub fn balanced(&self) -> bool {
         self.generated == self.accounted()
     }
@@ -538,6 +553,22 @@ mod tests {
         assert_eq!(l.missing(), 0);
         let silent = DeliveryLedger { generated: 100, delivered: 94, ..Default::default() };
         assert_eq!(silent.missing(), 6, "without lost_to_crash the same run shows silent loss");
+    }
+
+    #[test]
+    fn ledger_counts_buffered_separately() {
+        let l = DeliveryLedger {
+            generated: 100,
+            delivered: 80,
+            pending: 5,
+            buffered: 15,
+            ..Default::default()
+        };
+        l.assert_balanced();
+        assert_eq!(l.missing(), 0);
+        let silent =
+            DeliveryLedger { generated: 100, delivered: 80, pending: 5, ..Default::default() };
+        assert_eq!(silent.missing(), 15, "spill-resident events must be accounted as buffered");
     }
 
     #[test]

@@ -77,12 +77,13 @@ pub mod extract;
 pub mod faults;
 pub mod monitor;
 pub mod recovery;
+pub mod spill;
 pub mod storage;
 pub mod tables;
 pub mod transport;
 pub mod watchdog;
 
-pub use config::NetSeerConfig;
+pub use config::{CollectorConfig, NetSeerConfig};
 pub use faults::{
     CollectorCrash, CorruptionGen, CorruptionSpec, CrashKind, DeliveryLedger, DeviceCrash,
     FaultPlan, LossProcess, Window,
@@ -92,5 +93,6 @@ pub use recovery::{
     run_collector_crash_drill, schedule_device_crashes, Collector, CrashLog, CrashReport,
     PoisonFrame,
 };
+pub use spill::SpillStore;
 pub use storage::{EventStore, Query, StoredEvent};
 pub use watchdog::{schedule_watchdog, schedule_wedge, Incident, WatchdogConfig, WatchdogLog};

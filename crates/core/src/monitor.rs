@@ -162,8 +162,9 @@ pub struct NetSeerMonitor {
     wedged: bool,
 }
 
-/// Poison CEBP frames a monitor holds for quarantine before the collector
-/// picks them up.
+/// Default poison-frame quarantine depth (now configurable via
+/// [`NetSeerConfig::max_poison_held`]; this constant documents the
+/// historical hard cap that the config default reproduces).
 pub const MAX_POISON_HELD: usize = 16;
 
 impl std::fmt::Debug for NetSeerMonitor {
@@ -281,6 +282,7 @@ impl NetSeerMonitor {
             shed_false_positive: self.cpu.fp_eliminated,
             shed_transport: self.transport_failed_events,
             pending: self.batcher.backlog() as u64,
+            buffered: 0,
             lost_to_crash: self.recovery.lost_to_crash,
             corrupted: self.corrupted_events,
         }
@@ -305,6 +307,20 @@ impl NetSeerMonitor {
     /// Hand the held poison frames to the collector, emptying the hold.
     pub fn take_poison(&mut self) -> Vec<PoisonFrame> {
         std::mem::take(&mut self.poison)
+    }
+
+    /// Record the collector's backpressure level (piggybacked on transport
+    /// ACKs in a real deployment). The next timer tick converts it into a
+    /// flush-widening stride of `2^level` ticks, capped by
+    /// [`NetSeerConfig::backpressure_max_widen`]. Level 0 restores
+    /// flush-every-tick.
+    pub fn set_backpressure(&mut self, level: u32) {
+        self.transport.rx_backpressure_hint = level;
+    }
+
+    /// The currently signalled collector backpressure level.
+    pub fn backpressure(&self) -> u32 {
+        self.transport.rx_backpressure_hint
     }
 
     fn tagger(&mut self, port: u8) -> &mut PortTagger {
@@ -486,7 +502,7 @@ impl NetSeerMonitor {
                             // for CPU-side inspection, never parse it into
                             // the store, and retransmit.
                             self.cebp_crc_failures += 1;
-                            if self.poison.len() < MAX_POISON_HELD {
+                            if self.poison.len() < self.cfg.max_poison_held {
                                 self.poison.push(PoisonFrame {
                                     device: self.device,
                                     quarantined_ns: delivery.delivered_ns,
@@ -599,6 +615,9 @@ impl NetSeerMonitor {
         batcher.shed_by_type = std::mem::take(&mut self.batcher.shed_by_type);
         batcher.delivered_batches = self.batcher.delivered_batches;
         batcher.delivered_events = self.batcher.delivered_events;
+        batcher.set_flush_stride(self.batcher.flush_stride());
+        batcher.flush_calls = self.batcher.flush_calls;
+        batcher.flushes_skipped = self.batcher.flushes_skipped;
         self.batcher = batcher;
 
         // CPU: fresh FP window and DMA engine, carried counters.
@@ -1017,6 +1036,13 @@ impl SwitchMonitor for NetSeerMonitor {
         // flush() polls internally and discards the ready batches it
         // finds, so they must go through deliver_batch first.
         self.pump(now_ns, out);
+        // Collector backpressure widens the flush interval: a pressured
+        // collector means partial batches wait 2^level ticks (bounded by
+        // config) so the fabric sends fewer, fuller CEBPs. Full batches
+        // still deliver through pump() above regardless of stride.
+        let level = self.transport.rx_backpressure_hint.min(31);
+        let stride = (1u32 << level).min(self.cfg.backpressure_max_widen.max(1));
+        self.batcher.set_flush_stride(stride);
         // Age out partial batches so light traffic still reports promptly.
         if let Some(batch) = self.batcher.flush(now_ns) {
             self.deliver_batch(batch, out);

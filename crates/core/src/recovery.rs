@@ -36,8 +36,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
+use crate::config::CollectorConfig;
 use crate::faults::{CollectorCrash, CorruptionGen, CrashKind, DeliveryLedger, DeviceCrash};
 use crate::monitor::NetSeerMonitor;
+use crate::spill::SpillStore;
 use crate::storage::{EventStore, StoredEvent};
 use crate::transport::{EpochReceiver, RxVerdict};
 use fet_netsim::engine::Simulator;
@@ -437,7 +439,8 @@ impl RecoveryLog {
     }
 }
 
-/// The backend collector with crash-consistent, exactly-once ingestion.
+/// The backend collector with crash-consistent, exactly-once ingestion
+/// and durable backpressure buffering.
 ///
 /// Every [`StoredEvent`] arrives stamped `(device, epoch, seq)`; a
 /// per-device [`EpochReceiver`] admits each key once, rejects same-epoch
@@ -446,14 +449,26 @@ impl RecoveryLog {
 /// *re-offering*: senders keep their delivered history, and a
 /// reconciliation pass re-ingests it — accepted exactly where the
 /// reverted store is missing events, deduped everywhere else.
-#[derive(Debug, Clone, Default)]
+///
+/// Under burst overload the admission order is **memory → spill → shed**:
+/// once the undrained in-memory backlog passes the configured watermark,
+/// deliveries divert verbatim into a bounded disk-backed [`SpillStore`]
+/// and only a full spill refuses (counted). Spilled events pass the
+/// epoch/seq gates when they are *applied* to the store
+/// ([`pump_spill`](Self::pump_spill)), never at spill-admission — so the
+/// gates always mirror the store exactly, the pair reverts together on a
+/// hard kill, and replaying the spill from the durable cursor re-admits
+/// each event exactly once.
+#[derive(Debug, Clone)]
 pub struct Collector {
+    cfg: CollectorConfig,
     store: EventStore,
     gates: HashMap<u32, EpochReceiver>,
     checkpoint: Option<CollectorCheckpoint>,
     subscribers: HashMap<u32, usize>,
     next_subscriber: u32,
     quarantine: Vec<PoisonFrame>,
+    spill: SpillStore,
     /// Crash/restart cycles survived.
     pub restarts: u64,
     /// Events rolled back by hard kills (recovered later by
@@ -462,6 +477,19 @@ pub struct Collector {
     /// Poison frames offered to quarantine, including any dropped after
     /// the retention bound was reached.
     pub poison_seen: u64,
+    /// Deliveries diverted to the spill (admitted to disk, not memory).
+    pub spilled: u64,
+    /// Deliveries refused because the spill byte budget was exhausted —
+    /// the shed-of-last-resort the spill exists to make rare.
+    pub overflow_refused: u64,
+    /// Events applied to the store from the spill.
+    pub spill_applied: u64,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::with_config(CollectorConfig::default())
+    }
 }
 
 /// A telemetry frame that failed its CRC trailer, quarantined verbatim for
@@ -490,17 +518,60 @@ struct CollectorCheckpoint {
 }
 
 impl Collector {
-    /// Empty collector.
+    /// Empty collector with the default configuration (spilling disabled:
+    /// the memory watermark is never reached).
     pub fn new() -> Self {
         Collector::default()
     }
 
-    /// Offer a slice of deliveries. Returns how many were accepted (the
-    /// rest were duplicates or stale-epoch retransmits — counted in the
-    /// per-device gates, never silently absorbed).
+    /// Empty collector with an explicit [`CollectorConfig`] (watermark,
+    /// spill budget, quarantine retention).
+    pub fn with_config(cfg: CollectorConfig) -> Self {
+        Collector {
+            spill: SpillStore::new(&cfg),
+            cfg,
+            store: EventStore::default(),
+            gates: HashMap::new(),
+            checkpoint: None,
+            subscribers: HashMap::new(),
+            next_subscriber: 0,
+            quarantine: Vec::new(),
+            restarts: 0,
+            reverted_by_crash: 0,
+            poison_seen: 0,
+            spilled: 0,
+            overflow_refused: 0,
+            spill_applied: 0,
+        }
+    }
+
+    /// The collector's configuration.
+    pub fn config(&self) -> &CollectorConfig {
+        &self.cfg
+    }
+
+    /// Offer a slice of deliveries. Returns how many were accepted into
+    /// the in-memory store (the rest were duplicates, stale-epoch
+    /// retransmits, diverted to the spill, or refused-and-counted when
+    /// the spill budget ran out — never silently absorbed).
+    ///
+    /// Admission order: while the spill holds undrained records OR the
+    /// undrained memory backlog is at the watermark, deliveries go to the
+    /// spill **verbatim and ungated** — FIFO order is preserved (an event
+    /// must not overtake the spilled events ahead of it) and the gates
+    /// stay exactly in sync with the store. Gating happens at apply time
+    /// in [`pump_spill`](Self::pump_spill).
     pub fn ingest(&mut self, events: &[StoredEvent]) -> u64 {
         let mut accepted = 0;
         for e in events {
+            if !self.spill.is_drained() || self.backlog() >= self.cfg.memory_watermark {
+                if self.spill.append(*e) {
+                    self.spilled += 1;
+                } else {
+                    self.overflow_refused += 1;
+                }
+                continue;
+            }
             if self.gates.entry(e.device).or_default().accept(e.epoch, e.seq) == RxVerdict::Accepted
             {
                 self.store.insert(*e);
@@ -510,22 +581,107 @@ impl Collector {
         accepted
     }
 
+    /// The undrained in-memory backlog: stored events the slowest
+    /// subscriber has not drained yet (0 with no subscribers — nothing is
+    /// waiting on anyone).
+    pub fn backlog(&self) -> usize {
+        let len = self.store.len();
+        let min_cursor = self.subscribers.values().copied().min().unwrap_or(len);
+        len - min_cursor.min(len)
+    }
+
+    /// Apply spilled events to the store while the backlog is below the
+    /// watermark: each drained record passes the per-device epoch/seq
+    /// gate (duplicate spill copies dedup here) and inserts exactly like
+    /// a live delivery. Returns how many events were applied. The durable
+    /// spill cursor does not advance until [`checkpoint`](Self::checkpoint).
+    pub fn pump_spill(&mut self) -> u64 {
+        let mut applied = 0;
+        while !self.spill.is_drained() && self.backlog() < self.cfg.memory_watermark {
+            let Some(e) = self.spill.drain_next() else { break };
+            if self.gates.entry(e.device).or_default().accept(e.epoch, e.seq) == RxVerdict::Accepted
+            {
+                self.store.insert(e);
+                self.spill_applied += 1;
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Deliveries parked in the spill and not yet applied to the store —
+    /// the fleet ledger's `buffered` term.
+    pub fn buffered(&self) -> u64 {
+        self.spill.pending()
+    }
+
+    /// Spill records re-read after a crash rewound the read cursor.
+    pub fn spill_replayed(&self) -> u64 {
+        self.spill.replayed
+    }
+
+    /// The spill store (telemetry: segment counts, fsyncs, cursors).
+    pub fn spill(&self) -> &SpillStore {
+        &self.spill
+    }
+
+    /// Arm the torn-tail failure model for the spill: a hard kill damages
+    /// the open segment past its sync watermark instead of cleanly
+    /// truncating it. Draw the generator on
+    /// [`streams::SPILL_CORRUPT`](crate::faults::streams::SPILL_CORRUPT).
+    pub fn set_torn_spill(&mut self, gen: CorruptionGen) {
+        self.spill.set_torn(gen);
+    }
+
+    /// How hard the collector is pushing back, in widening levels: 0 below
+    /// the watermark, then one level per watermark-multiple of combined
+    /// memory backlog + spill occupancy. Monitors widen their batch-flush
+    /// stride to `2^level` (capped by their own config) — deterministic,
+    /// bounded, and zero when spilling is disabled.
+    pub fn backpressure_level(&self) -> u32 {
+        let wm = self.cfg.memory_watermark;
+        if wm == 0 || wm == usize::MAX {
+            return 0;
+        }
+        let load = self.backlog() as u64 + self.spill.pending();
+        (load / wm as u64).min(u64::from(u32::MAX)) as u32
+    }
+
+    /// Re-bucket a fleet [`DeliveryLedger`] for this collector's view:
+    /// deliveries currently parked in the spill move from `delivered`
+    /// into `buffered`, keeping the extended identity `generated ==
+    /// delivered + shed + pending + buffered + lost_to_crash + corrupted`
+    /// exact end to end.
+    pub fn refine_fleet_ledger(&self, ledger: &mut DeliveryLedger) {
+        let buffered = self.spill.pending();
+        ledger.delivered = ledger.delivered.saturating_sub(buffered);
+        ledger.buffered += buffered;
+    }
+
     /// Durably checkpoint the store, the dedup gates, and the subscriber
-    /// cursors. A hard kill reverts to the latest checkpoint.
+    /// cursors, and commit the spill cursor (fsync data through the read
+    /// position, advance + fsync the durable cursor, delete acked
+    /// segments). A hard kill reverts to the latest checkpoint — and the
+    /// spill replays exactly the records applied since it.
     pub fn checkpoint(&mut self) {
         self.checkpoint = Some(CollectorCheckpoint {
             store: self.store.clone(),
             gates: self.gates.clone(),
             cursors: self.subscribers.clone(),
         });
+        self.spill.commit();
     }
 
-    /// Crash and restart. A clean stop checkpoints on the way down (loses
-    /// nothing); a hard kill reverts store, gates, and subscriber cursors
-    /// to the last checkpoint. Returns how many stored events were rolled
-    /// back.
+    /// Crash and restart. A clean stop fsyncs the spill and checkpoints
+    /// on the way down (loses nothing); a hard kill reverts store, gates,
+    /// and subscriber cursors to the last checkpoint, tears the spill's
+    /// un-fsynced tail (longest-valid-prefix recovery), and rewinds the
+    /// spill read position to the durable cursor so the unacked suffix
+    /// replays through the reverted gates. Returns how many stored events
+    /// were rolled back.
     pub fn crash_restart(&mut self, kind: CrashKind) -> u64 {
         if kind == CrashKind::Clean {
+            self.spill.fsync();
             self.checkpoint();
         }
         let before = self.store.len();
@@ -538,21 +694,22 @@ impl Collector {
         for (id, cursor) in self.subscribers.iter_mut() {
             *cursor = cp.cursors.get(id).copied().unwrap_or(*cursor).min(self.store.len());
         }
+        self.spill.crash();
         let reverted = (before - self.store.len()) as u64;
         self.reverted_by_crash += reverted;
         self.restarts += 1;
         reverted
     }
 
-    /// Quarantined poison frames retained at most this many deep; the
-    /// overflow is still counted in `poison_seen`.
+    /// Default quarantine retention (see
+    /// [`CollectorConfig::max_quarantine`] to change it per collector).
     pub const MAX_QUARANTINE: usize = 64;
 
     /// Quarantine a poison frame for inspection. Returns `true` when the
     /// frame was retained, `false` when only counted (bound reached).
     pub fn quarantine_poison(&mut self, frame: PoisonFrame) -> bool {
         self.poison_seen += 1;
-        if self.quarantine.len() < Self::MAX_QUARANTINE {
+        if self.quarantine.len() < self.cfg.max_quarantine {
             self.quarantine.push(frame);
             true
         } else {

@@ -81,6 +81,13 @@ pub struct ReliableChannel {
     /// Highest sequence number acknowledged by the receiver (i.e. the last
     /// `Ok` delivery). Carried into the reconnect [`Handshake`].
     pub last_acked_seq: Option<u64>,
+    /// Receiver-pressure hint piggybacked on the most recent ACK (0 = no
+    /// pressure): the collector's widening level, applied by the monitor's
+    /// control loop to its batch-flush stride. Carried as channel state
+    /// because the signal rides the existing ACK path — no extra
+    /// messages, and it survives a reconnect (the receiver's pressure does
+    /// not reset because the sender restarted).
+    pub rx_backpressure_hint: u32,
     /// Bytes put on the management wire (including retransmissions).
     pub wire_bytes: u64,
     /// Total transmissions (first attempts + retransmissions).
@@ -143,6 +150,7 @@ impl ReliableChannel {
             next_send_ns: 0,
             epoch: 0,
             last_acked_seq: None,
+            rx_backpressure_hint: 0,
             wire_bytes: 0,
             transmissions: 0,
             retransmissions: 0,

@@ -151,6 +151,19 @@ impl CorruptionGen {
         self.duplications += u64::from(tally.duplicated);
         tally
     }
+
+    /// Damage only the suffix `buf[keep..]`, leaving the first `keep`
+    /// bytes untouched — a torn tail-write. The fsynced prefix of a
+    /// segment or log is durable on disk; a hard kill mid-flush can only
+    /// mangle the bytes past the sync watermark, and this models exactly
+    /// that. `keep` past the end of the buffer leaves it unchanged.
+    pub fn corrupt_tail(&mut self, buf: &mut Vec<u8>, keep: usize) -> CorruptionTally {
+        let keep = keep.min(buf.len());
+        let mut tail = buf.split_off(keep);
+        let tally = self.corrupt(&mut tail);
+        buf.append(&mut tail);
+        tally
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +219,25 @@ mod tests {
         // The damage is a doubled run, so the original is a subsequence
         // with one contiguous insertion; prefix before the run is intact.
         assert_eq!(&buf[..1], &orig[..1]);
+    }
+
+    #[test]
+    fn tail_corruption_preserves_the_kept_prefix() {
+        let spec = CorruptionSpec { flip_per_byte: 0.5, truncate_prob: 0.5, duplicate_prob: 0.5 };
+        let mut g = CorruptionGen::new(spec, 5, 5);
+        for keep in [0usize, 1, 100, 199, 200, 500] {
+            let orig: Vec<u8> = (0..200u8).map(|i| i.wrapping_mul(37)).collect();
+            let mut buf = orig.clone();
+            g.corrupt_tail(&mut buf, keep);
+            let k = keep.min(orig.len());
+            assert_eq!(&buf[..k], &orig[..k], "prefix keep={keep} must survive");
+            assert!(buf.len() >= k);
+        }
+        // keep == len: the tail is empty, nothing can change.
+        let orig: Vec<u8> = (0..64u8).collect();
+        let mut buf = orig.clone();
+        assert!(!g.corrupt_tail(&mut buf, 64).touched());
+        assert_eq!(buf, orig);
     }
 
     #[test]

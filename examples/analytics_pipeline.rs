@@ -25,7 +25,7 @@ use netseer_repro::fet_netsim::topology::{build_fat_tree, FatTreeParams};
 use netseer_repro::fet_netsim::Simulator;
 use netseer_repro::fet_packet::FlowKey;
 use netseer_repro::netseer::deploy::{delivered_history, deploy, DeployOptions};
-use netseer_repro::netseer::{Collector, FaultPlan, NetSeerConfig};
+use netseer_repro::netseer::{Collector, CollectorConfig, FaultPlan, NetSeerConfig};
 
 fn main() {
     let seed = 0xA11A_10CA;
@@ -78,17 +78,36 @@ fn main() {
         },
         ..AnalyticsConfig::default()
     };
-    let mut collector = Collector::new();
+    // A deliberately tight memory watermark: the burst of history spills
+    // to bounded disk instead of shedding, and polling drains it back.
+    let mut collector = Collector::with_config(CollectorConfig {
+        memory_watermark: 32,
+        ..CollectorConfig::default()
+    });
     let mut engine = AnalyticsEngine::new(cfg, link_map_from_sim(&sim));
     engine.attach(&mut collector);
     let deliveries = delivered_history(&sim);
     collector.ingest(&deliveries);
+    let buffered_at_peak = collector.buffered();
     let processed = engine.poll(&mut collector);
     engine.ingest_gap_reports(harvest_gap_reports(&sim));
     println!(
         "engine processed {processed} delivered events across {} shards",
         engine.shard_count()
     );
+    println!(
+        "collector spill: {} events spilled past the watermark, {} buffered at \
+         peak, {} applied on drain, {} buffered after ({} segments, {} fsyncs)",
+        collector.spilled,
+        buffered_at_peak,
+        collector.spill_applied,
+        collector.buffered(),
+        collector.spill().rotations,
+        collector.spill().fsyncs
+    );
+    assert!(collector.spilled > 0, "the tight watermark must engage the spill");
+    assert_eq!(collector.buffered(), 0, "polling must drain the spill fully");
+    assert_eq!(collector.overflow_refused, 0, "bounded disk absorbs the burst: no shed");
 
     // Localization: which link is eating packets?
     println!("\nlink verdicts (worst first):");
@@ -131,13 +150,21 @@ fn main() {
     }
     assert!(!breaches.is_empty(), "5% loss must breach the zero-loss SLA");
 
-    // The extended ledger identity, end to end.
+    // The extended ledger identity, end to end — every spilled event was
+    // applied exactly once, so ingested covers the full history and the
+    // fleet delivery identity's `buffered` term has drained to zero.
     let ledger = engine.ledger();
     ledger.assert_balanced();
     assert_eq!(ledger.ingested, deliveries.len() as u64);
     println!(
         "\nanalytics ledger: ingested {} == aggregated {} + sketch_absorbed {} + shed {}",
         ledger.ingested, ledger.aggregated, ledger.sketch_absorbed, ledger.shed_analytics
+    );
+    println!(
+        "delivery identity: {} delivered == {} stored + {} buffered (spill drained)",
+        deliveries.len(),
+        collector.len(),
+        collector.buffered()
     );
     println!("pipeline demo passed.");
 }

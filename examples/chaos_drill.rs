@@ -104,6 +104,7 @@ fn run(seed: u64) -> DeliveryLedger {
         total.shed_false_positive += l.shed_false_positive;
         total.shed_transport += l.shed_transport;
         total.pending += l.pending;
+        total.buffered += l.buffered;
         total.corrupted += l.corrupted;
         retransmissions += m.transport.retransmissions;
         notif_dropped += m.notification_copies_dropped;
@@ -119,6 +120,7 @@ fn run(seed: u64) -> DeliveryLedger {
     println!("  shed (false positive)   {}", total.shed_false_positive);
     println!("  shed (transport)        {}", total.shed_transport);
     println!("  pending in pipeline     {}", total.pending);
+    println!("  buffered in spill       {}", total.buffered);
     println!("  corrupted past retries  {}", total.corrupted);
     println!("  transport retransmits   {retransmissions}");
     println!("  notification copies eaten {notif_dropped}");
@@ -126,11 +128,12 @@ fn run(seed: u64) -> DeliveryLedger {
     println!("  notification copies CRC-rejected   {notif_rejected}");
     println!(
         "  => identity: {} generated == {} delivered + {} shed + {} pending \
-         + {} corrupted (silently lost: {})",
+         + {} buffered + {} corrupted (silently lost: {})",
         total.generated,
         total.delivered,
         total.shed_total(),
         total.pending,
+        total.buffered,
         total.corrupted,
         total.missing()
     );

@@ -8,7 +8,8 @@
 //!   truncation mid-flush), per-record CRCs keep the longest valid record
 //!   prefix, and the loss is *accounted* (`lost_to_crash`), never silent;
 //! * the extended ledger identity holds fleet-wide across the restarts:
-//!   `generated == delivered + shed + pending + lost_to_crash + corrupted`;
+//!   `generated == delivered + shed + pending + buffered + lost_to_crash
+//!   + corrupted`;
 //! * the collector reverts to its last checkpoint on a hard kill; the
 //!   reconnect handshake retransmits the uncovered suffix and the
 //!   `(device, epoch, seq)` gates dedup the rest — exactly-once end to end;
@@ -112,6 +113,7 @@ fn run(seed: u64) -> Outcome {
         ledger.shed_false_positive += l.shed_false_positive;
         ledger.shed_transport += l.shed_transport;
         ledger.pending += l.pending;
+        ledger.buffered += l.buffered;
         ledger.lost_to_crash += l.lost_to_crash;
         ledger.corrupted += l.corrupted;
         wal_rejected += m.recovery.wal_records_rejected;
@@ -156,6 +158,7 @@ fn main() {
     println!("  delivered to backend    {}", a.ledger.delivered);
     println!("  shed at choke points    {}", a.ledger.shed_total());
     println!("  pending in pipeline     {}", a.ledger.pending);
+    println!("  buffered in spill       {}", a.ledger.buffered);
     println!("  lost to hard kills      {}", a.ledger.lost_to_crash);
     println!("  corrupted past retries  {}", a.ledger.corrupted);
     println!("  WAL records torn away   {}", a.wal_rejected);
@@ -172,11 +175,12 @@ fn main() {
     );
     println!(
         "  => identity: {} generated == {} delivered + {} shed + {} pending \
-         + {} lost-to-crash + {} corrupted (silently lost: {})",
+         + {} buffered + {} lost-to-crash + {} corrupted (silently lost: {})",
         a.ledger.generated,
         a.ledger.delivered,
         a.ledger.shed_total(),
         a.ledger.pending,
+        a.ledger.buffered,
         a.ledger.lost_to_crash,
         a.ledger.corrupted,
         a.ledger.missing()

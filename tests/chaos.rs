@@ -19,11 +19,14 @@ use fet_netsim::topology::{build_fat_tree, FatTree, FatTreeParams};
 use fet_netsim::Simulator;
 use fet_packet::event::EventType;
 use fet_packet::FlowKey;
-use netseer::deploy::{collect_events, delivered_history, deploy, monitor_of, DeployOptions};
-use netseer::faults::{seeded_device_crashes, OverloadWindow};
+use netseer::deploy::{
+    collect_events, delivered_history, deploy, monitor_of, monitor_of_mut, DeployOptions,
+};
+use netseer::faults::{seeded_device_crashes, streams, OverloadWindow};
 use netseer::{
-    schedule_device_crashes, schedule_watchdog, schedule_wedge, Collector, CorruptionSpec,
-    CrashKind, DeliveryLedger, FaultPlan, LossProcess, NetSeerConfig, WatchdogConfig, Window,
+    schedule_device_crashes, schedule_watchdog, schedule_wedge, Collector, CollectorConfig,
+    CorruptionGen, CorruptionSpec, CrashKind, DeliveryLedger, FaultPlan, LossProcess,
+    NetSeerConfig, WatchdogConfig, Window,
 };
 
 /// Seed diversification for the CI matrix: when `CHAOS_SEED` is set, every
@@ -88,6 +91,7 @@ fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
         total.shed_false_positive += l.shed_false_positive;
         total.shed_transport += l.shed_transport;
         total.pending += l.pending;
+        total.buffered += l.buffered;
         total.lost_to_crash += l.lost_to_crash;
         total.corrupted += l.corrupted;
     }
@@ -631,6 +635,172 @@ fn watchdog_restarts_wedged_monitor() {
         collector.store().events(),
         reference.store().events(),
         "the store must converge bit-for-bit to the crash-free reference"
+    );
+}
+
+/// Scenario 14 — burst overload spills to bounded disk, then drains: the
+/// whole delivered history lands in one burst on a collector whose memory
+/// watermark is tiny. The overflow parks in the spill instead of being
+/// shed (`shed == 0`), the fleet identity extends with the `buffered`
+/// term while events sit on disk, and polling the engine applies every
+/// spilled event exactly once before deletion-after-ack reclaims the
+/// segments.
+#[test]
+fn burst_overload_spills_then_drains_without_shedding() {
+    use fet_analytics::{link_map_from_sim, AnalyticsConfig, AnalyticsEngine};
+
+    let faults = FaultPlan { seed: seed(0x5B11), ..FaultPlan::default() };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    sim.run_until(30 * MILLIS);
+
+    let deliveries = delivered_history(&sim);
+    assert!(deliveries.len() > 16, "the workload must out-run the watermark");
+
+    // Tiny watermark + small segments: the burst must spill and rotate.
+    let mut collector = Collector::with_config(CollectorConfig {
+        memory_watermark: 16,
+        spill_segment_bytes: 1024,
+        ..CollectorConfig::default()
+    });
+    let mut engine = AnalyticsEngine::new(AnalyticsConfig::default(), link_map_from_sim(&sim));
+    engine.attach(&mut collector);
+    collector.ingest(&deliveries);
+    assert!(collector.spilled > 0, "the burst must overflow the watermark into the spill");
+    assert!(collector.buffered() > 0, "spilled events are buffered, not dropped");
+    assert_eq!(collector.overflow_refused, 0, "bounded disk absorbs the burst: shed == 0");
+    assert!(collector.spill().rotations > 0, "small segments must rotate under the burst");
+
+    // The fleet identity extends with `buffered` while the spill holds
+    // events the collector has not yet applied.
+    let mut ledger = fleet_ledger(&sim);
+    collector.refine_fleet_ledger(&mut ledger);
+    assert!(ledger.buffered > 0, "the identity must expose the spill occupancy");
+    assert_eq!(ledger.missing(), 0, "identity holds mid-spill: {ledger:?}");
+
+    // Draining restores the memory-only identity: exactly-once through
+    // the spill, and the acked segments are deleted.
+    engine.poll(&mut collector);
+    assert_eq!(collector.buffered(), 0, "polling must drain the spill to quiescence");
+    assert_eq!(collector.len(), deliveries.len(), "exactly-once through the spill");
+    collector.checkpoint();
+    assert!(collector.spill().acked_segments > 0, "ack must delete consumed segments");
+    let mut ledger = fleet_ledger(&sim);
+    collector.refine_fleet_ledger(&mut ledger);
+    assert_eq!(ledger.buffered, 0);
+    assert_eq!(ledger.missing(), 0);
+    engine.ledger().assert_balanced();
+    assert_eq!(engine.ledger().ingested, deliveries.len() as u64);
+}
+
+/// Scenario 15 — a hard kill lands mid-spill and the un-fsynced tail of
+/// the open segment is torn (bit flips + truncation). Restart keeps the
+/// longest CRC-valid prefix, rewinds the volatile read cursor to the
+/// durable one, and sender reconciliation re-offers the history; the
+/// epoch/seq gates (which revert *with* the spill) dedup the overlap, so
+/// the collector and analytics converge bit-for-bit to a crash-free
+/// reference over the same delivered history.
+#[test]
+fn hard_kill_mid_spill_with_torn_tail_converges_to_reference() {
+    use fet_analytics::{link_map_from_sim, AnalyticsConfig, AnalyticsEngine};
+
+    let base = seed(0x7054);
+    let faults = FaultPlan { seed: base, ..FaultPlan::default() };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    sim.run_until(30 * MILLIS);
+
+    let deliveries = delivered_history(&sim);
+    let half = deliveries.len() / 2;
+    assert!(deliveries.len() - half > 16, "the tail must out-run the watermark");
+    let links = link_map_from_sim(&sim);
+
+    // Crash-free reference over the same history.
+    let mut ref_collector = Collector::new();
+    let mut reference = AnalyticsEngine::new(AnalyticsConfig::default(), links.clone());
+    reference.attach(&mut ref_collector);
+    ref_collector.ingest(&deliveries);
+    reference.poll(&mut ref_collector);
+
+    // Crashed run: tight watermark, torn-tail damage armed on its own
+    // RNG stream so the rest of the run is byte-identical either way.
+    let mut collector = Collector::with_config(CollectorConfig {
+        memory_watermark: 16,
+        ..CollectorConfig::default()
+    });
+    let spec = CorruptionSpec { flip_per_byte: 0.25, truncate_prob: 0.5, duplicate_prob: 0.0 };
+    collector.set_torn_spill(CorruptionGen::new(spec, base, streams::SPILL_CORRUPT));
+    let mut engine = AnalyticsEngine::new(AnalyticsConfig::default(), links);
+    engine.attach(&mut collector);
+
+    collector.ingest(&deliveries[..half]);
+    engine.poll(&mut collector);
+    engine.checkpoint(&mut collector); // commits the durable spill cursor
+    collector.ingest(&deliveries[half..]); // parks past the watermark, un-fsynced
+    assert!(collector.buffered() > 0, "the kill must land mid-spill");
+
+    engine.crash_restart(CrashKind::Hard, &mut collector);
+    assert_eq!(collector.spill().crashes, 1);
+    assert!(
+        collector.spill().torn_records > 0,
+        "the armed tear must destroy part of the un-fsynced tail"
+    );
+    // Whatever survived the tear sits at or past the durable cursor.
+    assert!(collector.spill().read_cursor() == collector.spill().durable_cursor());
+
+    collector.ingest(&deliveries); // at-least-once reconciliation
+    engine.poll(&mut collector);
+    assert_eq!(collector.buffered(), 0, "reconciliation must drain the spill");
+    assert_eq!(collector.len(), deliveries.len(), "exactly-once across the torn spill");
+    assert!(collector.duplicates_rejected() > 0, "reconciliation must have deduped");
+    assert_eq!(engine.ledger(), reference.ledger(), "must converge to the crash-free run");
+    assert_eq!(engine.totals(), reference.totals(), "window totals must converge");
+    assert_eq!(engine.top_flows(32), reference.top_flows(32), "top-k must converge");
+}
+
+/// Scenario 16 — sustained collector pressure widens the flush interval:
+/// monitors signalled a backpressure level force partial batches out only
+/// every `2^level` timer ticks (capped by `backpressure_max_widen`), so
+/// the fabric sends fewer partial CEBPs while full batches still flow.
+/// Accounting stays exact, and a runaway level clamps to the same stride
+/// as a moderate one — bit-for-bit.
+#[test]
+fn backpressure_widens_flush_intervals_deterministically() {
+    let run = |level: u32| {
+        let faults = FaultPlan { seed: seed(0xBAC4), ..FaultPlan::default() };
+        let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+        drive_lossy_fabric(&mut sim, &ft, 0.02);
+        sim.run_until(5 * MILLIS);
+        // The collector's pressure signal reaches every switch monitor
+        // (piggybacked on transport ACKs in a real deployment).
+        for id in sim.switch_ids() {
+            monitor_of_mut(&mut sim, id).set_backpressure(level);
+        }
+        sim.run_until(30 * MILLIS);
+        let skipped: u64 =
+            sim.switch_ids().iter().map(|&id| monitor_of(&sim, id).batcher.flushes_skipped).sum();
+        let batches: u64 =
+            sim.switch_ids().iter().map(|&id| monitor_of(&sim, id).batcher.delivered_batches).sum();
+        (fleet_ledger(&sim), skipped, batches)
+    };
+
+    let (quiet, skipped_quiet, batches_quiet) = run(0);
+    assert_eq!(skipped_quiet, 0, "level 0 never skips a flush");
+    assert_eq!(quiet.missing(), 0);
+
+    let (pressured, skipped_wide, batches_wide) = run(3);
+    assert!(skipped_wide > 0, "level 3 must skip partial flushes");
+    assert!(batches_wide <= batches_quiet, "widening cannot increase the batch count");
+    assert_eq!(pressured.missing(), 0, "widened batching must not lose accounting");
+    assert!(pressured.generated > 0 && pressured.delivered > 0);
+
+    // 2^3 == 8 meets the default cap of 8, and a runaway level clamps to
+    // the very same stride: the two runs must be identical.
+    let clamped = run(u32::MAX);
+    assert_eq!(
+        (pressured, skipped_wide, batches_wide),
+        clamped,
+        "the widen cap must bound a runaway signal"
     );
 }
 

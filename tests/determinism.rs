@@ -19,12 +19,12 @@ use fet_netsim::topology::{build_fat_tree, FatTree, FatTreeParams};
 use fet_netsim::tracer::GtEvent;
 use fet_netsim::Simulator;
 use fet_packet::FlowKey;
-use netseer::deploy::{delivered_history, deploy, monitor_of, DeployOptions};
-use netseer::faults::{seeded_device_crashes, OverloadWindow};
+use netseer::deploy::{delivered_history, deploy, monitor_of, monitor_of_mut, DeployOptions};
+use netseer::faults::{seeded_device_crashes, streams, OverloadWindow};
 use netseer::{
-    schedule_device_crashes, schedule_watchdog, schedule_wedge, CorruptionSpec, CrashKind,
-    CrashReport, DeliveryLedger, FaultPlan, LossProcess, NetSeerConfig, StoredEvent,
-    WatchdogConfig, Window,
+    schedule_device_crashes, schedule_watchdog, schedule_wedge, Collector, CollectorConfig,
+    CorruptionGen, CorruptionSpec, CrashKind, CrashReport, DeliveryLedger, FaultPlan, LossProcess,
+    NetSeerConfig, StoredEvent, WatchdogConfig, Window,
 };
 
 /// Same CI-matrix seed mixing as `tests/chaos.rs`.
@@ -59,7 +59,30 @@ struct Fingerprint {
     /// WAL records rejected by torn-tail replay, fleet-wide.
     crc_failures: u64,
     wal_rejected: u64,
+    /// Backpressure observable: partial flushes the widened stride held
+    /// back, fleet-wide (always 0 at stride 1).
+    flushes_skipped: u64,
+    /// Spill observables from the post-processing collector: peak spill
+    /// occupancy, records re-read after a crash rewound the read cursor,
+    /// and records destroyed by a torn tail. All 0 when the drill is off.
+    buffered: u64,
+    spill_replayed: u64,
+    spill_torn: u64,
     analytics: AnalyticsState,
+}
+
+/// How the post-processing collector in [`run_scenario_with`] exercises
+/// the spill over the delivered history.
+#[derive(Clone, Copy, PartialEq)]
+enum SpillDrill {
+    /// Default collector: the spill never engages.
+    Off,
+    /// Tight watermark + small segments: the history bursts into the
+    /// spill and drains back out through the engine poll.
+    Burst,
+    /// Tight watermark, torn-tail damage armed: a hard kill lands
+    /// mid-spill, then sender reconciliation re-offers the history.
+    TornKill,
 }
 
 #[derive(Debug, PartialEq)]
@@ -117,6 +140,7 @@ fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
         total.shed_false_positive += l.shed_false_positive;
         total.shed_transport += l.shed_transport;
         total.pending += l.pending;
+        total.buffered += l.buffered;
         total.lost_to_crash += l.lost_to_crash;
         total.corrupted += l.corrupted;
     }
@@ -127,12 +151,14 @@ fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
 ///
 /// `crash_base` schedules the chaos crash drill (every switch CPU dies
 /// once in [2 ms, 10 ms) and restarts 500 µs later) before running.
-fn run_scenario(
+fn run_scenario_with(
     cfg: NetSeerConfig,
     crash_base: Option<(u64, CrashKind)>,
     drive: impl FnOnce(&mut Simulator, &FatTree),
     shards: usize,
+    drill: SpillDrill,
 ) -> Fingerprint {
+    let fault_seed = cfg.faults.seed;
     let (mut sim, ft) = setup(cfg);
     drive(&mut sim, &ft);
     let log = crash_base.map(|(base, kind)| {
@@ -154,13 +180,51 @@ fn run_scenario(
     let delivered = delivered_history(&sim);
     // Feed the delivered stream through the full analytics engine: if the
     // parallel run reordered or perturbed anything, aggregation state
-    // (top-k, window totals, processed count) diverges.
-    let mut collector = netseer::Collector::new();
+    // (top-k, window totals, processed count) diverges. The spill drills
+    // route that same stream through a pressured (and possibly crashed)
+    // collector, so spill occupancy, tearing, and replay join the
+    // fingerprint too.
+    let collector_cfg = match drill {
+        SpillDrill::Off => CollectorConfig::default(),
+        SpillDrill::Burst => CollectorConfig {
+            memory_watermark: 16,
+            spill_segment_bytes: 1024,
+            ..CollectorConfig::default()
+        },
+        SpillDrill::TornKill => {
+            CollectorConfig { memory_watermark: 16, ..CollectorConfig::default() }
+        }
+    };
+    let mut collector = Collector::with_config(collector_cfg);
+    if drill == SpillDrill::TornKill {
+        let spec = CorruptionSpec { flip_per_byte: 0.25, truncate_prob: 0.5, duplicate_prob: 0.0 };
+        collector.set_torn_spill(CorruptionGen::new(spec, fault_seed, streams::SPILL_CORRUPT));
+    }
     let mut engine = AnalyticsEngine::new(AnalyticsConfig::default(), link_map_from_sim(&sim));
     engine.attach(&mut collector);
-    collector.ingest(&delivered);
-    engine.poll(&mut collector);
+    let buffered = match drill {
+        SpillDrill::Off | SpillDrill::Burst => {
+            collector.ingest(&delivered);
+            let peak = collector.buffered();
+            engine.poll(&mut collector);
+            peak
+        }
+        SpillDrill::TornKill => {
+            let half = delivered.len() / 2;
+            collector.ingest(&delivered[..half]);
+            engine.poll(&mut collector);
+            engine.checkpoint(&mut collector);
+            collector.ingest(&delivered[half..]);
+            let peak = collector.buffered();
+            engine.crash_restart(CrashKind::Hard, &mut collector);
+            collector.ingest(&delivered); // sender reconciliation
+            engine.poll(&mut collector);
+            peak
+        }
+    };
     engine.ledger().assert_balanced();
+    assert_eq!(collector.buffered(), 0, "every drill must drain the spill to quiescence");
+    assert_eq!(collector.len(), delivered.len(), "exactly-once through the spill");
 
     let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
     Fingerprint {
@@ -182,6 +246,10 @@ fn run_scenario(
             .iter()
             .map(|&id| monitor_of(&sim, id).recovery.wal_records_rejected)
             .sum(),
+        flushes_skipped: ids.iter().map(|&id| monitor_of(&sim, id).batcher.flushes_skipped).sum(),
+        buffered,
+        spill_replayed: collector.spill_replayed(),
+        spill_torn: collector.spill().torn_records,
         host_rx_pkts: sim
             .host_ids()
             .into_iter()
@@ -204,15 +272,30 @@ fn assert_deterministic(
     crash_base: Option<(u64, CrashKind)>,
     drive: impl Fn(&mut Simulator, &FatTree) + Copy,
 ) {
-    let serial = run_scenario(cfg(), crash_base, drive, 0);
+    let _ = assert_deterministic_with(name, cfg, crash_base, drive, SpillDrill::Off);
+}
+
+/// Like [`assert_deterministic`], with a spill drill applied to the
+/// post-processing collector. Returns the serial fingerprint so callers
+/// can pin scenario-specific observables (spill occupancy, skipped
+/// flushes) on top of the equality sweep.
+fn assert_deterministic_with(
+    name: &str,
+    cfg: impl Fn() -> NetSeerConfig,
+    crash_base: Option<(u64, CrashKind)>,
+    drive: impl Fn(&mut Simulator, &FatTree) + Copy,
+    drill: SpillDrill,
+) -> Fingerprint {
+    let serial = run_scenario_with(cfg(), crash_base, drive, 0, drill);
     assert!(serial.ledger.generated > 0, "{name}: scenario must generate events");
     for shards in SHARD_COUNTS {
-        let parallel = run_scenario(cfg(), crash_base, drive, shards);
+        let parallel = run_scenario_with(cfg(), crash_base, drive, shards, drill);
         assert_eq!(
             parallel, serial,
             "{name}: parallel run at {shards} shards diverged from serial"
         );
     }
+    serial
 }
 
 /// Scenario 1 — bursty (Gilbert–Elliott) loss on the management network.
@@ -443,6 +526,86 @@ fn det_12_torn_wal_hard_kills() {
     assert_deterministic("torn-wal", cfg, Some((seed(0x7047), CrashKind::Hard)), |sim, ft| {
         drive_lossy_fabric(sim, ft, 0.02)
     });
+}
+
+/// Scenario 14 — burst-overload spill-then-drain: the delivered history
+/// bursts into a tight-watermark collector, parks in small rotating
+/// segments, and drains back out. Peak spill occupancy (`buffered`) joins
+/// the fingerprint, so any divergence in the delivered stream — order or
+/// content — shows up as a different spill trajectory at some shard count.
+#[test]
+fn det_14_burst_spill_then_drain() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0x5B14),
+            mgmt_loss: LossProcess::GilbertElliott {
+                p_enter_bad: 0.2,
+                p_exit_bad: 0.2,
+                loss_good: 0.05,
+                loss_bad: 0.95,
+            },
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    let fp = assert_deterministic_with(
+        "burst-spill",
+        cfg,
+        None,
+        |sim, ft| drive_lossy_fabric(sim, ft, 0.02),
+        SpillDrill::Burst,
+    );
+    assert!(fp.buffered > 0, "the burst must actually engage the spill");
+    assert_eq!(fp.spill_torn, 0, "no crash, no tearing");
+}
+
+/// Scenario 15 — hard kill mid-spill with a torn tail: the surviving
+/// record prefix, the rewound replay, and the reconciled exactly-once
+/// store must all be bit-identical across shard counts (`buffered`,
+/// `spill_replayed`, and `spill_torn` pin them in the fingerprint).
+#[test]
+fn det_15_hard_kill_mid_spill_torn_tail() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan { seed: seed(0x5B15), ..FaultPlan::default() },
+        ..NetSeerConfig::default()
+    };
+    let fp = assert_deterministic_with(
+        "torn-spill",
+        cfg,
+        None,
+        |sim, ft| drive_lossy_fabric(sim, ft, 0.02),
+        SpillDrill::TornKill,
+    );
+    assert!(fp.buffered > 0, "the kill must land mid-spill");
+    assert!(fp.spill_torn > 0, "the armed tear must destroy part of the un-fsynced tail");
+}
+
+/// Scenario 16 — backpressure widening under sustained overload: the
+/// collector's pressure level reaches every switch mid-run (a scheduled
+/// control, which the parallel executor must place identically), and the
+/// widened stride's skipped flushes join the fingerprint.
+#[test]
+fn det_16_backpressure_widening() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan { seed: seed(0x5B16), ..FaultPlan::default() },
+        ..NetSeerConfig::default()
+    };
+    let fp = assert_deterministic_with(
+        "backpressure",
+        cfg,
+        None,
+        |sim, ft| {
+            drive_lossy_fabric(sim, ft, 0.02);
+            sim.schedule_control(3 * MILLIS, |s| {
+                for id in s.switch_ids() {
+                    monitor_of_mut(s, id).set_backpressure(3);
+                }
+            });
+        },
+        SpillDrill::Off,
+    );
+    assert!(fp.flushes_skipped > 0, "the widened stride must hold partial flushes back");
+    assert_eq!(fp.ledger.missing(), 0, "widened batching must not lose accounting");
 }
 
 /// Scenario 13 — watchdog supervision of wedged monitors: checks are

@@ -34,6 +34,10 @@ use fet_packet::notification::LossNotification;
 use fet_packet::pfc::PfcFrame;
 use fet_packet::seqtag::SeqTag;
 use fet_packet::FlowKey;
+use netseer::spill::{
+    decode_spill_prefix, decode_spill_record, encode_spill_record, SPILL_RECORD_LEN,
+};
+use netseer::StoredEvent;
 
 /// Per-parser iteration budget: ≥10k by default, overridable for smoke.
 fn iters() -> u32 {
@@ -72,6 +76,49 @@ fn rec(n: u16) -> EventRecord {
         detail: EventDetail::Congestion { egress_port: n as u8, queue: 0, latency_us: n },
         counter: 1,
         hash: u32::from(n).wrapping_mul(0x9e37_79b9),
+    }
+}
+
+fn stored(n: u16) -> StoredEvent {
+    StoredEvent {
+        time_ns: u64::from(n) * 1_000,
+        device: u32::from(n) % 37,
+        epoch: u32::from(n) % 5,
+        seq: u64::from(n),
+        record: rec(n),
+    }
+}
+
+/// A valid spill segment image: 1..=16 encoded records back to back.
+fn valid_spill_buffer(rng: &mut Pcg32) -> Vec<u8> {
+    let n = 1 + rng.next_below(16) as u16;
+    let mut buf = Vec::with_capacity(n as usize * SPILL_RECORD_LEN);
+    for i in 0..n {
+        encode_spill_record(&stored(rng.next_below(500) as u16 ^ i), &mut buf);
+    }
+    buf
+}
+
+/// Drive the spill record/segment decoders over one buffer. The same
+/// contract as [`exercise_all`]: never panic, and anything accepted must
+/// round-trip stably through the canonical encoder.
+fn exercise_spill(buf: &[u8]) {
+    if let Some((ev, consumed)) = decode_spill_record(buf) {
+        assert_eq!(consumed, SPILL_RECORD_LEN, "spill records are fixed-length");
+        let mut rebuilt = Vec::with_capacity(SPILL_RECORD_LEN);
+        encode_spill_record(&ev, &mut rebuilt);
+        let (again, _) = decode_spill_record(&rebuilt).expect("rebuilt record decodes");
+        assert_eq!(again, ev, "spill record round-trip must be stable");
+    }
+    let survivors = decode_spill_prefix(buf);
+    assert!(survivors.len() <= buf.len() / SPILL_RECORD_LEN, "prefix decode cannot invent records");
+    // The prefix property itself: record k decodes iff bytes
+    // [0, (k+1) * SPILL_RECORD_LEN) all validated, so each survivor must
+    // re-decode from its own offset.
+    for (k, ev) in survivors.iter().enumerate() {
+        let at = k * SPILL_RECORD_LEN;
+        let (direct, _) = decode_spill_record(&buf[at..]).expect("survivor re-decodes");
+        assert_eq!(direct, *ev, "prefix and direct decode must agree");
     }
 }
 
@@ -236,6 +283,50 @@ fn truncation_sweep_never_panics() {
         let frame = valid_frame(&mut rng);
         for cut in 0..=frame.len() {
             exercise_all(&frame[..cut]);
+        }
+    }
+}
+
+#[test]
+fn spill_decoders_survive_random_buffers() {
+    let mut rng = Pcg32::new(seed(0x5B11_F055), 5);
+    for _ in 0..iters() {
+        exercise_spill(&random_buffer(&mut rng));
+    }
+}
+
+#[test]
+fn spill_decoders_survive_mutated_valid_segments() {
+    let mut rng = Pcg32::new(seed(0x5B1F_CAFE), 6);
+    for _ in 0..iters() {
+        let mut buf = valid_spill_buffer(&mut rng);
+        let spec = CorruptionSpec {
+            flip_per_byte: [0.001, 0.01, 0.1][rng.next_below(3) as usize],
+            truncate_prob: 0.2,
+            duplicate_prob: 0.2,
+        };
+        corrupt_buffer(&spec, &mut rng, &mut buf);
+        exercise_spill(&buf);
+        // Undamaged segments must decode in full (acceptance coverage:
+        // a fuzzer that never sees an accepted record tests nothing).
+        let pristine = valid_spill_buffer(&mut rng);
+        assert_eq!(decode_spill_prefix(&pristine).len(), pristine.len() / SPILL_RECORD_LEN);
+    }
+}
+
+#[test]
+fn spill_truncation_sweep_keeps_exact_record_prefixes() {
+    // Every prefix of a valid segment image: the longest-valid-prefix
+    // decode must keep exactly the records whose bytes fully survived —
+    // this is the crash-recovery torn-tail contract, exhaustively.
+    let mut rng = Pcg32::new(seed(0x5B1F_4567), 7);
+    for _ in 0..64 {
+        let buf = valid_spill_buffer(&mut rng);
+        let full = decode_spill_prefix(&buf);
+        for cut in 0..=buf.len() {
+            let survivors = decode_spill_prefix(&buf[..cut]);
+            assert_eq!(survivors.len(), cut / SPILL_RECORD_LEN, "cut {cut} of {}", buf.len());
+            assert_eq!(survivors[..], full[..survivors.len()], "survivors must be a prefix");
         }
     }
 }
