@@ -25,9 +25,11 @@ use crate::topk::{SpaceSaving, TopKEntry};
 use crate::window::{AggKey, WindowStats};
 use fet_packet::flow::FLOW_KEY_LEN;
 use fet_packet::FlowKey;
+use fet_wire::{UpstreamLossReport, WireProtocol};
 use netseer::faults::CrashKind;
 use netseer::recovery::Collector;
 use netseer::StoredEvent;
+use std::collections::BTreeMap;
 
 /// Engine geometry and budgets. Every bound is hard: the engine's memory
 /// is fixed at construction time whatever the stream does.
@@ -99,11 +101,24 @@ pub struct AnalyticsEngine {
     sla: SlaEvaluator,
     subscription: Option<u32>,
     checkpoint: Option<EngineCheckpoint>,
+    /// Latest cumulative upstream-loss scrape per wire exporter stream,
+    /// keyed (protocol version, observation domain). Not checkpointed:
+    /// scrapes are snapshots of the wire session's own accumulators
+    /// (outside the collector crash domain) and the next scrape restores
+    /// the state exactly.
+    upstream: BTreeMap<(u16, u32), (u64, u64)>,
+    /// Upstream-loss scrapes ignored because the stream map hit
+    /// [`UPSTREAM_STREAM_CAP`] (bounded memory, never silent).
+    pub upstream_overflow: u64,
     /// Events processed since construction.
     pub processed: u64,
     /// Engine crash/restart cycles.
     pub restarts: u64,
 }
+
+/// Hard cap on tracked wire exporter streams — defense in depth behind
+/// the wire session's own `max_streams` bound.
+pub const UPSTREAM_STREAM_CAP: usize = 1024;
 
 impl AnalyticsEngine {
     /// Build an engine over the fleet wiring in `links`.
@@ -120,6 +135,8 @@ impl AnalyticsEngine {
             sla: SlaEvaluator::new(cfg.sla, cfg.max_breaches),
             subscription: None,
             checkpoint: None,
+            upstream: BTreeMap::new(),
+            upstream_overflow: 0,
             processed: 0,
             restarts: 0,
         }
@@ -191,6 +208,50 @@ impl AnalyticsEngine {
         for r in reports {
             self.correlator.ingest_gap_report(r);
         }
+    }
+
+    /// Absorb a wire-ingest upstream-loss scrape (e.g.
+    /// `WireIngest::upstream_losses`). Reports carry *cumulative*
+    /// accumulators, so each stream's latest scrape replaces the previous
+    /// one — re-ingesting the same scrape is idempotent.
+    pub fn ingest_upstream_loss(&mut self, reports: impl IntoIterator<Item = UpstreamLossReport>) {
+        for r in reports {
+            let key = (r.protocol.version(), r.domain);
+            if !self.upstream.contains_key(&key) && self.upstream.len() >= UPSTREAM_STREAM_CAP {
+                self.upstream_overflow += 1;
+                continue;
+            }
+            self.upstream.insert(key, (r.lost, r.gaps));
+        }
+    }
+
+    /// Per-stream upstream loss, deterministically ordered. These units
+    /// were lost *before* the collector's doorstep (exporter → collector
+    /// path), disjoint from every term the delivery ledger accounts.
+    pub fn upstream_losses(&self) -> Vec<UpstreamLossReport> {
+        self.upstream
+            .iter()
+            .map(|(&(ver, domain), &(lost, gaps))| UpstreamLossReport {
+                protocol: match ver {
+                    5 => WireProtocol::V5,
+                    9 => WireProtocol::V9,
+                    _ => WireProtocol::Ipfix,
+                },
+                domain,
+                lost,
+                gaps,
+            })
+            .collect()
+    }
+
+    /// Total upstream-loss units across all wire streams.
+    pub fn upstream_lost_total(&self) -> u64 {
+        self.upstream.values().map(|&(lost, _)| lost).sum()
+    }
+
+    /// Total distinct sequence gaps across all wire streams.
+    pub fn upstream_gap_total(&self) -> u64 {
+        self.upstream.values().map(|&(_, gaps)| gaps).sum()
     }
 
     /// The merged analytics ledger across all shards. The identity
@@ -393,6 +454,39 @@ mod tests {
         assert_eq!(eng.crash_restart(CrashKind::Clean, &mut c), 0);
         assert_eq!(eng.processed, 8);
         eng.ledger().assert_balanced();
+    }
+
+    #[test]
+    fn upstream_loss_scrapes_are_idempotent_and_bounded() {
+        let mut eng = AnalyticsEngine::new(AnalyticsConfig::default(), LinkMap::default());
+        let scrape = vec![
+            UpstreamLossReport { protocol: WireProtocol::V5, domain: 1, lost: 8, gaps: 2 },
+            UpstreamLossReport { protocol: WireProtocol::Ipfix, domain: 1, lost: 3, gaps: 1 },
+        ];
+        eng.ingest_upstream_loss(scrape.clone());
+        eng.ingest_upstream_loss(scrape); // cumulative re-scrape: no double count
+        assert_eq!(eng.upstream_lost_total(), 11);
+        assert_eq!(eng.upstream_gap_total(), 3);
+        assert_eq!(eng.upstream_losses().len(), 2);
+        // A later scrape with larger accumulators replaces, not adds.
+        eng.ingest_upstream_loss([UpstreamLossReport {
+            protocol: WireProtocol::V5,
+            domain: 1,
+            lost: 10,
+            gaps: 3,
+        }]);
+        assert_eq!(eng.upstream_lost_total(), 13);
+        // The stream map is hard-capped.
+        for d in 0..2 * UPSTREAM_STREAM_CAP as u32 {
+            eng.ingest_upstream_loss([UpstreamLossReport {
+                protocol: WireProtocol::V9,
+                domain: d,
+                lost: 1,
+                gaps: 1,
+            }]);
+        }
+        assert!(eng.upstream_losses().len() <= UPSTREAM_STREAM_CAP);
+        assert!(eng.upstream_overflow > 0);
     }
 
     #[test]

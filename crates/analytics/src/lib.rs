@@ -33,7 +33,7 @@ pub mod window;
 pub mod wire;
 
 pub use correlate::{Correlator, GapReport, LinkId, LinkMap, LinkVerdict};
-pub use engine::{flow_shard_hash, AnalyticsConfig, AnalyticsEngine};
+pub use engine::{flow_shard_hash, AnalyticsConfig, AnalyticsEngine, UPSTREAM_STREAM_CAP};
 pub use shard::{AnalyticsLedger, ShardWorker};
 pub use sla::{BreachWindow, SlaEvaluator, SlaPolicy};
 pub use topk::{SpaceSaving, TopKEntry};

@@ -110,6 +110,13 @@ impl BenchReport {
     }
 }
 
+/// Core count of the host the benchmark ran on. Emitted as the `cores`
+/// metric by every report so baselines are comparable across machines
+/// (bench_check gates only `*_per_s` / `sim_meps*` keys, never this one).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 fn extract_string(json: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\"");
     let at = json.find(&pat)? + pat.len();

@@ -133,6 +133,7 @@ fn main() {
 
     let sim_secs = (15 * MILLIS) as f64 * 1e-9;
     let mut report = BenchReport::new("fig02_pipeline");
+    report.metric("cores", fet_bench::host_cores() as f64);
     report
         .metric("pkts_per_s", pkts_per_s)
         .metric("allocs_per_pkt", allocs_per_pkt)

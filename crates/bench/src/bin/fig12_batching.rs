@@ -51,6 +51,7 @@ fn main() {
         "batch", "model Meps", "model Gbps", "sim Meps", "sim Gbps"
     );
     let mut report = fet_bench::BenchReport::new("fig12_batching");
+    report.metric("cores", fet_bench::host_cores() as f64);
     let mut wall_events = 0u64;
     let wall = std::time::Instant::now();
     for batch in [1u16, 10, 20, 30, 40, 50, 60, 70] {

@@ -97,6 +97,7 @@ fn main() {
     println!("{:>8} {:>14} {:>12}", "shards", "events/s", "elapsed_ms");
     let mut meps_4 = 0.0;
     let mut report = fet_bench::BenchReport::new("fig16_analytics");
+    report.metric("cores", fet_bench::host_cores() as f64);
     for shards in [1usize, 2, 4, 8] {
         let cfg = AnalyticsConfig { shards, ..AnalyticsConfig::default() };
         let mut engine = AnalyticsEngine::new(cfg, LinkMap::default());

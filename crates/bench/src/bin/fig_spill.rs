@@ -71,6 +71,7 @@ fn main() {
     let stream = synth_stream(0x5B1F_5EED);
     println!("fig_spill: durable spill buffer — {EVENTS} events, {SPILL_RECORD_LEN} B/record");
     let mut report = fet_bench::BenchReport::new("fig_spill");
+    report.metric("cores", fet_bench::host_cores() as f64);
 
     // (a) append: encode + segment-append + rotation fsyncs.
     let mut spill = SpillStore::new(&spill_cfg());

@@ -141,7 +141,7 @@ fn main() {
         "-"
     );
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = fet_bench::host_cores();
     let mut report = fet_bench::BenchReport::new("fleet_parallel");
     report
         .metric("cores", cores as f64)

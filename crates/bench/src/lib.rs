@@ -9,7 +9,7 @@
 pub mod benchjson;
 pub mod counting_alloc;
 
-pub use benchjson::BenchReport;
+pub use benchjson::{host_cores, BenchReport};
 
 use fet_baselines::{
     coverage, EverFlowMonitor, NetSightMonitor, ObservationLog, SamplingMonitor, SnmpMonitor,

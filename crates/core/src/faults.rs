@@ -318,11 +318,12 @@ pub fn event_priority(ty: fet_packet::event::EventType) -> u8 {
 /// The end-to-end accounting snapshot for one monitor's reporting pipeline.
 ///
 /// Invariant: `generated == delivered + shed_total() + pending + buffered +
-/// lost_to_crash + corrupted`. The pipeline may legitimately hold events in
-/// flight (`pending`), park them in the collector's durable spill buffer
-/// (`buffered`), shed them at a counted choke point, lose a bounded tail to
-/// a hard crash, or lose a batch to unrecoverable wire corruption — but it
-/// must never lose one silently.
+/// lost_to_crash + corrupted + malformed`. The pipeline may legitimately
+/// hold events in flight (`pending`), park them in the collector's durable
+/// spill buffer (`buffered`), shed them at a counted choke point, lose a
+/// bounded tail to a hard crash, lose a batch to unrecoverable wire
+/// corruption, or refuse undecodable wire-ingest records (`malformed`) —
+/// but it must never lose one silently.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeliveryLedger {
     /// Event records handed to the reporting path (post-dedup).
@@ -356,6 +357,12 @@ pub struct DeliveryLedger {
     /// poison copies are quarantined at the collector, never silently
     /// dropped, and the terminal count lands here.
     pub corrupted: u64,
+    /// Wire-ingest records an exporter claimed but the collector could not
+    /// decode: truncated record tails, count lies, data sets referencing
+    /// unknown templates. The offending datagrams are quarantined with a
+    /// per-reason breakdown (`netseer::wire`); the terminal record count
+    /// lands here. Always 0 for simulator-born events.
+    pub malformed: u64,
 }
 
 impl DeliveryLedger {
@@ -376,11 +383,12 @@ impl DeliveryLedger {
             + self.buffered
             + self.lost_to_crash
             + self.corrupted
+            + self.malformed
     }
 
     /// Does the exactly-once-or-counted invariant hold?
     /// `generated == delivered + shed + pending + buffered + lost_to_crash
-    /// + corrupted`, across any number of crash/restart cycles.
+    /// + corrupted + malformed`, across any number of crash/restart cycles.
     pub fn balanced(&self) -> bool {
         self.generated == self.accounted()
     }
@@ -553,6 +561,22 @@ mod tests {
         assert_eq!(l.missing(), 0);
         let silent = DeliveryLedger { generated: 100, delivered: 94, ..Default::default() };
         assert_eq!(silent.missing(), 6, "without lost_to_crash the same run shows silent loss");
+    }
+
+    #[test]
+    fn ledger_counts_malformed_separately() {
+        let l = DeliveryLedger {
+            generated: 100,
+            delivered: 88,
+            pending: 2,
+            malformed: 10,
+            ..Default::default()
+        };
+        l.assert_balanced();
+        assert_eq!(l.missing(), 0);
+        let silent =
+            DeliveryLedger { generated: 100, delivered: 88, pending: 2, ..Default::default() };
+        assert_eq!(silent.missing(), 10, "uncounted malformed records must show as silent loss");
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub mod storage;
 pub mod tables;
 pub mod transport;
 pub mod watchdog;
+pub mod wire;
 
 pub use config::{CollectorConfig, NetSeerConfig};
 pub use faults::{
@@ -96,3 +97,4 @@ pub use recovery::{
 pub use spill::SpillStore;
 pub use storage::{EventStore, Query, StoredEvent};
 pub use watchdog::{schedule_watchdog, schedule_wedge, Incident, WatchdogConfig, WatchdogLog};
+pub use wire::{WireAdmission, WireConfig, WireIngest};

@@ -285,6 +285,9 @@ impl NetSeerMonitor {
             buffered: 0,
             lost_to_crash: self.recovery.lost_to_crash,
             corrupted: self.corrupted_events,
+            // Monitors emit simulator-born events; only wire ingestion
+            // (crate::wire) books malformed records.
+            malformed: 0,
         }
     }
 

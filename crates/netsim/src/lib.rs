@@ -21,6 +21,7 @@
 pub mod corrupt;
 pub mod counters;
 pub mod engine;
+pub mod exporter;
 pub mod host;
 pub mod link;
 pub mod mmu;
@@ -35,6 +36,7 @@ pub mod tracer;
 
 pub use corrupt::{CorruptionGen, CorruptionSpec, CorruptionTally};
 pub use engine::{NodeId, Simulator};
+pub use exporter::{HostileExporter, HostileExporterConfig};
 pub use host::{FlowSpec, Host, HostConfig};
 pub use link::{FaultSpec, Link};
 pub use monitor::{Actions, EgressCtx, HookVerdict, IngressCtx, RoutedCtx, SwitchMonitor};

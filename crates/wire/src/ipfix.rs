@@ -1,0 +1,349 @@
+//! IPFIX (RFC 7011), aka "NetFlow v10": the IETF-standardized successor.
+//!
+//! Differences from v9 the parser must honor: the header carries the exact
+//! message length (a second framing claim to verify), the sequence number
+//! counts *data records* rather than datagrams, template set ids move to
+//! 2/3, field specs may carry a 4-byte enterprise number (high bit of the
+//! field id), and data records may contain variable-length fields.
+
+use crate::reason::{RejectReason, REASON_COUNT};
+use crate::sets::{decode_data_set, MAX_PAD};
+use crate::template::{InstallOutcome, Template, TemplateCache, TemplateField};
+use crate::translate::FlowSample;
+
+/// Fixed IPFIX message header length.
+pub const IPFIX_HEADER_LEN: usize = 16;
+/// Template set id.
+pub const IPFIX_SET_TEMPLATE: u16 = 2;
+/// Options-template set id.
+pub const IPFIX_SET_OPTIONS: u16 = 3;
+/// Smallest data set id.
+pub const IPFIX_SET_DATA_MIN: u16 = 256;
+
+/// A decoded IPFIX message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IpfixDatagram {
+    /// Observation domain id.
+    pub domain: u32,
+    /// Count of data records the exporter sent before this message.
+    pub sequence: u32,
+    /// Export timestamp (seconds).
+    pub export_time: u32,
+    /// Data records actually walked (flow + option records; templates are
+    /// not data records in IPFIX).
+    pub data_records: u64,
+    /// Decoded flow records.
+    pub samples: Vec<FlowSample>,
+    /// Truncated or uncountable (unknown-template) records.
+    pub malformed: u64,
+    /// Soft reject counters by [`RejectReason::index`].
+    pub soft: [u64; REASON_COUNT],
+    /// Templates accepted (installed or refreshed) from this message.
+    pub templates_installed: u64,
+}
+
+fn be16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+fn be32(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Read one field spec (with optional enterprise number) at `off`; returns
+/// the field and the new offset, or `None` if truncated.
+fn field_spec(body: &[u8], off: usize) -> Option<(TemplateField, usize)> {
+    if body.len().checked_sub(off)? < 4 {
+        return None;
+    }
+    let raw_id = be16(body, off);
+    let length = be16(body, off + 2);
+    if raw_id & 0x8000 != 0 {
+        if body.len() - off < 8 {
+            return None;
+        }
+        let enterprise = be32(body, off + 4);
+        Some((
+            TemplateField { field_id: raw_id & 0x7fff, length, enterprise: Some(enterprise) },
+            off + 8,
+        ))
+    } else {
+        Some((TemplateField { field_id: raw_id, length, enterprise: None }, off + 4))
+    }
+}
+
+/// Walk an IPFIX template or options-template set body.
+fn parse_template_set(
+    body: &[u8],
+    options: bool,
+    cache: &mut TemplateCache,
+    domain: u32,
+    now_ns: u64,
+    soft: &mut [u64; REASON_COUNT],
+    installed: &mut u64,
+) {
+    let header = if options { 6 } else { 4 };
+    let mut off = 0usize;
+    while body.len() - off > MAX_PAD {
+        if body.len() - off < header {
+            soft[RejectReason::BadTemplate.index()] += 1;
+            return;
+        }
+        let tid = be16(body, off);
+        let field_count = be16(body, off + 2) as usize;
+        let scope_count = if options { be16(body, off + 4) as usize } else { 0 };
+        off += header;
+        if field_count == 0 || scope_count > field_count {
+            soft[RejectReason::BadTemplate.index()] += 1;
+            return;
+        }
+        let mut fields = Vec::with_capacity(field_count);
+        for _ in 0..field_count {
+            match field_spec(body, off) {
+                Some((f, next)) => {
+                    fields.push(f);
+                    off = next;
+                }
+                None => {
+                    soft[RejectReason::BadTemplate.index()] += 1;
+                    return;
+                }
+            }
+        }
+        match cache.install(domain, Template::new(tid, fields, scope_count as u16), now_ns) {
+            InstallOutcome::Rejected => soft[RejectReason::BadTemplate.index()] += 1,
+            _ => *installed += 1,
+        }
+    }
+}
+
+/// Parse an IPFIX message against (and updating) the session template
+/// cache.
+pub fn parse(
+    buf: &[u8],
+    cache: &mut TemplateCache,
+    now_ns: u64,
+) -> Result<IpfixDatagram, RejectReason> {
+    if buf.len() < 2 {
+        return Err(RejectReason::TruncatedHeader);
+    }
+    if be16(buf, 0) != 10 {
+        return Err(RejectReason::BadVersion);
+    }
+    if buf.len() < IPFIX_HEADER_LEN {
+        return Err(RejectReason::TruncatedHeader);
+    }
+    let msg_len = be16(buf, 2) as usize;
+    // The header claims its own length; a claim shorter than the header or
+    // longer than the buffer is a framing lie.
+    if msg_len < IPFIX_HEADER_LEN || msg_len > buf.len() {
+        return Err(RejectReason::LengthLie);
+    }
+    let buf = &buf[..msg_len];
+    let export_time = be32(buf, 4);
+    let sequence = be32(buf, 8);
+    let domain = be32(buf, 12);
+
+    let mut dg = IpfixDatagram {
+        domain,
+        sequence,
+        export_time,
+        data_records: 0,
+        samples: Vec::new(),
+        malformed: 0,
+        soft: [0; REASON_COUNT],
+        templates_installed: 0,
+    };
+
+    let mut off = IPFIX_HEADER_LEN;
+    while off < buf.len() {
+        if buf.len() - off <= MAX_PAD {
+            break; // trailing alignment padding
+        }
+        if buf.len() - off < 4 {
+            dg.soft[RejectReason::TruncatedRecord.index()] += 1;
+            break;
+        }
+        let set_id = be16(buf, off);
+        let set_len = be16(buf, off + 2) as usize;
+        if set_len < 4 || off + set_len > buf.len() {
+            return Err(RejectReason::LengthLie);
+        }
+        let body = &buf[off + 4..off + set_len];
+        match set_id {
+            IPFIX_SET_TEMPLATE | IPFIX_SET_OPTIONS => parse_template_set(
+                body,
+                set_id == IPFIX_SET_OPTIONS,
+                cache,
+                domain,
+                now_ns,
+                &mut dg.soft,
+                &mut dg.templates_installed,
+            ),
+            id if id < IPFIX_SET_DATA_MIN => {
+                dg.soft[RejectReason::ReservedSet.index()] += 1;
+            }
+            tid => match cache.get(domain, tid, now_ns) {
+                Some(tpl) => {
+                    let tpl = tpl.clone();
+                    let o = decode_data_set(&tpl, body, &mut dg.samples, &mut dg.soft);
+                    dg.data_records += o.records;
+                    dg.malformed += o.malformed;
+                }
+                None => {
+                    // IPFIX has no per-message record count to reconcile
+                    // against, so an unknown-template set is booked as (at
+                    // least) one malformed record — a conservative floor.
+                    dg.soft[RejectReason::MissingTemplate.index()] += 1;
+                    dg.malformed += 1;
+                }
+            },
+        }
+        off += set_len;
+    }
+    Ok(dg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IpfixBuilder;
+    use crate::fields::{base_flow_fields, encode_record, IN_PKTS};
+    use crate::template::{TemplateCacheConfig, VARLEN};
+    use crate::test_support::sample;
+
+    fn cache() -> TemplateCache {
+        TemplateCache::new(TemplateCacheConfig::default())
+    }
+
+    #[test]
+    fn template_then_data_decodes() {
+        let mut c = cache();
+        let dg = IpfixBuilder::new(9, 0)
+            .template(256, &base_flow_fields())
+            .data_samples(256, &[sample(1), sample(2)])
+            .build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.samples, vec![sample(1), sample(2)]);
+        assert_eq!(got.data_records, 2);
+        assert_eq!(got.malformed, 0);
+        assert_eq!(got.domain, 9);
+    }
+
+    #[test]
+    fn length_lies_are_fatal() {
+        let mut c = cache();
+        let dg = IpfixBuilder::new(9, 0).template(256, &base_flow_fields()).build();
+        // Claimed length beyond the buffer.
+        let lying = IpfixBuilder::new(9, 0)
+            .template(256, &base_flow_fields())
+            .build_with_length(dg.len() as u16 + 40);
+        assert_eq!(parse(&lying, &mut c, 0), Err(RejectReason::LengthLie));
+        // Claimed length below the header.
+        let tiny = IpfixBuilder::new(9, 0).build_with_length(8);
+        assert_eq!(parse(&tiny, &mut c, 0), Err(RejectReason::LengthLie));
+    }
+
+    #[test]
+    fn message_length_truncates_trailing_bytes() {
+        let mut c = cache();
+        let mut dg = IpfixBuilder::new(9, 0)
+            .template(256, &base_flow_fields())
+            .data_samples(256, &[sample(1)])
+            .build();
+        dg.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0xde, 0xad]);
+        let got = parse(&dg, &mut c, 0).expect("parses to the claimed length");
+        assert_eq!(got.samples.len(), 1);
+        assert_eq!(got.malformed, 0);
+    }
+
+    #[test]
+    fn enterprise_fields_roundtrip_through_templates() {
+        let mut c = cache();
+        let fields = vec![
+            TemplateField::std(IN_PKTS, 4),
+            TemplateField { field_id: 77, length: 2, enterprise: Some(0x1234) },
+        ];
+        let dg = IpfixBuilder::new(9, 0)
+            .template(256, &fields)
+            .data(256, &[vec![0, 0, 0, 5, 0xaa, 0xbb]])
+            .build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.samples.len(), 1);
+        assert_eq!(got.samples[0].packets, 5);
+        let tpl = c.get(9, 256, 0).expect("installed");
+        assert_eq!(tpl.fields[1].enterprise, Some(0x1234));
+    }
+
+    #[test]
+    fn varlen_data_records_decode() {
+        let mut c = cache();
+        let fields = vec![TemplateField::std(IN_PKTS, 4), TemplateField::std(0x5001, VARLEN)];
+        let rows = vec![
+            vec![0, 0, 0, 1, 2, 0x61, 0x62], // pkts=1, varlen "ab"
+            vec![0, 0, 0, 2, 0],             // pkts=2, varlen empty
+        ];
+        let dg = IpfixBuilder::new(9, 0).template(256, &fields).data(256, &rows).build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.data_records, 2);
+        assert_eq!(got.samples[0].packets, 1);
+        assert_eq!(got.samples[1].packets, 2);
+    }
+
+    #[test]
+    fn unknown_template_set_is_floor_counted() {
+        let mut c = cache();
+        let dg = IpfixBuilder::new(9, 0).data_samples(300, &[sample(1)]).build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert!(got.samples.is_empty());
+        assert_eq!(got.soft[RejectReason::MissingTemplate.index()], 1);
+        assert_eq!(got.malformed, 1);
+    }
+
+    #[test]
+    fn options_template_scope_beyond_fields_is_bad() {
+        let mut c = cache();
+        // options template: tid=300, field_count=1, scope_count=2 (> count)
+        let body = [1, 44, 0, 1, 0, 2, 0, 1, 0, 4];
+        let dg = IpfixBuilder::new(9, 0).raw_set(IPFIX_SET_OPTIONS, &body).build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.soft[RejectReason::BadTemplate.index()], 1);
+        assert_eq!(c.total_len(), 0);
+    }
+
+    #[test]
+    fn options_data_yields_no_samples() {
+        let mut c = cache();
+        let scope = [TemplateField::std(1, 4)];
+        let opts = [TemplateField::std(41, 2)];
+        let dg = IpfixBuilder::new(9, 0)
+            .options_template(300, &scope, &opts)
+            .data(300, &[vec![0, 0, 0, 1, 0, 9]])
+            .build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert!(got.samples.is_empty());
+        assert_eq!(got.data_records, 1);
+    }
+
+    #[test]
+    fn truncated_record_tail_is_malformed() {
+        let mut c = cache();
+        let t = IpfixBuilder::new(9, 0).template(256, &base_flow_fields()).build();
+        parse(&t, &mut c, 0).expect("template");
+        let mut row = encode_record(&base_flow_fields(), &sample(1));
+        row.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7]);
+        let dg = IpfixBuilder::new(9, 1).data(256, &[row]).build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.samples.len(), 1);
+        assert_eq!(got.malformed, 1);
+        assert_eq!(got.soft[RejectReason::TruncatedRecord.index()], 1);
+    }
+
+    #[test]
+    fn fatal_header_rejects() {
+        let mut c = cache();
+        assert_eq!(parse(&[], &mut c, 0), Err(RejectReason::TruncatedHeader));
+        assert_eq!(parse(&[0, 10, 0], &mut c, 0), Err(RejectReason::TruncatedHeader));
+        assert_eq!(parse(&[0, 11, 0, 0], &mut c, 0), Err(RejectReason::BadVersion));
+    }
+}

@@ -1,0 +1,510 @@
+//! Per-exporter ingest session: version sniffing, stateful template
+//! decoding, per-reason accounting, and sequence-gap (upstream loss)
+//! detection — everything between "a UDP payload arrived" and "FET events
+//! plus honest counters".
+
+use crate::ipfix;
+use crate::reason::{RejectReason, REASON_COUNT};
+use crate::template::{TemplateCache, TemplateCacheConfig};
+use crate::translate::FlowSample;
+use crate::v5;
+use crate::v9;
+use std::collections::BTreeMap;
+
+/// Which export protocol a datagram spoke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WireProtocol {
+    /// NetFlow v5.
+    V5,
+    /// NetFlow v9.
+    V9,
+    /// IPFIX (v10).
+    Ipfix,
+}
+
+impl WireProtocol {
+    /// Version tag on the wire.
+    pub fn version(self) -> u16 {
+        match self {
+            WireProtocol::V5 => 5,
+            WireProtocol::V9 => 9,
+            WireProtocol::Ipfix => 10,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireProtocol::V5 => "netflow-v5",
+            WireProtocol::V9 => "netflow-v9",
+            WireProtocol::Ipfix => "ipfix",
+        }
+    }
+}
+
+/// Session bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSessionConfig {
+    /// Template-cache bounds (the headline `max_templates` knob).
+    pub template: TemplateCacheConfig,
+    /// Largest datagram accepted; longer input is rejected outright.
+    pub max_datagram: usize,
+    /// Maximum (protocol, domain) sequence streams tracked. Domains are
+    /// attacker-controlled 32-bit values, so loss tracking must be bounded
+    /// like the template cache; beyond the cap the least recently seen
+    /// stream is forgotten (its accumulated loss stays in the session
+    /// totals).
+    pub max_streams: usize,
+}
+
+impl Default for WireSessionConfig {
+    fn default() -> Self {
+        WireSessionConfig {
+            template: TemplateCacheConfig::default(),
+            max_datagram: 65535,
+            max_streams: 256,
+        }
+    }
+}
+
+/// What one datagram produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Protocol, once the version field was readable.
+    pub protocol: Option<WireProtocol>,
+    /// Observation domain / engine the datagram belonged to (0 when the
+    /// datagram died before the header decoded).
+    pub domain: u32,
+    /// Decoded flow records, in wire order.
+    pub samples: Vec<FlowSample>,
+    /// Flow records successfully decoded (== `samples.len()`).
+    pub decoded: u64,
+    /// Records claimed or started but not decodable.
+    pub malformed: u64,
+    /// Datagram-fatal rejection, if the framing could not be trusted.
+    pub rejected: Option<RejectReason>,
+    /// Soft (localized) reject counts by [`RejectReason::index`].
+    pub soft: [u64; REASON_COUNT],
+    /// Records the exporter's sequence numbers say we never received
+    /// (datagrams for v9, whose sequence counts datagrams).
+    pub lost_upstream: u64,
+    /// 1 if this datagram revealed a fresh sequence gap.
+    pub gap_events: u64,
+}
+
+impl IngestReport {
+    fn rejected(reason: RejectReason, protocol: Option<WireProtocol>) -> Self {
+        IngestReport {
+            protocol,
+            domain: 0,
+            samples: Vec::new(),
+            decoded: 0,
+            malformed: 0,
+            rejected: Some(reason),
+            soft: [0; REASON_COUNT],
+            lost_upstream: 0,
+            gap_events: 0,
+        }
+    }
+
+    /// Ledger contribution of this datagram: every record that enters the
+    /// `generated` term.
+    pub fn claimed(&self) -> u64 {
+        self.decoded + self.malformed
+    }
+}
+
+/// Running totals across a session's lifetime; all monotonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSessionStats {
+    /// Datagrams offered.
+    pub datagrams: u64,
+    /// Datagrams that decoded (possibly with soft defects).
+    pub accepted: u64,
+    /// Datagrams rejected outright.
+    pub rejected: u64,
+    /// Fatal rejections by [`RejectReason::index`].
+    pub rejects: [u64; REASON_COUNT],
+    /// Soft rejections by [`RejectReason::index`].
+    pub soft: [u64; REASON_COUNT],
+    /// Flow records decoded.
+    pub decoded: u64,
+    /// Records booked as malformed.
+    pub malformed: u64,
+    /// Upstream loss units (records; datagrams for v9).
+    pub lost_upstream: u64,
+    /// Distinct sequence gaps observed.
+    pub gap_events: u64,
+}
+
+impl Default for WireSessionStats {
+    fn default() -> Self {
+        WireSessionStats {
+            datagrams: 0,
+            accepted: 0,
+            rejected: 0,
+            rejects: [0; REASON_COUNT],
+            soft: [0; REASON_COUNT],
+            decoded: 0,
+            malformed: 0,
+            lost_upstream: 0,
+            gap_events: 0,
+        }
+    }
+}
+
+/// Accumulated upstream loss for one (protocol, domain) stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpstreamLossReport {
+    /// Export protocol of the stream.
+    pub protocol: WireProtocol,
+    /// Observation domain / engine id.
+    pub domain: u32,
+    /// Loss units (flow records for v5/IPFIX; datagrams for v9).
+    pub lost: u64,
+    /// Distinct gaps.
+    pub gaps: u64,
+}
+
+/// Largest single sequence jump still believed to be real upstream loss;
+/// larger jumps are treated as an exporter restart.
+pub const MAX_PLAUSIBLE_GAP: u32 = 1 << 24;
+
+#[derive(Debug, Clone, Copy)]
+struct SeqState {
+    expected: u32,
+    lost: u64,
+    gaps: u64,
+    touch: u64,
+}
+
+/// A stateful ingest session (one per exporter peer, or one shared — the
+/// observation domain keys all internal state).
+#[derive(Debug)]
+pub struct WireSession {
+    cfg: WireSessionConfig,
+    cache: TemplateCache,
+    seq: BTreeMap<(u16, u32), SeqState>,
+    seq_tick: u64,
+    stats: WireSessionStats,
+}
+
+impl WireSession {
+    /// New session with the given bounds.
+    pub fn new(cfg: WireSessionConfig) -> Self {
+        WireSession {
+            cache: TemplateCache::new(cfg.template),
+            cfg,
+            seq: BTreeMap::new(),
+            seq_tick: 0,
+            stats: WireSessionStats::default(),
+        }
+    }
+
+    /// The template cache (bounded; inspect occupancy and stats here).
+    pub fn cache(&self) -> &TemplateCache {
+        &self.cache
+    }
+
+    /// Session totals.
+    pub fn stats(&self) -> &WireSessionStats {
+        &self.stats
+    }
+
+    /// Expire stale templates; returns how many were dropped.
+    pub fn sweep_templates(&mut self, now_ns: u64) -> u64 {
+        self.cache.sweep(now_ns)
+    }
+
+    /// Per-stream upstream-loss accumulators, in deterministic key order.
+    pub fn upstream_losses(&self) -> Vec<UpstreamLossReport> {
+        self.seq
+            .iter()
+            .filter(|(_, s)| s.gaps > 0)
+            .map(|(&(ver, domain), s)| UpstreamLossReport {
+                protocol: match ver {
+                    5 => WireProtocol::V5,
+                    9 => WireProtocol::V9,
+                    _ => WireProtocol::Ipfix,
+                },
+                domain,
+                lost: s.lost,
+                gaps: s.gaps,
+            })
+            .collect()
+    }
+
+    /// Track a stream's sequence number. `advance` is how far this
+    /// datagram moves the counter (records or datagrams, per protocol).
+    ///
+    /// A forward jump up to [`MAX_PLAUSIBLE_GAP`] is loss; anything larger
+    /// is indistinguishable from an exporter restart (sequence collapsing
+    /// through the u32 wraparound) and re-bases silently — the cap keeps a
+    /// restart from being booked as hundreds of millions of lost records.
+    fn track_sequence(&mut self, ver: u16, domain: u32, seq: u32, advance: u32) -> (u64, u64) {
+        self.seq_tick += 1;
+        let tick = self.seq_tick;
+        if !self.seq.contains_key(&(ver, domain)) && self.seq.len() >= self.cfg.max_streams.max(1) {
+            // Forget the least recently seen stream; its loss totals were
+            // already folded into the session stats as they accrued.
+            if let Some((&victim, _)) = self.seq.iter().min_by_key(|(k, s)| (s.touch, **k)) {
+                self.seq.remove(&victim);
+            }
+        }
+        let entry = self.seq.entry((ver, domain)).or_insert(SeqState {
+            expected: seq,
+            lost: 0,
+            gaps: 0,
+            touch: tick,
+        });
+        entry.touch = tick;
+        let diff = seq.wrapping_sub(entry.expected);
+        let (lost, gaps) = if diff == 0 || diff > MAX_PLAUSIBLE_GAP {
+            (0, 0) // in order, or reorder/restart — re-base without loss
+        } else {
+            entry.lost += diff as u64;
+            entry.gaps += 1;
+            (diff as u64, 1)
+        };
+        entry.expected = seq.wrapping_add(advance);
+        (lost, gaps)
+    }
+
+    /// Ingest one datagram. Never panics on any input.
+    pub fn ingest(&mut self, datagram: &[u8], now_ns: u64) -> IngestReport {
+        self.stats.datagrams += 1;
+        let mut report = self.ingest_inner(datagram, now_ns);
+        if let Some(reason) = report.rejected {
+            self.stats.rejected += 1;
+            self.stats.rejects[reason.index()] += 1;
+        } else {
+            self.stats.accepted += 1;
+        }
+        for i in 0..REASON_COUNT {
+            self.stats.soft[i] += report.soft[i];
+        }
+        report.decoded = report.samples.len() as u64;
+        self.stats.decoded += report.decoded;
+        self.stats.malformed += report.malformed;
+        self.stats.lost_upstream += report.lost_upstream;
+        self.stats.gap_events += report.gap_events;
+        report
+    }
+
+    fn ingest_inner(&mut self, datagram: &[u8], now_ns: u64) -> IngestReport {
+        if datagram.len() > self.cfg.max_datagram {
+            return IngestReport::rejected(RejectReason::Oversize, None);
+        }
+        if datagram.len() < 2 {
+            return IngestReport::rejected(RejectReason::TruncatedHeader, None);
+        }
+        let version = u16::from_be_bytes([datagram[0], datagram[1]]);
+        match version {
+            5 => match v5::parse(datagram) {
+                Err(r) => IngestReport::rejected(r, Some(WireProtocol::V5)),
+                Ok(dg) => {
+                    let domain = ((dg.engine_type as u32) << 8) | dg.engine_id as u32;
+                    // v5 flow_sequence counts records exported so far.
+                    let (lost, gaps) =
+                        self.track_sequence(5, domain, dg.flow_sequence, dg.count as u32);
+                    IngestReport {
+                        protocol: Some(WireProtocol::V5),
+                        domain,
+                        decoded: dg.samples.len() as u64,
+                        samples: dg.samples,
+                        malformed: dg.malformed,
+                        rejected: None,
+                        soft: dg.soft,
+                        lost_upstream: lost,
+                        gap_events: gaps,
+                    }
+                }
+            },
+            9 => match v9::parse(datagram, &mut self.cache, now_ns) {
+                Err(r) => IngestReport::rejected(r, Some(WireProtocol::V9)),
+                Ok(dg) => {
+                    // v9 sequence counts datagrams, not records.
+                    let (lost, gaps) = self.track_sequence(9, dg.source_id, dg.sequence, 1);
+                    IngestReport {
+                        protocol: Some(WireProtocol::V9),
+                        domain: dg.source_id,
+                        decoded: dg.samples.len() as u64,
+                        samples: dg.samples,
+                        malformed: dg.malformed,
+                        rejected: None,
+                        soft: dg.soft,
+                        lost_upstream: lost,
+                        gap_events: gaps,
+                    }
+                }
+            },
+            10 => match ipfix::parse(datagram, &mut self.cache, now_ns) {
+                Err(r) => IngestReport::rejected(r, Some(WireProtocol::Ipfix)),
+                Ok(dg) => {
+                    // IPFIX sequence counts data records; advance by our
+                    // best estimate of this message's record count.
+                    let advance = (dg.data_records + dg.malformed).min(u32::MAX as u64) as u32;
+                    let (lost, gaps) = self.track_sequence(10, dg.domain, dg.sequence, advance);
+                    IngestReport {
+                        protocol: Some(WireProtocol::Ipfix),
+                        domain: dg.domain,
+                        decoded: dg.samples.len() as u64,
+                        samples: dg.samples,
+                        malformed: dg.malformed,
+                        rejected: None,
+                        soft: dg.soft,
+                        lost_upstream: lost,
+                        gap_events: gaps,
+                    }
+                }
+            },
+            _ => IngestReport::rejected(RejectReason::BadVersion, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{v5_datagram, IpfixBuilder, V9Builder};
+    use crate::fields::base_flow_fields;
+    use crate::test_support::sample;
+
+    fn session() -> WireSession {
+        WireSession::new(WireSessionConfig::default())
+    }
+
+    #[test]
+    fn mixed_protocols_share_a_session() {
+        let mut s = session();
+        let r = s.ingest(&v5_datagram(0, 0, 1, &[sample(1)]), 0);
+        assert_eq!(r.protocol, Some(WireProtocol::V5));
+        assert_eq!(r.decoded, 1);
+        let dg = V9Builder::new(7, 0)
+            .template(256, &base_flow_fields())
+            .data_samples(256, &[sample(2)])
+            .build();
+        assert_eq!(s.ingest(&dg, 0).decoded, 1);
+        let dg = IpfixBuilder::new(9, 0)
+            .template(256, &base_flow_fields())
+            .data_samples(256, &[sample(3)])
+            .build();
+        assert_eq!(s.ingest(&dg, 0).decoded, 1);
+        assert_eq!(s.stats().datagrams, 3);
+        assert_eq!(s.stats().accepted, 3);
+        assert_eq!(s.stats().decoded, 3);
+    }
+
+    #[test]
+    fn v5_sequence_gap_counts_lost_records() {
+        let mut s = session();
+        s.ingest(&v5_datagram(100, 0, 1, &[sample(1), sample(2)]), 0);
+        // Next expected 102; jump to 110 = 8 records lost upstream.
+        let r = s.ingest(&v5_datagram(110, 0, 1, &[sample(3)]), 0);
+        assert_eq!(r.lost_upstream, 8);
+        assert_eq!(r.gap_events, 1);
+        let losses = s.upstream_losses();
+        assert_eq!(losses.len(), 1);
+        assert_eq!(losses[0].protocol, WireProtocol::V5);
+        assert_eq!(losses[0].lost, 8);
+    }
+
+    #[test]
+    fn v9_sequence_gap_counts_lost_datagrams() {
+        let mut s = session();
+        let d = |seq| V9Builder::new(7, seq).template(256, &base_flow_fields()).build();
+        s.ingest(&d(5), 0);
+        let r = s.ingest(&d(9), 0); // skipped 6,7,8
+        assert_eq!(r.lost_upstream, 3);
+        assert_eq!(s.upstream_losses()[0].domain, 7);
+    }
+
+    #[test]
+    fn ipfix_sequence_gap_counts_lost_records() {
+        let mut s = session();
+        let d = |seq, n: usize| {
+            let rows: Vec<FlowSample> = (0..n).map(|i| sample(i as u8)).collect();
+            IpfixBuilder::new(3, seq)
+                .template(256, &base_flow_fields())
+                .data_samples(256, &rows)
+                .build()
+        };
+        s.ingest(&d(0, 2), 0);
+        // Next expected 2; claiming 7 means records 2..7 vanished.
+        let r = s.ingest(&d(7, 1), 0);
+        assert_eq!(r.lost_upstream, 5);
+    }
+
+    #[test]
+    fn restart_rebases_without_loss() {
+        let mut s = session();
+        s.ingest(&v5_datagram(4_000_000_000, 0, 1, &[sample(1)]), 0);
+        // Exporter restarted: sequence collapses backwards.
+        let r = s.ingest(&v5_datagram(3, 0, 1, &[sample(2)]), 0);
+        assert_eq!(r.lost_upstream, 0);
+        assert_eq!(r.gap_events, 0);
+        assert!(s.upstream_losses().is_empty());
+    }
+
+    #[test]
+    fn wraparound_is_not_loss() {
+        let mut s = session();
+        s.ingest(&v5_datagram(u32::MAX, 0, 1, &[sample(1)]), 0);
+        // 0xffff_ffff + 1 wraps to 0: in order.
+        let r = s.ingest(&v5_datagram(0, 0, 1, &[sample(2)]), 0);
+        assert_eq!(r.lost_upstream, 0);
+    }
+
+    #[test]
+    fn streams_are_tracked_independently() {
+        let mut s = session();
+        s.ingest(&v5_datagram(10, 0, 1, &[sample(1)]), 0);
+        s.ingest(&v5_datagram(50, 0, 2, &[sample(1)]), 0);
+        let r = s.ingest(&v5_datagram(11, 0, 1, &[sample(1)]), 0);
+        assert_eq!(r.lost_upstream, 0, "engine 2's sequence must not bleed into engine 1");
+    }
+
+    #[test]
+    fn oversize_and_garbage_are_counted_by_reason() {
+        let mut s = WireSession::new(WireSessionConfig { max_datagram: 64, ..Default::default() });
+        s.ingest(&[0u8; 65], 0);
+        s.ingest(&[1], 0);
+        s.ingest(&[0, 77, 1, 2], 0);
+        let st = s.stats();
+        assert_eq!(st.rejected, 3);
+        assert_eq!(st.rejects[RejectReason::Oversize.index()], 1);
+        assert_eq!(st.rejects[RejectReason::TruncatedHeader.index()], 1);
+        assert_eq!(st.rejects[RejectReason::BadVersion.index()], 1);
+        assert_eq!(st.accepted, 0);
+    }
+
+    #[test]
+    fn stream_tracking_is_bounded() {
+        let mut s = WireSession::new(WireSessionConfig { max_streams: 8, ..Default::default() });
+        for engine in 0..100u8 {
+            s.ingest(&v5_datagram(10, 0, engine, &[sample(engine)]), 0);
+        }
+        // A hostile exporter spraying domains cannot grow the seq map.
+        assert!(s.upstream_losses().len() <= 8);
+        // Losses already accrued stay in session totals even after the
+        // stream itself is forgotten.
+        s.ingest(&v5_datagram(0, 1, 1, &[sample(1)]), 0);
+        s.ingest(&v5_datagram(6, 1, 1, &[sample(2)]), 0);
+        let lost_before = s.stats().lost_upstream;
+        assert!(lost_before >= 5);
+        for engine in 0..100u8 {
+            s.ingest(&v5_datagram(10, 0, engine, &[sample(engine)]), 0);
+        }
+        assert_eq!(s.stats().lost_upstream, lost_before, "totals survive eviction");
+    }
+
+    #[test]
+    fn claimed_is_decoded_plus_malformed() {
+        let mut s = session();
+        let dg = crate::builder::v5_datagram_with_count(0, 0, 1, &[sample(1)], 4);
+        let r = s.ingest(&dg, 0);
+        assert_eq!(r.decoded, 1);
+        assert_eq!(r.malformed, 3);
+        assert_eq!(r.claimed(), 4);
+    }
+}

@@ -1,0 +1,54 @@
+//! Data-set decoding shared by the v9 and IPFIX parsers.
+
+use crate::fields::decode_record;
+use crate::reason::{RejectReason, REASON_COUNT};
+use crate::template::Template;
+use crate::translate::FlowSample;
+
+/// Both specs allow zero-padding a set to a 4-byte boundary; a tail longer
+/// than this cannot be padding and is a truncated record.
+pub(crate) const MAX_PAD: usize = 3;
+
+/// What decoding one data set produced.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SetOutcome {
+    /// Complete records walked (flow or option records).
+    pub records: u64,
+    /// Truncated partial records at the set tail.
+    pub malformed: u64,
+}
+
+/// Decode every record in a data-set body under `tpl`.
+///
+/// Flow records are appended to `samples`; option records (scope > 0) are
+/// walked for accounting but produce no samples. A tail shorter than one
+/// record is padding if ≤ [`MAX_PAD`] bytes, otherwise one malformed
+/// (truncated) record.
+pub(crate) fn decode_data_set(
+    tpl: &Template,
+    body: &[u8],
+    samples: &mut Vec<FlowSample>,
+    soft: &mut [u64; REASON_COUNT],
+) -> SetOutcome {
+    let mut out = SetOutcome::default();
+    let mut off = 0usize;
+    while off < body.len() {
+        match decode_record(tpl, &body[off..]) {
+            Some((s, used)) if used > 0 => {
+                if !tpl.is_options() {
+                    samples.push(s);
+                }
+                out.records += 1;
+                off += used;
+            }
+            _ => {
+                if body.len() - off > MAX_PAD {
+                    soft[RejectReason::TruncatedRecord.index()] += 1;
+                    out.malformed += 1;
+                }
+                break;
+            }
+        }
+    }
+    out
+}

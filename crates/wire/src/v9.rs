@@ -1,0 +1,363 @@
+//! NetFlow v9 (RFC 3954): template-driven export.
+//!
+//! A v9 datagram is a 20-byte header followed by flowsets. Flowset id 0
+//! carries template records, id 1 options-template records, ids ≥ 256 data
+//! records decoded under a previously announced template. Ids 2–255 are
+//! reserved. The header `count` claims how many records (of any kind) the
+//! datagram carries — a favorite place for exporters to lie, so the parser
+//! reconciles it against what it actually walked and books the difference
+//! as `malformed`.
+
+use crate::reason::{RejectReason, REASON_COUNT};
+use crate::sets::{decode_data_set, MAX_PAD};
+use crate::template::{InstallOutcome, Template, TemplateCache, TemplateField};
+use crate::translate::FlowSample;
+
+/// Fixed v9 header length.
+pub const V9_HEADER_LEN: usize = 20;
+/// Template flowset id.
+pub const V9_SET_TEMPLATE: u16 = 0;
+/// Options-template flowset id.
+pub const V9_SET_OPTIONS: u16 = 1;
+/// Smallest data flowset id.
+pub const V9_SET_DATA_MIN: u16 = 256;
+
+/// A decoded v9 datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct V9Datagram {
+    /// Observation domain (`source_id`).
+    pub source_id: u32,
+    /// Datagram sequence number (increments per datagram, per source).
+    pub sequence: u32,
+    /// The header's claimed record count.
+    pub count: u16,
+    /// Records of any kind actually walked (flow + option + template).
+    pub records_seen: u64,
+    /// Decoded flow records.
+    pub samples: Vec<FlowSample>,
+    /// Claimed-but-absent or truncated records.
+    pub malformed: u64,
+    /// Soft reject counters by [`RejectReason::index`].
+    pub soft: [u64; REASON_COUNT],
+    /// Templates accepted (installed or refreshed) from this datagram.
+    pub templates_installed: u64,
+}
+
+fn be16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+fn be32(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Walk a v9 template flowset body: `(tid, field_count, field_count × 4B)`
+/// records back to back.
+fn parse_template_set(
+    body: &[u8],
+    cache: &mut TemplateCache,
+    domain: u32,
+    now_ns: u64,
+    soft: &mut [u64; REASON_COUNT],
+    records: &mut u64,
+    installed: &mut u64,
+) {
+    let mut off = 0usize;
+    while body.len() - off > MAX_PAD {
+        if body.len() - off < 4 {
+            soft[RejectReason::BadTemplate.index()] += 1;
+            return;
+        }
+        let tid = be16(body, off);
+        let field_count = be16(body, off + 2) as usize;
+        off += 4;
+        if field_count == 0 || body.len() - off < field_count * 4 {
+            soft[RejectReason::BadTemplate.index()] += 1;
+            return;
+        }
+        let mut fields = Vec::with_capacity(field_count);
+        for i in 0..field_count {
+            fields.push(TemplateField::std(be16(body, off + i * 4), be16(body, off + i * 4 + 2)));
+        }
+        off += field_count * 4;
+        *records += 1;
+        match cache.install(domain, Template::new(tid, fields, 0), now_ns) {
+            InstallOutcome::Rejected => soft[RejectReason::BadTemplate.index()] += 1,
+            _ => *installed += 1,
+        }
+    }
+}
+
+/// Walk a v9 options-template flowset body:
+/// `(tid, scope_len_bytes, option_len_bytes, specs…)`.
+fn parse_options_set(
+    body: &[u8],
+    cache: &mut TemplateCache,
+    domain: u32,
+    now_ns: u64,
+    soft: &mut [u64; REASON_COUNT],
+    records: &mut u64,
+    installed: &mut u64,
+) {
+    let mut off = 0usize;
+    while body.len() - off > MAX_PAD {
+        if body.len() - off < 6 {
+            soft[RejectReason::BadTemplate.index()] += 1;
+            return;
+        }
+        let tid = be16(body, off);
+        let scope_len = be16(body, off + 2) as usize;
+        let option_len = be16(body, off + 4) as usize;
+        off += 6;
+        let spec_len = scope_len + option_len;
+        if !scope_len.is_multiple_of(4)
+            || !option_len.is_multiple_of(4)
+            || spec_len == 0
+            || body.len() - off < spec_len
+        {
+            soft[RejectReason::BadTemplate.index()] += 1;
+            return;
+        }
+        let field_count = spec_len / 4;
+        let mut fields = Vec::with_capacity(field_count);
+        for i in 0..field_count {
+            fields.push(TemplateField::std(be16(body, off + i * 4), be16(body, off + i * 4 + 2)));
+        }
+        off += spec_len;
+        *records += 1;
+        let tpl = Template::new(tid, fields, (scope_len / 4) as u16);
+        match cache.install(domain, tpl, now_ns) {
+            InstallOutcome::Rejected => soft[RejectReason::BadTemplate.index()] += 1,
+            _ => *installed += 1,
+        }
+    }
+}
+
+/// Parse a v9 datagram against (and updating) the session template cache.
+pub fn parse(
+    buf: &[u8],
+    cache: &mut TemplateCache,
+    now_ns: u64,
+) -> Result<V9Datagram, RejectReason> {
+    if buf.len() < 2 {
+        return Err(RejectReason::TruncatedHeader);
+    }
+    if be16(buf, 0) != 9 {
+        return Err(RejectReason::BadVersion);
+    }
+    if buf.len() < V9_HEADER_LEN {
+        return Err(RejectReason::TruncatedHeader);
+    }
+    let count = be16(buf, 2);
+    // A record needs at least 1 byte; a count beyond the datagram's byte
+    // length is physically impossible and would let a hostile exporter
+    // inflate the ledger for free.
+    if count as usize > buf.len() {
+        return Err(RejectReason::CountLie);
+    }
+    let sequence = be32(buf, 12);
+    let source_id = be32(buf, 16);
+
+    let mut dg = V9Datagram {
+        source_id,
+        sequence,
+        count,
+        records_seen: 0,
+        samples: Vec::new(),
+        malformed: 0,
+        soft: [0; REASON_COUNT],
+        templates_installed: 0,
+    };
+
+    let mut off = V9_HEADER_LEN;
+    while off < buf.len() {
+        if buf.len() - off <= MAX_PAD {
+            break; // trailing alignment padding
+        }
+        if buf.len() - off < 4 {
+            dg.soft[RejectReason::TruncatedRecord.index()] += 1;
+            break;
+        }
+        let set_id = be16(buf, off);
+        let set_len = be16(buf, off + 2) as usize;
+        if set_len < 4 || off + set_len > buf.len() {
+            // The framing itself lies; nothing past this point is
+            // trustworthy.
+            return Err(RejectReason::LengthLie);
+        }
+        let body = &buf[off + 4..off + set_len];
+        match set_id {
+            V9_SET_TEMPLATE => parse_template_set(
+                body,
+                cache,
+                source_id,
+                now_ns,
+                &mut dg.soft,
+                &mut dg.records_seen,
+                &mut dg.templates_installed,
+            ),
+            V9_SET_OPTIONS => parse_options_set(
+                body,
+                cache,
+                source_id,
+                now_ns,
+                &mut dg.soft,
+                &mut dg.records_seen,
+                &mut dg.templates_installed,
+            ),
+            id if id < V9_SET_DATA_MIN => {
+                dg.soft[RejectReason::ReservedSet.index()] += 1;
+            }
+            tid => match cache.get(source_id, tid, now_ns) {
+                Some(tpl) => {
+                    let tpl = tpl.clone();
+                    let o = decode_data_set(&tpl, body, &mut dg.samples, &mut dg.soft);
+                    dg.records_seen += o.records;
+                    dg.malformed += o.malformed;
+                }
+                None => {
+                    // Records under an unknown template can't even be
+                    // counted directly; the count reconciliation below
+                    // books them as malformed.
+                    dg.soft[RejectReason::MissingTemplate.index()] += 1;
+                }
+            },
+        }
+        off += set_len;
+    }
+
+    // Reconcile the claimed count: records the exporter claimed but we
+    // never walked (count lies, unknown-template sets, truncated sets)
+    // are malformed. An *under*-claiming exporter is not penalized.
+    dg.malformed += (dg.count as u64).saturating_sub(dg.records_seen + dg.malformed);
+    Ok(dg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::V9Builder;
+    use crate::fields::base_flow_fields;
+    use crate::template::TemplateCacheConfig;
+    use crate::test_support::sample;
+
+    fn cache() -> TemplateCache {
+        TemplateCache::new(TemplateCacheConfig::default())
+    }
+
+    #[test]
+    fn template_then_data_decodes() {
+        let mut c = cache();
+        let dg = V9Builder::new(7, 1)
+            .template(256, &base_flow_fields())
+            .data_samples(256, &[sample(1), sample(2)])
+            .build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.samples, vec![sample(1), sample(2)]);
+        assert_eq!(got.records_seen, 3, "1 template + 2 data");
+        assert_eq!(got.malformed, 0);
+        assert_eq!(got.templates_installed, 1);
+        assert_eq!(c.domain_len(7), 1);
+    }
+
+    #[test]
+    fn data_before_template_is_missing_template() {
+        let mut c = cache();
+        let dg = V9Builder::new(7, 1).data_samples(256, &[sample(1)]).build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert!(got.samples.is_empty());
+        assert_eq!(got.soft[RejectReason::MissingTemplate.index()], 1);
+        // The claimed record surfaces as malformed via count reconciliation.
+        assert_eq!(got.malformed, 1);
+    }
+
+    #[test]
+    fn templates_survive_across_datagrams() {
+        let mut c = cache();
+        let t = V9Builder::new(7, 1).template(256, &base_flow_fields()).build();
+        parse(&t, &mut c, 0).expect("template datagram");
+        let d = V9Builder::new(7, 2).data_samples(256, &[sample(3)]).build();
+        let got = parse(&d, &mut c, 0).expect("data datagram");
+        assert_eq!(got.samples, vec![sample(3)]);
+    }
+
+    #[test]
+    fn fatal_rejects() {
+        let mut c = cache();
+        assert_eq!(parse(&[], &mut c, 0), Err(RejectReason::TruncatedHeader));
+        assert_eq!(parse(&[0, 9, 0], &mut c, 0), Err(RejectReason::TruncatedHeader));
+        assert_eq!(parse(&[0, 8, 0, 0], &mut c, 0), Err(RejectReason::BadVersion));
+        // Claimed count beyond the datagram's physical capacity.
+        let dg = V9Builder::new(7, 1).build_with_count(9999);
+        assert_eq!(parse(&dg, &mut c, 0), Err(RejectReason::CountLie));
+        // Flowset length walking off the buffer.
+        let dg = V9Builder::new(7, 1).raw_flowset(256, &[0u8; 8]).build();
+        let mut lying = dg.clone();
+        lying[V9_HEADER_LEN + 2] = 0xff; // set_len low byte → far past end
+        lying[V9_HEADER_LEN + 3] = 0xff;
+        assert_eq!(parse(&lying, &mut c, 0), Err(RejectReason::LengthLie));
+        // Flowset length below its own header.
+        let mut tiny = dg;
+        tiny[V9_HEADER_LEN + 2] = 0;
+        tiny[V9_HEADER_LEN + 3] = 3;
+        assert_eq!(parse(&tiny, &mut c, 0), Err(RejectReason::LengthLie));
+    }
+
+    #[test]
+    fn reserved_flowset_ids_are_skipped() {
+        let mut c = cache();
+        let dg = V9Builder::new(7, 1)
+            .raw_flowset(100, &[1, 2, 3, 4])
+            .template(256, &base_flow_fields())
+            .data_samples(256, &[sample(1)])
+            .build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.soft[RejectReason::ReservedSet.index()], 1);
+        assert_eq!(got.samples.len(), 1);
+    }
+
+    #[test]
+    fn bad_template_is_soft() {
+        let mut c = cache();
+        // field_count = 0
+        let dg = V9Builder::new(7, 1).raw_flowset(V9_SET_TEMPLATE, &[1, 0, 0, 0]).build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.soft[RejectReason::BadTemplate.index()], 1);
+        assert_eq!(c.total_len(), 0);
+        // Template id below 256 is refused by the cache.
+        let dg = V9Builder::new(7, 2).template(42, &base_flow_fields()).build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.soft[RejectReason::BadTemplate.index()], 1);
+        assert_eq!(c.total_len(), 0);
+    }
+
+    #[test]
+    fn options_template_data_counts_but_yields_no_samples() {
+        let mut c = cache();
+        let scope = [TemplateField::std(1, 4)]; // "system" scope
+        let opts = [TemplateField::std(41, 2)];
+        let dg = V9Builder::new(7, 1)
+            .options_template(300, &scope, &opts)
+            .data(300, &[vec![0, 0, 0, 1, 0, 5]])
+            .build();
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert!(got.samples.is_empty());
+        assert_eq!(got.records_seen, 2, "1 options template + 1 option record");
+        assert_eq!(got.malformed, 0);
+    }
+
+    #[test]
+    fn truncated_data_tail_is_malformed() {
+        let mut c = cache();
+        let t = V9Builder::new(7, 1).template(256, &base_flow_fields()).build();
+        parse(&t, &mut c, 0).expect("template");
+        // One complete record plus 7 stray bytes (more than padding).
+        let mut row = crate::fields::encode_record(&base_flow_fields(), &sample(1));
+        row.extend_from_slice(&[9, 9, 9, 9, 9, 9, 9]);
+        let dg = V9Builder::new(7, 2).data(256, &[row]).build_with_count(2);
+        let got = parse(&dg, &mut c, 0).expect("parses");
+        assert_eq!(got.samples.len(), 1);
+        assert_eq!(got.malformed, 1);
+        assert_eq!(got.soft[RejectReason::TruncatedRecord.index()], 1);
+    }
+}

@@ -5,6 +5,7 @@
 //! The real functionality lives in the member crates:
 //!
 //! * [`fet_packet`] — typed packet views and NetSeer wire formats
+//! * [`fet_wire`] — panic-free NetFlow v5/v9/IPFIX ingestion
 //! * [`fet_pdp`] — programmable-data-plane pipeline emulator
 //! * [`fet_netsim`] — discrete-event network simulator
 //! * [`netseer`] — the flow-event-telemetry system itself
@@ -17,5 +18,6 @@ pub use fet_baselines;
 pub use fet_netsim;
 pub use fet_packet;
 pub use fet_pdp;
+pub use fet_wire;
 pub use fet_workloads;
 pub use netseer;

@@ -804,6 +804,96 @@ fn backpressure_widens_flush_intervals_deterministically() {
     );
 }
 
+/// Scenario 17 — a hostile NetFlow/IPFIX exporter storms the collector's
+/// wire socket: template floods, count and length lies,
+/// data-before-template, reserved sets, raw garbage, and seeded byte
+/// corruption layered on top — against a collector with a tight watermark
+/// and a tiny spill budget so the whole admission ladder engages. The
+/// contract: no panic anywhere, the template cache stays inside its
+/// configured bound, every rejected datagram is quarantined and counted
+/// under exactly one reason, and the extended ledger identity — now with
+/// the `malformed` term — holds exactly.
+#[test]
+fn hostile_exporter_storm_stays_bounded_and_accounted() {
+    use fet_netsim::{HostileExporter, HostileExporterConfig};
+    use netseer::{WireConfig, WireIngest};
+
+    let mut exporter = HostileExporter::new(HostileExporterConfig {
+        seed: seed(0x3117),
+        hostility: 0.5,
+        corruption: CorruptionSpec {
+            flip_per_byte: 2e-3,
+            truncate_prob: 0.05,
+            duplicate_prob: 0.02,
+        },
+        ..HostileExporterConfig::default()
+    });
+    let mut collector = Collector::with_config(CollectorConfig {
+        memory_watermark: 32,
+        max_spill_bytes: 8 * 1024,
+        spill_segment_bytes: 1024,
+        ..CollectorConfig::default()
+    });
+    // A subscriber that never drains: the watermark binds, the storm
+    // spills, and the small byte budget forces real shed.
+    collector.subscribe();
+    let mut wire = WireIngest::new(WireConfig::default());
+
+    let mut sent = 0u64;
+    for tick in 0..800u64 {
+        let now = tick * 10 * MICROS;
+        if let Some(datagram) = exporter.emit() {
+            sent += 1;
+            wire.ingest_datagram(&mut collector, &datagram, now);
+        }
+        if tick % 128 == 0 {
+            wire.sweep_templates(now);
+        }
+    }
+    assert!(sent > 0 && exporter.attacks > 0, "the storm must mix honest and hostile traffic");
+
+    // The template cache survived the floods inside its configured bounds.
+    let cache = wire.session().cache();
+    assert!(cache.max_domain_len() <= cache.config().max_templates);
+    assert!(cache.domain_count() <= cache.config().max_domains);
+
+    // Every datagram got exactly one disposition; every fatal reject is
+    // counted under exactly one reason and offered to quarantine.
+    let stats = wire.session().stats();
+    assert_eq!(stats.datagrams, sent);
+    assert_eq!(stats.accepted + stats.rejected, sent);
+    assert_eq!(wire.rejects_by_reason().iter().sum::<u64>(), wire.rejected_datagrams());
+    assert!(wire.rejected_datagrams() > 0, "hostility 0.5 must produce fatal rejects");
+    assert!(
+        wire.rejects_by_reason().iter().filter(|&&c| c > 0).count() >= 3,
+        "the attack mix must exercise several reject reasons: {:?}",
+        wire.rejects_by_reason()
+    );
+    assert_eq!(collector.poison_seen, wire.rejected_datagrams());
+    assert!(!collector.quarantine().is_empty());
+    assert!(collector.quarantine().iter().all(|p| p.reason.starts_with("wire:")));
+
+    // The extended identity holds exactly, with every term engaged.
+    let ledger = wire.ledger(&collector);
+    ledger.assert_balanced();
+    assert!(ledger.malformed > 0, "count lies and missing templates must book malformed");
+    assert!(ledger.buffered > 0, "the watermark must divert the storm into the spill");
+    assert!(ledger.shed_cpu_overload > 0, "the exhausted spill budget must refuse");
+    assert_eq!(
+        ledger.generated,
+        ledger.delivered + ledger.shed_cpu_overload + ledger.buffered + ledger.malformed,
+        "extended identity must hold exactly: {ledger:?}"
+    );
+
+    // Upstream datagram drops surface as sequence gaps. (No ceiling check
+    // here: byte corruption can also mangle sequence numbers, so under a
+    // storm the gap signal is an estimate, not ground truth — the
+    // corruption-free ceiling is pinned by the exporter's own tests.)
+    assert!(exporter.dropped_upstream > 0, "drop_prob must eat datagrams");
+    let detected: u64 = wire.upstream_losses().iter().map(|l| l.lost).sum();
+    assert!(detected > 0, "sequence gaps must surface the upstream loss");
+}
+
 /// The reproducibility contract extended to crash-recovery: the same seed
 /// reproduces the same crash schedule, the same per-restart loss, and the
 /// same final counters — twice.

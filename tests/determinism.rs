@@ -69,6 +69,64 @@ struct Fingerprint {
     spill_replayed: u64,
     spill_torn: u64,
     analytics: AnalyticsState,
+    /// Wire-ingestion observables from the seeded hostile-exporter storm
+    /// every fingerprint runs: malformed / quarantine / per-reason reject
+    /// counters are part of the bit-identical contract.
+    wire: WireState,
+}
+
+/// Everything observable about the hostile-exporter wire storm.
+#[derive(Debug, PartialEq)]
+struct WireState {
+    ledger: DeliveryLedger,
+    quarantined: u64,
+    rejects: Vec<u64>,
+    soft_rejects: Vec<u64>,
+    upstream_lost: u64,
+    store: Vec<StoredEvent>,
+}
+
+/// Storm a dedicated tight-watermark collector with the seeded hostile
+/// exporter and capture every wire observable. Deterministic in
+/// `storm_seed`; joins [`Fingerprint`] so the contract covers the wire
+/// path (BTreeMap-ordered template cache, device map, quarantine).
+fn run_wire_storm(storm_seed: u64) -> WireState {
+    use fet_netsim::{HostileExporter, HostileExporterConfig};
+    use netseer::{WireConfig, WireIngest};
+
+    let mut exporter = HostileExporter::new(HostileExporterConfig {
+        seed: storm_seed,
+        hostility: 0.4,
+        corruption: CorruptionSpec {
+            flip_per_byte: 1e-3,
+            truncate_prob: 0.05,
+            duplicate_prob: 0.02,
+        },
+        ..HostileExporterConfig::default()
+    });
+    let mut collector = Collector::with_config(CollectorConfig {
+        memory_watermark: 32,
+        max_spill_bytes: 8 * 1024,
+        spill_segment_bytes: 1024,
+        ..CollectorConfig::default()
+    });
+    collector.subscribe(); // never drains: watermark binds, spill fills, shed engages
+    let mut wire = WireIngest::new(WireConfig::default());
+    for tick in 0..400u64 {
+        if let Some(datagram) = exporter.emit() {
+            wire.ingest_datagram(&mut collector, &datagram, tick * 10 * MICROS);
+        }
+    }
+    let ledger = wire.ledger(&collector);
+    ledger.assert_balanced();
+    WireState {
+        ledger,
+        quarantined: collector.poison_seen,
+        rejects: wire.rejects_by_reason().to_vec(),
+        soft_rejects: wire.soft_rejects_by_reason().to_vec(),
+        upstream_lost: wire.upstream_losses().iter().map(|l| l.lost).sum(),
+        store: collector.store().events().to_vec(),
+    }
 }
 
 /// How the post-processing collector in [`run_scenario_with`] exercises
@@ -260,6 +318,7 @@ fn run_scenario_with(
             top_flows: engine.top_flows(32),
             totals: engine.totals(),
         },
+        wire: run_wire_storm(fault_seed ^ 0x3117),
         delivered,
     }
 }
@@ -271,8 +330,8 @@ fn assert_deterministic(
     cfg: impl Fn() -> NetSeerConfig,
     crash_base: Option<(u64, CrashKind)>,
     drive: impl Fn(&mut Simulator, &FatTree) + Copy,
-) {
-    let _ = assert_deterministic_with(name, cfg, crash_base, drive, SpillDrill::Off);
+) -> Fingerprint {
+    assert_deterministic_with(name, cfg, crash_base, drive, SpillDrill::Off)
 }
 
 /// Like [`assert_deterministic`], with a spill drill applied to the
@@ -606,6 +665,33 @@ fn det_16_backpressure_widening() {
     );
     assert!(fp.flushes_skipped > 0, "the widened stride must hold partial flushes back");
     assert_eq!(fp.ledger.missing(), 0, "widened batching must not lose accounting");
+}
+
+/// Scenario 17 — the hostile-exporter wire storm. Every fingerprint in
+/// this file already replays the seeded storm (see [`run_wire_storm`]),
+/// so the malformed / quarantine / per-reason reject counters are part of
+/// the bit-identical contract at every shard count; this scenario
+/// additionally pins that the storm genuinely engages every term it is
+/// supposed to.
+#[test]
+fn det_17_hostile_wire_storm() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan { seed: seed(0x3117), ..FaultPlan::default() },
+        ..NetSeerConfig::default()
+    };
+    let fp =
+        assert_deterministic("wire-storm", cfg, None, |sim, ft| drive_lossy_fabric(sim, ft, 0.02));
+    let wire = &fp.wire;
+    assert!(wire.ledger.malformed > 0, "the storm must book malformed records");
+    assert!(wire.ledger.shed_cpu_overload > 0, "the tiny spill budget must refuse");
+    assert!(wire.quarantined > 0, "fatal rejects must be quarantined");
+    assert_eq!(
+        wire.rejects.iter().sum::<u64>(),
+        wire.quarantined,
+        "every rejected datagram must be counted under exactly one reason"
+    );
+    assert!(wire.upstream_lost > 0, "dropped datagrams must surface as sequence gaps");
+    assert!(!wire.store.is_empty(), "honest records must still reach the store");
 }
 
 /// Scenario 13 — watchdog supervision of wedged monitors: checks are

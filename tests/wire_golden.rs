@@ -1,0 +1,363 @@
+//! Golden corpus for the wire ingestion path: hand-laid and
+//! builder-produced NetFlow v5 / v9 / IPFIX datagrams with the *exact*
+//! FET events each must yield, plus the template-cache bound property
+//! under adversarial insertion orders.
+//!
+//! These tests freeze the wire-format contract: any byte-layout or
+//! translation change that alters what a known exporter datagram decodes
+//! to must show up here as an exact-equality failure, not a statistical
+//! drift.
+
+use fet_netsim::rng::Pcg32;
+use fet_packet::event::{DropCode, EventDetail, EventRecord, EventType};
+use fet_packet::flow::{FlowKey, IpProtocol};
+use fet_packet::Ipv4Addr;
+use fet_wire::builder::{IpfixBuilder, V9Builder};
+use fet_wire::fields::{base_flow_fields, encode_record};
+use fet_wire::{
+    flow_hash, translate, FlowSample, RejectReason, Template, TemplateCache, TemplateCacheConfig,
+    TemplateField, WireSession, WireSessionConfig,
+};
+
+fn session() -> WireSession {
+    WireSession::new(WireSessionConfig::default())
+}
+
+/// The golden flow used across the corpus: 10.0.0.1:1000 → 10.9.0.2:80/tcp.
+fn golden_flow() -> FlowKey {
+    FlowKey::tcp(
+        Ipv4Addr::from_octets([10, 0, 0, 1]),
+        1000,
+        Ipv4Addr::from_octets([10, 9, 0, 2]),
+        80,
+    )
+}
+
+fn golden_sample() -> FlowSample {
+    FlowSample {
+        flow: golden_flow(),
+        in_port: 3,
+        out_port: 7,
+        packets: 12,
+        bytes: 1200,
+        tcp_flags: 0x10,
+        forwarding_status: Some(0x40),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NetFlow v5: a byte-literal datagram and its exact event.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v5_golden_datagram_yields_the_exact_event() {
+    // 24-byte header: version 5, count 1, seq 100, engine 1/2.
+    let mut dg = vec![
+        0x00, 0x05, // version
+        0x00, 0x01, // count
+        0x00, 0x00, 0x00, 0x00, // sys_uptime
+        0x00, 0x00, 0x00, 0x00, // unix_secs
+        0x00, 0x00, 0x00, 0x00, // unix_nsecs
+        0x00, 0x00, 0x00, 0x64, // flow_sequence = 100
+        0x01, // engine_type
+        0x02, // engine_id
+        0x00, 0x00, // sampling
+    ];
+    // One 48-byte record, laid out by RFC field offsets.
+    let mut rec = [0u8; 48];
+    rec[0..4].copy_from_slice(&[10, 0, 0, 1]); // src
+    rec[4..8].copy_from_slice(&[10, 9, 0, 2]); // dst
+    rec[12..14].copy_from_slice(&3u16.to_be_bytes()); // input
+    rec[14..16].copy_from_slice(&7u16.to_be_bytes()); // output
+    rec[16..20].copy_from_slice(&12u32.to_be_bytes()); // dPkts
+    rec[20..24].copy_from_slice(&1200u32.to_be_bytes()); // dOctets
+    rec[32..34].copy_from_slice(&1000u16.to_be_bytes()); // srcport
+    rec[34..36].copy_from_slice(&80u16.to_be_bytes()); // dstport
+    rec[37] = 0x10; // tcp_flags
+    rec[38] = 6; // proto = TCP
+    dg.extend_from_slice(&rec);
+
+    let mut s = session();
+    let r = s.ingest(&dg, 0);
+    assert_eq!(r.rejected, None);
+    assert_eq!(r.decoded, 1);
+    assert_eq!(r.malformed, 0);
+    assert_eq!(r.domain, (1 << 8) | 2, "engine_type/engine_id pack into the domain");
+
+    // v5 carries no forwardingStatus; out_port 7 ⇒ the flow moved ⇒ the
+    // exact expected event is a PathChange.
+    let got = translate(&r.samples[0]);
+    let want = EventRecord {
+        ty: EventType::PathChange,
+        flow: golden_flow(),
+        detail: EventDetail::PathChange { ingress_port: 3, egress_port: 7 },
+        counter: 12,
+        hash: flow_hash(&golden_flow()),
+    };
+    assert_eq!(got, want);
+    assert_eq!(r.samples[0].forwarding_status, None, "v5 has no forwarding status field");
+    assert_eq!(r.samples[0].bytes, 1200);
+}
+
+#[test]
+fn v5_blackholed_record_yields_the_exact_drop_event() {
+    // Same record, output interface 0: the blackhole convention.
+    let mut s = session();
+    let mut sample = golden_sample();
+    sample.out_port = 0;
+    sample.forwarding_status = None;
+    let dg = fet_wire::builder::v5_datagram(0, 0, 1, &[sample]);
+    let r = s.ingest(&dg, 0);
+    let want = EventRecord {
+        ty: EventType::PipelineDrop,
+        flow: golden_flow(),
+        detail: EventDetail::Drop { ingress_port: 3, egress_port: 0, code: DropCode::TableMiss },
+        counter: 12,
+        hash: flow_hash(&golden_flow()),
+    };
+    assert_eq!(translate(&r.samples[0]), want);
+}
+
+// ---------------------------------------------------------------------------
+// NetFlow v9: template lifecycle golden cases.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v9_template_before_data_decodes_exactly() {
+    let mut s = session();
+    let mut dropped = golden_sample();
+    dropped.forwarding_status = Some(0x89); // dropped, reason 9 = TTL expired
+    let dg = V9Builder::new(7, 1)
+        .template(260, &base_flow_fields())
+        .data_samples(260, &[golden_sample(), dropped])
+        .build();
+    let r = s.ingest(&dg, 0);
+    assert_eq!(r.rejected, None);
+    assert_eq!(r.decoded, 2);
+    assert_eq!(r.malformed, 0);
+
+    let events: Vec<EventRecord> = r.samples.iter().map(translate).collect();
+    assert_eq!(
+        events[0],
+        EventRecord {
+            ty: EventType::PathChange,
+            flow: golden_flow(),
+            detail: EventDetail::PathChange { ingress_port: 3, egress_port: 7 },
+            counter: 12,
+            hash: flow_hash(&golden_flow()),
+        }
+    );
+    assert_eq!(
+        events[1],
+        EventRecord {
+            ty: EventType::PipelineDrop,
+            flow: golden_flow(),
+            detail: EventDetail::Drop {
+                ingress_port: 3,
+                egress_port: 7,
+                code: DropCode::TtlExpired,
+            },
+            counter: 12,
+            hash: flow_hash(&golden_flow()),
+        }
+    );
+}
+
+#[test]
+fn v9_data_before_template_is_malformed_until_announced() {
+    let mut s = session();
+    // Data first: nothing decodable, but nothing silently lost either —
+    // both records are booked malformed under the missing-template reason.
+    let data_first =
+        V9Builder::new(7, 1).data_samples(260, &[golden_sample(), golden_sample()]).build();
+    let r = s.ingest(&data_first, 0);
+    assert_eq!(r.rejected, None, "a missing template is a soft defect");
+    assert_eq!(r.decoded, 0);
+    assert_eq!(r.malformed, 2, "the claimed records are accounted, not dropped");
+    assert_eq!(r.soft[RejectReason::MissingTemplate.index()], 1);
+    assert_eq!(r.claimed(), 2);
+
+    // Announce, then resend: decodes exactly.
+    let announce = V9Builder::new(7, 2).template(260, &base_flow_fields()).build();
+    assert_eq!(s.ingest(&announce, 0).rejected, None);
+    let again = V9Builder::new(7, 3).data_samples(260, &[golden_sample(), golden_sample()]).build();
+    let r = s.ingest(&again, 0);
+    assert_eq!((r.decoded, r.malformed), (2, 0));
+    assert_eq!(translate(&r.samples[0]).ty, EventType::PathChange);
+}
+
+#[test]
+fn v9_template_refresh_swaps_the_record_layout() {
+    let mut s = session();
+    // First layout: the full base template.
+    let dg = V9Builder::new(7, 1)
+        .template(260, &base_flow_fields())
+        .data_samples(260, &[golden_sample()])
+        .build();
+    assert_eq!(s.ingest(&dg, 0).decoded, 1);
+
+    // Refresh tid 260 with a narrower layout: src addr + proto only.
+    let narrow = vec![
+        TemplateField::std(8, 4), // IPV4_SRC_ADDR
+        TemplateField::std(4, 1), // PROTOCOL
+    ];
+    let row = vec![vec![10, 0, 0, 1, 17]]; // 10.0.0.1, UDP
+    let dg = V9Builder::new(7, 2).template(260, &narrow).data(260, &row).build();
+    let r = s.ingest(&dg, 0);
+    assert_eq!(r.rejected, None);
+    assert_eq!(r.decoded, 1, "data decodes under the refreshed layout");
+    let smp = r.samples[0];
+    assert_eq!(smp.flow.src, Ipv4Addr::from_octets([10, 0, 0, 1]));
+    assert_eq!(smp.flow.proto, IpProtocol::Udp);
+    assert_eq!(smp.flow.dport, 0, "fields absent from the template stay zero");
+    assert_eq!(s.cache().stats().refreshed, 1);
+    assert_eq!(s.cache().domain_len(7), 1, "refresh replaces, never duplicates");
+
+    // Old-layout data under the refreshed template no longer fits
+    // cleanly: a 27-byte record against a 5-byte layout decodes 5 phantom
+    // records and flags the 2-byte tail.
+    let stale = V9Builder::new(7, 3).data_samples(260, &[golden_sample()]).build();
+    let r = s.ingest(&stale, 0);
+    assert_eq!(r.rejected, None, "stale-layout data is a soft defect, not a reject");
+}
+
+#[test]
+fn v9_options_template_records_are_counted_but_not_eventized() {
+    let mut s = session();
+    let dg = V9Builder::new(7, 1)
+        .options_template(900, &[TemplateField::std(1, 4)], &[TemplateField::std(2, 2)])
+        .data(900, &[vec![0, 0, 0, 1, 0, 60]])
+        .build();
+    let r = s.ingest(&dg, 0);
+    assert_eq!(r.rejected, None);
+    assert_eq!(r.samples.len(), 0, "option records describe the exporter, not flows");
+    assert_eq!(r.malformed, 0, "counted cleanly — just not flow events");
+}
+
+// ---------------------------------------------------------------------------
+// IPFIX: template + enterprise-field golden cases.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ipfix_template_before_data_decodes_exactly() {
+    let mut s = session();
+    let dg = IpfixBuilder::new(9, 0)
+        .template(270, &base_flow_fields())
+        .data_samples(270, &[golden_sample()])
+        .build();
+    let r = s.ingest(&dg, 0);
+    assert_eq!(r.rejected, None);
+    assert_eq!((r.decoded, r.malformed), (1, 0));
+    assert_eq!(r.domain, 9);
+    let want = EventRecord {
+        ty: EventType::PathChange,
+        flow: golden_flow(),
+        detail: EventDetail::PathChange { ingress_port: 3, egress_port: 7 },
+        counter: 12,
+        hash: flow_hash(&golden_flow()),
+    };
+    assert_eq!(translate(&r.samples[0]), want);
+    // The builder-encoded record re-decodes with its forwarding status.
+    assert_eq!(r.samples[0].forwarding_status, Some(0x40));
+}
+
+#[test]
+fn ipfix_enterprise_fields_are_skipped_without_miscounting() {
+    let mut s = session();
+    let mut fields = base_flow_fields();
+    fields.push(TemplateField { field_id: 77, length: 4, enterprise: Some(29305) });
+    let mut row = encode_record(&base_flow_fields(), &golden_sample());
+    row.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]); // enterprise payload
+    let dg = IpfixBuilder::new(9, 0).template(271, &fields).data(271, &[row]).build();
+    let r = s.ingest(&dg, 0);
+    assert_eq!(r.rejected, None);
+    assert_eq!((r.decoded, r.malformed), (1, 0));
+    assert_eq!(translate(&r.samples[0]).flow, golden_flow());
+}
+
+#[test]
+fn ipfix_data_before_template_is_accounted() {
+    let mut s = session();
+    let dg = IpfixBuilder::new(9, 0).data_samples(272, &[golden_sample()]).build();
+    let r = s.ingest(&dg, 0);
+    assert_eq!(r.rejected, None);
+    assert_eq!(r.decoded, 0);
+    assert!(r.malformed >= 1, "an unknown-template set books at least one malformed record");
+    assert_eq!(r.soft[RejectReason::MissingTemplate.index()], 1);
+}
+
+// ---------------------------------------------------------------------------
+// The bound property: no insertion order exceeds max_templates.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn template_cache_never_exceeds_bound_under_any_insertion_order() {
+    // Seeded shuffles of a template-id universe 8× the cache bound,
+    // interleaved with refreshes, lookups, and sweeps — the cache bound
+    // and its eviction accounting must hold after every operation.
+    let cfg =
+        TemplateCacheConfig { max_templates: 16, max_domains: 4, ..TemplateCacheConfig::default() };
+    for seed in 0..40u64 {
+        let mut rng = Pcg32::new(seed, 0x71);
+        let mut cache = TemplateCache::new(cfg);
+        let mut ids: Vec<u16> = (0..128u16).map(|i| 256 + i).collect();
+        // Fisher–Yates with the deterministic rng: a fresh insertion
+        // order per seed.
+        for i in (1..ids.len()).rev() {
+            ids.swap(i, rng.next_below(i as u32 + 1) as usize);
+        }
+        for (step, &tid) in ids.iter().enumerate() {
+            // Spread stays within max_domains here so the install/evict
+            // identity below is exact (whole-domain eviction drops an
+            // uncounted number of templates; the over-bound case is
+            // covered by `hostile_announcement_order_from_datagrams_...`).
+            let domain = rng.next_below(4);
+            cache.install(domain, Template::new(tid, base_flow_fields(), 0), step as u64);
+            if rng.chance(0.3) {
+                let _ = cache.get(domain, tid, step as u64);
+            }
+            if rng.chance(0.05) {
+                cache.sweep(step as u64);
+            }
+            assert!(
+                cache.max_domain_len() <= cfg.max_templates,
+                "seed {seed} step {step}: domain exceeded max_templates"
+            );
+            assert!(
+                cache.domain_count() <= cfg.max_domains,
+                "seed {seed} step {step}: domain count exceeded max_domains"
+            );
+        }
+        // Eviction accounting: installed templates either live in the
+        // cache or were evicted/expired/refreshed — nothing vanishes.
+        let st = cache.stats();
+        assert_eq!(
+            st.installed,
+            cache.total_len() as u64 + st.evicted_lru + st.evicted_domains + st.expired,
+            "seed {seed}: install/evict accounting must balance"
+        );
+    }
+}
+
+#[test]
+fn hostile_announcement_order_from_datagrams_respects_the_bound() {
+    // The same property end to end through the parser: datagram-borne
+    // template floods across shuffled domains.
+    let mut s = WireSession::new(WireSessionConfig {
+        template: TemplateCacheConfig {
+            max_templates: 8,
+            max_domains: 4,
+            ..TemplateCacheConfig::default()
+        },
+        ..WireSessionConfig::default()
+    });
+    let mut rng = Pcg32::new(99, 0x72);
+    for i in 0..500u32 {
+        let domain = rng.next_below(16);
+        let tid = 256 + rng.next_below(64) as u16;
+        let dg = V9Builder::new(domain, i).template(tid, &base_flow_fields()).build();
+        s.ingest(&dg, u64::from(i));
+        assert!(s.cache().max_domain_len() <= 8);
+        assert!(s.cache().domain_count() <= 4);
+    }
+}
