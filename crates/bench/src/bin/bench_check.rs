@@ -10,6 +10,10 @@
 //! with `sim_meps`) gate the run, and only in the slow direction — new
 //! hardware being faster is never an error. Tolerance defaults to 20%
 //! and can be overridden with `BENCH_TOLERANCE` (e.g. `0.3`).
+//!
+//! The check is symmetric: a current `BENCH_*.json` with no matching
+//! baseline fails loudly too, so a newly added bench cannot ship
+//! unguarded — commit its baseline alongside the bench.
 
 use fet_bench::BenchReport;
 use std::path::Path;
@@ -84,6 +88,33 @@ fn main() -> ExitCode {
                     base.name
                 );
             }
+        }
+    }
+
+    // Reverse check: every current report must have a committed baseline,
+    // otherwise a newly added bench silently runs ungated.
+    let baseline_names: Vec<&std::ffi::OsStr> =
+        baselines.iter().filter_map(|p| p.file_name()).collect();
+    let mut currents: Vec<std::path::PathBuf> = std::fs::read_dir(current_dir)
+        .expect("read current dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    currents.sort();
+    for cur_path in &currents {
+        let name = cur_path.file_name().unwrap();
+        if !baseline_names.contains(&name) {
+            eprintln!(
+                "bench_check: NO BASELINE for {} — commit its BENCH_*.json baseline \
+                 so the new bench is gated",
+                cur_path.display()
+            );
+            failures += 1;
         }
     }
 

@@ -151,6 +151,82 @@ pub fn monitor_of_mut(sim: &mut Simulator, id: NodeId) -> &mut NetSeerMonitor {
         .expect("NetSeer monitor")
 }
 
+/// Sum every attached monitor's delivery ledger into one fleet ledger.
+/// Each per-monitor ledger is asserted balanced on the way, so the sum
+/// is too — the fleet-wide conservation identity the exporters publish.
+pub fn fleet_ledger(sim: &Simulator) -> crate::DeliveryLedger {
+    let mut total = crate::DeliveryLedger::default();
+    for node in &sim.nodes {
+        let mon = match node {
+            Node::Switch(s) => s.monitor.as_ref(),
+            Node::Host(h) => h.monitor.as_ref(),
+            Node::Vacant => None,
+        };
+        if let Some(m) = mon {
+            if let Some(ns) = m.as_any().downcast_ref::<NetSeerMonitor>() {
+                let l = ns.ledger();
+                l.assert_balanced();
+                total.generated += l.generated;
+                total.delivered += l.delivered;
+                total.shed_stack += l.shed_stack;
+                total.shed_pcie += l.shed_pcie;
+                total.shed_cpu_overload += l.shed_cpu_overload;
+                total.shed_false_positive += l.shed_false_positive;
+                total.shed_transport += l.shed_transport;
+                total.pending += l.pending;
+                total.buffered += l.buffered;
+                total.lost_to_crash += l.lost_to_crash;
+                total.corrupted += l.corrupted;
+                total.malformed += l.malformed;
+            }
+        }
+    }
+    total
+}
+
+/// Fleet-wide reliability counters aggregated across every monitor —
+/// the scrape surface the observability exporters publish alongside the
+/// ledger (see `fet-export`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// CEBP report batches that failed their CRC-32C trailer (implicit
+    /// NACKs), fleet-wide.
+    pub crc_failures: u64,
+    /// WAL records rejected by torn-tail replay across all restarts.
+    pub wal_records_rejected: u64,
+    /// Partial CEBP flushes held back by backpressure-widened strides.
+    pub flushes_skipped: u64,
+    /// Transport retransmissions.
+    pub retransmissions: u64,
+    /// Loss-notification copies dropped by the fault plan.
+    pub notification_copies_dropped: u64,
+    /// Monitor restarts (clean and hard) completed.
+    pub restarts: u64,
+}
+
+/// Aggregate [`FleetStats`] across every attached monitor.
+pub fn fleet_stats(sim: &Simulator) -> FleetStats {
+    let mut total = FleetStats::default();
+    for node in &sim.nodes {
+        let mon = match node {
+            Node::Switch(s) => s.monitor.as_ref(),
+            Node::Host(h) => h.monitor.as_ref(),
+            Node::Vacant => None,
+        };
+        if let Some(m) = mon {
+            if let Some(ns) = m.as_any().downcast_ref::<NetSeerMonitor>() {
+                total.crc_failures += ns.cebp_crc_failures;
+                total.wal_records_rejected += ns.recovery.wal_records_rejected;
+                total.flushes_skipped += ns.batcher.flushes_skipped;
+                total.retransmissions += ns.transport.retransmissions;
+                total.notification_copies_dropped += ns.notification_copies_dropped;
+                total.restarts += ns.recovery.restarts;
+            }
+        }
+    }
+    total
+}
+
 /// Aggregate per-step stats across all switch monitors (for Figure 13).
 pub fn aggregate_stats(sim: &Simulator) -> crate::monitor::StepStats {
     let mut agg = crate::monitor::StepStats::default();

@@ -1,0 +1,316 @@
+//! OTel-shaped JSON: one OTLP-style `resourceMetrics` document, written
+//! by hand (no serde — the workspace builds fully offline).
+//!
+//! The field names follow OTLP/JSON conventions so a real OpenTelemetry
+//! collector's shape expectations hold: counters become monotonic
+//! cumulative `sum`s, gauges become `gauge`s, histograms become
+//! cumulative `histogram`s with `explicitBounds` + `bucketCounts`
+//! (`aggregationTemporality: 2` throughout). All 64-bit integers render
+//! as JSON strings, matching protojson.
+//!
+//! Timestamps are **sim time**, never wall clock: callers pass the run's
+//! start and snapshot nanos, so the document is bit-identical across
+//! runs, shard counts, and machines — the same determinism contract the
+//! rest of the repo holds (`startTimeUnixNano`/`timeUnixNano`).
+
+use crate::prom::fmt_f64;
+use crate::registry::{Family, LabelSet, MetricRegistry, SeriesValue};
+use std::fmt::Write;
+
+/// Render the registry as one OTLP/JSON resource-metrics document with
+/// the given sim-time span.
+pub fn render_otel(reg: &MetricRegistry, start_ns: u64, now_ns: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\"resourceMetrics\":[{\"resource\":{\"attributes\":[");
+    out.push_str("{\"key\":\"service.name\",\"value\":{\"stringValue\":\"netseer\"}}");
+    out.push_str("]},\"scopeMetrics\":[{\"scope\":{\"name\":\"fet-export\",");
+    out.push_str("\"version\":\"0.1.0\"},\"metrics\":[");
+    let mut first = true;
+    for fam in reg.families() {
+        render_metric(&mut out, fam, start_ns, now_ns, &mut first);
+    }
+    for fam in reg.meta_families() {
+        render_metric(&mut out, &fam, start_ns, now_ns, &mut first);
+    }
+    out.push_str("]}]}]}");
+    out
+}
+
+fn render_metric(out: &mut String, fam: &Family, start_ns: u64, now_ns: u64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"description\":\"{}\",",
+        json_escape(&fam.name),
+        json_escape(&fam.help)
+    );
+    match fam.series.values().next() {
+        Some(SeriesValue::Counter(_)) | None => {
+            out.push_str("\"sum\":{\"dataPoints\":[");
+            render_points(out, fam, start_ns, now_ns);
+            out.push_str("],\"aggregationTemporality\":2,\"isMonotonic\":true}}");
+        }
+        Some(SeriesValue::Gauge(_)) => {
+            out.push_str("\"gauge\":{\"dataPoints\":[");
+            render_points(out, fam, start_ns, now_ns);
+            out.push_str("]}}");
+        }
+        Some(SeriesValue::Histogram { .. }) => {
+            out.push_str("\"histogram\":{\"dataPoints\":[");
+            render_points(out, fam, start_ns, now_ns);
+            out.push_str("],\"aggregationTemporality\":2}}");
+        }
+    }
+}
+
+fn render_points(out: &mut String, fam: &Family, start_ns: u64, now_ns: u64) {
+    let mut first = true;
+    for (ls, value) in &fam.series {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('{');
+        render_attributes(out, ls);
+        let _ = write!(out, "\"startTimeUnixNano\":\"{start_ns}\",\"timeUnixNano\":\"{now_ns}\",");
+        match value {
+            SeriesValue::Counter(v) => {
+                let _ = write!(out, "\"asInt\":\"{v}\"");
+            }
+            SeriesValue::Gauge(v) => {
+                let _ = write!(out, "\"asDouble\":{}", json_number(*v));
+            }
+            SeriesValue::Histogram { buckets, sum, count } => {
+                let _ = write!(out, "\"count\":\"{count}\",\"sum\":{},", json_number(*sum));
+                out.push_str("\"bucketCounts\":[");
+                for (i, b) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{b}\"");
+                }
+                out.push_str("],\"explicitBounds\":[");
+                for (i, b) in fam.bounds.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_number(*b));
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+    }
+}
+
+fn render_attributes(out: &mut String, ls: &LabelSet) {
+    out.push_str("\"attributes\":[");
+    for (i, (k, v)) in ls.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"key\":\"{}\",\"value\":{{\"stringValue\":\"{}\"}}}}",
+            json_escape(k),
+            json_escape(v)
+        );
+    }
+    out.push_str("],");
+}
+
+/// JSON string escaping (the control-character subset our label values
+/// can contain, plus the mandatory quote/backslash).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON numbers must be finite; infinities clamp to protojson's string
+/// forms are not valid for asDouble, so we saturate like collectors do.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        fmt_f64(v)
+    } else if v > 0.0 {
+        "1.7976931348623157e308".to_string()
+    } else {
+        "-1.7976931348623157e308".to_string()
+    }
+}
+
+/// Minimal structural JSON validator (objects, arrays, strings, numbers,
+/// literals). The golden tests run every rendered document through this,
+/// so "OTel-shaped" at least always means "valid JSON".
+pub fn validate_json(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    if !skip_value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn skip_value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => skip_composite(b, pos, b'}', true),
+        Some(b'[') => skip_composite(b, pos, b']', false),
+        Some(b'"') => skip_string(b, pos),
+        Some(b't') => skip_lit(b, pos, b"true"),
+        Some(b'f') => skip_lit(b, pos, b"false"),
+        Some(b'n') => skip_lit(b, pos, b"null"),
+        Some(_) => skip_number(b, pos),
+        None => false,
+    }
+}
+
+fn skip_composite(b: &[u8], pos: &mut usize, close: u8, keyed: bool) -> bool {
+    *pos += 1; // opener
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&close) {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if keyed {
+            skip_ws(b, pos);
+            if !skip_string(b, pos) {
+                return false;
+            }
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return false;
+            }
+            *pos += 1;
+        }
+        if !skip_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(&c) if c == close => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn skip_string(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'\\' => *pos += 1,
+            b'"' => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn skip_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn skip_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    *pos > start && std::str::from_utf8(&b[start..*pos]).is_ok_and(|s| s.parse::<f64>().is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricRegistry;
+
+    fn demo() -> MetricRegistry {
+        let mut r = MetricRegistry::default();
+        r.counter_add("fet_events_total", "Events.", &[("scope", "fleet")], 7);
+        r.gauge_set("fet_backlog", "Backlog.", &[("dev", "1")], 1.5);
+        r.histogram_observe("fet_lat", "Latency.", &[1.0, 10.0], &[], 4.0);
+        r
+    }
+
+    #[test]
+    fn renders_valid_json_with_otlp_fields() {
+        let doc = render_otel(&demo(), 0, 12_000_000);
+        assert!(validate_json(&doc), "must be structurally valid JSON: {doc}");
+        for needle in [
+            "\"resourceMetrics\"",
+            "\"scopeMetrics\"",
+            "\"isMonotonic\":true",
+            "\"aggregationTemporality\":2",
+            "\"asInt\":\"7\"",
+            "\"asDouble\":1.5",
+            "\"bucketCounts\":[\"0\",\"1\",\"0\"]",
+            "\"explicitBounds\":[1,10]",
+            "\"startTimeUnixNano\":\"0\"",
+            "\"timeUnixNano\":\"12000000\"",
+            "{\"key\":\"scope\",\"value\":{\"stringValue\":\"fleet\"}}",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_insertion_orders() {
+        let a = render_otel(&demo(), 0, 5);
+        let mut r = MetricRegistry::default();
+        r.histogram_observe("fet_lat", "Latency.", &[1.0, 10.0], &[], 4.0);
+        r.gauge_set("fet_backlog", "Backlog.", &[("dev", "1")], 1.5);
+        r.counter_add("fet_events_total", "Events.", &[("scope", "fleet")], 7);
+        assert_eq!(a, render_otel(&r, 0, 5));
+    }
+
+    #[test]
+    fn hostile_strings_stay_valid_json() {
+        let mut r = MetricRegistry::default();
+        r.counter_add("fet_x_total", "he\"lp\\\n", &[("k", "v\"\\\n\t\u{1}")], 1);
+        let doc = render_otel(&r, 3, 9);
+        assert!(validate_json(&doc), "escaping must keep the document valid: {doc}");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(!validate_json("{\"a\":}"));
+        assert!(!validate_json("[1,2"));
+        assert!(!validate_json("{\"a\":1}trailing"));
+        assert!(validate_json("{\"a\":[1,2,{\"b\":\"c\"}]}"));
+    }
+}

@@ -1,0 +1,471 @@
+//! Scrape adapters: read the system's existing stat surfaces into the
+//! registry under the `fet_*` naming scheme.
+//!
+//! Adapters are *pull*-shaped and stateless: each snapshot rebuilds its
+//! families from the authoritative counters (collector ledger and spill
+//! store, analytics SLA/top-k, wire reject taxonomy, watchdog incidents,
+//! fleet monitor counters), so the registry can never drift from the
+//! system of record and re-scraping is idempotent. Every label value is
+//! derived from bounded sets (ledger terms, reject reasons, device ids,
+//! capped top-k/stream maps), and the registry's hard cardinality caps
+//! backstop anything a hostile workload could mint.
+
+use crate::registry::MetricRegistry;
+use fet_analytics::{AnalyticsEngine, BreachWindow};
+use fet_netsim::engine::Simulator;
+use fet_wire::ALL_REASONS;
+use netseer::deploy::{fleet_ledger, fleet_stats};
+use netseer::recovery::Collector;
+use netseer::watchdog::WatchdogLog;
+use netseer::{DeliveryLedger, WireIngest};
+
+/// SLA breach-window duration buckets, ns (windows are ~1 ms wide and
+/// merge while contiguous).
+pub const BREACH_DURATION_BOUNDS_NS: [f64; 4] = [1e6, 2e6, 4e6, 8e6];
+
+/// Publish one [`DeliveryLedger`]'s terms under a `scope` label
+/// (`fleet`, `wire`, `merged`, ...). Occupancy-style terms (`pending`,
+/// `buffered`) are gauges; terminal dispositions are counters.
+pub fn scrape_ledger(reg: &mut MetricRegistry, scope: &str, l: &DeliveryLedger) {
+    let s = [("scope", scope)];
+    reg.counter_add(
+        "fet_events_generated_total",
+        "Event records handed to the reporting path (post-dedup).",
+        &s,
+        l.generated,
+    );
+    reg.counter_add(
+        "fet_events_delivered_total",
+        "Events that reached the backend store.",
+        &s,
+        l.delivered,
+    );
+    for (reason, v) in [
+        ("stack", l.shed_stack),
+        ("pcie", l.shed_pcie),
+        ("cpu_overload", l.shed_cpu_overload),
+        ("false_positive", l.shed_false_positive),
+        ("transport", l.shed_transport),
+    ] {
+        reg.counter_add(
+            "fet_events_shed_total",
+            "Events shed at a named, counted choke point.",
+            &[("scope", scope), ("reason", reason)],
+            v,
+        );
+    }
+    reg.gauge_set(
+        "fet_events_pending",
+        "Events still in flight (batcher stack + open CEBP).",
+        &s,
+        l.pending as f64,
+    );
+    reg.gauge_set(
+        "fet_events_buffered",
+        "Events parked in the collector's durable spill buffer.",
+        &s,
+        l.buffered as f64,
+    );
+    reg.counter_add(
+        "fet_events_lost_to_crash_total",
+        "Events lost to hard kills (bounded by the fsync window).",
+        &s,
+        l.lost_to_crash,
+    );
+    reg.counter_add(
+        "fet_events_corrupted_total",
+        "Events whose report failed CRC on every transmission attempt.",
+        &s,
+        l.corrupted,
+    );
+    reg.counter_add(
+        "fet_events_malformed_total",
+        "Wire-claimed records the collector could not decode.",
+        &s,
+        l.malformed,
+    );
+}
+
+/// Publish the collector's admission, spill, quarantine, and
+/// exactly-once gate counters.
+pub fn scrape_collector(reg: &mut MetricRegistry, c: &Collector) {
+    reg.gauge_set(
+        "fet_collector_backlog",
+        "Events admitted to memory, not yet drained by a subscriber.",
+        &[],
+        c.backlog() as f64,
+    );
+    reg.gauge_set(
+        "fet_collector_backpressure_level",
+        "Load over watermark; monitors widen flush strides to 2^level.",
+        &[],
+        f64::from(c.backpressure_level()),
+    );
+    reg.counter_add(
+        "fet_collector_duplicates_rejected_total",
+        "Redeliveries dropped by the per-device epoch/seq gates.",
+        &[],
+        c.duplicates_rejected(),
+    );
+    reg.counter_add(
+        "fet_collector_stale_epoch_rejected_total",
+        "Deliveries from superseded epochs dropped at the gate.",
+        &[],
+        c.stale_epoch_rejected(),
+    );
+    reg.counter_add(
+        "fet_collector_poison_quarantined_total",
+        "Poison frames offered to the quarantine (CRC failures, wire rejects).",
+        &[],
+        c.poison_seen,
+    );
+    reg.gauge_set(
+        "fet_collector_quarantine_held",
+        "Poison frames currently retained (retention-bounded).",
+        &[],
+        c.quarantine().len() as f64,
+    );
+    reg.counter_add(
+        "fet_collector_restarts_total",
+        "Collector crash/restart cycles.",
+        &[],
+        c.restarts,
+    );
+    let sp = c.spill();
+    for (name, help, v) in [
+        ("fet_spill_records_appended_total", "Records written to the spill store.", sp.appended),
+        ("fet_spill_records_drained_total", "Records applied out of the spill.", sp.drained),
+        ("fet_spill_records_replayed_total", "Records re-read after a crash rewind.", sp.replayed),
+        ("fet_spill_records_refused_total", "Appends refused by the byte budget.", sp.refused),
+        ("fet_spill_records_torn_total", "Records destroyed by torn tails.", sp.torn_records),
+        ("fet_spill_fsyncs_total", "Spill fsync calls.", sp.fsyncs),
+        ("fet_spill_commits_total", "Durable-cursor commits.", sp.commits),
+        ("fet_spill_rotations_total", "Segment rotations.", sp.rotations),
+        ("fet_spill_segments_acked_total", "Fully-acked segments deleted.", sp.acked_segments),
+        ("fet_spill_crashes_total", "Crash/tear cycles applied to the store.", sp.crashes),
+    ] {
+        reg.counter_add(name, help, &[], v);
+    }
+    reg.gauge_set(
+        "fet_spill_records_pending",
+        "Records currently parked on disk.",
+        &[],
+        sp.pending() as f64,
+    );
+}
+
+/// Publish the analytics engine's ledger, top-k, and upstream-loss
+/// scrapes. `top_n` bounds the per-flow series (cardinality <= n).
+pub fn scrape_analytics(reg: &mut MetricRegistry, e: &AnalyticsEngine, top_n: usize) {
+    let l = e.ledger();
+    reg.counter_add(
+        "fet_analytics_ingested_total",
+        "Events handed to the analytics shards.",
+        &[],
+        l.ingested,
+    );
+    reg.counter_add(
+        "fet_analytics_aggregated_total",
+        "Events accepted by the window aggregators.",
+        &[],
+        l.aggregated,
+    );
+    reg.counter_add(
+        "fet_analytics_sketch_absorbed_total",
+        "Events absorbed by the top-k sketches past the aggregator caps.",
+        &[],
+        l.sketch_absorbed,
+    );
+    reg.counter_add(
+        "fet_analytics_shed_total",
+        "Events refused by both aggregator and sketch (counted shed).",
+        &[],
+        l.shed_analytics,
+    );
+    reg.counter_add(
+        "fet_analytics_processed_total",
+        "Events processed since engine construction.",
+        &[],
+        e.processed,
+    );
+    reg.counter_add(
+        "fet_analytics_restarts_total",
+        "Engine crash/restart cycles.",
+        &[],
+        e.restarts,
+    );
+    for entry in e.top_flows(top_n) {
+        let flow = entry.flow.to_string();
+        reg.gauge_set(
+            "fet_analytics_top_flow_events",
+            "Estimated event weight of a top-k victim flow (overestimate).",
+            &[("flow", &flow)],
+            entry.count as f64,
+        );
+        reg.gauge_set(
+            "fet_analytics_top_flow_error",
+            "Maximum overestimation of the flow's weight.",
+            &[("flow", &flow)],
+            entry.error as f64,
+        );
+    }
+    for r in e.upstream_losses() {
+        let proto = r.protocol.version().to_string();
+        let domain = r.domain.to_string();
+        let lbls = [("domain", domain.as_str()), ("protocol", proto.as_str())];
+        reg.counter_add(
+            "fet_wire_upstream_lost_total",
+            "Records lost before the collector's doorstep (sequence gaps).",
+            &lbls,
+            r.lost,
+        );
+        reg.counter_add(
+            "fet_wire_upstream_gaps_total",
+            "Distinct sequence gaps per exporter stream.",
+            &lbls,
+            r.gaps,
+        );
+    }
+}
+
+/// Publish finished SLA breach windows: per-device counts/drop weight
+/// plus a duration histogram.
+pub fn scrape_breaches(reg: &mut MetricRegistry, breaches: &[BreachWindow]) {
+    for b in breaches {
+        let device = b.device.to_string();
+        let lbls = [("device", device.as_str())];
+        reg.counter_add(
+            "fet_sla_breach_windows_total",
+            "Contiguous SLA violation spans per device.",
+            &lbls,
+            1,
+        );
+        reg.counter_add(
+            "fet_sla_breach_drops_total",
+            "Dropped-packet weight inside breach spans.",
+            &lbls,
+            b.drops,
+        );
+        reg.histogram_observe(
+            "fet_sla_breach_duration_ns",
+            "Distribution of breach-span durations.",
+            &BREACH_DURATION_BOUNDS_NS,
+            &[],
+            (b.to_ns - b.from_ns) as f64,
+        );
+    }
+}
+
+/// Publish the wire-ingest session: datagram dispositions, the
+/// per-reason reject taxonomy (fatal and soft), and template-cache
+/// pressure.
+pub fn scrape_wire(reg: &mut MetricRegistry, w: &WireIngest) {
+    let stats = w.session().stats();
+    reg.counter_add(
+        "fet_wire_datagrams_total",
+        "Datagrams offered to the wire session.",
+        &[],
+        stats.datagrams,
+    );
+    reg.counter_add(
+        "fet_wire_datagrams_accepted_total",
+        "Datagrams that decoded (possibly with soft defects).",
+        &[],
+        stats.accepted,
+    );
+    reg.counter_add(
+        "fet_wire_datagrams_rejected_total",
+        "Datagrams rejected outright and quarantined.",
+        &[],
+        stats.rejected,
+    );
+    reg.counter_add(
+        "fet_wire_records_decoded_total",
+        "Flow records decoded into FET events.",
+        &[],
+        stats.decoded,
+    );
+    for reason in ALL_REASONS {
+        let lbls = [("reason", reason.as_str())];
+        reg.counter_add(
+            "fet_wire_rejects_total",
+            "Datagram-fatal rejects by reason.",
+            &lbls,
+            stats.rejects[reason.index()],
+        );
+        reg.counter_add(
+            "fet_wire_soft_rejects_total",
+            "Per-record soft damage by reason (booked as malformed).",
+            &lbls,
+            stats.soft[reason.index()],
+        );
+    }
+    let cache = w.session().cache();
+    reg.gauge_set(
+        "fet_wire_template_domains",
+        "Observation domains currently cached (hard-capped).",
+        &[],
+        cache.domain_count() as f64,
+    );
+    reg.gauge_set(
+        "fet_wire_template_max_domain",
+        "Templates in the busiest cached domain (hard-capped).",
+        &[],
+        cache.max_domain_len() as f64,
+    );
+    let ts = cache.stats();
+    for (name, help, v) in [
+        ("fet_wire_templates_installed_total", "Templates accepted.", ts.installed),
+        ("fet_wire_templates_refreshed_total", "Template re-announcements.", ts.refreshed),
+        ("fet_wire_templates_evicted_total", "Templates LRU-evicted.", ts.evicted_lru),
+        ("fet_wire_template_domains_evicted_total", "Whole domains evicted.", ts.evicted_domains),
+        ("fet_wire_templates_expired_total", "Templates dropped as stale.", ts.expired),
+        ("fet_wire_templates_rejected_total", "Announcements refused by bounds.", ts.rejected),
+    ] {
+        reg.counter_add(name, help, &[], v);
+    }
+}
+
+/// Publish watchdog supervision outcomes.
+pub fn scrape_watchdog(reg: &mut MetricRegistry, log: &WatchdogLog) {
+    reg.counter_add(
+        "fet_watchdog_incidents_total",
+        "Monitors declared suspect and hard-killed by the watchdog.",
+        &[],
+        log.incidents().len() as u64,
+    );
+    reg.counter_add(
+        "fet_watchdog_restarts_total",
+        "Supervised restarts completed.",
+        &[],
+        log.restarts().len() as u64,
+    );
+}
+
+/// Publish the fleet-wide monitor surfaces: the summed delivery ledger
+/// (scope `fleet`) and the reliability counters.
+pub fn scrape_fleet(reg: &mut MetricRegistry, sim: &Simulator) {
+    scrape_ledger(reg, "fleet", &fleet_ledger(sim));
+    let fs = fleet_stats(sim);
+    for (name, help, v) in [
+        (
+            "fet_fleet_crc_failures_total",
+            "CEBP batches failing CRC-32C (implicit NACKs).",
+            fs.crc_failures,
+        ),
+        (
+            "fet_fleet_wal_records_rejected_total",
+            "WAL records rejected by torn-tail replay.",
+            fs.wal_records_rejected,
+        ),
+        (
+            "fet_fleet_flushes_skipped_total",
+            "Partial flushes held back by widened strides.",
+            fs.flushes_skipped,
+        ),
+        ("fet_fleet_retransmissions_total", "Transport retransmissions.", fs.retransmissions),
+        (
+            "fet_fleet_notification_drops_total",
+            "Loss-notification copies dropped.",
+            fs.notification_copies_dropped,
+        ),
+        ("fet_fleet_monitor_restarts_total", "Monitor restarts completed.", fs.restarts),
+    ] {
+        reg.counter_add(name, help, &[], v);
+    }
+    reg.counter_add(
+        "fet_fleet_mgmt_bytes_total",
+        "Bytes carried on the management network.",
+        &[],
+        sim.mgmt.total_bytes(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prom::{parse_exposition, render_prometheus};
+    use fet_analytics::{AnalyticsConfig, LinkMap};
+
+    #[test]
+    fn ledger_terms_scrape_exactly() {
+        let l = DeliveryLedger {
+            generated: 100,
+            delivered: 60,
+            shed_cpu_overload: 10,
+            pending: 5,
+            buffered: 15,
+            lost_to_crash: 4,
+            corrupted: 3,
+            malformed: 3,
+            ..Default::default()
+        };
+        assert!(l.balanced());
+        let mut reg = MetricRegistry::default();
+        scrape_ledger(&mut reg, "fleet", &l);
+        let doc = parse_exposition(&render_prometheus(&reg)).unwrap();
+        let get = |n: &str| doc.value(n, &[("scope", "fleet")]).unwrap();
+        let shed: f64 = doc.sum("fet_events_shed_total");
+        assert_eq!(get("fet_events_generated_total"), 100.0);
+        assert_eq!(
+            get("fet_events_generated_total"),
+            get("fet_events_delivered_total")
+                + shed
+                + get("fet_events_pending")
+                + get("fet_events_buffered")
+                + get("fet_events_lost_to_crash_total")
+                + get("fet_events_corrupted_total")
+                + get("fet_events_malformed_total"),
+            "the scraped identity must balance"
+        );
+    }
+
+    #[test]
+    fn collector_and_wire_scrapes_cover_their_counters() {
+        let mut c = Collector::new();
+        let _sub = c.subscribe();
+        let mut w = WireIngest::default();
+        // One good datagram and one fatal reject.
+        let dg = fet_wire::builder::v5_datagram(
+            0,
+            0,
+            1,
+            &[fet_wire::FlowSample {
+                flow: fet_packet::FlowKey::tcp(
+                    fet_packet::Ipv4Addr::from_octets([10, 0, 0, 1]),
+                    1,
+                    fet_packet::Ipv4Addr::from_octets([10, 0, 0, 2]),
+                    80,
+                ),
+                in_port: 0,
+                out_port: 1,
+                packets: 1,
+                bytes: 100,
+                tcp_flags: 0,
+                forwarding_status: None,
+            }],
+        );
+        w.ingest_datagram(&mut c, &dg, 0);
+        w.ingest_datagram(&mut c, &[0, 99, 0, 0], 0);
+        let mut reg = MetricRegistry::default();
+        scrape_collector(&mut reg, &c);
+        scrape_wire(&mut reg, &w);
+        let doc = parse_exposition(&render_prometheus(&reg)).unwrap();
+        assert_eq!(doc.value("fet_wire_datagrams_total", &[]), Some(2.0));
+        assert_eq!(doc.value("fet_wire_datagrams_rejected_total", &[]), Some(1.0));
+        assert_eq!(doc.value("fet_wire_rejects_total", &[("reason", "bad-version")]), Some(1.0));
+        assert_eq!(doc.value("fet_collector_poison_quarantined_total", &[]), Some(1.0));
+        assert_eq!(doc.value("fet_collector_backlog", &[]), Some(1.0));
+    }
+
+    #[test]
+    fn analytics_scrape_is_idempotent() {
+        let eng = AnalyticsEngine::new(AnalyticsConfig::default(), LinkMap::default());
+        let mut a = MetricRegistry::default();
+        scrape_analytics(&mut a, &eng, 8);
+        let text_a = render_prometheus(&a);
+        let mut b = MetricRegistry::default();
+        scrape_analytics(&mut b, &eng, 8);
+        assert_eq!(text_a, render_prometheus(&b), "same source state, same snapshot");
+    }
+}

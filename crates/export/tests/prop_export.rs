@@ -1,0 +1,119 @@
+// Gated: requires the external `proptest` crate (offline builds cannot
+// fetch it). Re-add the dev-dependency and build with `--features proptest`.
+#![cfg(feature = "proptest")]
+
+//! Property tests for the export encoders and the registry's caps:
+//!
+//! * label escaping is lossless: arbitrary (hostile) label values and
+//!   help strings survive render → parse through the Prometheus text
+//!   format, and every rendered document still parses;
+//! * the OTel document is structurally valid JSON for arbitrary names,
+//!   values, and label sets;
+//! * the cardinality caps are airtight: for arbitrary insert streams the
+//!   registry never stores more than `max_series_per_family` series per
+//!   family or `max_families` families, and every refusal is counted —
+//!   stored + rejected == attempted (distinct), nothing silent;
+//! * rendering is deterministic under insertion order.
+
+use fet_export::{
+    parse_exposition, render_otel, render_prometheus, validate_json, MetricRegistry, RegistryConfig,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Arbitrary-but-valid metric name.
+fn name_strat() -> impl Strategy<Value = String> {
+    "[a-zA-Z_:][a-zA-Z0-9_:]{0,24}"
+}
+
+/// Arbitrary label value, biased toward escaping hazards.
+fn value_strat() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\\\\\"\n\t\u{e9}\u{4e16}]{0,16}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn escaping_roundtrips_losslessly(
+        help in value_strat(),
+        lv in value_strat(),
+        v in 0u64..1_000_000,
+    ) {
+        let mut reg = MetricRegistry::default();
+        reg.counter_add("fet_prop_total", &help, &[("k", lv.as_str())], v);
+        let text = render_prometheus(&reg);
+        let doc = parse_exposition(&text)
+            .unwrap_or_else(|| panic!("rendered text must parse:\n{text}"));
+        prop_assert_eq!(
+            doc.value("fet_prop_total", &[("k", lv.as_str())]),
+            Some(v as f64),
+            "label value must survive render -> parse"
+        );
+    }
+
+    #[test]
+    fn otel_stays_valid_json(
+        name in name_strat(),
+        help in value_strat(),
+        lv in value_strat(),
+        g in proptest::num::f64::NORMAL | proptest::num::f64::ZERO,
+    ) {
+        let mut reg = MetricRegistry::default();
+        reg.counter_add("fet_a_total", &help, &[("k", lv.as_str())], 3);
+        reg.gauge_set(&name, &help, &[("k", lv.as_str())], g);
+        let doc = render_otel(&reg, 0, 42);
+        prop_assert!(validate_json(&doc), "must stay valid JSON: {}", doc);
+    }
+
+    #[test]
+    fn cardinality_caps_are_airtight_and_counted(
+        inserts in proptest::collection::vec((0u8..8, 0u16..32), 1..200),
+        max_families in 1usize..4,
+        max_series in 1usize..4,
+    ) {
+        let mut reg = MetricRegistry::new(RegistryConfig {
+            max_families,
+            max_series_per_family: max_series,
+        });
+        // Deduplicate: refusals are counted per attempt, so feed each
+        // distinct series exactly once to state conservation exactly.
+        let attempted_series: BTreeSet<(u8, u16)> = inserts.into_iter().collect();
+        for &(f, s) in &attempted_series {
+            let name = format!("fet_f{f}_total");
+            let lv = s.to_string();
+            reg.counter_add(&name, "Prop.", &[("s", lv.as_str())], 1);
+        }
+        prop_assert!(reg.family_count() <= max_families, "family cap violated");
+        for fam in reg.families() {
+            prop_assert!(fam.series.len() <= max_series, "series cap violated");
+        }
+        // Conservation of attempts: every distinct attempted series is
+        // either stored or counted as a refusal (series- or family-level).
+        let stored = reg.series_count() as u64;
+        let refused = reg.series_rejected + reg.families_rejected;
+        prop_assert_eq!(
+            stored + refused,
+            attempted_series.len() as u64,
+            "stored + refused must equal distinct attempts"
+        );
+    }
+
+    #[test]
+    fn rendering_ignores_insertion_order(
+        mut inserts in proptest::collection::vec((0u8..6, 0u16..6, 0u64..100), 2..40),
+    ) {
+        let build = |items: &[(u8, u16, u64)]| {
+            let mut reg = MetricRegistry::default();
+            for &(f, s, v) in items {
+                let name = format!("fet_o{f}_total");
+                let lv = s.to_string();
+                reg.counter_add(&name, "Order.", &[("s", lv.as_str())], v);
+            }
+            (render_prometheus(&reg), render_otel(&reg, 0, 9))
+        };
+        let forward = build(&inserts);
+        inserts.reverse();
+        // Counters accumulate, so reversal preserves totals.
+        let reverse = build(&inserts);
+        prop_assert_eq!(forward, reverse, "output must not depend on insertion order");
+    }
+}

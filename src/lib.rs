@@ -10,11 +10,13 @@
 //! * [`fet_netsim`] — discrete-event network simulator
 //! * [`netseer`] — the flow-event-telemetry system itself
 //! * [`fet_analytics`] — streaming analytics and root-cause localization
+//! * [`fet_export`] — Prometheus/OTel-shaped telemetry egress
 //! * [`fet_baselines`] — SNMP / sampling / Pingmesh / EverFlow / NetSight
 //! * [`fet_workloads`] — traffic distributions and fault scenarios
 
 pub use fet_analytics;
 pub use fet_baselines;
+pub use fet_export;
 pub use fet_netsim;
 pub use fet_packet;
 pub use fet_pdp;

@@ -11,6 +11,10 @@
 //! contract over a genuinely different run.
 
 use fet_analytics::{link_map_from_sim, AnalyticsConfig, AnalyticsEngine};
+use fet_export::{
+    parse_exposition, scrape_analytics, scrape_breaches, scrape_collector, scrape_fleet,
+    scrape_ledger, scrape_wire, validate_json, MetricRegistry, RenderedSnapshot,
+};
 use fet_netsim::host::FlowSpec;
 use fet_netsim::link::BurstDrop;
 use fet_netsim::routing::install_ecmp_routes;
@@ -19,7 +23,9 @@ use fet_netsim::topology::{build_fat_tree, FatTree, FatTreeParams};
 use fet_netsim::tracer::GtEvent;
 use fet_netsim::Simulator;
 use fet_packet::FlowKey;
-use netseer::deploy::{delivered_history, deploy, monitor_of, monitor_of_mut, DeployOptions};
+use netseer::deploy::{
+    delivered_history, deploy, fleet_ledger, monitor_of, monitor_of_mut, DeployOptions,
+};
 use netseer::faults::{seeded_device_crashes, streams, OverloadWindow};
 use netseer::{
     schedule_device_crashes, schedule_watchdog, schedule_wedge, Collector, CollectorConfig,
@@ -73,6 +79,10 @@ struct Fingerprint {
     /// every fingerprint runs: malformed / quarantine / per-reason reject
     /// counters are part of the bit-identical contract.
     wire: WireState,
+    /// The fully rendered export snapshot (Prometheus text + OTel JSON)
+    /// scraped off every stat surface above: encoders and scrape
+    /// adapters are part of the bit-identical contract too.
+    export: RenderedSnapshot,
 }
 
 /// Everything observable about the hostile-exporter wire storm.
@@ -89,8 +99,10 @@ struct WireState {
 /// Storm a dedicated tight-watermark collector with the seeded hostile
 /// exporter and capture every wire observable. Deterministic in
 /// `storm_seed`; joins [`Fingerprint`] so the contract covers the wire
-/// path (BTreeMap-ordered template cache, device map, quarantine).
-fn run_wire_storm(storm_seed: u64) -> WireState {
+/// path (BTreeMap-ordered template cache, device map, quarantine). The
+/// wire surfaces are also scraped into `reg`, so the export snapshot
+/// covers the storm too.
+fn run_wire_storm(storm_seed: u64, reg: &mut MetricRegistry) -> WireState {
     use fet_netsim::{HostileExporter, HostileExporterConfig};
     use netseer::{WireConfig, WireIngest};
 
@@ -119,6 +131,8 @@ fn run_wire_storm(storm_seed: u64) -> WireState {
     }
     let ledger = wire.ledger(&collector);
     ledger.assert_balanced();
+    scrape_wire(reg, &wire);
+    scrape_ledger(reg, "wire", &ledger);
     WireState {
         ledger,
         quarantined: collector.poison_seen,
@@ -182,27 +196,6 @@ fn drive_lossy_fabric(sim: &mut Simulator, ft: &FatTree, drop_prob: f64) {
             sim.link_direction_mut(tor, port).unwrap().faults.drop_prob = drop_prob;
         }
     }
-}
-
-fn fleet_ledger(sim: &Simulator) -> DeliveryLedger {
-    let mut total = DeliveryLedger::default();
-    let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
-    for id in ids {
-        let l = monitor_of(sim, id).ledger();
-        l.assert_balanced();
-        total.generated += l.generated;
-        total.delivered += l.delivered;
-        total.shed_stack += l.shed_stack;
-        total.shed_pcie += l.shed_pcie;
-        total.shed_cpu_overload += l.shed_cpu_overload;
-        total.shed_false_positive += l.shed_false_positive;
-        total.shed_transport += l.shed_transport;
-        total.pending += l.pending;
-        total.buffered += l.buffered;
-        total.lost_to_crash += l.lost_to_crash;
-        total.corrupted += l.corrupted;
-    }
-    total
 }
 
 /// Run one scenario to `HORIZON` and capture every observable.
@@ -284,6 +277,22 @@ fn run_scenario_with(
     assert_eq!(collector.buffered(), 0, "every drill must drain the spill to quiescence");
     assert_eq!(collector.len(), delivered.len(), "exactly-once through the spill");
 
+    // Scrape every surface the fingerprint captures into one registry and
+    // render both encodings at sim time — the snapshot joins the
+    // bit-identical contract below.
+    let mut reg = MetricRegistry::default();
+    scrape_fleet(&mut reg, &sim);
+    scrape_collector(&mut reg, &collector);
+    scrape_analytics(&mut reg, &engine, 32);
+    let analytics = AnalyticsState {
+        processed: engine.processed,
+        top_flows: engine.top_flows(32),
+        totals: engine.totals(),
+    };
+    scrape_breaches(&mut reg, &engine.finish_breaches());
+    let wire = run_wire_storm(fault_seed ^ 0x3117, &mut reg);
+    let export = RenderedSnapshot::render(&reg, 0, HORIZON);
+
     let ids: Vec<u32> = sim.switch_ids().into_iter().chain(sim.host_ids()).collect();
     Fingerprint {
         ledger: fleet_ledger(&sim),
@@ -313,12 +322,9 @@ fn run_scenario_with(
             .into_iter()
             .map(|h| sim.host(h).rx_flows.values().map(|r| r.pkts).sum::<u64>())
             .sum(),
-        analytics: AnalyticsState {
-            processed: engine.processed,
-            top_flows: engine.top_flows(32),
-            totals: engine.totals(),
-        },
-        wire: run_wire_storm(fault_seed ^ 0x3117),
+        analytics,
+        wire,
+        export,
         delivered,
     }
 }
@@ -692,6 +698,69 @@ fn det_17_hostile_wire_storm() {
     );
     assert!(wire.upstream_lost > 0, "dropped datagrams must surface as sequence gaps");
     assert!(!wire.store.is_empty(), "honest records must still reach the store");
+}
+
+/// Scenario 18 — the export snapshot itself. Every fingerprint in this
+/// file already renders the full Prometheus + OTel snapshot off every
+/// stat surface (see [`Fingerprint::export`]), so the encoders'
+/// byte-for-byte output is part of the bit-identical contract at every
+/// shard count; this scenario additionally pins that the snapshot is
+/// well-formed and that the conservation identity can be re-derived
+/// from the scraped text alone — the exporter as oracle.
+#[test]
+fn det_18_export_snapshot_joins_the_fingerprint() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0xE690),
+            notification_loss: LossProcess::Bernoulli { p: 0.2 },
+            cebp_corruption: CorruptionSpec::bit_flips(1e-3),
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    let fp = assert_deterministic("export", cfg, None, |sim, ft| drive_lossy_fabric(sim, ft, 0.02));
+    let doc = parse_exposition(&fp.export.prometheus)
+        .expect("the snapshot must parse as Prometheus text v0.0.4");
+    assert!(validate_json(&fp.export.otel), "the OTel snapshot must be valid JSON");
+    assert_eq!(fp.export.rendered_at_ns, HORIZON, "timestamps are sim time, never wall clock");
+
+    // Re-derive the fleet conservation identity from the scraped text
+    // and check it against the in-memory ledger term by term.
+    let get = |name: &str| {
+        doc.value(name, &[("scope", "fleet")])
+            .unwrap_or_else(|| panic!("scraped output missing {name}"))
+    };
+    assert_eq!(get("fet_events_generated_total"), fp.ledger.generated as f64);
+    let shed: f64 = doc
+        .samples
+        .iter()
+        .filter(|s| {
+            s.name == "fet_events_shed_total"
+                && s.labels.iter().any(|(k, v)| k == "scope" && v == "fleet")
+        })
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(shed, fp.ledger.shed_total() as f64);
+    assert_eq!(
+        get("fet_events_generated_total"),
+        get("fet_events_delivered_total")
+            + shed
+            + get("fet_events_pending")
+            + get("fet_events_buffered")
+            + get("fet_events_lost_to_crash_total")
+            + get("fet_events_corrupted_total")
+            + get("fet_events_malformed_total"),
+        "the scraped fleet identity must balance"
+    );
+    // The wire storm's scrape is in the same snapshot under its own scope.
+    assert_eq!(
+        doc.value("fet_events_generated_total", &[("scope", "wire")]),
+        Some(fp.wire.ledger.generated as f64)
+    );
+    // The scrape discipline keeps cardinality well under the caps: the
+    // registry must never have refused anything.
+    assert_eq!(doc.value("fet_export_series_rejected_total", &[]), Some(0.0));
+    assert_eq!(doc.value("fet_export_families_rejected_total", &[]), Some(0.0));
 }
 
 /// Scenario 13 — watchdog supervision of wedged monitors: checks are

@@ -1,0 +1,191 @@
+//! Golden-file and oracle tests for the `fet-export` encoders.
+//!
+//! The golden files pin the *exact* bytes both encoders emit for a fixed
+//! registry — format drift (ordering, escaping, float formatting,
+//! histogram ladders) fails loudly instead of silently changing what a
+//! real Prometheus or OTel collector would scrape. Regenerate after an
+//! intentional format change with:
+//! `cargo test --test export_golden regenerate_goldens -- --ignored`
+//!
+//! The mixed-replay tests use the exporter as its own oracle: the
+//! conservation identity is re-derived from the rendered Prometheus text
+//! (and only from it), so a rendering bug that mangled a term would break
+//! the balance even though the in-memory ledger is fine.
+
+use netseer_repro::fet_export::{
+    http_get, parse_exposition, render_otel, render_prometheus, run_mixed_replay, validate_json,
+    ExportServer, MetricRegistry, MixedReplayConfig, RenderedSnapshot, SnapshotHandle,
+};
+
+const METRICS_GOLDEN: &str = include_str!("golden/export_metrics.golden");
+const OTEL_GOLDEN: &str = include_str!("golden/export_otel.golden");
+
+/// The fixed registry both goldens render: every metric kind, hostile
+/// label values, multiple series per family, and a tripped cardinality
+/// cap so the meta families carry non-zero refusal counters.
+fn golden_registry() -> MetricRegistry {
+    let mut reg = MetricRegistry::new(netseer_repro::fet_export::RegistryConfig {
+        max_families: 64,
+        max_series_per_family: 3,
+    });
+    reg.counter_add("fet_events_generated_total", "Events generated.", &[("scope", "fleet")], 42);
+    reg.counter_add("fet_events_generated_total", "Events generated.", &[("scope", "wire")], 17);
+    // Insertion order deliberately differs from label order; output must
+    // not care.
+    reg.counter_add(
+        "fet_events_shed_total",
+        "Events shed at a named choke point.",
+        &[("reason", "pcie"), ("scope", "fleet")],
+        5,
+    );
+    reg.counter_add(
+        "fet_events_shed_total",
+        "Events shed at a named choke point.",
+        &[("scope", "fleet"), ("reason", "stack")],
+        3,
+    );
+    // Hostile label values: backslash, quote, newline.
+    reg.gauge_set(
+        "fet_collector_backlog",
+        "Backlog with a \"quoted\" help string\nand a newline.",
+        &[("path", "C:\\spool\"dir\"\nline2")],
+        7.5,
+    );
+    reg.histogram_observe(
+        "fet_sla_breach_duration_ns",
+        "Breach durations.",
+        &[1e6, 2e6, 4e6],
+        &[("device", "3")],
+        1.5e6,
+    );
+    reg.histogram_observe(
+        "fet_sla_breach_duration_ns",
+        "Breach durations.",
+        &[1e6, 2e6, 4e6],
+        &[("device", "3")],
+        9e6,
+    );
+    // Trip the per-family cap (3): the 4th distinct series is refused
+    // and counted, never stored.
+    for i in 0..5u32 {
+        let v = i.to_string();
+        reg.counter_add("fet_capped_total", "Cap demo.", &[("i", v.as_str())], 1);
+    }
+    reg
+}
+
+const GOLDEN_START_NS: u64 = 0;
+const GOLDEN_NOW_NS: u64 = 12_000_000;
+
+#[test]
+fn prometheus_text_matches_golden() {
+    let got = render_prometheus(&golden_registry());
+    assert!(parse_exposition(&got).is_some(), "golden output must parse as Prometheus text v0.0.4");
+    assert_eq!(
+        got, METRICS_GOLDEN,
+        "Prometheus rendering drifted from tests/golden/export_metrics.golden; \
+         regenerate with `cargo test --test export_golden regenerate_goldens -- --ignored` \
+         if the change is intentional"
+    );
+}
+
+#[test]
+fn otel_json_matches_golden() {
+    let got = render_otel(&golden_registry(), GOLDEN_START_NS, GOLDEN_NOW_NS);
+    assert!(validate_json(&got), "golden output must be valid JSON");
+    assert_eq!(
+        got, OTEL_GOLDEN,
+        "OTel rendering drifted from tests/golden/export_otel.golden; \
+         regenerate with `cargo test --test export_golden regenerate_goldens -- --ignored` \
+         if the change is intentional"
+    );
+}
+
+/// Rewrites both golden files from the current encoders. Run manually.
+#[test]
+#[ignore = "writes into the source tree; run manually after intentional format changes"]
+fn regenerate_goldens() {
+    let reg = golden_registry();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    std::fs::write(format!("{dir}/export_metrics.golden"), render_prometheus(&reg)).unwrap();
+    std::fs::write(
+        format!("{dir}/export_otel.golden"),
+        render_otel(&reg, GOLDEN_START_NS, GOLDEN_NOW_NS),
+    )
+    .unwrap();
+}
+
+#[test]
+fn cardinality_cap_refuses_and_counts_in_the_output() {
+    let doc = parse_exposition(&render_prometheus(&golden_registry())).unwrap();
+    // Only 3 of 5 attempted series exist; the 2 refusals are visible in
+    // the export's own meta metric — capped output is never silent.
+    let kept: Vec<_> = doc.samples.iter().filter(|s| s.name == "fet_capped_total").collect();
+    assert_eq!(kept.len(), 3, "cap must hold");
+    assert_eq!(doc.value("fet_export_series_rejected_total", &[]), Some(2.0));
+}
+
+#[test]
+fn hostile_labels_roundtrip_through_the_text_format() {
+    let doc = parse_exposition(&render_prometheus(&golden_registry()))
+        .expect("escaped output must still parse");
+    assert_eq!(
+        doc.value("fet_collector_backlog", &[("path", "C:\\spool\"dir\"\nline2")]),
+        Some(7.5),
+        "escaping must be lossless through render -> parse"
+    );
+}
+
+#[test]
+fn mixed_replay_identity_holds_via_the_prometheus_oracle() {
+    let report = run_mixed_replay(&MixedReplayConfig::default());
+    let doc = parse_exposition(&report.snapshot.prometheus)
+        .expect("replay snapshot must parse as Prometheus text");
+    assert!(validate_json(&report.snapshot.otel), "replay OTel snapshot must be valid JSON");
+    let get = |name: &str| {
+        doc.value(name, &[("scope", "merged")])
+            .unwrap_or_else(|| panic!("scraped output missing {name}"))
+    };
+    let shed: f64 = doc
+        .samples
+        .iter()
+        .filter(|s| {
+            s.name == "fet_events_shed_total"
+                && s.labels.iter().any(|(k, v)| k == "scope" && v == "merged")
+        })
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(
+        get("fet_events_generated_total"),
+        get("fet_events_delivered_total")
+            + shed
+            + get("fet_events_pending")
+            + get("fet_events_buffered")
+            + get("fet_events_lost_to_crash_total")
+            + get("fet_events_corrupted_total")
+            + get("fet_events_malformed_total"),
+        "generated == delivered + shed + pending + buffered + lost_to_crash \
+         + corrupted + malformed, read back from the scraped text"
+    );
+    // Both halves really contributed.
+    assert!(report.fleet.generated > 0 && report.wire.generated > 0);
+}
+
+#[test]
+fn scrape_server_serves_the_published_snapshot_verbatim() {
+    let report = run_mixed_replay(&MixedReplayConfig::default());
+    let handle = SnapshotHandle::new();
+    handle.publish(report.snapshot.clone());
+    let server = ExportServer::bind(handle.clone()).expect("bind");
+    let metrics = http_get(server.addr(), "/metrics").expect("scrape /metrics");
+    let otel = http_get(server.addr(), "/otel").expect("scrape /otel");
+    assert_eq!(metrics, report.snapshot.prometheus, "served bytes == published bytes");
+    assert_eq!(otel, report.snapshot.otel);
+    // Re-publishing swaps atomically; the next scrape sees the new body.
+    let mut reg = MetricRegistry::default();
+    reg.counter_add("fet_after_total", "After.", &[], 1);
+    handle.publish(RenderedSnapshot::render(&reg, 0, 1));
+    let after = http_get(server.addr(), "/metrics").expect("scrape again");
+    assert!(after.contains("fet_after_total 1"));
+    server.stop();
+}
