@@ -54,6 +54,7 @@ fn main() -> ExitCode {
 
     let mut failures = 0u32;
     let mut compared = 0u32;
+    let mut skipped = 0u32;
     for base_path in &baselines {
         let Some(base) = BenchReport::read(base_path) else {
             eprintln!("bench_check: unparseable baseline {}", base_path.display());
@@ -66,6 +67,27 @@ fn main() -> ExitCode {
             failures += 1;
             continue;
         };
+        // Wall-clock throughput only compares like-for-like hardware:
+        // when the baseline was measured on a different core count, the
+        // gate is skipped LOUDLY (counted and summarized below) rather
+        // than producing a meaningless pass/fail.
+        if let (Some(b), Some(c)) = (base.get("cores"), cur.get("cores")) {
+            if b != c {
+                eprintln!(
+                    "bench_check: SKIP {}: baseline measured on {b:.0} core(s) but this host \
+                     has {c:.0} — throughput not comparable, re-baseline on matching hardware",
+                    base.name
+                );
+                skipped += 1;
+                continue;
+            }
+        } else {
+            eprintln!(
+                "bench_check: WARN {}: report lacks a `cores` metric; comparing throughput \
+                 without verifying the hardware matches",
+                base.name
+            );
+        }
         for (key, want) in base.metrics.iter().filter(|(k, _)| is_throughput(k)) {
             let Some(got) = cur.get(key) else {
                 eprintln!("bench_check: {}: metric {key} missing from current run", base.name);
@@ -119,9 +141,17 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "bench_check: {compared} throughput metrics compared across {} reports, {failures} failure(s)",
+        "bench_check: {compared} throughput metrics compared across {} reports, \
+         {skipped} skipped (cores mismatch), {failures} failure(s)",
         baselines.len()
     );
+    if skipped > 0 && compared == 0 {
+        eprintln!(
+            "bench_check: every report was skipped for a cores mismatch — nothing was \
+             actually gated; re-baseline on this hardware"
+        );
+        return ExitCode::FAILURE;
+    }
     if failures > 0 {
         ExitCode::FAILURE
     } else {

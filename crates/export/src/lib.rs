@@ -40,6 +40,6 @@ pub use registry::{labels, MetricKind, MetricRegistry, RegistryConfig, SeriesVal
 pub use replay::{merge_ledgers, run_mixed_replay, Capture, MixedReplayConfig, MixedReplayReport};
 pub use scrape::{
     scrape_analytics, scrape_breaches, scrape_collector, scrape_fleet, scrape_ledger,
-    scrape_watchdog, scrape_wire,
+    scrape_sim_sync, scrape_watchdog, scrape_wire,
 };
 pub use server::{http_get, ExportServer, RenderedSnapshot, SnapshotHandle};

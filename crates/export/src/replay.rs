@@ -13,7 +13,7 @@
 use crate::registry::MetricRegistry;
 use crate::scrape::{
     scrape_analytics, scrape_breaches, scrape_collector, scrape_fleet, scrape_ledger,
-    scrape_watchdog, scrape_wire,
+    scrape_sim_sync, scrape_watchdog, scrape_wire,
 };
 use crate::server::RenderedSnapshot;
 use fet_analytics::{AnalyticsConfig, AnalyticsEngine, LinkMap};
@@ -268,6 +268,7 @@ pub fn run_mixed_replay(cfg: &MixedReplayConfig) -> MixedReplayReport {
     scrape_collector(&mut reg, &collector);
     scrape_analytics(&mut reg, &engine, cfg.top_n);
     scrape_breaches(&mut reg, &breaches);
+    scrape_sim_sync(&mut reg, &sim);
     scrape_wire(&mut reg, &wire);
     scrape_watchdog(&mut reg, &WatchdogLog::default());
 

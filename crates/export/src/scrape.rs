@@ -381,6 +381,45 @@ pub fn scrape_fleet(reg: &mut MetricRegistry, sim: &Simulator) {
     );
 }
 
+/// Publish the parallel executor's cross-shard synchronization counters.
+///
+/// All-zero under serial execution; under sharded execution the values are
+/// a deterministic function of (scenario, shard count, ring capacity) —
+/// they belong in same-configuration determinism fingerprints but NOT in
+/// serial-vs-parallel comparisons.
+pub fn scrape_sim_sync(reg: &mut MetricRegistry, sim: &Simulator) {
+    let s = sim.sync_stats();
+    for (name, help, v) in [
+        (
+            "fet_sim_segments_total",
+            "Conservative-parallel segments executed between management barriers.",
+            s.segments,
+        ),
+        (
+            "fet_sim_epochs_executed_total",
+            "Synchronization rounds (barrier crossings) summed over workers.",
+            s.epochs_executed,
+        ),
+        (
+            "fet_sim_epochs_batched_total",
+            "Extra lookahead epochs folded into a single synchronization round.",
+            s.epochs_batched,
+        ),
+        (
+            "fet_sim_ring_messages_total",
+            "Cross-shard events carried over the SPSC rings.",
+            s.ring_messages,
+        ),
+        (
+            "fet_sim_ring_stalls_total",
+            "Ring-full occurrences diverted to the overflow spill path.",
+            s.ring_stalls,
+        ),
+    ] {
+        reg.counter_add(name, help, &[], v);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +495,48 @@ mod tests {
         assert_eq!(doc.value("fet_wire_rejects_total", &[("reason", "bad-version")]), Some(1.0));
         assert_eq!(doc.value("fet_collector_poison_quarantined_total", &[]), Some(1.0));
         assert_eq!(doc.value("fet_collector_backlog", &[]), Some(1.0));
+    }
+
+    #[test]
+    fn sim_sync_scrape_covers_serial_and_parallel() {
+        // Serial execution: every sync family exists and reads zero.
+        let sim = Simulator::new();
+        let mut reg = MetricRegistry::default();
+        scrape_sim_sync(&mut reg, &sim);
+        let doc = parse_exposition(&render_prometheus(&reg)).unwrap();
+        for name in [
+            "fet_sim_segments_total",
+            "fet_sim_epochs_executed_total",
+            "fet_sim_epochs_batched_total",
+            "fet_sim_ring_messages_total",
+            "fet_sim_ring_stalls_total",
+        ] {
+            assert_eq!(doc.value(name, &[]), Some(0.0), "{name} missing or nonzero");
+        }
+
+        // Sharded execution: barrier rounds must show up in the scrape.
+        let mut sim = Simulator::new();
+        let ft = fet_netsim::topology::build_fat_tree(
+            &mut sim,
+            &fet_netsim::topology::FatTreeParams::default(),
+        );
+        fet_netsim::routing::install_ecmp_routes(&mut sim);
+        let key = fet_packet::FlowKey::tcp(ft.host_ips[0], 3000, ft.host_ips[7], 80);
+        let idx = sim.host_mut(ft.hosts[0]).add_flow(fet_netsim::host::FlowSpec {
+            key,
+            total_bytes: 100_000,
+            pkt_payload: 1000,
+            rate_gbps: 5.0,
+            start_ns: 0,
+            dscp: 0,
+        });
+        sim.schedule_flow(ft.hosts[0], idx);
+        sim.run_until_parallel(1_000_000, 2);
+        let mut reg = MetricRegistry::default();
+        scrape_sim_sync(&mut reg, &sim);
+        let doc = parse_exposition(&render_prometheus(&reg)).unwrap();
+        assert!(doc.value("fet_sim_segments_total", &[]).unwrap() >= 1.0);
+        assert!(doc.value("fet_sim_epochs_executed_total", &[]).unwrap() >= 1.0);
     }
 
     #[test]

@@ -4,13 +4,15 @@
 use crate::host::Host;
 use crate::link::{Link, LinkDirection, LinkOutcome};
 use crate::monitor::{MgmtReport, SwitchMonitor};
+use crate::ring::SpscRing;
 use crate::switchdev::{ArrivalEffects, SwitchDevice};
 use crate::time::tx_time_ns;
 use crate::tracer::{GroundTruth, GtEvent};
+use crate::wheel::EventWheel;
 use fet_packet::builder::extract_flow;
 use fet_packet::event::{DropCode, EventType};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifies a device in the simulator.
 pub type NodeId = u32;
@@ -109,12 +111,50 @@ impl Ord for QEntry {
 }
 
 /// Worker-side context of a parallel run: which devices this shard owns and
-/// the per-destination outboxes for cross-shard events (only frame arrivals
+/// the SPSC ring grid for cross-shard event hand-off (only frame arrivals
 /// ever cross shards; see `parallel.rs` for the proof sketch).
+/// `rings[src][dst]` is produced only by shard `src` and consumed only by
+/// shard `dst`, satisfying the SPSC contract in `ring.rs`.
 pub(crate) struct ShardCtx {
     pub(crate) shards: u32,
     pub(crate) shard: u32,
-    pub(crate) outbox: Vec<Vec<QEntry>>,
+    pub(crate) rings: Arc<Vec<Vec<SpscRing<QEntry>>>>,
+}
+
+/// Counters for the parallel executor's cross-shard synchronization,
+/// surfaced through `fet-export` as the `fet_sim_*` families.
+///
+/// Zero after a purely serial run. The values are deterministic for a
+/// fixed (scenario, shard count, ring capacity) triple — the BSP epoch
+/// schedule is a pure function of event keys — but they legitimately
+/// *differ across shard counts*, so they live outside the serial-vs-
+/// parallel fingerprint and are checked by the same-configuration
+/// determinism sweep instead (det_19).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Parallel segments executed (scripted controls delimit segments).
+    pub segments: u64,
+    /// Worker processing rounds (one epoch-barrier cycle each), summed
+    /// over workers.
+    pub epochs_executed: u64,
+    /// Additional Δ-lookahead windows covered without a barrier thanks
+    /// to batched epoch advancement, summed over workers.
+    pub epochs_batched: u64,
+    /// Cross-shard events handed off through the SPSC rings.
+    pub ring_messages: u64,
+    /// Pushes that found a ring full and took the overflow lane.
+    pub ring_stalls: u64,
+}
+
+impl SyncStats {
+    /// Fold a segment's worth of counters into the run total.
+    pub(crate) fn merge(&mut self, other: &SyncStats) {
+        self.segments += other.segments;
+        self.epochs_executed += other.epochs_executed;
+        self.epochs_batched += other.epochs_batched;
+        self.ring_messages += other.ring_messages;
+        self.ring_stalls += other.ring_stalls;
+    }
 }
 
 /// Management-plane (monitoring traffic) accounting.
@@ -168,7 +208,7 @@ type ControlFn = Box<dyn FnOnce(&mut Simulator) + Send>;
 /// The simulator: devices, links, event queue, ground truth, accounting.
 pub struct Simulator {
     pub(crate) now: u64,
-    pub(crate) queue: BinaryHeap<Reverse<QEntry>>,
+    pub(crate) queue: EventWheel,
     /// Per-lane push counters (lane 0 = external, lane d+1 = device d).
     pub(crate) lane_seqs: Vec<u64>,
     /// All devices.
@@ -187,6 +227,8 @@ pub struct Simulator {
     pub(crate) host_ip_cache: Vec<(NodeId, fet_packet::ipv4::Ipv4Addr)>,
     /// Present only on the worker simulators of a parallel segment.
     pub(crate) shard: Option<ShardCtx>,
+    /// Cross-shard synchronization counters (all zero for serial runs).
+    pub(crate) sync: SyncStats,
 }
 
 impl Default for Simulator {
@@ -200,7 +242,7 @@ impl Simulator {
     pub fn new() -> Self {
         Simulator {
             now: 0,
-            queue: BinaryHeap::new(),
+            queue: EventWheel::new(),
             lane_seqs: vec![0],
             nodes: Vec::new(),
             links: Vec::new(),
@@ -212,6 +254,7 @@ impl Simulator {
             timers_armed: false,
             host_ip_cache: Vec::new(),
             shard: None,
+            sync: SyncStats::default(),
         }
     }
 
@@ -223,6 +266,13 @@ impl Simulator {
     /// Events handled so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Cross-shard synchronization counters accumulated by
+    /// [`run_until_parallel`](Self::run_until_parallel) (all zero for
+    /// serial runs).
+    pub fn sync_stats(&self) -> SyncStats {
+        self.sync
     }
 
     /// Add a switch; returns its node id.
@@ -358,12 +408,12 @@ impl Simulator {
             if let Some(target) = entry.ev.target() {
                 let dest = target % ctx.shards;
                 if dest != ctx.shard {
-                    ctx.outbox[dest as usize].push(entry);
+                    ctx.rings[ctx.shard as usize][dest as usize].push(entry);
                     return;
                 }
             }
         }
-        self.queue.push(Reverse(entry));
+        self.queue.push(entry);
     }
 
     /// Push from a device's own execution (lane = device id + 1).
@@ -435,11 +485,11 @@ impl Simulator {
     /// Run until the queue is empty or simulated time reaches `until_ns`.
     pub fn run_until(&mut self, until_ns: u64) {
         self.arm_monitor_timers();
-        while let Some(Reverse(top)) = self.queue.peek() {
-            if top.time > until_ns {
+        while let Some((time, _, _)) = self.queue.peek_key() {
+            if time > until_ns {
                 break;
             }
-            let Reverse(entry) = self.queue.pop().expect("peeked");
+            let entry = self.queue.pop().expect("peeked");
             self.now = entry.time;
             self.events_processed += 1;
             self.dispatch(entry.ev);

@@ -27,15 +27,17 @@ pub mod link;
 pub mod mmu;
 pub mod monitor;
 mod parallel;
+mod ring;
 pub mod rng;
 pub mod routing;
 pub mod switchdev;
 pub mod time;
 pub mod topology;
 pub mod tracer;
+mod wheel;
 
 pub use corrupt::{CorruptionGen, CorruptionSpec, CorruptionTally};
-pub use engine::{NodeId, Simulator};
+pub use engine::{NodeId, Simulator, SyncStats};
 pub use exporter::{HostileExporter, HostileExporterConfig};
 pub use host::{FlowSpec, Host, HostConfig};
 pub use link::{FaultSpec, Link};

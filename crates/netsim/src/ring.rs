@@ -1,0 +1,321 @@
+//! Lock-free synchronization primitives for the parallel executor:
+//! bounded SPSC rings for cross-shard event hand-off and an atomic
+//! epoch-counter barrier.
+//!
+//! Both replace `std::sync::mpsc` channels on the parallel hot path.
+//! An mpsc send is an allocation plus a mutex-protected queue operation;
+//! the rings below are one slot write and one `Release` store, and the
+//! barrier is one `fetch_add` plus a bounded spin.
+//!
+//! # Memory-ordering contract (see DESIGN.md §16)
+//!
+//! [`SpscRing`] has exactly one producer and one consumer (in the
+//! executor: `rings[src][dst]` is written only by worker `src` and
+//! drained only by worker `dst`):
+//!
+//! * the producer loads `head` with `Acquire` (so it observes slot reads
+//!   the consumer made before releasing them for reuse), writes the
+//!   slot, then stores `tail` with `Release` — publishing the slot
+//!   contents;
+//! * the consumer loads `tail` with `Acquire` (pairing with the
+//!   producer's `Release`, making the slot write visible), reads the
+//!   slots, then stores `head` with `Release` — returning them.
+//!
+//! A **full** ring never blocks: blocking would deadlock the executor's
+//! BSP schedule, where the consumer only drains *after* the next
+//! barrier. The producer instead diverts to a mutex-guarded overflow
+//! vector and counts a stall; the consumer appends the overflow after
+//! the ring, preserving per-pair FIFO order (once the ring is full it
+//! stays full until the next drain, so ring entries strictly precede
+//! overflow entries). Stall counts are deterministic for a fixed shard
+//! count and ring capacity because the BSP schedule is.
+//!
+//! [`EpochBarrier`] is a sense-free generation barrier: arrival is
+//! `fetch_add(AcqRel)` on `arrived`; the last arriver resets `arrived`
+//! (Relaxed — no thread touches it again this generation) and bumps
+//! `epoch` with `Release`; waiters spin on `epoch` with `Acquire`.
+//! The AcqRel arrival makes every pre-barrier write of every thread
+//! visible to the last arriver, and the Release/Acquire epoch hand-off
+//! extends that visibility to all waiters — so data published before
+//! `wait()` (ring contents, floor slots) may be read freely after it.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Pads and aligns to a cache line so the producer-owned and
+/// consumer-owned indices never false-share.
+#[repr(align(128))]
+struct CacheAligned<T>(T);
+
+/// Bounded single-producer single-consumer ring with a non-blocking
+/// mutex-guarded overflow lane (see module docs for the contract).
+pub(crate) struct SpscRing<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+    /// Next slot to read; written only by the consumer.
+    head: CacheAligned<AtomicUsize>,
+    /// Next slot to write; written only by the producer.
+    tail: CacheAligned<AtomicUsize>,
+    /// Spill lane for pushes against a full ring.
+    overflow: Mutex<Vec<T>>,
+    /// Pushes that found the ring full and took the overflow lane.
+    stalls: AtomicU64,
+}
+
+// SAFETY: the UnsafeCell slots are accessed under the SPSC protocol
+// proven by the head/tail orderings above; one producer thread and one
+// consumer thread never touch the same slot concurrently.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+unsafe impl<T: Send> Send for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Ring with capacity `cap` rounded up to a power of two (min 2).
+    pub(crate) fn new(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        SpscRing {
+            buf: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            mask: cap - 1,
+            head: CacheAligned(AtomicUsize::new(0)),
+            tail: CacheAligned(AtomicUsize::new(0)),
+            overflow: Mutex::new(Vec::new()),
+            stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer side: enqueue `v`. Never blocks; a full ring diverts to
+    /// the overflow lane and counts a stall.
+    pub(crate) fn push(&self, v: T) {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            self.overflow.lock().expect("overflow lane poisoned").push(v);
+            return;
+        }
+        // SAFETY: `tail - head <= mask` means slot `tail & mask` is not
+        // owned by the consumer; only this (sole) producer writes it.
+        unsafe { (*self.buf[tail & self.mask].get()).write(v) };
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer side: move every queued element (ring first, then
+    /// overflow — per-pair FIFO) into `out`. Returns the count moved.
+    pub(crate) fn drain_into(&self, out: &mut Vec<T>) -> u64 {
+        let mut n = 0u64;
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let mut i = head;
+        while i != tail {
+            // SAFETY: slots in [head, tail) were published by the
+            // producer's Release store of `tail`; only this (sole)
+            // consumer reads them.
+            out.push(unsafe { (*self.buf[i & self.mask].get()).assume_init_read() });
+            i = i.wrapping_add(1);
+            n += 1;
+        }
+        self.head.0.store(tail, Ordering::Release);
+        let mut spilled = self.overflow.lock().expect("overflow lane poisoned");
+        n += spilled.len() as u64;
+        out.append(&mut spilled);
+        n
+    }
+
+    /// Total pushes that found the ring full (overflow-lane trips).
+    pub(crate) fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let mut i = head;
+        while i != tail {
+            // SAFETY: exclusive access; [head, tail) slots are initialized.
+            unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// Spin-then-park barrier for a fixed party count, reusable across
+/// generations.
+///
+/// The fast path is pure atomics: arrival is one `fetch_add`, release is
+/// one epoch bump, and waiters spin briefly expecting the release within
+/// a few hundred cycles (true when every worker has its own core). If
+/// the release does not arrive within the spin budget — or the host has
+/// fewer cores than parties, where spinning would steal the CPU from the
+/// very thread being waited on — waiters park on a condvar. The releaser
+/// always bumps the epoch *before* taking the lock and notifying, and
+/// parkers re-check the epoch under the lock, so no wakeup is lost.
+pub(crate) struct EpochBarrier {
+    arrived: AtomicUsize,
+    epoch: AtomicU64,
+    parties: usize,
+    /// Spin iterations before parking; 0 when cores < parties.
+    spin_budget: u32,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl EpochBarrier {
+    /// Barrier releasing when `parties` threads have called `wait`.
+    pub(crate) fn new(parties: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        EpochBarrier {
+            arrived: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            parties,
+            spin_budget: if cores > parties { 1 << 10 } else { 0 },
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Epochs completed so far (generation counter).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Block until all parties arrive. Establishes happens-before from
+    /// every pre-wait write to every post-wait read.
+    pub(crate) fn wait(&self) {
+        let gen = self.epoch.load(Ordering::Relaxed);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Reset before the Release bump: stragglers of this
+            // generation never touch `arrived` again, and newcomers of
+            // the next generation can only arrive after observing the
+            // bump below.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.epoch.fetch_add(1, Ordering::Release);
+            // Taking the lock orders this release against any parker
+            // between its epoch re-check and its cv.wait (it holds the
+            // lock for both), so notify_all cannot be missed.
+            drop(self.lock.lock().expect("barrier lock poisoned"));
+            self.cv.notify_all();
+            return;
+        }
+        for _ in 0..self.spin_budget {
+            if self.epoch.load(Ordering::Acquire) != gen {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock().expect("barrier lock poisoned");
+        while self.epoch.load(Ordering::Acquire) == gen {
+            guard = self.cv.wait(guard).expect("barrier lock poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn spsc_fifo_within_capacity() {
+        let r: SpscRing<u32> = SpscRing::new(8);
+        for v in 0..8 {
+            r.push(v);
+        }
+        let mut out = Vec::new();
+        assert_eq!(r.drain_into(&mut out), 8);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(r.stalls(), 0);
+    }
+
+    #[test]
+    fn full_ring_overflows_without_losing_order() {
+        let r: SpscRing<u32> = SpscRing::new(4);
+        for v in 0..11 {
+            r.push(v);
+        }
+        assert_eq!(r.stalls(), 7, "pushes 4..11 overflow a 4-slot ring");
+        let mut out = Vec::new();
+        assert_eq!(r.drain_into(&mut out), 11);
+        assert_eq!(out, (0..11).collect::<Vec<_>>(), "ring then overflow preserves FIFO");
+        // Ring is reusable after a drain.
+        r.push(99);
+        out.clear();
+        assert_eq!(r.drain_into(&mut out), 1);
+        assert_eq!(out, vec![99]);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let r: SpscRing<u8> = SpscRing::new(5);
+        for v in 0..8 {
+            r.push(v); // 5 → 8 slots, so no stalls
+        }
+        assert_eq!(r.stalls(), 0);
+    }
+
+    #[test]
+    fn drop_releases_undrained_elements() {
+        // Vec<u8> payloads: miri/leak-checkers would flag a leak here.
+        let r: SpscRing<Vec<u8>> = SpscRing::new(4);
+        r.push(vec![1; 100]);
+        r.push(vec![2; 100]);
+        drop(r);
+    }
+
+    #[test]
+    fn spsc_cross_thread_transfer() {
+        let r: SpscRing<u64> = SpscRing::new(64);
+        let done = AtomicBool::new(false);
+        const N: u64 = 100_000;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for v in 0..N {
+                    r.push(v);
+                }
+                done.store(true, Ordering::Release);
+            });
+            s.spawn(|| {
+                let mut got: Vec<u64> = Vec::new();
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    r.drain_into(&mut got);
+                    if finished && got.len() as u64 == N {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                // Every element exactly once. Ring entries are FIFO but a
+                // drain can interleave with overflow spills, so sort.
+                got.sort_unstable();
+                assert_eq!(got, (0..N).collect::<Vec<_>>());
+            });
+        });
+    }
+
+    #[test]
+    fn barrier_rounds_are_lockstep() {
+        const PARTIES: usize = 4;
+        const ROUNDS: usize = 200;
+        let b = EpochBarrier::new(PARTIES);
+        let counters: Vec<AtomicU64> = (0..ROUNDS).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..PARTIES {
+                s.spawn(|| {
+                    for (i, c) in counters.iter().enumerate() {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        b.wait();
+                        // After the barrier every party's increment for
+                        // round i must be visible.
+                        assert_eq!(c.load(Ordering::Relaxed), PARTIES as u64, "round {i}");
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.epoch(), (ROUNDS * 2) as u64);
+    }
+}

@@ -10,7 +10,7 @@ use crate::error::{ParseError, Result};
 use crate::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 use crate::event::EventRecord;
 use crate::flow::{FlowKey, IpProtocol};
-use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN};
+use crate::ipv4::{Ipv4Addr, Ipv4Packet, IPV4_HEADER_LEN};
 use crate::notification::{build_notification, LossNotification, NOTIFICATION_LEN};
 use crate::pfc::{PfcFrame, PFC_PAYLOAD_LEN};
 use crate::seqtag::{SeqTag, SEQTAG_LEN};
@@ -277,8 +277,32 @@ pub fn strip_seqtag_in_place(frame: &mut Vec<u8>) -> Result<u32> {
     Ok(seq)
 }
 
+/// Big-endian 16-bit load at a byte offset; `None` past the end.
+/// Compiles to a single bounds check plus one word load — the primitive
+/// the word-at-a-time parser fast paths are built from.
+#[inline]
+fn be16_at(b: &[u8], off: usize) -> Option<u16> {
+    b.get(off..off + 2).map(|w| u16::from_be_bytes([w[0], w[1]]))
+}
+
+/// Big-endian 32-bit load at a byte offset; `None` past the end.
+#[inline]
+fn be32_at(b: &[u8], off: usize) -> Option<u32> {
+    b.get(off..off + 4).map(|w| u32::from_be_bytes([w[0], w[1], w[2], w[3]]))
+}
+
 /// Peek the sequence number of a tagged frame without re-framing.
 pub fn peek_seqtag(frame: &[u8]) -> Result<u32> {
+    // Word-at-a-time fast path: one ethertype load, one seq load. Anything
+    // short or untagged drops to the layered parsers purely to produce the
+    // exact same error values they always have.
+    if frame.len() >= ETHERNET_HEADER_LEN + SEQTAG_LEN
+        && be16_at(frame, 12) == Some(EtherType::NetSeerSeq.value())
+    {
+        if let Some(seq) = be32_at(frame, ETHERNET_HEADER_LEN) {
+            return Ok(seq);
+        }
+    }
     let eth = EthernetFrame::new_checked(frame)?;
     if eth.ethertype() != EtherType::NetSeerSeq {
         return Err(ParseError::Malformed { what: "seqtag.missing" });
@@ -288,7 +312,67 @@ pub fn peek_seqtag(frame: &[u8]) -> Result<u32> {
 
 /// Extract the 5-tuple from an Ethernet frame, looking through a sequence
 /// tag if present. Non-IP frames yield `None`.
+///
+/// The common case — a well-formed TCP/UDP-in-IPv4 frame, tagged or not —
+/// is decoded with a handful of word loads at fixed offsets; anything the
+/// fast path is not certain about (IP options, unusual protocols, odd
+/// lengths) falls back to the layered checked parsers, which remain
+/// authoritative. The equivalence of the two paths is property-tested in
+/// this module.
 pub fn extract_flow(frame: &[u8]) -> Option<FlowKey> {
+    if let Some(f) = extract_flow_fast(frame) {
+        return Some(f);
+    }
+    extract_flow_checked(frame)
+}
+
+/// Word-at-a-time `extract_flow` fast path. Every guard here mirrors a
+/// validation the checked parsers perform, so `Some` answers are exactly
+/// what [`extract_flow_checked`] would return; `None` only means "let the
+/// slow path decide".
+#[inline]
+fn extract_flow_fast(frame: &[u8]) -> Option<FlowKey> {
+    let l3_off = match be16_at(frame, 12)? {
+        0x0800 => ETHERNET_HEADER_LEN,
+        0x88b5 if be16_at(frame, ETHERNET_HEADER_LEN + 4)? == 0x0800 => {
+            ETHERNET_HEADER_LEN + SEQTAG_LEN
+        }
+        _ => return None,
+    };
+    let l3_len = frame.len() - l3_off;
+    // Version 4, IHL 5 in one byte compare; options (IHL != 5) fall back.
+    if l3_len < IPV4_HEADER_LEN || frame[l3_off] != 0x45 {
+        return None;
+    }
+    let total = usize::from(be16_at(frame, l3_off + 2)?);
+    if total < IPV4_HEADER_LEN || total > l3_len {
+        return None;
+    }
+    let l4_len = total - IPV4_HEADER_LEN;
+    let l4 = l3_off + IPV4_HEADER_LEN;
+    let proto = frame[l3_off + 9];
+    let (sport, dport) = match proto {
+        6 if l4_len >= TCP_HEADER_LEN => (be16_at(frame, l4)?, be16_at(frame, l4 + 2)?),
+        17 if l4_len >= UDP_HEADER_LEN => {
+            let ulen = usize::from(be16_at(frame, l4 + 4)?);
+            if ulen < UDP_HEADER_LEN || ulen > l4_len {
+                return None;
+            }
+            (be16_at(frame, l4)?, be16_at(frame, l4 + 2)?)
+        }
+        _ => return None,
+    };
+    Some(FlowKey {
+        src: Ipv4Addr::from_u32(be32_at(frame, l3_off + 12)?),
+        dst: Ipv4Addr::from_u32(be32_at(frame, l3_off + 16)?),
+        sport,
+        dport,
+        proto: IpProtocol::from_number(proto),
+    })
+}
+
+/// Layered-parser `extract_flow`: the authoritative slow path.
+fn extract_flow_checked(frame: &[u8]) -> Option<FlowKey> {
     let eth = EthernetFrame::new_checked(frame).ok()?;
     let (ethertype, l3) = match eth.ethertype() {
         EtherType::NetSeerSeq => {
@@ -331,23 +415,22 @@ pub enum FrameKind {
 }
 
 /// Determine the frame kind.
+///
+/// Pure word-at-a-time: one ethertype load, plus one inner-ethertype load
+/// when a sequence tag is present. A frame too short for the load it needs
+/// is `Other`, exactly as the layered parsers would report.
 pub fn classify(frame: &[u8]) -> FrameKind {
-    let Ok(eth) = EthernetFrame::new_checked(frame) else {
-        return FrameKind::Other;
-    };
-    match eth.ethertype() {
-        EtherType::Ipv4 => FrameKind::Ipv4,
-        EtherType::NetSeerSeq => {
-            match SeqTag::new_checked(eth.payload()).map(|t| t.inner_ethertype()) {
-                Ok(EtherType::Ipv4) => FrameKind::Ipv4,
-                Ok(EtherType::NetSeerNotify) => FrameKind::LossNotification,
-                _ => FrameKind::Other,
-            }
-        }
-        EtherType::MacControl => FrameKind::Pfc,
-        EtherType::NetSeerNotify => FrameKind::LossNotification,
-        EtherType::NetSeerCebp => FrameKind::Cebp,
-        EtherType::Unknown(_) => FrameKind::Other,
+    match be16_at(frame, 12) {
+        Some(0x0800) => FrameKind::Ipv4,
+        Some(0x88b5) => match be16_at(frame, ETHERNET_HEADER_LEN + 4) {
+            Some(0x0800) => FrameKind::Ipv4,
+            Some(0x88b6) => FrameKind::LossNotification,
+            _ => FrameKind::Other,
+        },
+        Some(0x8808) => FrameKind::Pfc,
+        Some(0x88b6) => FrameKind::LossNotification,
+        Some(0x88b7) => FrameKind::Cebp,
+        _ => FrameKind::Other,
     }
 }
 
@@ -547,6 +630,75 @@ mod tests {
                 "flip at byte {i} was not caught"
             );
         }
+    }
+
+    #[test]
+    fn fast_flow_extraction_matches_checked_parsers() {
+        // Corpus: well-formed frames of every kind, then adversarial
+        // mutations of each. The word-at-a-time fast path must agree with
+        // the layered checked parsers on every byte string.
+        let f = flow();
+        let udp = FlowKey::udp(
+            Ipv4Addr::from_octets([192, 168, 0, 9]),
+            1234,
+            Ipv4Addr::from_octets([172, 16, 0, 1]),
+            4321,
+        );
+        let mut corpus: Vec<Vec<u8>> = vec![
+            build_data_packet(&f, 100, flags::SYN, 0, 64),
+            build_data_packet(&f, 0, 0, 46, 1),
+            build_data_packet(&udp, 64, 0, 8, 64),
+            insert_seqtag(&build_data_packet(&f, 33, 0, 0, 64), 7).unwrap(),
+            insert_seqtag(&build_data_packet(&udp, 0, 0, 0, 64), u32::MAX).unwrap(),
+            build_pfc_frame(2, 55),
+            build_notification_frames(3, 9, 1).remove(0),
+            build_cebp_frame(4, &[]).unwrap(),
+            vec![],
+            vec![0u8; 13],
+            vec![0u8; 64],
+        ];
+        let mutations: Vec<Vec<u8>> = corpus
+            .iter()
+            .flat_map(|pkt| {
+                let mut out = Vec::new();
+                // Every truncation point.
+                for cut in 0..pkt.len() {
+                    out.push(pkt[..cut].to_vec());
+                }
+                // Single-byte corruptions across the header region: hits
+                // ethertype, version/IHL, total length, protocol, ports.
+                for i in 0..pkt.len().min(40) {
+                    for flip in [0x01u8, 0x10, 0xff] {
+                        let mut bad = pkt.clone();
+                        bad[i] ^= flip;
+                        out.push(bad);
+                    }
+                }
+                out
+            })
+            .collect();
+        corpus.extend(mutations);
+        for pkt in &corpus {
+            assert_eq!(extract_flow(pkt), extract_flow_checked(pkt), "flow mismatch on {pkt:02x?}");
+            let fast = extract_flow_fast(pkt);
+            if fast.is_some() {
+                assert_eq!(fast, extract_flow_checked(pkt), "fast-path lied on {pkt:02x?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_peek_matches_tagged_frames() {
+        let tagged = insert_seqtag(&build_data_packet(&flow(), 10, 0, 0, 64), 0xdead_beef).unwrap();
+        assert_eq!(peek_seqtag(&tagged).unwrap(), 0xdead_beef);
+        // Truncations and untagged frames must still error like the
+        // layered parsers.
+        assert!(peek_seqtag(&tagged[..13]).is_err());
+        assert!(peek_seqtag(&tagged[..16]).is_err());
+        // 18 bytes holds the seq word but not the full 6-byte shim: the
+        // checked parser rejects it, so the fast path must too.
+        assert!(peek_seqtag(&tagged[..18]).is_err());
+        assert!(peek_seqtag(&build_data_packet(&flow(), 10, 0, 0, 64)).is_err());
     }
 
     #[test]

@@ -71,6 +71,11 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
                 have: len,
             });
         }
+        // A total_length shorter than the header itself is malformed and
+        // would otherwise let payload() slice backwards.
+        if usize::from(p.total_length()) < IPV4_HEADER_LEN {
+            return Err(ParseError::Malformed { what: "ipv4.total_length" });
+        }
         Ok(p)
     }
 

@@ -763,6 +763,58 @@ fn det_18_export_snapshot_joins_the_fingerprint() {
     assert_eq!(doc.value("fet_export_families_rejected_total", &[]), Some(0.0));
 }
 
+/// Scenario 19 — the cross-shard synchronization counters themselves.
+/// Epoch/ring statistics depend on the shard count, so they stay out of
+/// the serial-vs-parallel [`Fingerprint`]; the contract they *do* carry
+/// is that they are a pure function of (scenario, shard count, ring
+/// capacity). Two runs of the same configuration must agree exactly —
+/// on the counters and on every simulation observable — under the same
+/// `CHAOS_SEED` / `FET_RING_CAP` matrix legs CI sweeps.
+#[test]
+fn det_19_sync_stats_deterministic_per_configuration() {
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0xD19),
+            notification_loss: LossProcess::Bernoulli { p: 0.2 },
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    for shards in SHARD_COUNTS {
+        let run = || {
+            let (mut sim, ft) = setup(cfg());
+            drive_lossy_fabric(&mut sim, &ft, 0.02);
+            sim.run_until_parallel(HORIZON, shards);
+            (
+                fleet_ledger(&sim),
+                delivered_history(&sim),
+                sim.gt.events().to_vec(),
+                sim.sync_stats(),
+            )
+        };
+        let (ledger_a, delivered_a, gt_a, sync_a) = run();
+        let (ledger_b, delivered_b, gt_b, sync_b) = run();
+        assert_eq!(ledger_a, ledger_b, "{shards} shards: ledgers diverged between identical runs");
+        assert_eq!(delivered_a, delivered_b, "{shards} shards: delivered stream diverged");
+        assert_eq!(gt_a, gt_b, "{shards} shards: ground truth diverged");
+        assert_eq!(
+            sync_a, sync_b,
+            "{shards} shards: sync counters must be a pure function of the configuration"
+        );
+        if shards > 1 {
+            assert!(sync_a.segments > 0, "{shards} shards: no segments recorded");
+            assert!(sync_a.epochs_executed > 0, "{shards} shards: no epochs recorded");
+            assert!(sync_a.ring_messages > 0, "{shards} shards: no cross-shard traffic");
+        } else {
+            assert_eq!(
+                sync_a,
+                fet_netsim::SyncStats::default(),
+                "1 shard delegates to the serial engine and must record no sync work"
+            );
+        }
+    }
+}
+
 /// Scenario 13 — watchdog supervision of wedged monitors: checks are
 /// controls and the restart is a dynamically-scheduled control, both of
 /// which the parallel executor must place identically.
