@@ -49,6 +49,12 @@ pub struct AnalyticsConfig {
     pub sla: SlaPolicy,
     /// Max retained SLA breach windows.
     pub max_breaches: usize,
+    /// Event-time watermark lag per shard, ns. With `reorder_cap` both
+    /// zero (the default) the engine runs the exact arrival-order path —
+    /// bit-identical to the pre-event-time engine.
+    pub lateness_bound_ns: u64,
+    /// Max parked events per shard reorder buffer.
+    pub reorder_cap: usize,
 }
 
 impl Default for AnalyticsConfig {
@@ -61,6 +67,8 @@ impl Default for AnalyticsConfig {
             max_agg_keys: 4096,
             sla: SlaPolicy::default(),
             max_breaches: 1024,
+            lateness_bound_ns: 0,
+            reorder_cap: 0,
         }
     }
 }
@@ -126,6 +134,7 @@ impl AnalyticsEngine {
         let shards = (0..cfg.shards.max(1))
             .map(|_| {
                 ShardWorker::new(cfg.window_ns, cfg.sliding_buckets, cfg.max_agg_keys, cfg.topk_k)
+                    .with_event_time(cfg.lateness_bound_ns, cfg.reorder_cap)
             })
             .collect();
         AnalyticsEngine {
@@ -294,6 +303,16 @@ impl AnalyticsEngine {
             merged.merge_totals_from(&s.windows);
         }
         merged.totals()
+    }
+
+    /// End-of-stream flush: drain every shard's event-time reorder
+    /// buffer so all parked events get their final disposition and the
+    /// ledger's `pending_reorder` term returns to zero. A no-op on the
+    /// arrival-order path.
+    pub fn flush(&mut self) {
+        for s in &mut self.shards {
+            s.flush();
+        }
     }
 
     /// Rank implicated links, worst first.

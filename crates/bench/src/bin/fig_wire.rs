@@ -49,6 +49,8 @@ fn sample(rng: &mut Pcg32) -> FlowSample {
         bytes: 64 + rng.next_below(100_000) as u64,
         tcp_flags: 0x10,
         forwarding_status: Some(0x40),
+        first_ms: 0,
+        last_ms: 0,
     }
 }
 

@@ -26,6 +26,7 @@
 
 use fet_netsim::rng::Pcg32;
 
+pub use fet_netsim::clockfault::{ClockSpec, DeviceClock};
 pub use fet_netsim::corrupt::{CorruptionGen, CorruptionSpec, CorruptionTally};
 
 /// A half-open time window `[start_ns, end_ns)` during which a scheduled
@@ -238,6 +239,13 @@ pub struct FaultPlan {
     /// garbage. Inactive spec = the whole un-fsynced tail is lost (the
     /// pre-integrity model).
     pub torn_wal: CorruptionSpec,
+    /// Per-device virtual clock faults (offset/drift/step/freeze, drawn
+    /// on [`streams::CLOCK`]). Local clocks rewrite *recorded stamps*
+    /// only — event stamps, WAL/snapshot stamps, heartbeat readings —
+    /// while simulator global time stays the ordering authority, so the
+    /// generated event set and serial/parallel determinism are untouched.
+    /// Inactive spec = identity clocks, zero RNG draws.
+    pub clock: ClockSpec,
 }
 
 /// RNG stream ids, one per concern, so streams never collide.
@@ -257,6 +265,9 @@ pub mod streams {
     /// Torn spill-segment tail damage on a collector hard kill (inside
     /// `SpillStore`).
     pub const SPILL_CORRUPT: u64 = 0x4350;
+    /// Per-device clock-fault parameter draws (inside
+    /// `fet_netsim::clockfault::DeviceClock`).
+    pub const CLOCK: u64 = fet_netsim::clockfault::CLOCK_STREAM;
 }
 
 impl FaultPlan {
@@ -546,6 +557,8 @@ mod tests {
         assert!(!p.cebp_corruption.is_active());
         assert!(!p.notification_corruption.is_active());
         assert!(!p.torn_wal.is_active());
+        assert!(!p.clock.is_active());
+        assert!(DeviceClock::new(&p.clock, p.seed, 9).is_identity());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::cpu::SwitchCpu;
 use crate::dedup::{DedupOutcome, GroupCache};
 use crate::detect::{GapDetector, PathTable, PauseTracker, PendingLookups, PortTagger};
 use crate::extract::Extractor;
-use crate::faults::{streams, CorruptionGen, CrashKind, DeliveryLedger, LossGen};
+use crate::faults::{streams, CorruptionGen, CrashKind, DeliveryLedger, DeviceClock, LossGen};
 use crate::recovery::{CrashReport, DedupSummary, PoisonFrame, RecoveryLog, Snapshot};
 use crate::storage::StoredEvent;
 use crate::tables::{DedupTable, PortTable};
@@ -156,6 +156,16 @@ pub struct NetSeerMonitor {
     /// loop is healthy; the watchdog declares the monitor suspect when it
     /// stops (see [`crate::watchdog`]).
     pub heartbeat: u64,
+    /// The device's *local* clock reading at the last heartbeat tick.
+    /// Purely observational: the watchdog samples it to measure clock
+    /// skew but never bases liveness on it (the counter is drift-immune).
+    pub heartbeat_local_ns: u64,
+    /// This device's virtual clock (identity unless
+    /// [`FaultPlan::clock`](crate::faults::FaultPlan::clock) is active).
+    /// Rewrites recorded stamps only — event times, snapshot stamps,
+    /// heartbeat readings — never control flow, so a clock-faulted run
+    /// generates exactly the same event set as an unfaulted one.
+    clock: DeviceClock,
     /// Fault injection: a wedged control loop. Timer ticks and pumping do
     /// nothing (the heartbeat freezes, batches pile up and shed, no
     /// checkpoints are taken) until a restart clears it.
@@ -263,6 +273,8 @@ impl NetSeerMonitor {
             next_delivery_seq: 0,
             records_scratch: Vec::with_capacity(4),
             heartbeat: 0,
+            heartbeat_local_ns: 0,
+            clock: DeviceClock::new(&cfg.faults.clock, cfg.faults.seed, device),
             wedged: false,
             cfg,
         }
@@ -416,9 +428,10 @@ impl NetSeerMonitor {
         match self.role {
             Role::Switch => self.push_pending(now_ns, rec),
             Role::Nic => {
-                // NICs log locally (paper §4): no CEBP/CPU path.
+                // NICs log locally (paper §4): no CEBP/CPU path. The stamp
+                // is the NIC's local clock reading, not global time.
                 self.delivered.push(StoredEvent {
-                    time_ns: now_ns,
+                    time_ns: self.clock.local_time(now_ns),
                     device: self.device,
                     epoch: self.transport.epoch,
                     seq: self.next_delivery_seq,
@@ -486,8 +499,13 @@ impl NetSeerMonitor {
                     match parse_cebp_frame(&frame) {
                         Ok(_) => {
                             for s in &survived {
+                                // Stamped with the *monitor's* local clock:
+                                // a skewed device reports skewed times, and
+                                // downstream consumers must cope.
                                 self.delivered.push(StoredEvent {
-                                    time_ns: delivery.delivered_ns.max(s.done_ns),
+                                    time_ns: self
+                                        .clock
+                                        .local_time(delivery.delivered_ns.max(s.done_ns)),
                                     device: self.device,
                                     epoch: self.transport.epoch,
                                     seq: self.next_delivery_seq,
@@ -569,6 +587,7 @@ impl NetSeerMonitor {
             .collect();
         Snapshot {
             taken_ns: 0,
+            taken_local_ns: 0,
             pending: self.batcher.pending_events(),
             tagger_heads,
             dedup,
@@ -578,9 +597,18 @@ impl NetSeerMonitor {
 
     /// Take a checkpoint now: materialize the pending set, tagger heads,
     /// group-cache summaries, and the ledger; the WAL truncates behind it.
+    /// The snapshot carries both stamps: global time drives the cadence,
+    /// the local-clock reading is what a real process would have written.
     pub fn checkpoint(&mut self, now_ns: u64) {
-        let snap = self.take_snapshot();
+        let mut snap = self.take_snapshot();
+        snap.taken_local_ns = self.clock.local_time(now_ns);
         self.recovery.checkpoint(now_ns, snap);
+    }
+
+    /// This device's virtual clock (identity unless clock faults are
+    /// configured in [`FaultPlan::clock`](crate::faults::FaultPlan::clock)).
+    pub fn clock(&self) -> &DeviceClock {
+        &self.clock
     }
 
     /// The switch-CPU process dies at `now_ns`. Detach the monitor from
@@ -1029,6 +1057,7 @@ impl SwitchMonitor for NetSeerMonitor {
             return;
         }
         self.heartbeat += 1;
+        self.heartbeat_local_ns = self.clock.local_time(now_ns);
         // CPU-assisted backstop: drain pending lookups even on quiet ports.
         for p in 0..=255u8 {
             if self.pending.get(p).is_some() {

@@ -226,8 +226,13 @@ pub struct DedupSummary {
 /// part of the monitor's state without the WAL.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
-    /// When it was taken, ns.
+    /// When it was taken, global simulator ns (set by
+    /// [`RecoveryLog::checkpoint`]; drives the cadence).
     pub taken_ns: u64,
+    /// The device's *local* clock reading at checkpoint time — the stamp
+    /// a real process would have written to disk. Equal to `taken_ns`
+    /// unless clock faults are active; never used for control flow.
+    pub taken_local_ns: u64,
     /// The pending set (open CEBP cargo first, then stack, oldest first).
     pub pending: Vec<EventRecord>,
     /// Per-port tagger numbering heads (the notification ring-buffer

@@ -40,6 +40,13 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Supervision policy.
+///
+/// Liveness is **counter-primary**: the watchdog compares heartbeat
+/// *counters*, never heartbeat *timestamps*, so a monitor whose local
+/// clock drifts, steps, or freezes can never be declared suspect while
+/// its control loop still ticks — zero false positives at any drift, by
+/// construction. Local-clock stamps are sampled purely for observability
+/// (see [`WatchdogLog::max_abs_skew_ns`]).
 #[derive(Debug, Clone, Copy)]
 pub struct WatchdogConfig {
     /// Heartbeat sampling cadence, ns.
@@ -48,6 +55,11 @@ pub struct WatchdogConfig {
     pub missed_beats: u32,
     /// Delay between the hard kill and the supervised restart, ns.
     pub restart_delay_ns: u64,
+    /// Clock-skew observability threshold, ns: a healthy monitor whose
+    /// local heartbeat stamp deviates from global time by more than this
+    /// is *flagged* in the log ([`WatchdogLog::drift_flagged`]) — an
+    /// operator signal, never a kill reason.
+    pub drift_tolerance_ns: u64,
 }
 
 impl Default for WatchdogConfig {
@@ -56,6 +68,7 @@ impl Default for WatchdogConfig {
             check_interval_ns: 500 * fet_netsim::MICROS,
             missed_beats: 2,
             restart_delay_ns: 100 * fet_netsim::MICROS,
+            drift_tolerance_ns: fet_netsim::MILLIS,
         }
     }
 }
@@ -80,6 +93,14 @@ pub struct Incident {
 pub struct WatchdogLog {
     incidents: Arc<Mutex<Vec<Incident>>>,
     restarts: Arc<Mutex<Vec<CrashReport>>>,
+    skew: Arc<Mutex<SkewStats>>,
+}
+
+/// Clock-skew observability accumulated across all checks.
+#[derive(Debug, Clone, Copy, Default)]
+struct SkewStats {
+    max_abs_ns: u64,
+    flagged: u64,
 }
 
 impl WatchdogLog {
@@ -101,6 +122,19 @@ impl WatchdogLog {
     /// True when no monitor was ever declared suspect.
     pub fn is_empty(&self) -> bool {
         self.incidents.lock().unwrap().is_empty()
+    }
+
+    /// The largest `|local heartbeat stamp - global check time|` observed
+    /// across every sampled monitor — how wrong the fleet's clocks got.
+    pub fn max_abs_skew_ns(&self) -> u64 {
+        self.skew.lock().unwrap().max_abs_ns
+    }
+
+    /// Checks where a healthy monitor's skew exceeded
+    /// [`WatchdogConfig::drift_tolerance_ns`]. An operator signal only:
+    /// flagged monitors are never killed for drift.
+    pub fn drift_flagged(&self) -> u64 {
+        self.skew.lock().unwrap().flagged
     }
 }
 
@@ -152,6 +186,7 @@ pub fn schedule_watchdog(
         let devices = Arc::clone(&devices);
         let incidents = Arc::clone(&log.incidents);
         let restarts = Arc::clone(&log.restarts);
+        let skew_stats = Arc::clone(&log.skew);
         sim.schedule_control(check_at, move |s| {
             for &device in devices.iter() {
                 // A detached monitor (crashed, or already suspect) has no
@@ -162,6 +197,17 @@ pub fn schedule_watchdog(
                     continue;
                 };
                 let beat = ns.heartbeat;
+                // Observability only: record how far the monitor's local
+                // clock has wandered from the supervisor's. Liveness below
+                // compares counters, so skew can never cause a kill.
+                let skew_ns = ns.clock().skew_at(check_at).unsigned_abs();
+                {
+                    let mut st = skew_stats.lock().unwrap();
+                    st.max_abs_ns = st.max_abs_ns.max(skew_ns);
+                    if skew_ns > cfg.drift_tolerance_ns {
+                        st.flagged += 1;
+                    }
+                }
                 let mut map = tracked.lock().unwrap();
                 let t = map.entry(device).or_insert(Tracked { last_beat: beat, stalls: 0 });
                 if beat == t.last_beat {

@@ -153,13 +153,17 @@ impl WireIngest {
 
         let version = report.protocol.map(|p| p.version()).unwrap_or(0);
         let device = self.device_for(version, report.domain);
+        // Event-time stamp: the session's vetted export time — never the
+        // exporter's raw claim. Implausible claims were clamped to the
+        // receive clock (and booked under a clock-lie) upstream.
+        let stamp_ns = if report.event_time_ns > 0 { report.event_time_ns } else { now_ns };
         let batch: Vec<StoredEvent> = report
             .samples
             .iter()
             .map(|s| {
                 let seq = self.next_seq.entry(device).or_insert(0);
                 let e = StoredEvent {
-                    time_ns: now_ns,
+                    time_ns: stamp_ns,
                     device,
                     epoch: 0,
                     seq: *seq,
@@ -233,6 +237,16 @@ impl WireIngest {
     pub fn generated(&self) -> u64 {
         self.generated
     }
+
+    /// Clock lies booked per [`fet_wire::ClockLie::index`].
+    pub fn clock_lies(&self) -> [u64; fet_wire::CLOCK_LIE_COUNT] {
+        self.session.stats().clock_lies
+    }
+
+    /// Event-time stamps clamped to the receive clock so far.
+    pub fn clamped_stamps(&self) -> u64 {
+        self.session.stats().clamped_stamps
+    }
 }
 
 impl Default for WireIngest {
@@ -268,7 +282,28 @@ mod tests {
             bytes: 1000,
             tcp_flags: 0x10,
             forwarding_status: Some(0x40),
+            first_ms: 0,
+            last_ms: 0,
         }
+    }
+
+    #[test]
+    fn future_export_time_is_clamped_to_receive_clock() {
+        use fet_wire::builder::v5_datagram_with_times;
+        use fet_wire::ClockLie;
+        let mut w = WireIngest::default();
+        let mut c = Collector::new();
+        // Exporter claims a far-future export time; the stored stamp must
+        // be the collector's receive clock, with the lie booked.
+        let now_ns = 50 * 1_000_000_000;
+        let dg = v5_datagram_with_times(0, 0, 1, &[sample(1)], 1, 1_000, 2_000_000_000);
+        w.ingest_datagram(&mut c, &dg, now_ns);
+        let got = c.store().query(&crate::storage::Query::any());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].time_ns, now_ns, "future claim must clamp to receive time");
+        assert!(w.clock_lies()[ClockLie::FutureExport.index()] > 0);
+        assert!(w.clamped_stamps() > 0);
+        w.ledger(&c).assert_balanced();
     }
 
     #[test]

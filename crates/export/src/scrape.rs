@@ -13,7 +13,7 @@
 use crate::registry::MetricRegistry;
 use fet_analytics::{AnalyticsEngine, BreachWindow};
 use fet_netsim::engine::Simulator;
-use fet_wire::ALL_REASONS;
+use fet_wire::{ALL_CLOCK_LIES, ALL_REASONS};
 use netseer::deploy::{fleet_ledger, fleet_stats};
 use netseer::recovery::Collector;
 use netseer::watchdog::WatchdogLog;
@@ -183,6 +183,24 @@ pub fn scrape_analytics(reg: &mut MetricRegistry, e: &AnalyticsEngine, top_n: us
         l.shed_analytics,
     );
     reg.counter_add(
+        "fet_time_late_admitted_total",
+        "Late events admitted within the lateness bound (also disposed normally).",
+        &[],
+        l.late_admitted,
+    );
+    reg.counter_add(
+        "fet_time_late_shed_total",
+        "Events older than the watermark's lateness bound, shed with account.",
+        &[],
+        l.late_shed,
+    );
+    reg.gauge_set(
+        "fet_time_pending_reorder",
+        "Events held in the event-time reorder buffers, awaiting the watermark.",
+        &[],
+        l.pending_reorder as f64,
+    );
+    reg.counter_add(
         "fet_analytics_processed_total",
         "Events processed since engine construction.",
         &[],
@@ -300,6 +318,20 @@ pub fn scrape_wire(reg: &mut MetricRegistry, w: &WireIngest) {
             stats.soft[reason.index()],
         );
     }
+    for lie in ALL_CLOCK_LIES {
+        reg.counter_add(
+            "fet_time_clock_lies_total",
+            "Exporter clock lies vetted at ingest, by kind (always soft).",
+            &[("kind", lie.as_str())],
+            stats.clock_lies[lie.index()],
+        );
+    }
+    reg.counter_add(
+        "fet_time_clamped_stamps_total",
+        "Datagram event times clamped to the collector's receive clock.",
+        &[],
+        stats.clamped_stamps,
+    );
     let cache = w.session().cache();
     reg.gauge_set(
         "fet_wire_template_domains",
@@ -339,6 +371,18 @@ pub fn scrape_watchdog(reg: &mut MetricRegistry, log: &WatchdogLog) {
         "Supervised restarts completed.",
         &[],
         log.restarts().len() as u64,
+    );
+    reg.gauge_set(
+        "fet_time_watchdog_max_skew_ns",
+        "Largest absolute monitor-clock skew observed at a liveness check.",
+        &[],
+        log.max_abs_skew_ns() as f64,
+    );
+    reg.counter_add(
+        "fet_time_watchdog_drift_flagged_total",
+        "Liveness checks whose observed skew exceeded the drift tolerance (observational; never kills).",
+        &[],
+        log.drift_flagged(),
     );
 }
 
@@ -482,6 +526,8 @@ mod tests {
                 bytes: 100,
                 tcp_flags: 0,
                 forwarding_status: None,
+                first_ms: 0,
+                last_ms: 0,
             }],
         );
         w.ingest_datagram(&mut c, &dg, 0);
@@ -537,6 +583,43 @@ mod tests {
         let doc = parse_exposition(&render_prometheus(&reg)).unwrap();
         assert!(doc.value("fet_sim_segments_total", &[]).unwrap() >= 1.0);
         assert!(doc.value("fet_sim_epochs_executed_total", &[]).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn time_fault_families_scrape() {
+        let mut c = Collector::new();
+        let mut w = WireIngest::default();
+        // A datagram claiming a far-future export time: accepted, lie
+        // booked, stamp clamped — all three must surface as fet_time_*.
+        let dg = fet_wire::builder::v5_datagram_with_times(
+            0,
+            0,
+            1,
+            &[fet_wire::FlowSample::default()],
+            1,
+            1_000,
+            2_000_000_000,
+        );
+        w.ingest_datagram(&mut c, &dg, 1_000_000_000);
+        let mut reg = MetricRegistry::default();
+        scrape_wire(&mut reg, &w);
+        let doc = parse_exposition(&render_prometheus(&reg)).unwrap();
+        assert_eq!(doc.value("fet_time_clock_lies_total", &[("kind", "future-export")]), Some(1.0));
+        assert_eq!(
+            doc.value("fet_time_clock_lies_total", &[("kind", "frozen-sysuptime")]),
+            Some(0.0)
+        );
+        assert_eq!(doc.value("fet_time_clamped_stamps_total", &[]), Some(1.0));
+
+        let eng = AnalyticsEngine::new(AnalyticsConfig::default(), LinkMap::default());
+        let mut reg = MetricRegistry::default();
+        scrape_analytics(&mut reg, &eng, 8);
+        let doc = parse_exposition(&render_prometheus(&reg)).unwrap();
+        for name in
+            ["fet_time_late_admitted_total", "fet_time_late_shed_total", "fet_time_pending_reorder"]
+        {
+            assert_eq!(doc.value(name, &[]), Some(0.0), "{name} missing");
+        }
     }
 
     #[test]

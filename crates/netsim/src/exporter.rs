@@ -16,12 +16,20 @@
 //!   [`corrupt_buffer`]-style damage to otherwise valid datagrams. Every
 //!   attack maps to a reject reason or malformed count on the parser
 //!   side; none may panic it or grow its state.
+//! * **Clock lies** with `clock_hostility`: structurally valid datagrams
+//!   whose time fields lie — future export stamps, frozen sysuptimes,
+//!   wrap-straddling and backwards first/last pairs, backwards export
+//!   times. The parser must *accept* these (they are real flow records)
+//!   while booking each lie under a `fet_wire::ClockLie` and clamping the
+//!   event-time stamp to the collector's receive time.
 
 use crate::corrupt::{corrupt_buffer, CorruptionSpec};
 use crate::rng::Pcg32;
 use fet_packet::flow::{FlowKey, IpProtocol};
 use fet_packet::Ipv4Addr;
-use fet_wire::builder::{v5_datagram, v5_datagram_with_count, IpfixBuilder, V9Builder};
+use fet_wire::builder::{
+    v5_datagram, v5_datagram_with_count, v5_datagram_with_times, IpfixBuilder, V9Builder,
+};
 use fet_wire::fields::base_flow_fields;
 use fet_wire::FlowSample;
 
@@ -36,6 +44,12 @@ pub struct HostileExporterConfig {
     pub max_records: u32,
     /// Probability a datagram is an attack instead of honest traffic.
     pub hostility: f64,
+    /// Probability a datagram is a clock-lie probe: valid framing and
+    /// records, lying clocks (future stamps, frozen sysuptime,
+    /// wrap-straddling first/last pairs, backwards export times). 0.0
+    /// (the default) draws nothing, so pre-existing seeds reproduce
+    /// bit-for-bit.
+    pub clock_hostility: f64,
     /// Probability an honest datagram is dropped upstream (sequence
     /// advances, nothing emitted) — the real-loss signal.
     pub drop_prob: f64,
@@ -50,6 +64,7 @@ impl Default for HostileExporterConfig {
             domains: 8,
             max_records: 8,
             hostility: 0.3,
+            clock_hostility: 0.0,
             drop_prob: 0.05,
             corruption: CorruptionSpec::none(),
         }
@@ -84,6 +99,16 @@ pub struct HostileExporter {
     pub honest_records: u64,
     /// Honest datagrams the corruption model visibly damaged.
     pub corrupted: u64,
+    /// Clock-lie datagrams emitted.
+    pub clock_attacks: u64,
+    /// Sequence counters of the clock-lie streams (v5 and IPFIX carry
+    /// distinct streams, each gap-free, so clock lies never read as
+    /// upstream loss).
+    clock_seq: u32,
+    clock_seq_ipfix: u32,
+    /// Alternates the backwards-export mode between a high and a low
+    /// export time.
+    clock_flip: bool,
 }
 
 /// RNG stream id for the exporter's draws (disjoint from the fault and
@@ -104,6 +129,10 @@ impl HostileExporter {
             dropped_units: 0,
             honest_records: 0,
             corrupted: 0,
+            clock_attacks: 0,
+            clock_seq: 0,
+            clock_seq_ipfix: 0,
+            clock_flip: false,
         }
     }
 
@@ -134,6 +163,8 @@ impl HostileExporter {
             } else {
                 Some(0x40)
             },
+            first_ms: 0,
+            last_ms: 0,
         }
     }
 
@@ -237,6 +268,78 @@ impl HostileExporter {
         }
     }
 
+    /// One clock-lie datagram: framing and records are valid (the parser
+    /// must *accept* these), only the time fields lie. Uses a dedicated
+    /// domain past the honest range with its own coherent sequence
+    /// counter, so clock lies never read as upstream loss.
+    fn clock_lie(&mut self) -> Vec<u8> {
+        let domain = self.cfg.domains + 8;
+        let n = 1 + self.rng.next_below(3) as usize;
+        let mut rows = self.samples(n);
+        let seq = self.clock_seq;
+        match self.rng.next_below(4) {
+            0 => {
+                // Export time deep in the exporter's claimed future.
+                let secs = 2_000_000_000 + self.rng.next_u32() % 1_000_000;
+                self.clock_seq = seq.wrapping_add(rows.len() as u32);
+                v5_datagram_with_times(
+                    seq,
+                    (domain >> 8) as u8,
+                    domain as u8,
+                    &rows,
+                    rows.len() as u16,
+                    1_000,
+                    secs,
+                )
+            }
+            1 => {
+                // Sysuptime frozen at a constant across emissions.
+                self.clock_seq = seq.wrapping_add(rows.len() as u32);
+                v5_datagram_with_times(
+                    seq,
+                    (domain >> 8) as u8,
+                    domain as u8,
+                    &rows,
+                    rows.len() as u16,
+                    0x00BE_EF00,
+                    0,
+                )
+            }
+            2 => {
+                // Record times: one legitimate wrap-straddler (must NOT be
+                // flagged) and, when room, one backwards pair (must be).
+                rows[0].first_ms = u32::MAX - 500;
+                rows[0].last_ms = 200 + self.rng.next_u32() % 300;
+                if rows.len() > 1 {
+                    rows[1].first_ms = 9_000_000;
+                    rows[1].last_ms = 1_000_000;
+                }
+                self.clock_seq = seq.wrapping_add(rows.len() as u32);
+                v5_datagram_with_times(
+                    seq,
+                    (domain >> 8) as u8,
+                    domain as u8,
+                    &rows,
+                    rows.len() as u16,
+                    0,
+                    0,
+                )
+            }
+            _ => {
+                // Export time marching backwards every other datagram.
+                self.clock_flip = !self.clock_flip;
+                let secs = if self.clock_flip { 500_000 } else { 100 + self.rng.next_u32() % 50 };
+                let seq = self.clock_seq_ipfix;
+                self.clock_seq_ipfix = seq.wrapping_add(rows.len() as u32);
+                IpfixBuilder::new(domain, seq)
+                    .export_time(secs)
+                    .template(310, &base_flow_fields())
+                    .data_samples(310, &rows)
+                    .build()
+            }
+        }
+    }
+
     fn next_flood_tid(&mut self) -> u16 {
         let tid = self.flood_tid;
         self.flood_tid = if self.flood_tid == u16::MAX { 256 } else { self.flood_tid + 1 };
@@ -251,6 +354,11 @@ impl HostileExporter {
             self.attacks += 1;
             self.emitted += 1;
             return Some(self.attack());
+        }
+        if self.rng.chance(self.cfg.clock_hostility) {
+            self.clock_attacks += 1;
+            self.emitted += 1;
+            return Some(self.clock_lie());
         }
         let d = self.rng.next_below(self.cfg.domains.max(1)) as usize;
         let before = self.streams[d].seq;
@@ -341,6 +449,60 @@ mod tests {
         let distinct = st.rejects.iter().filter(|&&c| c > 0).count()
             + st.soft.iter().filter(|&&c| c > 0).count();
         assert!(distinct >= 4, "attack mix too narrow: {distinct} reasons");
+    }
+
+    #[test]
+    fn zero_clock_hostility_preserves_the_byte_stream() {
+        // The clock-lie branch must be draw-free when disabled, so every
+        // pre-existing seed reproduces bit-for-bit.
+        let cfg = HostileExporterConfig {
+            hostility: 0.4,
+            drop_prob: 0.1,
+            corruption: CorruptionSpec { flip_per_byte: 0.01, ..CorruptionSpec::none() },
+            ..Default::default()
+        };
+        let mut a = HostileExporter::new(cfg);
+        let mut b = HostileExporter::new(HostileExporterConfig { clock_hostility: 0.0, ..cfg });
+        for _ in 0..500 {
+            assert_eq!(a.emit(), b.emit());
+        }
+    }
+
+    #[test]
+    fn clock_lies_are_accepted_but_booked() {
+        let cfg = HostileExporterConfig {
+            hostility: 0.0,
+            clock_hostility: 1.0,
+            drop_prob: 0.0,
+            ..Default::default()
+        };
+        let (ex, s) = run(cfg, 800);
+        assert_eq!(ex.clock_attacks, 800);
+        let st = s.stats();
+        // Structurally valid: everything decodes, nothing is refused.
+        assert_eq!(st.datagrams, 800);
+        assert_eq!(st.rejected, 0);
+        assert_eq!(st.malformed, 0);
+        assert_eq!(st.lost_upstream, 0, "clock-lie streams are gap-free");
+        // ... but the lies themselves are visible across the taxonomy.
+        let kinds = st.clock_lies.iter().filter(|&&c| c > 0).count();
+        assert!(kinds >= 3, "clock-lie mix too narrow: {kinds} kinds, {:?}", st.clock_lies);
+        assert!(st.clamped_stamps > 0, "implausible stamps must clamp");
+    }
+
+    #[test]
+    fn clock_lie_mix_with_attacks_stays_accounted() {
+        let cfg = HostileExporterConfig {
+            hostility: 0.3,
+            clock_hostility: 0.3,
+            drop_prob: 0.05,
+            ..Default::default()
+        };
+        let (ex, s) = run(cfg, 2000);
+        assert!(ex.clock_attacks > 0 && ex.attacks > 0);
+        let st = s.stats();
+        assert_eq!(st.accepted + st.rejected, st.datagrams);
+        assert!(st.clock_lies.iter().sum::<u64>() > 0);
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //! * [`monitor`] — the [`monitor::SwitchMonitor`] trait that
 //!   NetSeer and all baseline monitors implement;
 //! * [`tracer`] — the ground-truth oracle used to score event coverage;
+//! * [`clockfault`] — seeded per-device virtual clocks (offset/drift/step/
+//!   freeze) for the time-fault domain;
 //! * [`topology`] / [`routing`] — fat-tree construction and ECMP routes.
 
 #![warn(missing_docs)]
 
+pub mod clockfault;
 pub mod corrupt;
 pub mod counters;
 pub mod engine;
@@ -36,6 +39,7 @@ pub mod topology;
 pub mod tracer;
 mod wheel;
 
+pub use clockfault::{ClockSpec, DeviceClock};
 pub use corrupt::{CorruptionGen, CorruptionSpec, CorruptionTally};
 pub use engine::{NodeId, Simulator, SyncStats};
 pub use exporter::{HostileExporter, HostileExporterConfig};

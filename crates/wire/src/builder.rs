@@ -40,12 +40,28 @@ pub fn v5_datagram_with_count(
     samples: &[FlowSample],
     count: u16,
 ) -> Vec<u8> {
+    v5_datagram_with_times(flow_sequence, engine_type, engine_id, samples, count, 0, 0)
+}
+
+/// Encode a v5 datagram with explicit header clock claims (and an
+/// arbitrary count). The zero-time builders above delegate here, so a
+/// zero-clock datagram is byte-identical to the historical encoding.
+#[allow(clippy::too_many_arguments)]
+pub fn v5_datagram_with_times(
+    flow_sequence: u32,
+    engine_type: u8,
+    engine_id: u8,
+    samples: &[FlowSample],
+    count: u16,
+    sys_uptime: u32,
+    unix_secs: u32,
+) -> Vec<u8> {
     let taken = samples.len().min(V5_MAX_RECORDS);
     let mut out = Vec::with_capacity(V5_HEADER_LEN + taken * V5_RECORD_LEN);
     push16(&mut out, 5);
     push16(&mut out, count);
-    push32(&mut out, 0); // sys_uptime
-    push32(&mut out, 0); // unix_secs
+    push32(&mut out, sys_uptime);
+    push32(&mut out, unix_secs);
     push32(&mut out, 0); // unix_nsecs
     push32(&mut out, flow_sequence);
     out.push(engine_type);
@@ -60,6 +76,8 @@ pub fn v5_datagram_with_count(
         rec[14..16].copy_from_slice(&s.out_port.to_be_bytes());
         rec[16..20].copy_from_slice(&(s.packets.min(u32::MAX as u64) as u32).to_be_bytes());
         rec[20..24].copy_from_slice(&(s.bytes.min(u32::MAX as u64) as u32).to_be_bytes());
+        rec[24..28].copy_from_slice(&s.first_ms.to_be_bytes());
+        rec[28..32].copy_from_slice(&s.last_ms.to_be_bytes());
         rec[32..34].copy_from_slice(&s.flow.sport.to_be_bytes());
         rec[34..36].copy_from_slice(&s.flow.dport.to_be_bytes());
         rec[37] = s.tcp_flags;
@@ -81,14 +99,31 @@ fn pad4(body: &mut Vec<u8>) {
 pub struct V9Builder {
     source_id: u32,
     sequence: u32,
+    sys_uptime: u32,
+    unix_secs: u32,
     flowsets: Vec<Vec<u8>>,
     records: u16,
 }
 
 impl V9Builder {
-    /// Start a datagram for one exporter source.
+    /// Start a datagram for one exporter source (header clocks zero —
+    /// the historical "not set" encoding).
     pub fn new(source_id: u32, sequence: u32) -> Self {
-        V9Builder { source_id, sequence, flowsets: Vec::new(), records: 0 }
+        V9Builder {
+            source_id,
+            sequence,
+            sys_uptime: 0,
+            unix_secs: 0,
+            flowsets: Vec::new(),
+            records: 0,
+        }
+    }
+
+    /// Set the header clock claims (sysuptime ms, export unix seconds).
+    pub fn times(mut self, sys_uptime: u32, unix_secs: u32) -> Self {
+        self.sys_uptime = sys_uptime;
+        self.unix_secs = unix_secs;
+        self
     }
 
     fn flowset(mut self, id: u16, mut body: Vec<u8>, records: u16) -> Self {
@@ -168,8 +203,8 @@ impl V9Builder {
         let mut out = Vec::with_capacity(V9_HEADER_LEN + body_len);
         push16(&mut out, 9);
         push16(&mut out, count);
-        push32(&mut out, 0); // sys_uptime
-        push32(&mut out, 0); // unix_secs
+        push32(&mut out, self.sys_uptime);
+        push32(&mut out, self.unix_secs);
         push32(&mut out, self.sequence);
         push32(&mut out, self.source_id);
         for fs in &self.flowsets {
@@ -184,13 +219,21 @@ impl V9Builder {
 pub struct IpfixBuilder {
     domain: u32,
     sequence: u32,
+    export_time: u32,
     sets: Vec<Vec<u8>>,
 }
 
 impl IpfixBuilder {
-    /// Start a message for one observation domain.
+    /// Start a message for one observation domain (export time zero —
+    /// the historical "not set" encoding).
     pub fn new(domain: u32, sequence: u32) -> Self {
-        IpfixBuilder { domain, sequence, sets: Vec::new() }
+        IpfixBuilder { domain, sequence, export_time: 0, sets: Vec::new() }
+    }
+
+    /// Set the header export time (unix seconds).
+    pub fn export_time(mut self, secs: u32) -> Self {
+        self.export_time = secs;
+        self
     }
 
     fn set(mut self, id: u16, mut body: Vec<u8>) -> Self {
@@ -277,7 +320,7 @@ impl IpfixBuilder {
         let mut out = Vec::with_capacity(16 + self.sets.iter().map(Vec::len).sum::<usize>());
         push16(&mut out, 10);
         push16(&mut out, length);
-        push32(&mut out, 0); // export time
+        push32(&mut out, self.export_time);
         push32(&mut out, self.sequence);
         push32(&mut out, self.domain);
         for s in &self.sets {

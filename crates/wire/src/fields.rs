@@ -30,6 +30,10 @@ pub const L4_DST_PORT: u16 = 11;
 pub const IPV4_DST_ADDR: u16 = 12;
 /// OUTPUT_SNMP — egress interface index (0 = unresolved / blackholed).
 pub const OUTPUT_SNMP: u16 = 14;
+/// LAST_SWITCHED — sysuptime (ms) at the flow's last packet.
+pub const LAST_SWITCHED: u16 = 21;
+/// FIRST_SWITCHED — sysuptime (ms) at the flow's first packet.
+pub const FIRST_SWITCHED: u16 = 22;
 /// FORWARDING_STATUS — RFC 7270 forwarding status + reason code.
 pub const FORWARDING_STATUS: u16 = 89;
 
@@ -95,6 +99,8 @@ fn apply_field(s: &mut FlowSample, id: u16, val: &[u8]) {
         OUTPUT_SNMP if !val.is_empty() => s.out_port = be_uint(val) as u16,
         IN_PKTS if !val.is_empty() => s.packets = be_uint(val),
         IN_BYTES if !val.is_empty() => s.bytes = be_uint(val),
+        FIRST_SWITCHED if !val.is_empty() => s.first_ms = be_uint(val) as u32,
+        LAST_SWITCHED if !val.is_empty() => s.last_ms = be_uint(val) as u32,
         FORWARDING_STATUS if !val.is_empty() => {
             s.forwarding_status = Some(be_uint(val) as u8);
         }
@@ -127,6 +133,8 @@ pub fn encode_record(fields: &[TemplateField], sample: &FlowSample) -> Vec<u8> {
                 OUTPUT_SNMP => sample.out_port as u64,
                 IN_PKTS => sample.packets,
                 IN_BYTES => sample.bytes,
+                FIRST_SWITCHED => sample.first_ms as u64,
+                LAST_SWITCHED => sample.last_ms as u64,
                 FORWARDING_STATUS => sample.forwarding_status.unwrap_or(0x40) as u64,
                 _ => 0,
             }
@@ -185,7 +193,26 @@ mod tests {
             bytes: 90_000,
             tcp_flags: 0x18,
             forwarding_status: Some(0x40),
+            first_ms: 0,
+            last_ms: 0,
         }
+    }
+
+    #[test]
+    fn switched_times_roundtrip_when_templated() {
+        let fields = vec![
+            TemplateField::std(IPV4_SRC_ADDR, 4),
+            TemplateField::std(FIRST_SWITCHED, 4),
+            TemplateField::std(LAST_SWITCHED, 4),
+        ];
+        let tpl = Template::new(256, fields.clone(), 0);
+        let mut s = sample();
+        s.first_ms = u32::MAX - 10; // straddles the sysuptime wrap
+        s.last_ms = 500;
+        let bytes = encode_record(&fields, &s);
+        let (out, _) = decode_record(&tpl, &bytes).expect("decodes");
+        assert_eq!(out.first_ms, u32::MAX - 10);
+        assert_eq!(out.last_ms, 500);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! 4. **Loss before our doorstep is visible.** Export sequence numbers are
 //!    reconciled per stream; gaps surface as an upstream-loss signal
 //!    ([`session::UpstreamLossReport`]) for the analytics layer.
+//! 5. **Exporter clocks are never trusted.** Header export times are
+//!    plausibility-clamped against the collector's receive time, frozen
+//!    sysuptimes and implausible flow durations are booked under a
+//!    [`clock::ClockLie`], and sysuptime arithmetic is wrap-aware
+//!    ([`clock::uptime_delta_ms`]) across the ~49.7-day u32 wrap.
 //!
 //! Layering: this crate depends only on `fet-packet`. The simulator's
 //! hostile-exporter model (`fet_netsim::exporter`) and the collector
@@ -30,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod clock;
 pub mod fields;
 pub mod ipfix;
 pub mod reason;
@@ -41,6 +47,7 @@ pub mod v9;
 
 mod session;
 
+pub use clock::{uptime_delta_ms, ClockLie, ALL_CLOCK_LIES, CLOCK_LIE_COUNT};
 pub use reason::{RejectReason, ALL_REASONS, REASON_COUNT};
 pub use session::{
     IngestReport, UpstreamLossReport, WireProtocol, WireSession, WireSessionConfig,
@@ -73,6 +80,8 @@ pub(crate) mod test_support {
             bytes: 1000 + n as u64 * 10,
             tcp_flags: 0x10,
             forwarding_status: Some(0x40),
+            first_ms: 0,
+            last_ms: 0,
         }
     }
 }

@@ -3,6 +3,7 @@
 //! detection — everything between "a UDP payload arrived" and "FET events
 //! plus honest counters".
 
+use crate::clock::{ClockState, ClockVerdict, CLOCK_LIE_COUNT};
 use crate::ipfix;
 use crate::reason::{RejectReason, REASON_COUNT};
 use crate::template::{TemplateCache, TemplateCacheConfig};
@@ -90,6 +91,14 @@ pub struct IngestReport {
     pub lost_upstream: u64,
     /// 1 if this datagram revealed a fresh sequence gap.
     pub gap_events: u64,
+    /// The authoritative event time for this datagram's records, ns: the
+    /// exporter's export time when plausible, else the collector receive
+    /// time (`now_ns`). 0 only on rejected datagrams.
+    pub event_time_ns: u64,
+    /// Clock lies found, by [`ClockLie::index`](crate::ClockLie::index).
+    pub clock_lies: [u64; CLOCK_LIE_COUNT],
+    /// 1 if the export time was present but distrusted (clamped).
+    pub clamped_stamps: u64,
 }
 
 impl IngestReport {
@@ -104,6 +113,9 @@ impl IngestReport {
             soft: [0; REASON_COUNT],
             lost_upstream: 0,
             gap_events: 0,
+            event_time_ns: 0,
+            clock_lies: [0; CLOCK_LIE_COUNT],
+            clamped_stamps: 0,
         }
     }
 
@@ -135,6 +147,10 @@ pub struct WireSessionStats {
     pub lost_upstream: u64,
     /// Distinct sequence gaps observed.
     pub gap_events: u64,
+    /// Clock lies by [`ClockLie::index`](crate::ClockLie::index).
+    pub clock_lies: [u64; CLOCK_LIE_COUNT],
+    /// Datagrams whose export time was present but distrusted.
+    pub clamped_stamps: u64,
 }
 
 impl Default for WireSessionStats {
@@ -149,6 +165,8 @@ impl Default for WireSessionStats {
             malformed: 0,
             lost_upstream: 0,
             gap_events: 0,
+            clock_lies: [0; CLOCK_LIE_COUNT],
+            clamped_stamps: 0,
         }
     }
 }
@@ -176,6 +194,7 @@ struct SeqState {
     lost: u64,
     gaps: u64,
     touch: u64,
+    clock: ClockState,
 }
 
 /// A stateful ingest session (one per exporter peer, or one shared — the
@@ -256,6 +275,7 @@ impl WireSession {
             lost: 0,
             gaps: 0,
             touch: tick,
+            clock: ClockState::default(),
         });
         entry.touch = tick;
         let diff = seq.wrapping_sub(entry.expected);
@@ -268,6 +288,32 @@ impl WireSession {
         };
         entry.expected = seq.wrapping_add(advance);
         (lost, gaps)
+    }
+
+    /// Vet one datagram's clock claims against its stream's history: the
+    /// header's export time and sysuptime, plus every record's
+    /// first/last-switched pair. Called after [`Self::track_sequence`] so
+    /// the stream entry exists; if the stream was just LRU-evicted, a
+    /// fresh history still produces a sound (if lenient) verdict.
+    fn vet_clock(
+        &mut self,
+        ver: u16,
+        domain: u32,
+        export_secs: u32,
+        sysuptime_ms: u32,
+        samples: &[FlowSample],
+        now_ns: u64,
+    ) -> ClockVerdict {
+        let mut fresh = ClockState::default();
+        let clock = match self.seq.get_mut(&(ver, domain)) {
+            Some(s) => &mut s.clock,
+            None => &mut fresh,
+        };
+        let mut verdict = clock.vet(export_secs, sysuptime_ms, now_ns);
+        for s in samples {
+            ClockState::vet_record(s.first_ms, s.last_ms, &mut verdict.lies);
+        }
+        verdict
     }
 
     /// Ingest one datagram. Never panics on any input.
@@ -283,6 +329,10 @@ impl WireSession {
         for i in 0..REASON_COUNT {
             self.stats.soft[i] += report.soft[i];
         }
+        for i in 0..CLOCK_LIE_COUNT {
+            self.stats.clock_lies[i] += report.clock_lies[i];
+        }
+        self.stats.clamped_stamps += report.clamped_stamps;
         report.decoded = report.samples.len() as u64;
         self.stats.decoded += report.decoded;
         self.stats.malformed += report.malformed;
@@ -307,6 +357,8 @@ impl WireSession {
                     // v5 flow_sequence counts records exported so far.
                     let (lost, gaps) =
                         self.track_sequence(5, domain, dg.flow_sequence, dg.count as u32);
+                    let verdict =
+                        self.vet_clock(5, domain, dg.unix_secs, dg.sys_uptime, &dg.samples, now_ns);
                     IngestReport {
                         protocol: Some(WireProtocol::V5),
                         domain,
@@ -317,6 +369,9 @@ impl WireSession {
                         soft: dg.soft,
                         lost_upstream: lost,
                         gap_events: gaps,
+                        event_time_ns: verdict.event_time_ns,
+                        clock_lies: verdict.lies,
+                        clamped_stamps: verdict.clamped,
                     }
                 }
             },
@@ -325,6 +380,14 @@ impl WireSession {
                 Ok(dg) => {
                     // v9 sequence counts datagrams, not records.
                     let (lost, gaps) = self.track_sequence(9, dg.source_id, dg.sequence, 1);
+                    let verdict = self.vet_clock(
+                        9,
+                        dg.source_id,
+                        dg.unix_secs,
+                        dg.sys_uptime,
+                        &dg.samples,
+                        now_ns,
+                    );
                     IngestReport {
                         protocol: Some(WireProtocol::V9),
                         domain: dg.source_id,
@@ -335,6 +398,9 @@ impl WireSession {
                         soft: dg.soft,
                         lost_upstream: lost,
                         gap_events: gaps,
+                        event_time_ns: verdict.event_time_ns,
+                        clock_lies: verdict.lies,
+                        clamped_stamps: verdict.clamped,
                     }
                 }
             },
@@ -345,6 +411,10 @@ impl WireSession {
                     // best estimate of this message's record count.
                     let advance = (dg.data_records + dg.malformed).min(u32::MAX as u64) as u32;
                     let (lost, gaps) = self.track_sequence(10, dg.domain, dg.sequence, advance);
+                    // IPFIX has no sysuptime; only the export time is
+                    // vetted at the header level.
+                    let verdict =
+                        self.vet_clock(10, dg.domain, dg.export_time, 0, &dg.samples, now_ns);
                     IngestReport {
                         protocol: Some(WireProtocol::Ipfix),
                         domain: dg.domain,
@@ -355,6 +425,9 @@ impl WireSession {
                         soft: dg.soft,
                         lost_upstream: lost,
                         gap_events: gaps,
+                        event_time_ns: verdict.event_time_ns,
+                        clock_lies: verdict.lies,
+                        clamped_stamps: verdict.clamped,
                     }
                 }
             },
@@ -496,6 +569,84 @@ mod tests {
             s.ingest(&v5_datagram(10, 0, engine, &[sample(engine)]), 0);
         }
         assert_eq!(s.stats().lost_upstream, lost_before, "totals survive eviction");
+    }
+
+    #[test]
+    fn zero_clock_datagrams_take_receive_time_without_lies() {
+        let mut s = session();
+        let now = 42_000_000_000;
+        let r = s.ingest(&v5_datagram(0, 0, 1, &[sample(1)]), now);
+        assert_eq!(r.event_time_ns, now);
+        assert_eq!(r.clock_lies, [0; crate::CLOCK_LIE_COUNT]);
+        assert_eq!(r.clamped_stamps, 0);
+        assert_eq!(s.stats().clamped_stamps, 0);
+    }
+
+    #[test]
+    fn plausible_export_time_becomes_the_event_time() {
+        let mut s = session();
+        let dg = crate::builder::v5_datagram_with_times(0, 0, 1, &[sample(1)], 1, 5_000, 1_000_000);
+        let r = s.ingest(&dg, 1_000_001_000_000_000);
+        assert_eq!(r.event_time_ns, 1_000_000_000_000_000);
+        assert_eq!(r.clamped_stamps, 0);
+    }
+
+    #[test]
+    fn future_export_time_is_clamped_and_counted() {
+        let mut s = session();
+        let dg = crate::builder::v5_datagram_with_times(0, 0, 1, &[sample(1)], 1, 5_000, 9_999);
+        let now = 100_000_000_000; // 100 s << 9_999 s claim
+        let r = s.ingest(&dg, now);
+        assert_eq!(r.event_time_ns, now, "clamped to receive time");
+        assert_eq!(r.clock_lies[crate::ClockLie::FutureExport.index()], 1);
+        assert_eq!(r.clamped_stamps, 1);
+        assert_eq!(s.stats().clock_lies[crate::ClockLie::FutureExport.index()], 1);
+        assert_eq!(s.stats().clamped_stamps, 1);
+    }
+
+    #[test]
+    fn frozen_sysuptime_surfaces_after_a_run() {
+        let mut s = session();
+        let mut total = 0;
+        for i in 0..5u32 {
+            let dg = V9Builder::new(7, i).times(777, 0).template(256, &base_flow_fields()).build();
+            let r = s.ingest(&dg, u64::from(i) * 1_000_000_000);
+            total += r.clock_lies[crate::ClockLie::FrozenSysuptime.index()];
+        }
+        assert!(total > 0, "a dead tick source must surface");
+        assert_eq!(s.stats().clock_lies[crate::ClockLie::FrozenSysuptime.index()], total);
+    }
+
+    #[test]
+    fn wrap_straddling_flow_is_not_a_lie() {
+        let mut s = session();
+        let mut ok = sample(1);
+        ok.first_ms = u32::MAX - 100;
+        ok.last_ms = 400; // 501 ms across the wrap: plausible
+        let r = s.ingest(&v5_datagram(0, 0, 1, &[ok]), 0);
+        assert_eq!(r.clock_lies, [0; crate::CLOCK_LIE_COUNT]);
+        // A genuinely backwards pair IS a lie.
+        let mut bad = sample(2);
+        bad.first_ms = 9_000;
+        bad.last_ms = 4_000;
+        let r = s.ingest(&v5_datagram(1, 0, 1, &[bad]), 0);
+        assert_eq!(r.clock_lies[crate::ClockLie::ImplausibleDuration.index()], 1);
+        assert_eq!(r.decoded, 1, "clock lies are soft: the record still decodes");
+    }
+
+    #[test]
+    fn ipfix_export_time_is_vetted() {
+        let mut s = session();
+        let dg = IpfixBuilder::new(9, 0)
+            .export_time(50_000)
+            .template(256, &base_flow_fields())
+            .data_samples(256, &[sample(3)])
+            .build();
+        let now = 100_000_000_000; // 100 s: claim of 50_000 s is future
+        let r = s.ingest(&dg, now);
+        assert_eq!(r.clock_lies[crate::ClockLie::FutureExport.index()], 1);
+        assert_eq!(r.event_time_ns, now);
+        assert_eq!(r.decoded, 1);
     }
 
     #[test]

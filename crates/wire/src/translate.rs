@@ -39,6 +39,13 @@ pub struct FlowSample {
     pub tcp_flags: u8,
     /// RFC 7270 forwarding status byte, if the record carried field 89.
     pub forwarding_status: Option<u8>,
+    /// Sysuptime (ms) at the flow's first packet; 0 = not carried. A u32
+    /// millisecond clock wraps every ~49.7 days, so consumers must use
+    /// [`uptime_delta_ms`](crate::clock::uptime_delta_ms), never `last -
+    /// first`.
+    pub first_ms: u32,
+    /// Sysuptime (ms) at the flow's last packet; 0 = not carried.
+    pub last_ms: u32,
 }
 
 impl Default for FlowSample {
@@ -57,6 +64,8 @@ impl Default for FlowSample {
             bytes: 0,
             tcp_flags: 0,
             forwarding_status: None,
+            first_ms: 0,
+            last_ms: 0,
         }
     }
 }
@@ -159,6 +168,8 @@ mod tests {
             bytes: 1200,
             tcp_flags: 0x10,
             forwarding_status: None,
+            first_ms: 0,
+            last_ms: 0,
         }
     }
 

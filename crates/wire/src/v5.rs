@@ -21,6 +21,11 @@ pub const V5_MAX_RECORDS: usize = 30;
 /// A decoded v5 datagram.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct V5Datagram {
+    /// Exporter uptime at export, ms (u32: wraps every ~49.7 days); 0 =
+    /// not set.
+    pub sys_uptime: u32,
+    /// Exporter wall-clock at export, unix seconds; 0 = not set.
+    pub unix_secs: u32,
     /// Total flows the exporter claims to have sent before this datagram.
     pub flow_sequence: u32,
     /// Exporter engine type (slot).
@@ -60,6 +65,8 @@ fn record(buf: &[u8]) -> FlowSample {
         bytes: be32(buf, 20) as u64,
         tcp_flags: buf[37],
         forwarding_status: None,
+        first_ms: be32(buf, 24),
+        last_ms: be32(buf, 28),
     }
 }
 
@@ -79,6 +86,8 @@ pub fn parse(buf: &[u8]) -> Result<V5Datagram, RejectReason> {
     if count == 0 || count as usize > V5_MAX_RECORDS {
         return Err(RejectReason::CountLie);
     }
+    let sys_uptime = be32(buf, 4);
+    let unix_secs = be32(buf, 8);
     let flow_sequence = be32(buf, 16);
     let engine_type = buf[20];
     let engine_id = buf[21];
@@ -93,7 +102,17 @@ pub fn parse(buf: &[u8]) -> Result<V5Datagram, RejectReason> {
     let malformed = (count as usize - decoded) as u64;
     let mut soft = [0u64; REASON_COUNT];
     soft[RejectReason::TruncatedRecord.index()] = malformed;
-    Ok(V5Datagram { flow_sequence, engine_type, engine_id, count, samples, malformed, soft })
+    Ok(V5Datagram {
+        sys_uptime,
+        unix_secs,
+        flow_sequence,
+        engine_type,
+        engine_id,
+        count,
+        samples,
+        malformed,
+        soft,
+    })
 }
 
 #[cfg(test)]
@@ -116,6 +135,8 @@ mod tests {
                 bytes: 1000,
                 tcp_flags: 0,
                 forwarding_status: None,
+                first_ms: 0,
+                last_ms: 0,
             })
             .collect()
     }

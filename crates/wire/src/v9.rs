@@ -29,6 +29,11 @@ pub struct V9Datagram {
     pub source_id: u32,
     /// Datagram sequence number (increments per datagram, per source).
     pub sequence: u32,
+    /// Exporter uptime at export, ms (u32: wraps every ~49.7 days); 0 =
+    /// not set.
+    pub sys_uptime: u32,
+    /// Exporter wall-clock at export, unix seconds; 0 = not set.
+    pub unix_secs: u32,
     /// The header's claimed record count.
     pub count: u16,
     /// Records of any kind actually walked (flow + option + template).
@@ -161,6 +166,8 @@ pub fn parse(
     let mut dg = V9Datagram {
         source_id,
         sequence,
+        sys_uptime: be32(buf, 4),
+        unix_secs: be32(buf, 8),
         count,
         records_seen: 0,
         samples: Vec::new(),

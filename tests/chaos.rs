@@ -594,6 +594,7 @@ fn watchdog_restarts_wedged_monitor() {
         check_interval_ns: 500 * MICROS,
         missed_beats: 2,
         restart_delay_ns: 200 * MICROS,
+        ..WatchdogConfig::default()
     };
     let log = schedule_watchdog(&mut sim, &switches, wd_cfg, 30 * MILLIS);
     sim.run_until(30 * MILLIS);
@@ -892,6 +893,246 @@ fn hostile_exporter_storm_stays_bounded_and_accounted() {
     assert!(exporter.dropped_upstream > 0, "drop_prob must eat datagrams");
     let detected: u64 = wire.upstream_losses().iter().map(|l| l.lost).sum();
     assert!(detected > 0, "sequence gaps must surface the upstream loss");
+}
+
+/// Scenario 18 — a fleet-wide clock storm: every device's clock takes a
+/// seeded offset, drift, and periodic steps while global time stays the
+/// ordering authority. The contract:
+///
+/// * the storm changes event *stamps* and nothing else — the same seed
+///   with clocks disabled generates the identical event set;
+/// * the watchdog records real skew but raises zero incidents (liveness
+///   is counter-primary, so wrong clocks can never look like death);
+/// * event-time analytics with a lateness bound covering the fleet's
+///   worst skew converge exactly to the zero-skew arrival-time reference,
+///   with zero late shed; a deliberately tight bound sheds late events
+///   *with account* — the extended identity holds either way;
+/// * the wire edge under exporter clock lies keeps its own extended
+///   identity exact, with every lie booked and every stamp clamped.
+#[test]
+fn clock_storm_converges_within_watermark_bounds() {
+    use fet_analytics::{link_map_from_sim, AnalyticsConfig, AnalyticsEngine, LinkMap};
+    use fet_netsim::{HostileExporter, HostileExporterConfig};
+    use netseer::faults::ClockSpec;
+    use netseer::{WireConfig, WireIngest};
+    use std::collections::BTreeMap;
+
+    const HORIZON: u64 = 30 * MILLIS;
+    let spec = ClockSpec {
+        offset_ns: 200 * MICROS,
+        drift_ppm: 500,
+        step_every_ns: 5 * MILLIS,
+        step_ns: 50 * MICROS,
+        ..ClockSpec::none()
+    };
+
+    let run = |clock: ClockSpec| {
+        let faults = FaultPlan { seed: seed(0xC10C), clock, ..FaultPlan::default() };
+        let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+        drive_lossy_fabric(&mut sim, &ft, 0.02);
+        let switches = sim.switch_ids();
+        // A tolerance below the storm's skew: drift gets *flagged*, and
+        // flagging must be the only consequence.
+        let wd_cfg = WatchdogConfig {
+            check_interval_ns: 500 * MICROS,
+            missed_beats: 2,
+            restart_delay_ns: 200 * MICROS,
+            drift_tolerance_ns: 100 * MICROS,
+        };
+        let log = schedule_watchdog(&mut sim, &switches, wd_cfg, HORIZON);
+        sim.run_until(HORIZON);
+        let ledger = fleet_ledger(&sim);
+        let history = delivered_history(&sim);
+        let links = link_map_from_sim(&sim);
+        (ledger, history, links, log)
+    };
+
+    let (ledger, history, links, log) = run(spec);
+    let (ref_ledger, ref_history, _, ref_log) = run(ClockSpec::none());
+
+    // Zero watchdog false positives under the storm — but the skew was
+    // really there and really seen.
+    assert!(log.incidents().is_empty(), "clock skew must never read as death");
+    assert!(ref_log.incidents().is_empty());
+    assert!(log.max_abs_skew_ns() > 0, "the watchdog must observe the storm's skew");
+    assert!(log.drift_flagged() > 0, "skew above the tolerance must be flagged");
+    assert_eq!(ref_log.max_abs_skew_ns(), 0, "identity clocks have zero skew");
+
+    // The storm perturbs stamps only: identical ledgers, identical event
+    // identities, different times.
+    assert!(ledger.generated > 0 && ledger.delivered > 0);
+    assert_eq!(ledger, ref_ledger, "clock faults must not change what happens, only when-stamps");
+    assert_eq!(history.len(), ref_history.len());
+    let key = |e: &netseer::StoredEvent| (e.device, e.epoch, e.seq);
+    let ids: std::collections::BTreeSet<_> = history.iter().map(key).collect();
+    let ref_ids: std::collections::BTreeSet<_> = ref_history.iter().map(key).collect();
+    assert_eq!(ids, ref_ids, "the delivered event set must be identical");
+    assert!(
+        history.iter().zip(ref_history.iter()).any(|(a, b)| a.time_ns != b.time_ns),
+        "the storm must actually skew some stamps"
+    );
+
+    // Reconstruct true arrival order from the reference run (identity
+    // clocks: stamp == global time), then feed the skewed history in that
+    // order — genuinely out-of-order event-time input.
+    let arrival: BTreeMap<(u32, u32, u64), u64> =
+        ref_history.iter().map(|e| (key(e), e.time_ns)).collect();
+    let mut storm_feed = history.clone();
+    storm_feed.sort_by_key(|e| (arrival[&key(e)], e.device, e.seq));
+    assert!(
+        storm_feed.windows(2).any(|w| w[0].time_ns > w[1].time_ns),
+        "arrival order must invert some skewed stamps (else the buffer is untested)"
+    );
+
+    let engine_over = |events: &[netseer::StoredEvent], cfg: AnalyticsConfig, links: LinkMap| {
+        let mut collector = Collector::new();
+        let mut engine = AnalyticsEngine::new(cfg, links);
+        engine.attach(&mut collector);
+        collector.ingest(events);
+        engine.poll(&mut collector);
+        engine.flush();
+        engine
+    };
+
+    // Generous bound (covers any two stamps' relative skew): exact
+    // convergence to the arrival-time reference, nothing late.
+    let bound = 2 * spec.max_abs_skew_ns(HORIZON) + 10 * MICROS;
+    let event_time = AnalyticsConfig {
+        lateness_bound_ns: bound,
+        reorder_cap: 8192,
+        ..AnalyticsConfig::default()
+    };
+    let storm_engine = engine_over(&storm_feed, event_time, links.clone());
+    let reference = engine_over(&ref_history, AnalyticsConfig::default(), links.clone());
+    let sl = storm_engine.ledger();
+    sl.assert_balanced();
+    assert_eq!(sl.late_shed, 0, "a bound covering the worst skew sheds nothing");
+    assert_eq!(sl.pending_reorder, 0, "flush must drain the reorder buffers");
+    assert_eq!(sl.ingested, reference.ledger().ingested);
+    assert_eq!(
+        storm_engine.totals(),
+        reference.totals(),
+        "event-time analytics must converge to the zero-skew reference"
+    );
+
+    // Tight bound: deep-late events are shed — visibly, with the extended
+    // identity (ingested == aggregated + sketch + shed + late_shed +
+    // pending) still exact.
+    let tight = AnalyticsConfig {
+        lateness_bound_ns: 10 * MICROS,
+        reorder_cap: 64,
+        ..AnalyticsConfig::default()
+    };
+    let tight_engine = engine_over(&storm_feed, tight, links);
+    let tl = tight_engine.ledger();
+    tl.assert_balanced();
+    assert!(tl.late_shed > 0, "a 10 µs bound under ~0.5 ms skew must shed late events");
+    assert_eq!(tl.ingested, sl.ingested, "shedding is accounted, never silent");
+
+    // The wire edge under the same storm's exporter clock lies: every
+    // datagram disposed exactly once, every lie booked, stamps clamped,
+    // and the extended wire identity exact.
+    let mut exporter = HostileExporter::new(HostileExporterConfig {
+        seed: seed(0xC10C),
+        hostility: 0.2,
+        clock_hostility: 0.3,
+        corruption: CorruptionSpec { flip_per_byte: 1e-3, ..CorruptionSpec::none() },
+        ..HostileExporterConfig::default()
+    });
+    let mut collector = Collector::new();
+    let mut wire = WireIngest::new(WireConfig::default());
+    let mut last_now = 0;
+    for tick in 0..800u64 {
+        last_now = tick * 10 * MICROS;
+        if let Some(dg) = exporter.emit() {
+            wire.ingest_datagram(&mut collector, &dg, last_now);
+        }
+    }
+    assert!(exporter.clock_attacks > 0 && exporter.attacks > 0);
+    let stats = wire.session().stats();
+    assert_eq!(stats.accepted + stats.rejected, stats.datagrams);
+    assert!(wire.clock_lies().iter().sum::<u64>() > 0, "clock lies must be booked");
+    assert!(wire.clamped_stamps() > 0, "implausible stamps must clamp");
+    // No stored stamp may outrun the collector's clock: lies were clamped.
+    let newest = collector.store().events().iter().map(|e| e.time_ns).max().unwrap_or(0);
+    assert!(newest <= last_now + 2_000_000_000, "stored stamps must stay near receive time");
+    wire.ledger(&collector).assert_balanced();
+}
+
+/// Scenario 18b — drift does not mask death: with the same clock storm
+/// running, a genuinely wedged monitor must still be caught (liveness is
+/// the heartbeat *counter*, not the heartbeat *clock*), and only the
+/// wedged one.
+#[test]
+fn wedged_monitor_is_still_caught_under_clock_drift() {
+    use netseer::faults::ClockSpec;
+
+    let spec = ClockSpec {
+        offset_ns: 300 * MICROS,
+        drift_ppm: 800,
+        freeze_prob: 0.25,
+        freeze_after_ns: 5 * MILLIS,
+        ..ClockSpec::none()
+    };
+    let faults = FaultPlan { seed: seed(0xD1F7), clock: spec, ..FaultPlan::default() };
+    let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+    drive_lossy_fabric(&mut sim, &ft, 0.02);
+    let switches = sim.switch_ids();
+    let victim = switches[1];
+    schedule_wedge(&mut sim, victim, 3 * MILLIS);
+    let wd_cfg = WatchdogConfig {
+        check_interval_ns: 500 * MICROS,
+        missed_beats: 2,
+        restart_delay_ns: 200 * MICROS,
+        ..WatchdogConfig::default()
+    };
+    let log = schedule_watchdog(&mut sim, &switches, wd_cfg, 30 * MILLIS);
+    sim.run_until(30 * MILLIS);
+
+    let incidents = log.incidents();
+    assert_eq!(incidents.len(), 1, "exactly the wedged monitor: {incidents:?}");
+    assert_eq!(incidents[0].device, victim);
+    assert_eq!(log.restarts().len(), 1);
+    assert!(!monitor_of(&sim, victim).is_wedged(), "the restart must un-wedge");
+    assert!(log.max_abs_skew_ns() > 0, "the storm's skew must be visible alongside the catch");
+    assert_eq!(fleet_ledger(&sim).missing(), 0);
+}
+
+/// Property: `ClockSpec::default()` plus a zero event-time config is
+/// byte-identical to the pre-existing arrival-time pipeline — across a
+/// seed sweep, the clock layer and the watermark machinery are exact
+/// no-ops when disabled.
+#[test]
+fn zero_skew_zero_lateness_is_bit_identical_to_arrival_time() {
+    use fet_analytics::{link_map_from_sim, AnalyticsConfig, AnalyticsEngine};
+    use netseer::faults::ClockSpec;
+
+    for base in [0xA0u64, 0xA1, 0xA2] {
+        let run = |clock: ClockSpec, cfg: AnalyticsConfig| {
+            let faults = FaultPlan { seed: seed(base), clock, ..FaultPlan::default() };
+            let (mut sim, ft) = setup(NetSeerConfig { faults, ..NetSeerConfig::default() });
+            drive_lossy_fabric(&mut sim, &ft, 0.02);
+            sim.run_until(12 * MILLIS);
+            let history = delivered_history(&sim);
+            let mut collector = Collector::new();
+            let mut engine = AnalyticsEngine::new(cfg, link_map_from_sim(&sim));
+            engine.attach(&mut collector);
+            collector.ingest(&history);
+            engine.poll(&mut collector);
+            engine.flush();
+            (history, fleet_ledger(&sim), engine.ledger(), engine.totals(), engine.top_flows(32))
+        };
+        let a = run(ClockSpec::default(), AnalyticsConfig::default());
+        let b = run(ClockSpec::none(), AnalyticsConfig::default());
+        assert_eq!(a, b, "seed {base:#x}: the default spec must be the identity");
+        // Event-time config at (0, 0) is exact passthrough, so the whole
+        // tuple — stamps included — must match byte-for-byte.
+        let c = run(
+            ClockSpec::none(),
+            AnalyticsConfig { lateness_bound_ns: 0, reorder_cap: 0, ..AnalyticsConfig::default() },
+        );
+        assert_eq!(a, c, "seed {base:#x}: (0,0) event-time must be exact passthrough");
+    }
 }
 
 /// The reproducibility contract extended to crash-recovery: the same seed

@@ -83,6 +83,11 @@ struct Fingerprint {
     /// scraped off every stat surface above: encoders and scrape
     /// adapters are part of the bit-identical contract too.
     export: RenderedSnapshot,
+    /// Per-device virtual-clock fingerprints (offset/drift/step/freeze
+    /// draws). All-zero when the fault plan leaves clocks perfect; under a
+    /// clock storm every shard count must draw the identical fleet of
+    /// wrong clocks.
+    clock_fingerprints: Vec<u64>,
 }
 
 /// Everything observable about the hostile-exporter wire storm.
@@ -94,6 +99,11 @@ struct WireState {
     soft_rejects: Vec<u64>,
     upstream_lost: u64,
     store: Vec<StoredEvent>,
+    /// Clock-lie taxonomy counters and clamped-stamp total (zero for the
+    /// honest-clock storm; joined to the contract so the vetting path can
+    /// never drift across shard counts).
+    clock_lies: Vec<u64>,
+    clamped_stamps: u64,
 }
 
 /// Storm a dedicated tight-watermark collector with the seeded hostile
@@ -140,6 +150,8 @@ fn run_wire_storm(storm_seed: u64, reg: &mut MetricRegistry) -> WireState {
         soft_rejects: wire.soft_rejects_by_reason().to_vec(),
         upstream_lost: wire.upstream_losses().iter().map(|l| l.lost).sum(),
         store: collector.store().events().to_vec(),
+        clock_lies: wire.clock_lies().to_vec(),
+        clamped_stamps: wire.clamped_stamps(),
     }
 }
 
@@ -322,6 +334,10 @@ fn run_scenario_with(
             .into_iter()
             .map(|h| sim.host(h).rx_flows.values().map(|r| r.pkts).sum::<u64>())
             .sum(),
+        clock_fingerprints: ids
+            .iter()
+            .map(|&id| monitor_of(&sim, id).clock().fingerprint())
+            .collect(),
         analytics,
         wire,
         export,
@@ -813,6 +829,72 @@ fn det_19_sync_stats_deterministic_per_configuration() {
             );
         }
     }
+}
+
+/// Scenario 20 — the fleet-wide clock storm: every device draws a wrong
+/// clock (offset, drift, steps, and a freeze probability) from the fault
+/// plan's dedicated RNG stream. The skewed stamps flow through CEBP
+/// batches, the WAL, and the delivered history — all already in the
+/// fingerprint — and the per-device clock fingerprints join it
+/// explicitly, so a single divergent draw at any shard count fails the
+/// sweep. On top, an event-time engine over the (skewed) delivered
+/// history must be reproducible and balanced.
+#[test]
+fn det_20_clock_storm() {
+    use netseer::faults::ClockSpec;
+
+    let spec = ClockSpec {
+        offset_ns: 200 * MICROS,
+        drift_ppm: 500,
+        step_every_ns: 5 * MILLIS,
+        step_ns: 50 * MICROS,
+        freeze_prob: 0.2,
+        freeze_after_ns: 4 * MILLIS,
+    };
+    let cfg = || NetSeerConfig {
+        faults: FaultPlan {
+            seed: seed(0xC20),
+            clock: spec,
+            notification_loss: LossProcess::Bernoulli { p: 0.2 },
+            ..FaultPlan::default()
+        },
+        ..NetSeerConfig::default()
+    };
+    let fp =
+        assert_deterministic("clock-storm", cfg, None, |sim, ft| drive_lossy_fabric(sim, ft, 0.02));
+    assert!(
+        fp.clock_fingerprints.iter().any(|&f| f != 0),
+        "the storm must arm device clocks: {:?}",
+        fp.clock_fingerprints
+    );
+    assert!(
+        fp.clock_fingerprints.iter().filter(|&&f| f != 0).count() > 1,
+        "offset/drift draws must differ across the fleet"
+    );
+
+    // Event-time analytics over the skewed history: same input, same
+    // config, bit-identical engine state — and the extended ledger
+    // identity (late terms included) holds after the flush.
+    let run_engine = || {
+        let mut collector = Collector::new();
+        let mut engine = AnalyticsEngine::new(
+            AnalyticsConfig {
+                lateness_bound_ns: 2 * spec.max_abs_skew_ns(HORIZON) + 10 * MICROS,
+                reorder_cap: 4096,
+                ..AnalyticsConfig::default()
+            },
+            fet_analytics::LinkMap::default(),
+        );
+        engine.attach(&mut collector);
+        collector.ingest(&fp.delivered);
+        engine.poll(&mut collector);
+        engine.flush();
+        let ledger = engine.ledger();
+        ledger.assert_balanced();
+        assert_eq!(ledger.pending_reorder, 0, "flush must drain the reorder buffers");
+        (ledger, engine.totals(), engine.top_flows(32))
+    };
+    assert_eq!(run_engine(), run_engine(), "event-time analytics must be reproducible");
 }
 
 /// Scenario 13 — watchdog supervision of wedged monitors: checks are

@@ -343,8 +343,10 @@ fn spill_truncation_sweep_keeps_exact_record_prefixes() {
 
 use fet_netsim::exporter::{HostileExporter, HostileExporterConfig};
 use fet_packet::flow::IpProtocol;
-use fet_wire::builder::{v5_datagram, v5_datagram_with_count, IpfixBuilder, V9Builder};
-use fet_wire::fields::base_flow_fields;
+use fet_wire::builder::{
+    v5_datagram, v5_datagram_with_count, v5_datagram_with_times, IpfixBuilder, V9Builder,
+};
+use fet_wire::fields::{base_flow_fields, FIRST_SWITCHED, LAST_SWITCHED};
 use fet_wire::{translate, FlowSample, TemplateField, WireSession, WireSessionConfig};
 
 fn wire_sample(rng: &mut Pcg32) -> FlowSample {
@@ -368,6 +370,8 @@ fn wire_sample(rng: &mut Pcg32) -> FlowSample {
             2 => Some(0x80),
             _ => Some(rng.next_u32() as u8),
         },
+        first_ms: 0,
+        last_ms: 0,
     }
 }
 
@@ -551,4 +555,141 @@ fn wire_survives_the_hostile_exporter() {
     let st = s.stats();
     assert_eq!(st.accepted + st.rejected, st.datagrams, "every datagram gets one disposition");
     assert!(st.rejects.iter().chain(st.soft.iter()).filter(|&&c| c > 0).count() >= 4);
+}
+
+// ---------------------------------------------------------------------------
+// Clock-lie family: randomized header clocks and per-record timestamps.
+//
+// The time-fault contract: exporter clocks are *claims*, never trusted.
+// Whatever the time fields say — future export times, backwards first/last
+// pairs, sysuptime parked at one value, values straddling the ~49.7-day
+// u32 millisecond wrap — the datagram must still land in exactly one
+// accounting bucket, never panic, and every accepted stamp must stay
+// within the collector's receive-clock plausibility window.
+// ---------------------------------------------------------------------------
+
+/// A flow sample whose first/last sysuptime claims are drawn from the
+/// clock-lie corpus: absent, plausible, wrap-straddling (honest), and
+/// outright lies (backwards pairs, implausible durations, raw noise).
+fn clocky_sample(rng: &mut Pcg32) -> FlowSample {
+    let mut s = wire_sample(rng);
+    let (first, last) = match rng.next_below(6) {
+        0 => (0, 0), // absent — not a claim at all
+        1 => {
+            let f = rng.next_u32() % 1_000_000;
+            (f, f + rng.next_u32() % 60_000) // plausible forward pair
+        }
+        2 => (u32::MAX - rng.next_below(1_000), rng.next_below(1_000)), // wrap-straddler
+        3 => {
+            let l = rng.next_u32() % 1_000_000;
+            (l + 1 + rng.next_u32() % 1_000_000, l) // backwards: a lie
+        }
+        4 => {
+            let f = rng.next_u32() % 1_000;
+            (f, f + 3_600_001 + rng.next_u32() % 1_000_000) // implausible duration
+        }
+        _ => (rng.next_u32(), rng.next_u32()), // raw noise
+    };
+    s.first_ms = first;
+    s.last_ms = last;
+    s
+}
+
+/// One well-framed datagram whose clock fields lie in every way the wire
+/// protocols allow: v5 header sysuptime/unix pairs, v9 `times()`, IPFIX
+/// `export_time()`, plus per-record FIRST/LAST_SWITCHED claims.
+fn clock_lying_datagram(rng: &mut Pcg32, seq: u32) -> Vec<u8> {
+    let rows: Vec<FlowSample> = (0..1 + rng.next_below(8)).map(|_| clocky_sample(rng)).collect();
+    let (sys_ms, unix_s) = match rng.next_below(5) {
+        0 => (0, 0),                                                    // absent
+        1 => (rng.next_u32() % 10_000, 1_700_000_000),                  // plausible
+        2 => (u32::MAX - rng.next_below(5_000), 1_700_000_000),         // sysuptime near the wrap
+        3 => (0x00BE_EF00, 2_000_000_000 + rng.next_u32() % 1_000_000), // frozen + far future
+        _ => (rng.next_u32(), rng.next_u32()),                          // raw noise
+    };
+    let tid = 256 + rng.next_below(8) as u16;
+    let mut timed = base_flow_fields();
+    timed.push(TemplateField::std(FIRST_SWITCHED, 4));
+    timed.push(TemplateField::std(LAST_SWITCHED, 4));
+    match rng.next_below(3) {
+        0 => v5_datagram_with_times(seq, 0, 1, &rows, rows.len() as u16, sys_ms, unix_s),
+        1 => V9Builder::new(rng.next_below(5), seq)
+            .times(sys_ms, unix_s)
+            .template(tid, &timed)
+            .data_samples(tid, &rows)
+            .build(),
+        _ => IpfixBuilder::new(rng.next_below(5), seq)
+            .export_time(unix_s)
+            .template(tid, &timed)
+            .data_samples(tid, &rows)
+            .build(),
+    }
+}
+
+#[test]
+fn wire_clock_lies_stay_accounted_and_clamped() {
+    let mut rng = Pcg32::new(seed(0x3136_C10C), 12);
+    let mut s = WireSession::new(WireSessionConfig::default());
+    let mut now_ns: u64 = 50_000_000_000;
+    for i in 0..iters() {
+        now_ns += u64::from(rng.next_below(1_000_000));
+        let buf = clock_lying_datagram(&mut rng, i);
+        let r = s.ingest(&buf, now_ns);
+        // Exactly one disposition per datagram, checked after every input.
+        let st = s.stats();
+        assert_eq!(st.accepted + st.rejected, st.datagrams, "one bucket per datagram");
+        assert_eq!(st.datagrams, u64::from(i) + 1, "every datagram is counted");
+        if r.rejected.is_none() {
+            // Accepted ⇒ a usable event time that never outruns the
+            // collector's own receive clock (plus the 1 s future slack).
+            assert!(r.event_time_ns > 0, "accepted datagrams carry an event time");
+            assert!(
+                r.event_time_ns <= now_ns + 2_000_000_000,
+                "vetted stamps stay within the receive-clock window"
+            );
+        } else {
+            assert_eq!(r.event_time_ns, 0, "rejected datagrams carry no event time");
+        }
+        let cache = s.cache();
+        assert!(cache.max_domain_len() <= cache.config().max_templates, "template bound");
+        assert!(cache.domain_count() <= cache.config().max_domains, "domain bound");
+    }
+    // Corpus coverage: the lie taxonomy must actually fire — clock lies
+    // are soft damage, so acceptance stays high while lies are booked.
+    let st = s.stats();
+    assert!(st.accepted > u64::from(iters()) / 2, "clock lies must not cause rejection");
+    assert!(st.clock_lies.iter().filter(|&&c| c > 0).count() >= 3, "≥3 lie kinds observed");
+    assert!(st.clamped_stamps > 0, "implausible stamps get clamped to the receive clock");
+}
+
+#[test]
+fn wire_survives_the_clock_hostile_exporter() {
+    // End-to-end at fuzz volume: the seeded exporter mixes clock lies with
+    // structural attacks and corruption; accounting must stay exact.
+    let mut ex = HostileExporter::new(HostileExporterConfig {
+        seed: seed(0x3136_DDDD),
+        hostility: 0.3,
+        clock_hostility: 0.4,
+        drop_prob: 0.05,
+        corruption: CorruptionSpec {
+            flip_per_byte: 0.005,
+            truncate_prob: 0.1,
+            duplicate_prob: 0.1,
+        },
+        ..Default::default()
+    });
+    let mut s = WireSession::new(WireSessionConfig::default());
+    let mut now_ns: u64 = 1_000_000_000;
+    for _ in 0..iters() {
+        now_ns += 10_000;
+        if let Some(dg) = ex.emit() {
+            let r = s.ingest(&dg, now_ns);
+            assert_eq!(r.decoded, r.samples.len() as u64, "decoded must equal carried samples");
+            let st = s.stats();
+            assert_eq!(st.accepted + st.rejected, st.datagrams, "one bucket per datagram");
+        }
+    }
+    assert!(ex.clock_attacks > 0, "the clock-lie arm must fire at this volume");
+    let st = s.stats();
+    assert!(st.clock_lies.iter().sum::<u64>() > 0, "clock lies must be booked");
 }

@@ -42,6 +42,8 @@ fn golden_sample() -> FlowSample {
         bytes: 1200,
         tcp_flags: 0x10,
         forwarding_status: Some(0x40),
+        first_ms: 0,
+        last_ms: 0,
     }
 }
 
